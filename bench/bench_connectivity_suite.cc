@@ -1,0 +1,101 @@
+// E14 ([4] substrate): the connectivity toolkit this paper builds on —
+// connectivity, bipartiteness, (1+eps) MST weight, k-connectivity — on
+// dynamic streams with churn.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/connectivity_suite.h"
+#include "src/graph/generators.h"
+#include "src/graph/stream.h"
+#include "src/graph/union_find.h"
+#include "src/hash/random.h"
+
+using namespace gsketch;
+using bench::Banner;
+using bench::Row;
+
+int main() {
+  Banner("E14", "the [4] connectivity toolkit on dynamic streams",
+         "single-pass connectivity, bipartiteness (double cover), "
+         "(1+eps) MST weight, k-connectivity — all via O(n polylog) "
+         "spanning-forest sketches");
+
+  ForestOptions opt;
+  opt.repetitions = 6;
+
+  // Connectivity + bipartiteness across workloads with churn.
+  Row("%-16s %-8s %-10s %-10s %-12s %-12s", "workload", "m", "cc-est",
+      "cc-true", "bipartite", "truth");
+  struct Case {
+    const char* name;
+    Graph g;
+    bool bipartite;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"grid-8x8", GridGraph(8, 8), true});
+  cases.push_back({"grid+chord", GridGraph(8, 8), false});
+  cases.back().g.AddEdge(0, 9, 1.0);  // diagonal creates an odd cycle
+  cases.push_back({"bipartite-12x12", CompleteBipartite(12, 12), true});
+  cases.push_back({"er-64", ErdosRenyi(64, 0.1, 3), false});
+  cases.push_back({"two-comps", PlantedPartition(64, 2, 0.2, 0.0, 5), false});
+
+  Rng rng(7);
+  for (auto& c : cases) {
+    auto stream = DynamicGraphStream::FromGraph(c.g);
+    stream = stream.WithChurn(c.g.NumEdges() / 3, &rng).Shuffled(&rng);
+    ConnectivitySketch conn(c.g.NumNodes(), opt, 11);
+    BipartitenessSketch bip(c.g.NumNodes(), opt, 13);
+    stream.Replay([&](NodeId u, NodeId v, int32_t d) {
+      conn.Update(u, v, d);
+      bip.Update(u, v, d);
+    });
+    Row("%-16s %-8zu %-10zu %-10zu %-12s %-12s", c.name, c.g.NumEdges(),
+        conn.NumComponents(), c.g.NumComponents(),
+        bip.IsBipartite() ? "yes" : "no", c.bipartite ? "yes" : "no");
+  }
+
+  // MST weight vs exact Kruskal across eps.
+  Row("\n(1+eps) MST weight (ER n=48 p=0.3, weights in [1,64]):");
+  Row("%-8s %-12s %-12s %-10s %-12s", "eps", "exact", "estimate", "ratio",
+      "forests");
+  Graph base = ErdosRenyi(48, 0.3, 17);
+  Graph w = WithRandomWeights(base, 64, 19);
+  // Exact Kruskal.
+  auto edges = w.Edges();
+  std::sort(edges.begin(), edges.end(),
+            [](const WeightedEdge& a, const WeightedEdge& b) {
+              return a.weight < b.weight;
+            });
+  UnionFind uf(48);
+  double exact = 0;
+  for (const auto& e : edges) {
+    if (uf.Union(e.u, e.v)) exact += e.weight;
+  }
+  for (double eps : {1.0, 0.5, 0.25, 0.1}) {
+    ApproxMstSketch sk(48, 64, eps, opt, 100 + static_cast<uint64_t>(eps * 100));
+    for (const auto& e : w.Edges()) {
+      sk.Update(e.u, e.v, 1, static_cast<int64_t>(e.weight));
+    }
+    double est = sk.EstimateWeight();
+    Row("%-8.2f %-12.0f %-12.0f %-10.3f %-12zu", eps, exact, est, est / exact,
+        sk.thresholds().size());
+  }
+  Row("expected shape: ratio in [1, 1+eps], approaching 1 as eps shrinks at "
+      "the cost of more threshold forests.\n");
+
+  // k-connectivity thresholds on planted-cut graphs.
+  Row("k-connectivity testing (dumbbell, bridges b, tester at k):");
+  Row("%-8s %-8s %-14s %-14s", "b", "k", "is-k-connected", "expected");
+  for (NodeId b : {2u, 4u}) {
+    Graph g = Dumbbell(12, 0.9, b, 23 + b);
+    for (uint32_t k : {2u, 3u, 4u, 5u}) {
+      KConnectivityTester sk(24, k, opt, 300 + 10 * b + k);
+      for (const auto& e : g.Edges()) sk.Update(e.u, e.v, 1);
+      bool expected = b >= k;  // min cut = b
+      Row("%-8u %-8u %-14s %-14s", b, k,
+          sk.IsKConnected() ? "yes" : "no", expected ? "yes" : "no");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+// E5 (Fig. 2 / Theorem 3.3): SIMPLE-SPARSIFICATION — cut preservation
+// across cut families vs the witness threshold k (the ε⁻² log² n knob),
+// sparsifier size, and sketch space.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/simple_sparsifier.h"
+#include "src/graph/cuts.h"
+#include "src/graph/generators.h"
+#include "src/graph/stream.h"
+#include "src/hash/random.h"
+
+using namespace gsketch;
+using bench::Banner;
+using bench::Row;
+using bench::Timer;
+
+namespace {
+
+void RunCase(const char* name, const Graph& g, uint32_t k, uint64_t seed) {
+  SimpleSparsifierOptions opt;
+  opt.k_override = k;
+  opt.max_level = 10;
+  opt.forest.repetitions = 5;
+
+  auto stream = DynamicGraphStream::FromGraph(g);
+  Rng rng(seed);
+  stream = stream.WithChurn(g.NumEdges() / 3, &rng).Shuffled(&rng);
+
+  SimpleSparsifier sk(g.NumNodes(), opt, seed);
+  stream.Replay([&sk](NodeId u, NodeId v, int32_t d) { sk.Update(u, v, d); });
+  Timer dec;
+  Graph h = sk.Extract();
+  double dec_s = dec.Seconds();
+
+  // Cut families: random bisections, BFS balls, singletons.
+  auto cuts = RandomCuts(g.NumNodes(), 60, &rng);
+  auto balls = BfsBallCuts(g, 40, &rng);
+  cuts.insert(cuts.end(), balls.begin(), balls.end());
+  auto single = SingletonCuts(g.NumNodes());
+  cuts.insert(cuts.end(), single.begin(), single.end());
+  auto err = CompareCuts(g, h, cuts);
+
+  Row("%-14s %-5u %-8zu %-10zu %-10.3f %-10.3f %-12zu %-8.2f", name, k,
+      g.NumEdges(), h.NumEdges(), err.max_rel_error, err.avg_rel_error,
+      sk.CellCount(), dec_s);
+}
+
+}  // namespace
+
+int main() {
+  Banner("E5", "SIMPLE-SPARSIFICATION cut preservation (Fig. 2, Thm 3.3)",
+         "O(eps^-2 n log^5 n) space sketch; (1+-eps) approximation of every "
+         "cut; sparsifier has O(eps^-2 n log^3 n) edges");
+
+  Row("%-14s %-5s %-8s %-10s %-10s %-10s %-12s %-8s", "workload", "k",
+      "m", "|H|-edges", "max-err", "avg-err", "cells", "dec-s");
+
+  Graph er = ErdosRenyi(64, 0.4, 3);
+  Graph grid = GridGraph(8, 8);
+  Graph planted = PlantedPartition(64, 4, 0.5, 0.05, 5);
+  Graph complete = CompleteGraph(64);
+
+  for (uint32_t k : {4u, 8u, 16u, 32u}) {
+    RunCase("er-64", er, k, 100 + k);
+  }
+  for (uint32_t k : {8u, 16u}) {
+    RunCase("grid-8x8", grid, k, 200 + k);
+    RunCase("planted-4", planted, k, 300 + k);
+    RunCase("complete-64", complete, k, 400 + k);
+  }
+
+  Row("\nexpected shape: max-err shrinks ~1/sqrt(k) (k plays eps^-2 log^2 n); "
+      "sparse graphs (grid) reproduce exactly at any k > max connectivity; "
+      "|H| edges grow with k but stay below m for dense inputs; 33%% churn "
+      "never pollutes H (linearity).");
+  return 0;
+}

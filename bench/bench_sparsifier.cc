@@ -1,0 +1,126 @@
+// E6 (Fig. 3 / Theorem 3.4): SPARSIFICATION — the paper's main result.
+// Measures cut error and *space* against SIMPLE-SPARSIFICATION at matched
+// accuracy: the better construction replaces the k-EDGECONNECT hierarchy
+// (k = eps^-2 log^2 n forests per level) with per-node k-RECOVERY sketches
+// plus a cheap rough stage, saving a log factor.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/simple_sparsifier.h"
+#include "src/core/sparsifier.h"
+#include "src/graph/cuts.h"
+#include "src/graph/generators.h"
+#include "src/graph/stream.h"
+#include "src/hash/random.h"
+
+using namespace gsketch;
+using bench::Banner;
+using bench::Row;
+using bench::Timer;
+
+namespace {
+
+CutErrorStats Evaluate(const Graph& g, const Graph& h, uint64_t seed) {
+  Rng rng(seed);
+  auto cuts = RandomCuts(g.NumNodes(), 50, &rng);
+  auto balls = BfsBallCuts(g, 30, &rng);
+  cuts.insert(cuts.end(), balls.begin(), balls.end());
+  auto single = SingletonCuts(g.NumNodes());
+  cuts.insert(cuts.end(), single.begin(), single.end());
+  return CompareCuts(g, h, cuts);
+}
+
+void RunCase(const char* name, const Graph& g, uint32_t k, uint64_t seed) {
+  SparsifierOptions opt;
+  opt.k_override = k;
+  opt.rows = 3;
+  opt.max_level = 10;
+  // The rough stage is a FIXED (1 ± 1/2) sparsifier: its threshold does
+  // not grow with the target accuracy — that is Fig. 3's whole point.
+  opt.rough.k_override = 8;
+  opt.rough.max_level = 10;
+  opt.rough.forest.repetitions = 5;
+
+  auto stream = DynamicGraphStream::FromGraph(g);
+  Rng rng(seed);
+  stream = stream.WithChurn(g.NumEdges() / 3, &rng).Shuffled(&rng);
+
+  Sparsifier sk(g.NumNodes(), opt, seed);
+  stream.Replay([&sk](NodeId u, NodeId v, int32_t d) { sk.Update(u, v, d); });
+  Timer dec;
+  SparsifierStats stats;
+  Graph h = sk.Extract(&stats);
+  double dec_s = dec.Seconds();
+  auto err = Evaluate(g, h, seed + 1);
+
+  Row("%-14s %-5u %-10zu %-10.3f %-10.3f %-12zu %-6zu %-8.2f", name, k,
+      h.NumEdges(), err.max_rel_error, err.avg_rel_error, sk.CellCount(),
+      stats.recovery_failures, dec_s);
+}
+
+}  // namespace
+
+int main() {
+  Banner("E6", "SPARSIFICATION via Gomory-Hu + k-RECOVERY (Fig. 3, Thm 3.4)",
+         "O(n(log^5 n + eps^-2 log^4 n)) space: a log-factor below Fig. 2 "
+         "at matched accuracy");
+
+  Row("%-14s %-5s %-10s %-10s %-10s %-12s %-6s %-8s", "workload", "k",
+      "|H|-edges", "max-err", "avg-err", "cells", "fails", "dec-s");
+
+  Graph er = ErdosRenyi(64, 0.4, 3);
+  Graph grid = GridGraph(8, 8);
+  Graph planted = PlantedPartition(64, 4, 0.5, 0.05, 5);
+
+  for (uint32_t k : {8u, 16u, 32u, 64u}) {
+    RunCase("er-64", er, k, 500 + k);
+  }
+  RunCase("grid-8x8", grid, 16, 601);
+  RunCase("planted-4", planted, 16, 602);
+
+  // Head-to-head: space at matched accuracy vs SIMPLE-SPARSIFICATION.
+  Row("\nhead-to-head space at matched accuracy target (er-64):");
+  Row("%-22s %-10s %-12s %-10s", "construction", "max-err", "cells",
+      "cells/n");
+  {
+    uint64_t seed = 777;
+    auto stream = DynamicGraphStream::FromGraph(er);
+
+    SimpleSparsifierOptions so;
+    so.k_override = 16;
+    so.max_level = 10;
+    so.forest.repetitions = 5;
+    SimpleSparsifier simple(64, so, seed);
+    stream.Replay(
+        [&simple](NodeId u, NodeId v, int32_t d) { simple.Update(u, v, d); });
+    Graph hs = simple.Extract();
+    auto es = Evaluate(er, hs, 9001);
+    Row("%-22s %-10.3f %-12zu %-10zu", "Fig2-simple (k=16)", es.max_rel_error,
+        simple.CellCount(), simple.CellCount() / 64);
+
+    // Fig. 3 samples at probability ~k/(3λ) (the level formula's safety
+    // factor), so matched accuracy to Fig. 2's k=16 needs k=48 here.
+    SparsifierOptions bo;
+    bo.k_override = 48;
+    bo.rows = 3;
+    bo.max_level = 10;
+    bo.rough.k_override = 8;
+    bo.rough.max_level = 10;
+    bo.rough.forest.repetitions = 5;
+    Sparsifier better(64, bo, seed);
+    stream.Replay(
+        [&better](NodeId u, NodeId v, int32_t d) { better.Update(u, v, d); });
+    Graph hb = better.Extract();
+    auto eb = Evaluate(er, hb, 9001);
+    Row("%-22s %-10.3f %-12zu %-10zu", "Fig3-better (k=48)", eb.max_rel_error,
+        better.CellCount(), better.CellCount() / 64);
+  }
+
+  Row("\nexpected shape: in the sweep, cells are nearly FLAT in k (the fixed "
+      "rough stage dominates; per-node recovery sketches are the cheap "
+      "eps^-2 term) while error falls ~1/sqrt(k) — exactly the "
+      "log^5 -> log^4 split of Thm 3.4. Head-to-head: matched max-err at "
+      "roughly half the cells of Fig. 2; fails = 0 when k is sized to the "
+      "cut values.");
+  return 0;
+}

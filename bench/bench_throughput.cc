@@ -1,0 +1,138 @@
+// E12: update/decode throughput of every sketch family (google-benchmark).
+// The paper's sketches are meant for high-rate streams; these microbenches
+// give updates/second and decode latency at realistic parameterizations.
+#include <benchmark/benchmark.h>
+
+#include "src/core/min_cut.h"
+#include "src/core/simple_sparsifier.h"
+#include "src/core/spanning_forest.h"
+#include "src/core/subgraph_sketch.h"
+#include "src/graph/generators.h"
+#include "src/sketch/l0_sampler.h"
+#include "src/sketch/sparse_recovery.h"
+
+namespace {
+
+using namespace gsketch;
+
+void BM_L0SamplerUpdate(benchmark::State& state) {
+  uint64_t domain = uint64_t{1} << state.range(0);
+  L0Sampler s(domain, 6, 42);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    s.Update(i++ % domain, 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_L0SamplerUpdate)->Arg(16)->Arg(24)->Arg(32);
+
+void BM_SparseRecoveryUpdate(benchmark::State& state) {
+  SparseRecovery s(uint64_t{1} << 24, static_cast<uint32_t>(state.range(0)),
+                   3, 42);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    s.Update(i++ % 999983, 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SparseRecoveryUpdate)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_SparseRecoveryDecode(benchmark::State& state) {
+  uint32_t cap = static_cast<uint32_t>(state.range(0));
+  SparseRecovery s(uint64_t{1} << 24, cap, 3, 42);
+  for (uint32_t i = 0; i < cap; ++i) s.Update(i * 131071ull, 1);
+  for (auto _ : state) {
+    auto r = s.Decode();
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_SparseRecoveryDecode)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_SpanningForestUpdate(benchmark::State& state) {
+  NodeId n = static_cast<NodeId>(state.range(0));
+  ForestOptions opt;
+  opt.repetitions = 4;
+  SpanningForestSketch s(n, opt, 42);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    NodeId u = static_cast<NodeId>(i % n);
+    NodeId v = static_cast<NodeId>((i * 31 + 7) % n);
+    if (u == v) v = (v + 1) % n;
+    s.Update(u, v, 1);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpanningForestUpdate)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_SpanningForestExtract(benchmark::State& state) {
+  NodeId n = static_cast<NodeId>(state.range(0));
+  ForestOptions opt;
+  opt.repetitions = 4;
+  SpanningForestSketch s(n, opt, 42);
+  Graph g = ErdosRenyi(n, 8.0 / n, 7);
+  for (const auto& e : g.Edges()) s.Update(e.u, e.v, 1);
+  for (auto _ : state) {
+    Graph f = s.ExtractForest();
+    benchmark::DoNotOptimize(f);
+  }
+}
+BENCHMARK(BM_SpanningForestExtract)->Arg(64)->Arg(256);
+
+void BM_MinCutUpdate(benchmark::State& state) {
+  NodeId n = static_cast<NodeId>(state.range(0));
+  MinCutOptions opt;
+  opt.epsilon = 1.0;
+  opt.max_level = 8;
+  opt.forest.repetitions = 4;
+  MinCutSketch s(n, opt, 42);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    NodeId u = static_cast<NodeId>(i % n);
+    NodeId v = static_cast<NodeId>((i * 31 + 7) % n);
+    if (u == v) v = (v + 1) % n;
+    s.Update(u, v, 1);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MinCutUpdate)->Arg(64)->Arg(128);
+
+void BM_SimpleSparsifierUpdate(benchmark::State& state) {
+  NodeId n = static_cast<NodeId>(state.range(0));
+  SimpleSparsifierOptions opt;
+  opt.k_override = 8;
+  opt.max_level = 8;
+  opt.forest.repetitions = 4;
+  SimpleSparsifier s(n, opt, 42);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    NodeId u = static_cast<NodeId>(i % n);
+    NodeId v = static_cast<NodeId>((i * 31 + 7) % n);
+    if (u == v) v = (v + 1) % n;
+    s.Update(u, v, 1);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimpleSparsifierUpdate)->Arg(64)->Arg(128);
+
+void BM_SubgraphSketchUpdate(benchmark::State& state) {
+  NodeId n = static_cast<NodeId>(state.range(0));
+  SubgraphSketch s(n, 3, 50, 5, 42);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    NodeId u = static_cast<NodeId>(i % n);
+    NodeId v = static_cast<NodeId>((i * 31 + 7) % n);
+    if (u == v) v = (v + 1) % n;
+    s.Update(u, v, 1);
+    ++i;
+  }
+  // Each edge update fans out to (n-2) columns per sampler.
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SubgraphSketchUpdate)->Arg(32)->Arg(64)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+// Shared helpers for the experiment harness binaries: aligned table
+// printing and wall-clock timing. Each bench regenerates one experiment
+// from DESIGN.md's index (E1-E12) and prints the paper's predicted bound
+// next to the measured value.
+#ifndef GRAPHSKETCH_BENCH_BENCH_UTIL_H_
+#define GRAPHSKETCH_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+
+namespace gsketch::bench {
+
+/// Prints the experiment banner.
+inline void Banner(const char* id, const char* title, const char* claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s: %s\n", id, title);
+  std::printf("paper claim: %s\n", claim);
+  std::printf("================================================================\n");
+}
+
+/// printf-style row helper (just forwards; exists for call-site symmetry).
+inline void Row(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+/// Wall-clock stopwatch in seconds.
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace gsketch::bench
+
+#endif  // GRAPHSKETCH_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,82 @@
+// Distributed sketching (Section 1.1): the edge stream of one logical
+// graph arrives at 8 independent sites (think: 8 routers each seeing part
+// of the traffic, or 8 reducers in a MapReduce round). Each site runs the
+// SAME seeded sketch on its share; the coordinator sums the 8 sketches and
+// decodes once. Because sketches are linear, the merged sketch is
+// *identical* to the sketch a single machine would have built from the
+// whole stream — the decoded answers match exactly, not approximately.
+#include <cstdio>
+#include <vector>
+
+#include "src/core/simple_sparsifier.h"
+#include "src/core/spanning_forest.h"
+#include "src/graph/cuts.h"
+#include "src/graph/generators.h"
+#include "src/graph/stream.h"
+#include "src/hash/random.h"
+
+int main() {
+  using namespace gsketch;
+
+  const NodeId n = 64;
+  const size_t kSites = 8;
+  Graph g = PlantedPartition(n, 4, 0.4, 0.04, /*seed=*/3);
+  auto stream = DynamicGraphStream::FromGraph(g);
+  Rng rng(5);
+  // Deletions included: 50% churn before partitioning across sites.
+  stream = stream.WithChurn(g.NumEdges() / 2, &rng);
+  auto parts = stream.Partition(kSites, &rng);
+
+  std::printf("distributed sketching: %zu sites, %zu total updates "
+              "(with churn), n=%u\n\n",
+              kSites, stream.Size(), n);
+
+  // All sites must share the seed: same seed == same linear projection.
+  const uint64_t kSharedSeed = 42;
+  SimpleSparsifierOptions opt;
+  opt.k_override = 10;
+  opt.max_level = 8;
+
+  std::vector<SimpleSparsifier> sites;
+  for (size_t s = 0; s < kSites; ++s) {
+    sites.emplace_back(n, opt, kSharedSeed);
+    parts[s].Replay([&](NodeId u, NodeId v, int32_t d) {
+      sites.back().Update(u, v, d);
+    });
+    std::printf("site %zu processed %zu updates (%zu sketch cells)\n", s,
+                parts[s].Size(), sites.back().CellCount());
+  }
+
+  // Coordinator: sum the sketches, decode once.
+  SimpleSparsifier merged = std::move(sites[0]);
+  for (size_t s = 1; s < kSites; ++s) merged.Merge(sites[s]);
+  Graph h_merged = merged.Extract();
+
+  // Reference: one sketch over the whole stream.
+  SimpleSparsifier central(n, opt, kSharedSeed);
+  stream.Replay(
+      [&central](NodeId u, NodeId v, int32_t d) { central.Update(u, v, d); });
+  Graph h_central = central.Extract();
+
+  bool identical = h_merged.NumEdges() == h_central.NumEdges();
+  for (const auto& e : h_central.Edges()) {
+    if (h_merged.EdgeWeight(e.u, e.v) != e.weight) identical = false;
+  }
+  std::printf("\nmerged sparsifier == centralized sparsifier: %s "
+              "(%zu edges)\n",
+              identical ? "IDENTICAL" : "MISMATCH", h_merged.NumEdges());
+
+  // And the sparsifier is actually good: compare community cuts.
+  auto cuts = BfsBallCuts(g, 30, &rng);
+  auto err = CompareCuts(g, h_merged, cuts);
+  std::printf("cut approximation of the merged sparsifier: max err %.3f, "
+              "avg err %.3f over %zu cuts\n",
+              err.max_rel_error, err.avg_rel_error, err.cuts_checked);
+
+  std::printf("\ncommunication: each site ships one fixed-size sketch "
+              "(%zu cells) regardless of how many updates it saw — the win "
+              "appears once per-site update volume exceeds the sketch size "
+              "(this demo stream is tiny on purpose).\n",
+              merged.CellCount());
+  return 0;
+}

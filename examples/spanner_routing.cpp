@@ -1,0 +1,77 @@
+// Distance oracles from adaptive sketches (Section 5): build a sparse
+// spanner of a large network from a k-pass stream, then answer shortest-
+// path queries from the spanner alone. Compares Baswana-Sen (more passes,
+// better stretch) with RECURSECONNECT (fewer passes, looser stretch) on
+// the same stream — the paper's central trade-off.
+#include <cstdio>
+
+#include "src/core/baswana_sen.h"
+#include "src/core/recurse_connect.h"
+#include "src/graph/bfs.h"
+#include "src/graph/generators.h"
+#include "src/graph/spanner_check.h"
+#include "src/graph/stream.h"
+#include "src/hash/random.h"
+
+int main() {
+  using namespace gsketch;
+
+  // A metro network: a 12x8 street grid plus 500 random express links —
+  // dense enough that keeping every link is wasteful.
+  const NodeId n = 96;
+  Graph g = GridGraph(12, 8);
+  Rng rng(3);
+  size_t chords = 0;
+  while (chords < 500) {
+    NodeId u = static_cast<NodeId>(rng.Below(n));
+    NodeId v = static_cast<NodeId>(rng.Below(n));
+    if (u != v && !g.HasEdge(u, v)) {
+      g.AddEdge(u, v);
+      ++chords;
+    }
+  }
+  auto stream = DynamicGraphStream::FromGraph(g);
+  std::printf("metro network: n=%u, m=%zu (grid + express links)\n\n", n,
+              g.NumEdges());
+
+  BaswanaSenOptions bs_opt;
+  bs_opt.k = 3;
+  BaswanaSenSpanner bs(n, bs_opt, /*seed=*/7);
+  bs.Run(stream);
+
+  RecurseConnectOptions rc_opt;
+  rc_opt.k = 4;
+  RecurseConnectSpanner rc(n, rc_opt, /*seed=*/9);
+  rc.Run(stream);
+
+  auto bs_stats = CheckSpanner(g, bs.Spanner(), 0, 1);
+  auto rc_stats = CheckSpanner(g, rc.Spanner(), 0, 1);
+
+  std::printf("%-18s %-7s %-8s %-10s %-10s %-10s\n", "algorithm", "passes",
+              "edges", "max-strch", "avg-strch", "bound");
+  std::printf("%-18s %-7u %-8zu %-10.2f %-10.2f %-10.1f\n", "Baswana-Sen k=3",
+              bs.NumPasses(), bs.Spanner().NumEdges(), bs_stats.max_stretch,
+              bs_stats.avg_stretch, bs.StretchBound());
+  std::printf("%-18s %-7u %-8zu %-10.2f %-10.2f %-10.1f\n",
+              "RecurseConnect k=4", rc.NumPasses(), rc.Spanner().NumEdges(),
+              rc_stats.max_stretch, rc_stats.avg_stretch, rc.StretchBound());
+
+  // Route queries: answer distances from the spanner only.
+  std::printf("\nsample routing queries (true vs spanner hops, BS spanner):\n");
+  auto spanner = bs.Spanner();
+  for (int q = 0; q < 6; ++q) {
+    NodeId s = static_cast<NodeId>(rng.Below(n));
+    NodeId t = static_cast<NodeId>(rng.Below(n));
+    if (s == t) continue;
+    auto dg = BfsDistances(g, s);
+    auto dh = BfsDistances(spanner, s);
+    std::printf("  %2u -> %2u : true %2lld hops, spanner %2lld hops\n", s, t,
+                static_cast<long long>(dg[t]), static_cast<long long>(dh[t]));
+  }
+
+  std::printf("\nstorage: spanner keeps %.1f%% of edges; queries never touch "
+              "the full graph.\n",
+              100.0 * static_cast<double>(bs.Spanner().NumEdges()) /
+                  static_cast<double>(g.NumEdges()));
+  return 0;
+}

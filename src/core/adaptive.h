@@ -1,0 +1,47 @@
+// r-adaptive sketching schemes (Definition 2): the linear measurements are
+// issued in r batches, each batch chosen from the outcomes of earlier
+// batches. In the streaming realization a batch is one pass over the
+// dynamic stream; in the MapReduce realization (Sec 1.1) it is one round.
+#ifndef GRAPHSKETCH_SRC_CORE_ADAPTIVE_H_
+#define GRAPHSKETCH_SRC_CORE_ADAPTIVE_H_
+
+#include <cstdint>
+
+#include "src/graph/stream.h"
+
+namespace gsketch {
+
+/// Interface for multi-pass (adaptive) sketch algorithms.
+class AdaptiveSketchScheme {
+ public:
+  virtual ~AdaptiveSketchScheme() = default;
+
+  /// Number of measurement batches (stream passes) required.
+  virtual uint32_t NumPasses() const = 0;
+
+  /// Called before pass `pass` (0-based); allocates that batch's
+  /// measurements based on state decoded from earlier batches.
+  virtual void BeginPass(uint32_t pass) = 0;
+
+  /// One stream token within the current pass.
+  virtual void Update(NodeId u, NodeId v, int64_t delta) = 0;
+
+  /// Called after the stream has been fully replayed for `pass`; decodes
+  /// the batch and advances the adaptive state.
+  virtual void EndPass(uint32_t pass) = 0;
+
+  /// Drives all passes over `stream`.
+  void Run(const DynamicGraphStream& stream) {
+    for (uint32_t p = 0; p < NumPasses(); ++p) {
+      BeginPass(p);
+      stream.Replay([this](NodeId u, NodeId v, int32_t delta) {
+        Update(u, v, delta);
+      });
+      EndPass(p);
+    }
+  }
+};
+
+}  // namespace gsketch
+
+#endif  // GRAPHSKETCH_SRC_CORE_ADAPTIVE_H_

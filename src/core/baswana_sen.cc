@@ -1,0 +1,179 @@
+#include "src/core/baswana_sen.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_map>
+
+#include "src/hash/splitmix.h"
+
+namespace gsketch {
+
+namespace {
+uint32_t Log2Ceil(NodeId n) {
+  uint32_t lg = 1;
+  while ((NodeId{1} << lg) < n && lg < 31) ++lg;
+  return lg;
+}
+}  // namespace
+
+BaswanaSenSpanner::BaswanaSenSpanner(NodeId n, const BaswanaSenOptions& opt,
+                                     uint64_t seed)
+    : n_(n), opt_(opt), seed_(seed), spanner_(n) {
+  assert(opt_.k >= 1);
+  cluster_.resize(n);
+  for (NodeId v = 0; v < n; ++v) cluster_[v] = v;  // S_0: singleton clusters
+  sample_prob_ = std::pow(static_cast<double>(std::max<NodeId>(n, 2)),
+                          -1.0 / static_cast<double>(opt_.k));
+  double b = opt_.bucket_scale *
+             std::pow(static_cast<double>(std::max<NodeId>(n, 2)),
+                      1.0 / static_cast<double>(opt_.k)) *
+             Log2Ceil(n);
+  buckets_ = std::max<uint32_t>(2, static_cast<uint32_t>(std::ceil(b)));
+}
+
+uint64_t BaswanaSenSpanner::BucketOf(uint32_t partition,
+                                     int64_t cluster_id) const {
+  return Mix64(DeriveSeed(seed_, 0xb500u + pass_), partition,
+               static_cast<uint64_t>(cluster_id)) %
+         buckets_;
+}
+
+void BaswanaSenSpanner::BeginPass(uint32_t pass) {
+  pass_ = pass;
+  sampled_.clear();
+  bucket_samplers_.assign(n_, {});
+  sampled_samplers_.assign(n_, {});
+
+  const bool cleanup = pass + 1 == opt_.k;
+  if (!cleanup) {
+    // R_i: sample each live cluster id with probability n^{-1/k},
+    // deterministically from the seed (distributed sites agree).
+    uint64_t thresh = static_cast<uint64_t>(
+        sample_prob_ * static_cast<double>(UINT64_MAX));
+    std::unordered_set<int64_t> live;
+    for (NodeId v = 0; v < n_; ++v) {
+      if (Active(v)) live.insert(cluster_[v]);
+    }
+    for (int64_t c : live) {
+      if (Mix64(DeriveSeed(seed_, 0xb5aau + pass), static_cast<uint64_t>(c)) <=
+          thresh) {
+        sampled_.insert(c);
+      }
+    }
+  }
+
+  uint64_t domain = EdgeDomain(n_);
+  uint64_t pass_seed = DeriveSeed(seed_, 0xb511u + pass);
+  for (NodeId v = 0; v < n_; ++v) {
+    if (!Active(v)) continue;
+    auto& bs = bucket_samplers_[v];
+    bs.reserve(static_cast<size_t>(opt_.partitions) * buckets_);
+    for (uint32_t t = 0; t < opt_.partitions; ++t) {
+      for (uint32_t b = 0; b < buckets_; ++b) {
+        bs.emplace_back(domain, opt_.repetitions, Mix64(pass_seed, v, t, b));
+      }
+    }
+    if (!cleanup) {
+      sampled_samplers_[v].emplace_back(domain, opt_.repetitions,
+                                        Mix64(pass_seed, v, 0xffffu));
+    }
+  }
+  // Space accounting: cells per sampler * samplers.
+  size_t total_cells = 0;
+  for (NodeId v = 0; v < n_; ++v) {
+    for (const auto& s : bucket_samplers_[v]) total_cells += s.CellCount();
+    for (const auto& s : sampled_samplers_[v]) total_cells += s.CellCount();
+  }
+  peak_cells_ = std::max(peak_cells_, total_cells);
+}
+
+void BaswanaSenSpanner::RouteEndpoint(NodeId u, NodeId other, uint64_t edge,
+                                      int64_t delta) {
+  int64_t c_other = cluster_[other];
+  // Fast path: edges into sampled clusters.
+  if (!sampled_samplers_[u].empty() && sampled_.count(c_other) > 0) {
+    sampled_samplers_[u][0].Update(edge, delta);
+  }
+  auto& bs = bucket_samplers_[u];
+  for (uint32_t t = 0; t < opt_.partitions; ++t) {
+    uint64_t b = BucketOf(t, c_other);
+    bs[static_cast<size_t>(t) * buckets_ + b].Update(edge, delta);
+  }
+}
+
+void BaswanaSenSpanner::Update(NodeId u, NodeId v, int64_t delta) {
+  if (u == v) return;
+  if (!Active(u) || !Active(v)) return;   // dropped vertices take no edges
+  if (cluster_[u] == cluster_[v]) return;  // intra-cluster edges are done
+  uint64_t edge = EdgeId(u, v);
+  RouteEndpoint(u, v, edge, delta);
+  RouteEndpoint(v, u, edge, delta);
+}
+
+void BaswanaSenSpanner::EndPass(uint32_t pass) {
+  const bool cleanup = pass + 1 == opt_.k;
+  std::vector<int64_t> next = cluster_;
+
+  for (NodeId u = 0; u < n_; ++u) {
+    if (!Active(u)) continue;
+
+    if (cleanup) {
+      // Clean-up: one edge into every adjacent final cluster.
+      std::unordered_map<int64_t, uint64_t> edge_to_cluster;
+      for (const auto& s : bucket_samplers_[u]) {
+        auto smp = s.Sample();
+        if (!smp.has_value()) continue;
+        auto [a, b] = EdgeEndpoints(smp->index);
+        NodeId w = (a == u) ? b : a;
+        if (w >= n_ || (a != u && b != u) || !Active(w)) continue;
+        edge_to_cluster.try_emplace(cluster_[w], smp->index);
+      }
+      for (const auto& [c, id] : edge_to_cluster) {
+        (void)c;
+        auto [a, b] = EdgeEndpoints(id);
+        spanner_.AddEdge(a, b, 1.0);
+      }
+      continue;
+    }
+
+    if (sampled_.count(cluster_[u]) > 0) continue;  // cluster survives
+
+    // Fast path: join an adjacent sampled cluster through one edge.
+    auto joined = sampled_samplers_[u][0].Sample();
+    if (joined.has_value()) {
+      auto [a, b] = EdgeEndpoints(joined->index);
+      NodeId w = (a == u) ? b : a;
+      if ((a == u || b == u) && w < n_ && Active(w) &&
+          sampled_.count(cluster_[w]) > 0) {
+        spanner_.AddEdge(a, b, 1.0);
+        next[u] = cluster_[w];
+        continue;
+      }
+    }
+
+    // Slow path: not adjacent to any sampled cluster. Recover one edge per
+    // adjacent cluster, add them all, and retire the vertex.
+    std::unordered_map<int64_t, uint64_t> edge_to_cluster;
+    for (const auto& s : bucket_samplers_[u]) {
+      auto smp = s.Sample();
+      if (!smp.has_value()) continue;
+      auto [a, b] = EdgeEndpoints(smp->index);
+      NodeId w = (a == u) ? b : a;
+      if (w >= n_ || (a != u && b != u) || !Active(w)) continue;
+      edge_to_cluster.try_emplace(cluster_[w], smp->index);
+    }
+    for (const auto& [c, id] : edge_to_cluster) {
+      (void)c;
+      auto [a, b] = EdgeEndpoints(id);
+      spanner_.AddEdge(a, b, 1.0);
+    }
+    next[u] = kDropped;
+  }
+
+  cluster_ = std::move(next);
+  bucket_samplers_.clear();
+  sampled_samplers_.clear();
+}
+
+}  // namespace gsketch

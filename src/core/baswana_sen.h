@@ -1,0 +1,87 @@
+// Sketch-based Baswana–Sen spanner (Section 5): a k-adaptive scheme (k
+// stream passes) computing a (2k-1)-spanner with Õ(n^{1+1/k}) measurements
+// in a dynamic graph stream.
+//
+// Phases follow the classical construction. The i-th pass maintains, per
+// still-clustered vertex u:
+//   * one ℓ₀-sampler over u's edges into *sampled* clusters R_i (known at
+//     pass start, so membership is checkable at stream time) — the fast
+//     path "join a sampled cluster";
+//   * `partitions` independent hash partitions of cluster ids into
+//     O(n^{1/k} log n) buckets, one ℓ₀-sampler per bucket — the slow path
+//     "one edge per adjacent cluster". A cluster isolated in its bucket in
+//     some partition yields an edge to exactly that cluster; with
+//     Θ(log n) partitions every adjacent cluster is recovered w.h.p. when
+//     u is adjacent to at most O(n^{1/k} log n) clusters, which is
+//     precisely the regime in which the construction needs it.
+// The final (k-th) pass is the clean-up phase: every surviving vertex
+// recovers one edge into each adjacent level-(k-1) cluster.
+#ifndef GRAPHSKETCH_SRC_CORE_BASWANA_SEN_H_
+#define GRAPHSKETCH_SRC_CORE_BASWANA_SEN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "src/core/adaptive.h"
+#include "src/graph/graph.h"
+#include "src/sketch/l0_sampler.h"
+
+namespace gsketch {
+
+/// Tuning for the Baswana–Sen scheme.
+struct BaswanaSenOptions {
+  uint32_t k = 3;            ///< stretch parameter; spanner stretch 2k-1
+  double bucket_scale = 1.0; ///< buckets = scale · n^{1/k} · log2 n
+  uint32_t partitions = 3;   ///< independent cluster-bucket partitions
+  uint32_t repetitions = 4;  ///< ℓ₀-sampler repetitions
+};
+
+/// k-pass (2k-1)-spanner for dynamic graph streams.
+class BaswanaSenSpanner : public AdaptiveSketchScheme {
+ public:
+  BaswanaSenSpanner(NodeId n, const BaswanaSenOptions& opt, uint64_t seed);
+
+  uint32_t NumPasses() const override { return opt_.k; }
+  void BeginPass(uint32_t pass) override;
+  void Update(NodeId u, NodeId v, int64_t delta) override;
+  void EndPass(uint32_t pass) override;
+
+  /// The spanner accumulated so far (complete after Run()).
+  const Graph& Spanner() const { return spanner_; }
+
+  /// The guaranteed stretch 2k - 1.
+  double StretchBound() const { return 2.0 * opt_.k - 1.0; }
+
+  /// Peak 1-sparse cells allocated in any single pass (space proxy).
+  size_t PeakCellCount() const { return peak_cells_; }
+
+ private:
+  static constexpr int64_t kDropped = -1;
+
+  bool Active(NodeId v) const { return cluster_[v] >= 0; }
+  uint64_t BucketOf(uint32_t partition, int64_t cluster_id) const;
+  void RouteEndpoint(NodeId u, NodeId other, uint64_t edge, int64_t delta);
+
+  NodeId n_;
+  BaswanaSenOptions opt_;
+  uint64_t seed_;
+  uint32_t pass_ = 0;
+  uint32_t buckets_ = 0;
+  double sample_prob_ = 0.0;
+
+  std::vector<int64_t> cluster_;  // cluster id per vertex, kDropped if out
+  std::unordered_set<int64_t> sampled_;  // R_i for the current pass
+
+  // Per-pass sketches, indexed [vertex]; empty vectors for inactive nodes.
+  std::vector<std::vector<L0Sampler>> bucket_samplers_;  // partitions*buckets
+  std::vector<std::vector<L0Sampler>> sampled_samplers_;  // size 1 if active
+
+  Graph spanner_;
+  size_t peak_cells_ = 0;
+};
+
+}  // namespace gsketch
+
+#endif  // GRAPHSKETCH_SRC_CORE_BASWANA_SEN_H_

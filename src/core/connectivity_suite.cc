@@ -1,0 +1,138 @@
+#include "src/core/connectivity_suite.h"
+
+#include <cassert>
+
+#include "src/graph/stoer_wagner.h"
+#include "src/hash/splitmix.h"
+
+namespace gsketch {
+
+ConnectivitySketch::ConnectivitySketch(NodeId n, const ForestOptions& opt,
+                                       uint64_t seed)
+    : forest_(n, opt, DeriveSeed(seed, 0xc011u)) {}
+
+void ConnectivitySketch::Update(NodeId u, NodeId v, int64_t delta) {
+  forest_.Update(u, v, delta);
+}
+
+void ConnectivitySketch::Merge(const ConnectivitySketch& other) {
+  forest_.Merge(other.forest_);
+}
+
+BipartitenessSketch::BipartitenessSketch(NodeId n, const ForestOptions& opt,
+                                         uint64_t seed)
+    : n_(n),
+      base_(n, opt, DeriveSeed(seed, 0xb1b1u)),
+      cover_(2 * n, opt, DeriveSeed(seed, 0xb1b2u)) {}
+
+void BipartitenessSketch::Update(NodeId u, NodeId v, int64_t delta) {
+  base_.Update(u, v, delta);
+  // Double cover: (u, v+n) and (v, u+n).
+  cover_.Update(u, v + n_, delta);
+  cover_.Update(v, u + n_, delta);
+}
+
+void BipartitenessSketch::Merge(const BipartitenessSketch& other) {
+  base_.Merge(other.base_);
+  cover_.Merge(other.cover_);
+}
+
+bool BipartitenessSketch::IsBipartite() const {
+  size_t cc = base_.CountComponents();
+  size_t cc_cover = cover_.CountComponents();
+  // Every bipartite component lifts to 2 cover components, every odd-cycle
+  // component to 1.
+  return cc_cover == 2 * cc;
+}
+
+namespace {
+std::vector<int64_t> GeometricThresholds(int64_t max_weight, double epsilon) {
+  std::vector<int64_t> t;
+  int64_t cur = 1;
+  while (cur < max_weight) {
+    t.push_back(cur);
+    int64_t next = static_cast<int64_t>(
+        static_cast<double>(cur) * (1.0 + epsilon));
+    cur = next > cur ? next : cur + 1;
+  }
+  t.push_back(max_weight);
+  return t;
+}
+}  // namespace
+
+ApproxMstSketch::ApproxMstSketch(NodeId n, int64_t max_weight, double epsilon,
+                                 const ForestOptions& opt, uint64_t seed)
+    : n_(n), thresholds_(GeometricThresholds(max_weight, epsilon)) {
+  forests_.reserve(thresholds_.size());
+  for (size_t i = 0; i < thresholds_.size(); ++i) {
+    forests_.emplace_back(n, opt, DeriveSeed(seed, 0x3057u + i));
+  }
+}
+
+void ApproxMstSketch::Update(NodeId u, NodeId v, int64_t delta,
+                             int64_t weight) {
+  assert(weight >= 1 && weight <= thresholds_.back());
+  // Feed every threshold subgraph G_{<= t} the edge belongs to.
+  for (size_t i = 0; i < thresholds_.size(); ++i) {
+    if (weight <= thresholds_[i]) forests_[i].Update(u, v, delta);
+  }
+}
+
+void ApproxMstSketch::Merge(const ApproxMstSketch& other) {
+  assert(thresholds_ == other.thresholds_);
+  for (size_t i = 0; i < forests_.size(); ++i) {
+    forests_[i].Merge(other.forests_[i]);
+  }
+}
+
+double ApproxMstSketch::EstimateWeight() const {
+  // Kruskal with weights rounded up to thresholds: the number of MST edges
+  // of rounded weight t_i equals cc(G_{<= t_{i-1}}) - cc(G_{<= t_i}),
+  // with cc(G_{<= t_{-1}}) = n.
+  double total = 0.0;
+  size_t prev_cc = n_;
+  for (size_t i = 0; i < thresholds_.size(); ++i) {
+    size_t cc = forests_[i].CountComponents();
+    if (prev_cc > cc) {
+      total += static_cast<double>(thresholds_[i]) *
+               static_cast<double>(prev_cc - cc);
+    }
+    prev_cc = cc;
+  }
+  return total;
+}
+
+size_t ApproxMstSketch::CellCount() const {
+  size_t total = 0;
+  for (const auto& f : forests_) total += f.CellCount();
+  return total;
+}
+
+KConnectivityTester::KConnectivityTester(NodeId n, uint32_t k,
+                                         const ForestOptions& opt,
+                                         uint64_t seed)
+    : k_(k), witness_(n, k, opt, DeriveSeed(seed, 0x6c0du)) {}
+
+void KConnectivityTester::Update(NodeId u, NodeId v, int64_t delta) {
+  witness_.Update(u, v, delta);
+}
+
+void KConnectivityTester::Merge(const KConnectivityTester& other) {
+  witness_.Merge(other.witness_);
+}
+
+double KConnectivityTester::WitnessMinCut() const {
+  Graph h = witness_.ExtractWitness();
+  if (h.NumEdges() == 0) return 0.0;
+  // Witness weights carry multiplicities; connectivity is edge-count
+  // based, so strip them.
+  Graph unit(h.NumNodes());
+  for (const auto& e : h.Edges()) unit.AddEdge(e.u, e.v, 1.0);
+  return StoerWagnerMinCut(unit).value;
+}
+
+bool KConnectivityTester::IsKConnected() const {
+  return WitnessMinCut() >= static_cast<double>(k_);
+}
+
+}  // namespace gsketch

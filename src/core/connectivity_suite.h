@@ -1,0 +1,142 @@
+// The dynamic-stream connectivity toolkit of Ahn-Guha-McGregor [4]
+// ("Analyzing graph structure via linear measurements", SODA 2012) — the
+// substrate this paper builds on (Sec 1.2, Thm 2.3). Everything is a thin
+// composition of spanning-forest sketches:
+//
+//   * connectivity / component counting — one forest sketch;
+//   * bipartiteness — the double-cover trick: G is bipartite iff its
+//     bipartite double cover has exactly twice as many components;
+//   * (1+ε)-approximate MST weight — Kruskal's identity
+//       w(MST) = Σ_i (cc(G_{<=i}) - cc(G)) over weight thresholds,
+//     evaluated at geometrically-spaced thresholds from per-threshold
+//     forest sketches;
+//   * k-edge-connectivity testing — min cut of the k-EDGECONNECT witness.
+#ifndef GRAPHSKETCH_SRC_CORE_CONNECTIVITY_SUITE_H_
+#define GRAPHSKETCH_SRC_CORE_CONNECTIVITY_SUITE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/core/k_edge_connect.h"
+#include "src/core/spanning_forest.h"
+#include "src/graph/graph.h"
+
+namespace gsketch {
+
+/// Single-pass connectivity for dynamic graph streams ([4]).
+class ConnectivitySketch {
+ public:
+  ConnectivitySketch(NodeId n, const ForestOptions& opt, uint64_t seed);
+
+  /// Applies one stream token.
+  void Update(NodeId u, NodeId v, int64_t delta);
+
+  /// Adds another sketch with identical parameterization.
+  void Merge(const ConnectivitySketch& other);
+
+  /// Number of connected components (isolated nodes count).
+  size_t NumComponents() const { return forest_.CountComponents(); }
+
+  /// True iff the streamed graph is connected.
+  bool IsConnected() const { return NumComponents() == 1; }
+
+  /// A spanning forest witness.
+  Graph Forest() const { return forest_.ExtractForest(); }
+
+  size_t CellCount() const { return forest_.CellCount(); }
+
+ private:
+  SpanningForestSketch forest_;
+};
+
+/// Single-pass bipartiteness testing via the double cover ([4]).
+///
+/// The double cover G' has nodes {v, v+n}; every edge (u,v) becomes
+/// (u, v+n) and (v, u+n). A connected component of G is bipartite iff it
+/// lifts to TWO components of G', so G is bipartite iff
+/// cc(G') = 2·cc(G).
+class BipartitenessSketch {
+ public:
+  BipartitenessSketch(NodeId n, const ForestOptions& opt, uint64_t seed);
+
+  /// Applies one stream token.
+  void Update(NodeId u, NodeId v, int64_t delta);
+
+  /// Adds another sketch with identical parameterization.
+  void Merge(const BipartitenessSketch& other);
+
+  /// True iff the streamed graph is bipartite (w.h.p.).
+  bool IsBipartite() const;
+
+  size_t CellCount() const {
+    return base_.CellCount() + cover_.CellCount();
+  }
+
+ private:
+  NodeId n_;
+  SpanningForestSketch base_;   // G, on n nodes
+  SpanningForestSketch cover_;  // double cover, on 2n nodes
+};
+
+/// Single-pass (1+ε)-approximate MST weight for integer edge weights in
+/// [1, max_weight] ([4]). One forest sketch per geometric weight
+/// threshold; weights are rounded UP to their threshold, so the estimate
+/// overestimates by at most (1+ε) and never underestimates (up to forest
+/// decode failures).
+class ApproxMstSketch {
+ public:
+  ApproxMstSketch(NodeId n, int64_t max_weight, double epsilon,
+                  const ForestOptions& opt, uint64_t seed);
+
+  /// Applies one stream token for an edge of weight `weight` (constant
+  /// across the edge's updates).
+  void Update(NodeId u, NodeId v, int64_t delta, int64_t weight);
+
+  /// Adds another sketch with identical parameterization.
+  void Merge(const ApproxMstSketch& other);
+
+  /// Estimated MST weight. For a disconnected graph this is the weight of
+  /// the minimum spanning forest.
+  double EstimateWeight() const;
+
+  /// The weight thresholds in use (diagnostics).
+  const std::vector<int64_t>& thresholds() const { return thresholds_; }
+
+  size_t CellCount() const;
+
+ private:
+  NodeId n_;
+  std::vector<int64_t> thresholds_;           // ascending, last >= max_weight
+  std::vector<SpanningForestSketch> forests_;  // G_{<= thresholds_[i]}
+};
+
+/// Single-pass k-edge-connectivity test ([4], Thm 2.3 application).
+class KConnectivityTester {
+ public:
+  KConnectivityTester(NodeId n, uint32_t k, const ForestOptions& opt,
+                      uint64_t seed);
+
+  /// Applies one stream token.
+  void Update(NodeId u, NodeId v, int64_t delta);
+
+  /// Adds another sketch with identical parameterization.
+  void Merge(const KConnectivityTester& other);
+
+  /// True iff the streamed graph is k-edge-connected: the witness
+  /// preserves all cuts below k, so its min cut is exact in that range.
+  bool IsKConnected() const;
+
+  /// Exact min cut value when it is below k, otherwise a value >= k.
+  double WitnessMinCut() const;
+
+  size_t CellCount() const { return witness_.CellCount(); }
+
+ private:
+  uint32_t k_;
+  KEdgeConnectSketch witness_;
+};
+
+}  // namespace gsketch
+
+#endif  // GRAPHSKETCH_SRC_CORE_CONNECTIVITY_SUITE_H_

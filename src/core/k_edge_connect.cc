@@ -1,0 +1,51 @@
+#include "src/core/k_edge_connect.h"
+
+#include <cassert>
+
+#include "src/hash/splitmix.h"
+
+namespace gsketch {
+
+KEdgeConnectSketch::KEdgeConnectSketch(NodeId n, uint32_t k,
+                                       const ForestOptions& opt, uint64_t seed)
+    : n_(n) {
+  layers_.reserve(k);
+  for (uint32_t i = 0; i < k; ++i) {
+    layers_.emplace_back(n, opt, DeriveSeed(seed, 0x6ed6e0u + i));
+  }
+}
+
+void KEdgeConnectSketch::Update(NodeId u, NodeId v, int64_t delta) {
+  for (auto& layer : layers_) layer.Update(u, v, delta);
+}
+
+void KEdgeConnectSketch::Merge(const KEdgeConnectSketch& other) {
+  assert(layers_.size() == other.layers_.size());
+  for (size_t i = 0; i < layers_.size(); ++i) layers_[i].Merge(other.layers_[i]);
+}
+
+Graph KEdgeConnectSketch::ExtractWitness() const {
+  // Work on copies so decoding stays const; peel forests layer by layer.
+  std::vector<SpanningForestSketch> work = layers_;
+  Graph witness(n_);
+  for (size_t i = 0; i < work.size(); ++i) {
+    Graph forest = work[i].ExtractForest();
+    std::vector<WeightedEdge> forest_edges = forest.Edges();
+    if (forest_edges.empty()) break;  // remaining layers see the same graph
+    for (const auto& e : forest_edges) {
+      witness.AddEdge(e.u, e.v, e.weight);
+    }
+    for (size_t j = i + 1; j < work.size(); ++j) {
+      work[j].DeleteEdges(forest_edges);
+    }
+  }
+  return witness;
+}
+
+size_t KEdgeConnectSketch::CellCount() const {
+  size_t total = 0;
+  for (const auto& layer : layers_) total += layer.CellCount();
+  return total;
+}
+
+}  // namespace gsketch

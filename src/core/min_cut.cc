@@ -1,0 +1,77 @@
+#include "src/core/min_cut.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "src/graph/stoer_wagner.h"
+#include "src/hash/splitmix.h"
+
+namespace gsketch {
+
+namespace {
+uint32_t Log2Ceil(NodeId n) {
+  uint32_t lg = 0;
+  while ((NodeId{1} << lg) < n && lg < 31) ++lg;
+  return lg;
+}
+}  // namespace
+
+MinCutSketch::MinCutSketch(NodeId n, const MinCutOptions& opt, uint64_t seed)
+    : n_(n),
+      k_(static_cast<uint32_t>(std::ceil(
+          opt.k_scale * std::max<uint32_t>(Log2Ceil(n), 1) /
+          (opt.epsilon * opt.epsilon)))),
+      sampler_(opt.max_level == 0 ? SamplingLevels::DefaultMaxLevel(n)
+                                  : opt.max_level,
+               DeriveSeed(seed, 0x9c01u)) {
+  k_ = std::max<uint32_t>(k_, 2);
+  uint32_t num_levels = sampler_.max_level() + 1;
+  levels_.reserve(num_levels);
+  for (uint32_t i = 0; i < num_levels; ++i) {
+    levels_.emplace_back(n, k_, opt.forest, DeriveSeed(seed, 0x9c02u + i));
+  }
+}
+
+void MinCutSketch::Update(NodeId u, NodeId v, int64_t delta) {
+  uint32_t deepest = sampler_.LevelOf(u, v);
+  for (uint32_t i = 0; i <= deepest && i < levels_.size(); ++i) {
+    levels_[i].Update(u, v, delta);
+  }
+}
+
+void MinCutSketch::Merge(const MinCutSketch& other) {
+  assert(levels_.size() == other.levels_.size() && k_ == other.k_);
+  for (size_t i = 0; i < levels_.size(); ++i) levels_[i].Merge(other.levels_[i]);
+}
+
+MinCutEstimate MinCutSketch::Estimate() const {
+  MinCutEstimate est;
+  for (uint32_t i = 0; i < levels_.size(); ++i) {
+    Graph witness = levels_[i].ExtractWitness();
+    MinCutResult cut = StoerWagnerMinCut(witness);
+    if (cut.value < static_cast<double>(k_)) {
+      est.value = std::ldexp(cut.value, static_cast<int>(i));  // 2^i * λ(H_i)
+      est.level = i;
+      est.side = std::move(cut.side);
+      est.resolved = true;
+      return est;
+    }
+  }
+  // Every level stayed k-connected (can only happen for extremely dense
+  // graphs relative to the hierarchy depth); report the deepest level.
+  Graph witness = levels_.back().ExtractWitness();
+  MinCutResult cut = StoerWagnerMinCut(witness);
+  est.value = std::ldexp(cut.value, static_cast<int>(levels_.size() - 1));
+  est.level = static_cast<uint32_t>(levels_.size() - 1);
+  est.side = std::move(cut.side);
+  est.resolved = false;
+  return est;
+}
+
+size_t MinCutSketch::CellCount() const {
+  size_t total = 0;
+  for (const auto& l : levels_) total += l.CellCount();
+  return total;
+}
+
+}  // namespace gsketch

@@ -1,0 +1,99 @@
+#include "src/core/node_sketch.h"
+
+#include <cassert>
+
+namespace gsketch {
+
+NodeL0Bank::NodeL0Bank(NodeId n, uint32_t repetitions, uint64_t seed) {
+  samplers_.reserve(n);
+  uint64_t domain = EdgeDomain(n);
+  for (NodeId u = 0; u < n; ++u) {
+    // Same seed for every node: one shared linear measurement matrix.
+    samplers_.emplace_back(domain, repetitions, seed);
+  }
+}
+
+void NodeL0Bank::Update(NodeId u, NodeId v, int64_t delta) {
+  assert(u != v);
+  uint64_t id = EdgeId(u, v);
+  samplers_[u].Update(id, delta * IncidenceSign(u, u, v));
+  samplers_[v].Update(id, delta * IncidenceSign(v, u, v));
+}
+
+L0Sampler NodeL0Bank::SumOver(const std::vector<NodeId>& nodes) const {
+  assert(!nodes.empty());
+  L0Sampler acc = samplers_[nodes[0]];
+  for (size_t i = 1; i < nodes.size(); ++i) acc.Merge(samplers_[nodes[i]]);
+  return acc;
+}
+
+void NodeL0Bank::Merge(const NodeL0Bank& other) {
+  assert(samplers_.size() == other.samplers_.size());
+  for (size_t u = 0; u < samplers_.size(); ++u) {
+    samplers_[u].Merge(other.samplers_[u]);
+  }
+}
+
+size_t NodeL0Bank::CellCount() const {
+  size_t total = 0;
+  for (const auto& s : samplers_) total += s.CellCount();
+  return total;
+}
+
+void NodeL0Bank::AppendTo(std::string* out) const {
+  ByteWriter w(out);
+  w.U32(static_cast<uint32_t>(samplers_.size()));
+  for (const auto& s : samplers_) s.AppendTo(out);
+}
+
+std::optional<NodeL0Bank> NodeL0Bank::Deserialize(ByteReader* r) {
+  auto n = r->U32();
+  if (!n) return std::nullopt;
+  NodeL0Bank bank;
+  bank.samplers_.reserve(*n);
+  for (uint32_t i = 0; i < *n; ++i) {
+    auto s = L0Sampler::Deserialize(r);
+    if (!s) return std::nullopt;
+    bank.samplers_.push_back(std::move(*s));
+  }
+  return bank;
+}
+
+NodeRecoveryBank::NodeRecoveryBank(NodeId n, uint32_t capacity, uint32_t rows,
+                                   uint64_t seed) {
+  sketches_.reserve(n);
+  uint64_t domain = EdgeDomain(n);
+  for (NodeId u = 0; u < n; ++u) {
+    sketches_.emplace_back(domain, capacity, rows, seed);
+  }
+}
+
+void NodeRecoveryBank::Update(NodeId u, NodeId v, int64_t delta) {
+  assert(u != v);
+  uint64_t id = EdgeId(u, v);
+  sketches_[u].Update(id, delta * IncidenceSign(u, u, v));
+  sketches_[v].Update(id, delta * IncidenceSign(v, u, v));
+}
+
+SparseRecovery NodeRecoveryBank::SumOver(
+    const std::vector<NodeId>& nodes) const {
+  assert(!nodes.empty());
+  SparseRecovery acc = sketches_[nodes[0]];
+  for (size_t i = 1; i < nodes.size(); ++i) acc.Merge(sketches_[nodes[i]]);
+  return acc;
+}
+
+void NodeRecoveryBank::Merge(const NodeRecoveryBank& other) {
+  assert(sketches_.size() == other.sketches_.size());
+  for (size_t u = 0; u < sketches_.size(); ++u) {
+    sketches_[u].Merge(other.sketches_[u]);
+  }
+}
+
+size_t NodeRecoveryBank::CellCount() const {
+  size_t total = 0;
+  for (const auto& s : sketches_) total += s.CellCount();
+  return total;
+}
+
+}  // namespace gsketch

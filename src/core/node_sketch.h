@@ -1,0 +1,94 @@
+// Per-node edge-incidence vector sketches — the graph-to-vector encoding of
+// Eq. (1) of the paper. Node u's vector x^u over the C(n,2) edge slots has
+//     x^u[(v,w)] = +1 if u == v,  -1 if u == w   (for v < w, edge present)
+// so that for any node set A, Σ_{u∈A} x^u is supported exactly on the edges
+// crossing (A, V \ A): edges inside A cancel. Every bank below applies the
+// *same* linear measurement (same seed) to every node, which is what makes
+// the component-sum trick work.
+#ifndef GRAPHSKETCH_SRC_CORE_NODE_SKETCH_H_
+#define GRAPHSKETCH_SRC_CORE_NODE_SKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/edge_id.h"
+#include "src/sketch/l0_sampler.h"
+#include "src/sketch/sparse_recovery.h"
+
+namespace gsketch {
+
+/// The signed delta edge (u,v) contributes to node `node`'s vector.
+inline int64_t IncidenceSign(NodeId node, NodeId u, NodeId v) {
+  NodeId lo = u < v ? u : v;
+  return node == lo ? +1 : -1;
+}
+
+/// A bank of n ℓ₀-samplers, one per node, over the edge-slot domain, all
+/// sharing one measurement seed.
+class NodeL0Bank {
+ public:
+  /// Bank for an n-node graph; `repetitions` per sampler.
+  NodeL0Bank(NodeId n, uint32_t repetitions, uint64_t seed);
+
+  /// Applies one stream token (u, v, delta) to both endpoint vectors.
+  void Update(NodeId u, NodeId v, int64_t delta);
+
+  /// Sampler of a single node.
+  const L0Sampler& Of(NodeId u) const { return samplers_[u]; }
+
+  /// Sketch of Σ_{u∈nodes} x^u: supported on the edges leaving `nodes`.
+  L0Sampler SumOver(const std::vector<NodeId>& nodes) const;
+
+  /// Adds another bank with identical parameterization (distributed merge).
+  void Merge(const NodeL0Bank& other);
+
+  /// Total 1-sparse cells (space proxy).
+  size_t CellCount() const;
+
+  /// Serializes the full bank (Sec 1.1 wire format).
+  void AppendTo(std::string* out) const;
+
+  /// Parses a bank back; nullopt on malformed input.
+  static std::optional<NodeL0Bank> Deserialize(ByteReader* r);
+
+  NodeId num_nodes() const { return static_cast<NodeId>(samplers_.size()); }
+
+ private:
+  NodeL0Bank() = default;
+  std::vector<L0Sampler> samplers_;
+};
+
+/// A bank of n k-RECOVERY sketches, one per node, over the edge-slot
+/// domain, sharing one measurement seed (Fig. 3 step 3b).
+class NodeRecoveryBank {
+ public:
+  /// Bank for an n-node graph; each sketch recovers up to `capacity`
+  /// crossing edges with `rows` hash rows.
+  NodeRecoveryBank(NodeId n, uint32_t capacity, uint32_t rows, uint64_t seed);
+
+  /// Applies one stream token to both endpoint vectors.
+  void Update(NodeId u, NodeId v, int64_t delta);
+
+  /// Sketch of a single node.
+  const SparseRecovery& Of(NodeId u) const { return sketches_[u]; }
+
+  /// Sketch of Σ_{u∈nodes} x^u (Fig. 3 step 4c): decoding it recovers all
+  /// edges crossing the cut, if at most `capacity` of them.
+  SparseRecovery SumOver(const std::vector<NodeId>& nodes) const;
+
+  /// Adds another bank with identical parameterization.
+  void Merge(const NodeRecoveryBank& other);
+
+  /// Total 1-sparse cells (space proxy).
+  size_t CellCount() const;
+
+  NodeId num_nodes() const { return static_cast<NodeId>(sketches_.size()); }
+
+ private:
+  std::vector<SparseRecovery> sketches_;
+};
+
+}  // namespace gsketch
+
+#endif  // GRAPHSKETCH_SRC_CORE_NODE_SKETCH_H_

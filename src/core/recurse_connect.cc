@@ -1,0 +1,294 @@
+#include "src/core/recurse_connect.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <queue>
+#include <set>
+#include <unordered_set>
+
+#include "src/hash/splitmix.h"
+
+namespace gsketch {
+
+namespace {
+uint32_t Log2Ceil(uint64_t n) {
+  uint32_t lg = 1;
+  while ((uint64_t{1} << lg) < n && lg < 63) ++lg;
+  return lg;
+}
+}  // namespace
+
+RecurseConnectSpanner::RecurseConnectSpanner(NodeId n,
+                                             const RecurseConnectOptions& opt,
+                                             uint64_t seed)
+    : n_(n), opt_(opt), seed_(seed), spanner_(n) {
+  assert(opt_.k >= 2);
+  contraction_passes_ = Log2Ceil(opt_.k);  // ceil(log2 k)
+  super_.resize(n);
+  for (NodeId v = 0; v < n; ++v) super_[v] = v;
+}
+
+double RecurseConnectSpanner::StretchBound() const {
+  return std::pow(static_cast<double>(opt_.k), std::log2(5.0)) - 1.0;
+}
+
+uint32_t RecurseConnectSpanner::DegreeThreshold(uint32_t pass) const {
+  // d_i = n^{2^i / k}.
+  double expo = static_cast<double>(uint64_t{1} << pass) /
+                static_cast<double>(opt_.k);
+  double d = std::pow(static_cast<double>(std::max<NodeId>(n_, 2)),
+                      std::min(expo, 1.0));
+  return std::max<uint32_t>(2, static_cast<uint32_t>(std::ceil(d)));
+}
+
+void RecurseConnectSpanner::BeginPass(uint32_t pass) {
+  pass_ = pass;
+  bucket_samplers_.clear();
+  neighbor_rec_.clear();
+  pair_samplers_.clear();
+  final_ids_.clear();
+  final_idx_.clear();
+
+  // Live super-vertices.
+  std::set<int64_t> live;
+  for (NodeId v = 0; v < n_; ++v) {
+    if (super_[v] != kDropped) live.insert(super_[v]);
+  }
+  supers_per_pass_.push_back(live.size());
+
+  uint64_t domain = EdgeDomain(n_);
+  uint64_t pass_seed = DeriveSeed(seed_, 0xce01u + pass);
+
+  if (FinalPass(pass)) {
+    for (int64_t p : live) {
+      final_idx_[p] = final_ids_.size();
+      final_ids_.push_back(p);
+    }
+    size_t s = final_ids_.size();
+    size_t pairs = s * (s - 1) / 2;
+    pair_samplers_.reserve(pairs);
+    for (size_t i = 0; i < pairs; ++i) {
+      pair_samplers_.emplace_back(domain, opt_.repetitions,
+                                  Mix64(pass_seed, 0xfa17u, i));
+    }
+  } else {
+    threshold_ = DegreeThreshold(pass);
+    double b = opt_.bucket_scale * threshold_ * Log2Ceil(n_);
+    buckets_ = std::max<uint32_t>(2, static_cast<uint32_t>(std::ceil(b)));
+    for (int64_t p : live) {
+      auto& bs = bucket_samplers_[p];
+      bs.reserve(static_cast<size_t>(opt_.partitions) * buckets_);
+      for (uint32_t t = 0; t < opt_.partitions; ++t) {
+        for (uint32_t b2 = 0; b2 < buckets_; ++b2) {
+          bs.emplace_back(domain, opt_.repetitions,
+                          Mix64(pass_seed, static_cast<uint64_t>(p), t, b2));
+        }
+      }
+      neighbor_rec_.emplace(
+          p, SparseRecovery(n_, threshold_, opt_.recovery_rows,
+                            Mix64(pass_seed, static_cast<uint64_t>(p),
+                                  0x4ec0u)));
+    }
+  }
+
+  size_t cells = 0;
+  for (const auto& [p, bs] : bucket_samplers_) {
+    (void)p;
+    for (const auto& s : bs) cells += s.CellCount();
+  }
+  for (const auto& [p, r] : neighbor_rec_) {
+    (void)p;
+    cells += r.CellCount();
+  }
+  for (const auto& s : pair_samplers_) cells += s.CellCount();
+  peak_cells_ = std::max(peak_cells_, cells);
+}
+
+void RecurseConnectSpanner::Update(NodeId u, NodeId v, int64_t delta) {
+  if (u == v) return;
+  int64_t p = super_[u], q = super_[v];
+  if (p == kDropped || q == kDropped || p == q) return;
+  uint64_t edge = EdgeId(u, v);
+
+  if (FinalPass(pass_)) {
+    size_t i = final_idx_.at(p), j = final_idx_.at(q);
+    if (i > j) std::swap(i, j);
+    // Upper-triangular pair index.
+    size_t s = final_ids_.size();
+    size_t idx = i * s - i * (i + 1) / 2 + (j - i - 1);
+    pair_samplers_[idx].Update(edge, delta);
+    return;
+  }
+
+  uint64_t pass_seed = DeriveSeed(seed_, 0xcebbu + pass_);
+  auto route = [&](int64_t self, int64_t other) {
+    auto& bs = bucket_samplers_[self];
+    for (uint32_t t = 0; t < opt_.partitions; ++t) {
+      uint64_t b =
+          Mix64(pass_seed, t, static_cast<uint64_t>(other)) % buckets_;
+      bs[static_cast<size_t>(t) * buckets_ + b].Update(edge, delta);
+    }
+    neighbor_rec_.at(self).Update(static_cast<uint64_t>(other), delta);
+  };
+  route(p, q);
+  route(q, p);
+}
+
+void RecurseConnectSpanner::EndPass(uint32_t pass) {
+  if (FinalPass(pass)) {
+    EndFinalPass();
+  } else {
+    EndContractionPass();
+  }
+}
+
+void RecurseConnectSpanner::EndFinalPass() {
+  for (const auto& s : pair_samplers_) {
+    auto smp = s.Sample();
+    if (!smp.has_value()) continue;
+    auto [a, b] = EdgeEndpoints(smp->index);
+    if (a >= n_ || b >= n_ || a == b) continue;
+    spanner_.AddEdge(a, b, 1.0);
+  }
+  pair_samplers_.clear();
+}
+
+void RecurseConnectSpanner::EndContractionPass() {
+  struct PairHash {
+    size_t operator()(const std::pair<int64_t, int64_t>& pr) const {
+      return SplitMix64(static_cast<uint64_t>(pr.first) * 0x1f3db7u +
+                        static_cast<uint64_t>(pr.second));
+    }
+  };
+
+  // 1. Decode H_i from the bucket samplers: adjacency over super-vertices
+  //    plus a representative original edge per super-pair.
+  std::unordered_map<int64_t, std::vector<int64_t>> hi_adj;
+  std::unordered_map<std::pair<int64_t, int64_t>, std::pair<NodeId, NodeId>,
+                     PairHash>
+      rep;
+  auto add_hi_edge = [&](int64_t p, int64_t q, NodeId a, NodeId b) {
+    auto key = std::minmax(p, q);
+    std::pair<int64_t, int64_t> k{key.first, key.second};
+    if (rep.emplace(k, std::make_pair(a, b)).second) {
+      hi_adj[p].push_back(q);
+      hi_adj[q].push_back(p);
+    }
+  };
+  for (const auto& [p, bs] : bucket_samplers_) {
+    for (const auto& s : bs) {
+      auto smp = s.Sample();
+      if (!smp.has_value()) continue;
+      auto [a, b] = EdgeEndpoints(smp->index);
+      if (a >= n_ || b >= n_ || a == b) continue;
+      int64_t pa = super_[a], pb = super_[b];
+      if (pa == kDropped || pb == kDropped || pa == pb) continue;
+      add_hi_edge(pa, pb, a, b);
+    }
+  }
+
+  // 2. Degree test: decodeable recovery => all distinct neighbors known.
+  std::unordered_map<int64_t, std::vector<int64_t>> low_neighbors;
+  std::vector<int64_t> high;  // S_i
+  for (const auto& [p, r] : neighbor_rec_) {
+    RecoveryResult res = r.Decode();
+    if (res.ok) {
+      auto& nb = low_neighbors[p];
+      for (const auto& [q, mult] : res.entries) {
+        (void)mult;
+        nb.push_back(static_cast<int64_t>(q));
+      }
+    } else {
+      high.push_back(p);
+    }
+  }
+  std::sort(high.begin(), high.end());  // deterministic center choice
+
+  // 3. Greedy centers: maximal subset of S_i pairwise at distance >= 3 in
+  //    H_i (the approximate-k-center construction of step 3).
+  std::unordered_set<int64_t> covered;  // within distance <= 2 of a center
+  std::vector<int64_t> centers;
+  for (int64_t c : high) {
+    if (covered.count(c) > 0) continue;
+    centers.push_back(c);
+    covered.insert(c);
+    for (int64_t x : hi_adj[c]) {
+      covered.insert(x);
+      for (int64_t y : hi_adj[x]) covered.insert(y);
+    }
+  }
+  std::unordered_set<int64_t> center_set(centers.begin(), centers.end());
+
+  // 4. Assignment. Directly adjacent vertices first, then the remaining
+  //    high-degree vertices through a 2-hop path.
+  std::unordered_map<int64_t, int64_t> assigned;
+  auto rep_edge = [&](int64_t p, int64_t q) {
+    auto key = std::minmax(p, q);
+    return rep.at({key.first, key.second});
+  };
+  for (int64_t c : centers) assigned[c] = c;
+  for (int64_t c : centers) {
+    for (int64_t q : hi_adj[c]) {
+      if (assigned.count(q) > 0) continue;
+      assigned[q] = c;
+      auto [a, b] = rep_edge(c, q);
+      spanner_.AddEdge(a, b, 1.0);
+    }
+  }
+  for (int64_t q : high) {
+    if (assigned.count(q) > 0) continue;
+    bool placed = false;
+    for (int64_t x : hi_adj[q]) {
+      if (placed) break;
+      for (int64_t p : hi_adj[x]) {
+        if (center_set.count(p) > 0) {
+          auto [a1, b1] = rep_edge(q, x);
+          auto [a2, b2] = rep_edge(x, p);
+          spanner_.AddEdge(a1, b1, 1.0);
+          spanner_.AddEdge(a2, b2, 1.0);
+          assigned[q] = p;
+          placed = true;
+          break;
+        }
+      }
+    }
+    if (!placed) {
+      // Sampling gap: promote q so the contraction invariant survives.
+      centers.push_back(q);
+      center_set.insert(q);
+      assigned[q] = q;
+    }
+  }
+
+  // 5. Unassigned low-degree vertices: emit one representative edge per
+  //    known neighbor and retire them.
+  std::unordered_set<int64_t> dropped;
+  for (const auto& [p, neighbors] : low_neighbors) {
+    if (assigned.count(p) > 0) continue;
+    for (int64_t q : neighbors) {
+      auto key = std::minmax(p, q);
+      auto it = rep.find({key.first, key.second});
+      if (it == rep.end()) continue;  // bucket collision: no representative
+      spanner_.AddEdge(it->second.first, it->second.second, 1.0);
+    }
+    dropped.insert(p);
+  }
+
+  // 6. Collapse: every original vertex follows its super-vertex.
+  for (NodeId v = 0; v < n_; ++v) {
+    int64_t p = super_[v];
+    if (p == kDropped) continue;
+    if (dropped.count(p) > 0) {
+      super_[v] = kDropped;
+    } else {
+      auto it = assigned.find(p);
+      super_[v] = it != assigned.end() ? it->second : kDropped;
+    }
+  }
+
+  bucket_samplers_.clear();
+  neighbor_rec_.clear();
+}
+
+}  // namespace gsketch

@@ -1,0 +1,103 @@
+// RECURSECONNECT (Section 5.1 / Theorem 5.1): a (k^{log₂5} − 1)-spanner in
+// only ⌈log₂ k⌉ + 1 passes and Õ(n^{1+1/k}) space — the paper's
+// pass-efficient alternative to Baswana–Sen.
+//
+// Pass i operates on the contracted graph G̃_i (invariant
+// |G̃_i| ≤ n^{1-(2^i-1)/k}). Per super-vertex p it maintains
+//   * `partitions` hash partitions of the super-vertex set into
+//     Õ(n^{2^i/k}) buckets with one ℓ₀-sampler each — this samples
+//     ~n^{2^i/k} *distinct* neighbors of p (the graph H_i), each with a
+//     representative original edge;
+//   * a k-RECOVERY over the neighbor-indicator vector — decoding succeeds
+//     iff p has at most n^{2^i/k} distinct neighbors, which both detects
+//     the low-degree vertices and reveals their complete neighbor sets.
+// Post-pass: greedily pick centers C_i — high-degree vertices pairwise at
+// distance ≥ 3 in H_i (the approximate-k-center rule) — assign every H_i
+// neighbor (1 hop) and every remaining high-degree vertex (2 hops) to a
+// center, emit the representative path edges into the spanner, collapse
+// assignments into G̃_{i+1}, and retire unassigned low-degree vertices
+// after emitting one edge per known neighbor. The final pass keeps one
+// ℓ₀-sampler per super-vertex *pair* (|G̃|² is tiny by then) and adds one
+// original edge per connected pair.
+#ifndef GRAPHSKETCH_SRC_CORE_RECURSE_CONNECT_H_
+#define GRAPHSKETCH_SRC_CORE_RECURSE_CONNECT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/adaptive.h"
+#include "src/graph/graph.h"
+#include "src/sketch/l0_sampler.h"
+#include "src/sketch/sparse_recovery.h"
+
+namespace gsketch {
+
+/// Tuning for RECURSECONNECT.
+struct RecurseConnectOptions {
+  uint32_t k = 4;             ///< space exponent 1 + 1/k
+  double bucket_scale = 1.0;  ///< buckets = scale · n^{2^i/k} · log2 n
+  uint32_t partitions = 2;    ///< independent bucket partitions
+  uint32_t repetitions = 4;   ///< ℓ₀-sampler repetitions
+  uint32_t recovery_rows = 3; ///< k-RECOVERY hash rows
+};
+
+/// log k-pass spanner with stretch k^{log₂ 5} − 1.
+class RecurseConnectSpanner : public AdaptiveSketchScheme {
+ public:
+  RecurseConnectSpanner(NodeId n, const RecurseConnectOptions& opt,
+                        uint64_t seed);
+
+  uint32_t NumPasses() const override { return contraction_passes_ + 1; }
+  void BeginPass(uint32_t pass) override;
+  void Update(NodeId u, NodeId v, int64_t delta) override;
+  void EndPass(uint32_t pass) override;
+
+  /// The spanner accumulated so far (complete after Run()).
+  const Graph& Spanner() const { return spanner_; }
+
+  /// The guaranteed stretch k^{log₂ 5} − 1 (Lemma 5.1).
+  double StretchBound() const;
+
+  /// Super-vertices alive entering each pass (decreasing; diagnostics).
+  const std::vector<size_t>& SupersPerPass() const { return supers_per_pass_; }
+
+  /// Peak 1-sparse cells allocated in any single pass (space proxy).
+  size_t PeakCellCount() const { return peak_cells_; }
+
+ private:
+  static constexpr int64_t kDropped = -1;
+
+  bool FinalPass(uint32_t pass) const { return pass == contraction_passes_; }
+  uint32_t DegreeThreshold(uint32_t pass) const;
+  void EndContractionPass();
+  void EndFinalPass();
+
+  NodeId n_;
+  RecurseConnectOptions opt_;
+  uint64_t seed_;
+  uint32_t contraction_passes_;
+  uint32_t pass_ = 0;
+  uint32_t buckets_ = 0;
+  uint32_t threshold_ = 0;
+
+  std::vector<int64_t> super_;  // super-vertex id per original vertex
+
+  // Contraction-pass state, keyed by super-vertex id.
+  std::unordered_map<int64_t, std::vector<L0Sampler>> bucket_samplers_;
+  std::unordered_map<int64_t, SparseRecovery> neighbor_rec_;
+
+  // Final-pass state: dense pair samplers over live supers.
+  std::vector<int64_t> final_ids_;                // dense index -> super id
+  std::unordered_map<int64_t, size_t> final_idx_; // super id -> dense index
+  std::vector<L0Sampler> pair_samplers_;          // upper-triangular
+
+  Graph spanner_;
+  std::vector<size_t> supers_per_pass_;
+  size_t peak_cells_ = 0;
+};
+
+}  // namespace gsketch
+
+#endif  // GRAPHSKETCH_SRC_CORE_RECURSE_CONNECT_H_

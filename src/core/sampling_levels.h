@@ -1,0 +1,53 @@
+// The nested edge-subsampling hierarchy shared by Figs. 1-3:
+//     G = G_0 ⊇ G_1 ⊇ G_2 ⊇ ...,
+// where G_i keeps edge e iff Π_{j<=i} h_j(e) = 1 for fair coins h_j. We
+// realize the coin sequence as the bits of one hash word per edge, so the
+// deepest level an edge survives to is its count of trailing zero bits —
+// consistent across insertions and deletions of the same edge (the
+// "consistent sampling" the paper needs for dynamic streams).
+#ifndef GRAPHSKETCH_SRC_CORE_SAMPLING_LEVELS_H_
+#define GRAPHSKETCH_SRC_CORE_SAMPLING_LEVELS_H_
+
+#include <cstdint>
+
+#include "src/graph/edge_id.h"
+#include "src/hash/splitmix.h"
+
+namespace gsketch {
+
+/// Assigns every edge its deepest surviving subsampling level.
+class SamplingLevels {
+ public:
+  /// `max_level` is the deepest level (Figs. 1-3 use 2·log2 n).
+  SamplingLevels(uint32_t max_level, uint64_t seed)
+      : max_level_(max_level), seed_(seed) {}
+
+  /// Deepest level i such that e ∈ G_i (0 = always).
+  uint32_t LevelOf(NodeId u, NodeId v) const {
+    return GeometricLevel(Mix64(seed_, 0x16f1u, EdgeId(u, v)), max_level_);
+  }
+
+  /// True iff edge {u,v} survives to level i.
+  bool InLevel(NodeId u, NodeId v, uint32_t i) const {
+    return LevelOf(u, v) >= i;
+  }
+
+  /// Deepest level of the hierarchy.
+  uint32_t max_level() const { return max_level_; }
+
+  /// The conventional depth for an n-node graph: 2·ceil(log2 n) + 1 levels
+  /// (indices 0..2·ceil(log2 n)).
+  static uint32_t DefaultMaxLevel(NodeId n) {
+    uint32_t lg = 0;
+    while ((NodeId{1} << lg) < n && lg < 31) ++lg;
+    return 2 * lg;
+  }
+
+ private:
+  uint32_t max_level_;
+  uint64_t seed_;
+};
+
+}  // namespace gsketch
+
+#endif  // GRAPHSKETCH_SRC_CORE_SAMPLING_LEVELS_H_

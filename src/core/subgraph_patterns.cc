@@ -1,0 +1,65 @@
+#include "src/core/subgraph_patterns.h"
+
+#include "src/graph/edge_id.h"
+
+namespace gsketch {
+
+uint32_t PatternCode(uint32_t k,
+                     std::initializer_list<std::pair<uint32_t, uint32_t>>
+                         edges) {
+  uint32_t code = 0;
+  for (const auto& [a, b] : edges) {
+    uint32_t i = a < b ? a : b;
+    uint32_t j = a < b ? b : a;
+    code |= 1u << PairSlot(i, j);
+  }
+  return CanonicalPatternCode(code, k);
+}
+
+std::vector<Pattern> Order3Patterns() {
+  return {
+      {"single-edge", 3, PatternCode(3, {{0, 1}})},
+      {"wedge", 3, PatternCode(3, {{0, 1}, {1, 2}})},
+      {"triangle", 3, PatternCode(3, {{0, 1}, {1, 2}, {0, 2}})},
+  };
+}
+
+std::vector<Pattern> Order4Patterns() {
+  return {
+      {"single-edge+2", 4, PatternCode(4, {{0, 1}})},
+      {"matching", 4, PatternCode(4, {{0, 1}, {2, 3}})},
+      {"wedge+1", 4, PatternCode(4, {{0, 1}, {1, 2}})},
+      {"triangle+1", 4, PatternCode(4, {{0, 1}, {1, 2}, {0, 2}})},
+      {"3-path", 4, PatternCode(4, {{0, 1}, {1, 2}, {2, 3}})},
+      {"3-star", 4, PatternCode(4, {{0, 1}, {0, 2}, {0, 3}})},
+      {"4-cycle", 4, PatternCode(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}})},
+      {"paw", 4, PatternCode(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}})},
+      {"diamond", 4,
+       PatternCode(4, {{0, 1}, {1, 2}, {0, 2}, {0, 3}, {1, 3}})},
+      {"4-clique", 4,
+       PatternCode(4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}})},
+  };
+}
+
+std::string PatternName(uint32_t order, uint32_t canonical_code) {
+  const std::vector<Pattern> table =
+      order == 3 ? Order3Patterns() : Order4Patterns();
+  for (const auto& p : table) {
+    if (p.canonical_code == canonical_code) return p.name;
+  }
+  return "pattern(" + std::to_string(canonical_code) + ")";
+}
+
+uint32_t TriangleCode() {
+  return PatternCode(3, {{0, 1}, {1, 2}, {0, 2}});
+}
+uint32_t WedgeCode() { return PatternCode(3, {{0, 1}, {1, 2}}); }
+uint32_t SingleEdge3Code() { return PatternCode(3, {{0, 1}}); }
+uint32_t Clique4Code() {
+  return PatternCode(4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}});
+}
+uint32_t Cycle4Code() {
+  return PatternCode(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+}
+
+}  // namespace gsketch

@@ -1,0 +1,56 @@
+// Pattern registry for the Section 4 subgraph sketch. An order-k pattern H
+// is identified by its canonical code: the minimum squash bitmask (Fig. 4)
+// over all vertex relabelings. A_H — the set of raw codes isomorphic to
+// H — is exactly the preimage of that canonical code.
+#ifndef GRAPHSKETCH_SRC_CORE_SUBGRAPH_PATTERNS_H_
+#define GRAPHSKETCH_SRC_CORE_SUBGRAPH_PATTERNS_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/graph/subgraph_census.h"
+
+namespace gsketch {
+
+/// Builds the canonical code of the order-k pattern with the given edges
+/// (vertex labels in [0, k)).
+uint32_t PatternCode(uint32_t k,
+                     std::initializer_list<std::pair<uint32_t, uint32_t>>
+                         edges);
+
+/// A named pattern.
+struct Pattern {
+  std::string name;
+  uint32_t order = 0;
+  uint32_t canonical_code = 0;
+};
+
+/// All isomorphism classes of non-empty order-3 graphs (3 classes).
+std::vector<Pattern> Order3Patterns();
+
+/// All isomorphism classes of non-empty order-4 graphs (10 classes).
+std::vector<Pattern> Order4Patterns();
+
+/// Human-readable name of a canonical code ("triangle", "4-clique", ...);
+/// "pattern(0x..)" for codes without a registered name.
+std::string PatternName(uint32_t order, uint32_t canonical_code);
+
+// Convenience canonical codes.
+
+/// Triangle K_3 (the Section 4 special case matching Buriol et al. [9]).
+uint32_t TriangleCode();
+/// Induced 2-edge path on 3 nodes ("wedge").
+uint32_t WedgeCode();
+/// Exactly one edge within a 3-subset.
+uint32_t SingleEdge3Code();
+/// 4-clique K_4.
+uint32_t Clique4Code();
+/// Induced 4-cycle C_4.
+uint32_t Cycle4Code();
+
+}  // namespace gsketch
+
+#endif  // GRAPHSKETCH_SRC_CORE_SUBGRAPH_PATTERNS_H_

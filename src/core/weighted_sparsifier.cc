@@ -1,0 +1,68 @@
+#include "src/core/weighted_sparsifier.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "src/hash/splitmix.h"
+
+namespace gsketch {
+
+namespace {
+uint32_t NumClasses(int64_t max_weight) {
+  uint32_t c = 1;
+  while ((int64_t{1} << c) <= max_weight && c < 62) ++c;
+  return c;
+}
+}  // namespace
+
+WeightedSparsifier::WeightedSparsifier(NodeId n, int64_t max_weight,
+                                       const SimpleSparsifierOptions& opt,
+                                       uint64_t seed)
+    : n_(n) {
+  assert(max_weight >= 1);
+  SimpleSparsifierOptions class_opt = opt;
+  // Lemma 3.6: a within-class spread of L = 2 is absorbed by doubling k.
+  class_opt.k_scale = opt.k_scale * 2.0;
+  if (opt.k_override != 0) class_opt.k_override = opt.k_override * 2;
+  uint32_t classes = NumClasses(max_weight);
+  classes_.reserve(classes);
+  for (uint32_t c = 0; c < classes; ++c) {
+    classes_.emplace_back(n, class_opt, DeriveSeed(seed, 0x3e16u + c));
+  }
+}
+
+void WeightedSparsifier::Update(NodeId u, NodeId v, int64_t delta,
+                                int64_t weight) {
+  assert(weight >= 1);
+  uint32_t c = 0;
+  while ((int64_t{1} << (c + 1)) <= weight) ++c;
+  assert(c < classes_.size());
+  // Carry the true weight through the class sketch as a multiplicity: the
+  // decoded witness then reports it, and the class sparsifier's output
+  // weight 2^j · weight follows Lemma 3.6.
+  classes_[c].Update(u, v, delta * weight);
+}
+
+void WeightedSparsifier::Merge(const WeightedSparsifier& other) {
+  assert(classes_.size() == other.classes_.size());
+  for (size_t c = 0; c < classes_.size(); ++c) {
+    classes_[c].Merge(other.classes_[c]);
+  }
+}
+
+Graph WeightedSparsifier::Extract() const {
+  Graph out(n_);
+  for (const auto& cls : classes_) {
+    Graph part = cls.Extract();
+    for (const auto& e : part.Edges()) out.AddEdge(e.u, e.v, e.weight);
+  }
+  return out;
+}
+
+size_t WeightedSparsifier::CellCount() const {
+  size_t total = 0;
+  for (const auto& cls : classes_) total += cls.CellCount();
+  return total;
+}
+
+}  // namespace gsketch

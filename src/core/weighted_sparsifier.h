@@ -1,0 +1,52 @@
+// Weighted-graph sparsification (Section 3.5 / Theorem 3.8).
+//
+// Integer edge weights in [1, W] are split into O(log W) weight classes
+// [2^c, 2^{c+1}); each class runs its own unweighted sparsifier sketch
+// (Lemma 3.6 shows a within-class weight spread of L = 2 costs only a
+// constant factor in k), and the per-class sparsifiers merge by addition.
+// Edge weights are carried through the sketches as multiplicities, so the
+// decoded sparsifier reproduces true weights, not class representatives.
+#ifndef GRAPHSKETCH_SRC_CORE_WEIGHTED_SPARSIFIER_H_
+#define GRAPHSKETCH_SRC_CORE_WEIGHTED_SPARSIFIER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/core/simple_sparsifier.h"
+#include "src/graph/graph.h"
+
+namespace gsketch {
+
+/// Single-pass sparsifier sketch for graphs with integer weights in
+/// [1, max_weight].
+class WeightedSparsifier {
+ public:
+  /// `opt` configures each per-class sparsifier; its k is doubled
+  /// internally for the L = 2 within-class spread (Lemma 3.6).
+  WeightedSparsifier(NodeId n, int64_t max_weight,
+                     const SimpleSparsifierOptions& opt, uint64_t seed);
+
+  /// Applies one stream token for an edge of weight `weight` (the weight
+  /// must be identical across all updates of the same edge).
+  void Update(NodeId u, NodeId v, int64_t delta, int64_t weight);
+
+  /// Adds another sketch with identical parameterization.
+  void Merge(const WeightedSparsifier& other);
+
+  /// Decodes each class and merges the per-class sparsifiers.
+  Graph Extract() const;
+
+  uint32_t num_classes() const {
+    return static_cast<uint32_t>(classes_.size());
+  }
+  size_t CellCount() const;
+
+ private:
+  NodeId n_;
+  std::vector<SimpleSparsifier> classes_;
+};
+
+}  // namespace gsketch
+
+#endif  // GRAPHSKETCH_SRC_CORE_WEIGHTED_SPARSIFIER_H_

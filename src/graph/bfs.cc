@@ -1,0 +1,33 @@
+#include "src/graph/bfs.h"
+
+#include <queue>
+
+namespace gsketch {
+
+std::vector<int64_t> BfsDistances(const Graph& g, NodeId src) {
+  std::vector<int64_t> dist(g.NumNodes(), -1);
+  std::queue<NodeId> q;
+  dist[src] = 0;
+  q.push(src);
+  while (!q.empty()) {
+    NodeId u = q.front();
+    q.pop();
+    for (const auto& [v, w] : g.Neighbors(u)) {
+      (void)w;
+      if (dist[v] < 0) {
+        dist[v] = dist[u] + 1;
+        q.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<std::vector<int64_t>> AllPairsDistances(const Graph& g) {
+  std::vector<std::vector<int64_t>> d;
+  d.reserve(g.NumNodes());
+  for (NodeId u = 0; u < g.NumNodes(); ++u) d.push_back(BfsDistances(g, u));
+  return d;
+}
+
+}  // namespace gsketch

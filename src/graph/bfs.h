@@ -1,0 +1,21 @@
+// Unweighted shortest-path utilities used to verify spanners (Definition 3)
+// and to grow the BFS baselines Section 5 contrasts against.
+#ifndef GRAPHSKETCH_SRC_GRAPH_BFS_H_
+#define GRAPHSKETCH_SRC_GRAPH_BFS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace gsketch {
+
+/// Hop distances from `src`; -1 for unreachable nodes.
+std::vector<int64_t> BfsDistances(const Graph& g, NodeId src);
+
+/// All-pairs hop distances (n x n); intended for n up to a few thousand.
+std::vector<std::vector<int64_t>> AllPairsDistances(const Graph& g);
+
+}  // namespace gsketch
+
+#endif  // GRAPHSKETCH_SRC_GRAPH_BFS_H_

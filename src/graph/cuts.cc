@@ -1,0 +1,115 @@
+#include "src/graph/cuts.h"
+
+#include <cassert>
+#include <cmath>
+#include <queue>
+
+namespace gsketch {
+
+double CutValue(const Graph& g, const std::vector<bool>& side) {
+  double total = 0.0;
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    if (!side[u]) continue;
+    for (const auto& [v, w] : g.Neighbors(u)) {
+      if (!side[v]) total += w;
+    }
+  }
+  return total;
+}
+
+std::vector<std::vector<bool>> EnumerateAllCuts(NodeId n) {
+  assert(n <= 24 && "exhaustive cut enumeration is exponential");
+  std::vector<std::vector<bool>> out;
+  // Fix node 0 outside A to avoid double-counting complements.
+  uint64_t limit = uint64_t{1} << (n - 1);
+  for (uint64_t mask = 1; mask < limit; ++mask) {
+    std::vector<bool> side(n, false);
+    for (NodeId v = 1; v < n; ++v) side[v] = (mask >> (v - 1)) & 1;
+    out.push_back(std::move(side));
+  }
+  return out;
+}
+
+std::vector<std::vector<bool>> RandomCuts(NodeId n, size_t count, Rng* rng) {
+  std::vector<std::vector<bool>> out;
+  out.reserve(count);
+  while (out.size() < count) {
+    std::vector<bool> side(n, false);
+    size_t members = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (rng->Coin(0.5)) {
+        side[v] = true;
+        ++members;
+      }
+    }
+    if (members == 0 || members == n) continue;
+    out.push_back(std::move(side));
+  }
+  return out;
+}
+
+std::vector<std::vector<bool>> SingletonCuts(NodeId n) {
+  std::vector<std::vector<bool>> out;
+  out.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    std::vector<bool> side(n, false);
+    side[v] = true;
+    out.push_back(std::move(side));
+  }
+  return out;
+}
+
+std::vector<std::vector<bool>> BfsBallCuts(const Graph& g, size_t count,
+                                           Rng* rng) {
+  const NodeId n = g.NumNodes();
+  std::vector<std::vector<bool>> out;
+  size_t guard = 0;
+  while (out.size() < count && guard++ < count * 10 + 10) {
+    NodeId center = static_cast<NodeId>(rng->Below(n));
+    size_t target = 1 + rng->Below(std::max<NodeId>(n / 2, 1));
+    std::vector<bool> side(n, false);
+    std::queue<NodeId> q;
+    side[center] = true;
+    q.push(center);
+    size_t members = 1;
+    while (!q.empty() && members < target) {
+      NodeId u = q.front();
+      q.pop();
+      for (const auto& [v, w] : g.Neighbors(u)) {
+        (void)w;
+        if (!side[v] && members < target) {
+          side[v] = true;
+          ++members;
+          q.push(v);
+        }
+      }
+    }
+    if (members == 0 || members == n) continue;
+    out.push_back(std::move(side));
+  }
+  return out;
+}
+
+CutErrorStats CompareCuts(const Graph& g, const Graph& h,
+                          const std::vector<std::vector<bool>>& sides) {
+  CutErrorStats stats;
+  double err_sum = 0.0;
+  for (const auto& side : sides) {
+    double exact = CutValue(g, side);
+    if (exact == 0.0) {
+      ++stats.zero_cuts_skipped;
+      continue;
+    }
+    double approx = CutValue(h, side);
+    double rel = std::abs(approx - exact) / exact;
+    stats.max_rel_error = std::max(stats.max_rel_error, rel);
+    err_sum += rel;
+    ++stats.cuts_checked;
+  }
+  if (stats.cuts_checked > 0) {
+    stats.avg_rel_error = err_sum / static_cast<double>(stats.cuts_checked);
+  }
+  return stats;
+}
+
+}  // namespace gsketch

@@ -1,0 +1,49 @@
+// Cut evaluation and cut-family sampling used to verify sparsifiers
+// (Definition 4): λ_A computation, exhaustive enumeration for small n, and
+// structured random families (uniform subsets, BFS balls, singletons) that
+// probe the cuts a sparsifier is most likely to distort.
+#ifndef GRAPHSKETCH_SRC_GRAPH_CUTS_H_
+#define GRAPHSKETCH_SRC_GRAPH_CUTS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/hash/random.h"
+
+namespace gsketch {
+
+/// λ_A: total weight crossing (A, V \ A); `side[v]` marks membership in A.
+double CutValue(const Graph& g, const std::vector<bool>& side);
+
+/// All 2^(n-1) - 1 proper cuts of an n-node graph (requires n <= 24).
+std::vector<std::vector<bool>> EnumerateAllCuts(NodeId n);
+
+/// `count` uniformly random proper subsets of [0, n).
+std::vector<std::vector<bool>> RandomCuts(NodeId n, size_t count, Rng* rng);
+
+/// All n singleton cuts ({v}, V \ {v}) — degree cuts.
+std::vector<std::vector<bool>> SingletonCuts(NodeId n);
+
+/// `count` BFS-ball cuts: breadth-first balls of random radius around
+/// random centers. These include the sparse "community boundary" cuts that
+/// stress sparsifiers hardest.
+std::vector<std::vector<bool>> BfsBallCuts(const Graph& g, size_t count,
+                                           Rng* rng);
+
+/// Error statistics of H as a cut approximation of G over a cut family.
+struct CutErrorStats {
+  double max_rel_error = 0.0;  ///< max |λ_A(H) - λ_A(G)| / λ_A(G)
+  double avg_rel_error = 0.0;
+  size_t cuts_checked = 0;
+  size_t zero_cuts_skipped = 0;  ///< cuts with λ_A(G) = 0
+};
+
+/// Evaluates every cut in `sides` in both graphs and aggregates errors.
+CutErrorStats CompareCuts(const Graph& g, const Graph& h,
+                          const std::vector<std::vector<bool>>& sides);
+
+}  // namespace gsketch
+
+#endif  // GRAPHSKETCH_SRC_GRAPH_CUTS_H_

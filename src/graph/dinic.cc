@@ -1,0 +1,105 @@
+#include "src/graph/dinic.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace gsketch {
+
+namespace {
+constexpr double kEps = 1e-9;
+}
+
+Dinic::Dinic(const Graph& g)
+    : n_(g.NumNodes()), adj_(g.NumNodes()), level_(g.NumNodes()),
+      iter_(g.NumNodes()) {
+  for (const auto& e : g.Edges()) {
+    // Undirected edge: both arcs start with the full capacity. Flow pushed
+    // one way frees capacity the other way, which is exactly the
+    // undirected max-flow semantics.
+    size_t iu = adj_[e.u].size(), iv = adj_[e.v].size();
+    adj_[e.u].push_back(Arc{e.v, e.weight, iv});
+    adj_[e.v].push_back(Arc{e.u, e.weight, iu});
+  }
+}
+
+bool Dinic::Bfs(NodeId s, NodeId t) {
+  std::fill(level_.begin(), level_.end(), -1);
+  std::queue<NodeId> q;
+  level_[s] = 0;
+  q.push(s);
+  while (!q.empty()) {
+    NodeId u = q.front();
+    q.pop();
+    for (const Arc& a : adj_[u]) {
+      if (a.cap > kEps && level_[a.to] < 0) {
+        level_[a.to] = level_[u] + 1;
+        q.push(a.to);
+      }
+    }
+  }
+  return level_[t] >= 0;
+}
+
+double Dinic::Dfs(NodeId u, NodeId t, double pushed) {
+  if (u == t) return pushed;
+  for (size_t& i = iter_[u]; i < adj_[u].size(); ++i) {
+    Arc& a = adj_[u][i];
+    if (a.cap > kEps && level_[a.to] == level_[u] + 1) {
+      double got = Dfs(a.to, t, std::min(pushed, a.cap));
+      if (got > kEps) {
+        a.cap -= got;
+        adj_[a.to][a.rev].cap += got;
+        return got;
+      }
+    }
+  }
+  return 0.0;
+}
+
+double Dinic::MaxFlow(NodeId s, NodeId t, double cap) {
+  double flow = 0.0;
+  while (Bfs(s, t)) {
+    std::fill(iter_.begin(), iter_.end(), 0);
+    while (true) {
+      double budget = std::numeric_limits<double>::infinity();
+      if (cap >= 0.0) {
+        budget = cap - flow;
+        if (budget <= kEps) return cap;
+      }
+      double got = Dfs(s, t, budget);
+      if (got <= kEps) break;
+      flow += got;
+      if (cap >= 0.0 && flow >= cap - kEps) return cap;
+    }
+  }
+  return flow;
+}
+
+std::vector<NodeId> Dinic::MinCutSide(NodeId s) const {
+  std::vector<NodeId> side;
+  std::vector<bool> seen(n_, false);
+  std::queue<NodeId> q;
+  seen[s] = true;
+  q.push(s);
+  while (!q.empty()) {
+    NodeId u = q.front();
+    q.pop();
+    side.push_back(u);
+    for (const Arc& a : adj_[u]) {
+      if (a.cap > kEps && !seen[a.to]) {
+        seen[a.to] = true;
+        q.push(a.to);
+      }
+    }
+  }
+  std::sort(side.begin(), side.end());
+  return side;
+}
+
+double MinCutBetween(const Graph& g, NodeId s, NodeId t, double cap) {
+  Dinic d(g);
+  return d.MaxFlow(s, t, cap);
+}
+
+}  // namespace gsketch

@@ -1,0 +1,50 @@
+// Dinic's max-flow, used for exact s-t min cuts λ_{u,v}: the per-edge
+// connectivity tests of Fig. 2 step 3 and the Gomory–Hu construction of
+// Fig. 3 step 4 both reduce to it.
+#ifndef GRAPHSKETCH_SRC_GRAPH_DINIC_H_
+#define GRAPHSKETCH_SRC_GRAPH_DINIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace gsketch {
+
+/// Max-flow solver on an undirected weighted graph.
+class Dinic {
+ public:
+  /// Builds the residual network for `g` (each undirected edge becomes a
+  /// pair of arcs sharing capacity in both directions).
+  explicit Dinic(const Graph& g);
+
+  /// Max s-t flow. If `cap` >= 0, stops early once the flow reaches `cap`
+  /// and returns `cap` — the "is λ_{s,t} < k" test needs only that much.
+  double MaxFlow(NodeId s, NodeId t, double cap = -1.0);
+
+  /// After MaxFlow, the source side of a minimum s-t cut (nodes reachable
+  /// from s in the residual network).
+  std::vector<NodeId> MinCutSide(NodeId s) const;
+
+ private:
+  struct Arc {
+    NodeId to;
+    double cap;
+    size_t rev;  // index of the reverse arc in adj_[to]
+  };
+
+  bool Bfs(NodeId s, NodeId t);
+  double Dfs(NodeId u, NodeId t, double pushed);
+
+  NodeId n_;
+  std::vector<std::vector<Arc>> adj_;
+  std::vector<int32_t> level_;
+  std::vector<size_t> iter_;
+};
+
+/// Exact s-t min cut value in `g`, optionally capped at `cap`.
+double MinCutBetween(const Graph& g, NodeId s, NodeId t, double cap = -1.0);
+
+}  // namespace gsketch
+
+#endif  // GRAPHSKETCH_SRC_GRAPH_DINIC_H_

@@ -1,0 +1,102 @@
+// Canonical encodings between vertex tuples and dense integer ids.
+//
+// Sketches operate on vectors indexed by edge slots (the (V choose 2)
+// coordinates of Definition 2) or by k-subsets of V (the columns of the
+// squash matrix of Section 4, Fig. 4). Both use the combinadic ranking:
+//   rank(a < b)       = C(b,2) + a
+//   rank(a < b < c)   = C(c,3) + C(b,2) + a
+// which is dense, order-preserving, and invertible in O(1)/O(log) time.
+#ifndef GRAPHSKETCH_SRC_GRAPH_EDGE_ID_H_
+#define GRAPHSKETCH_SRC_GRAPH_EDGE_ID_H_
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+
+namespace gsketch {
+
+/// Vertex id type. Graphs in this library have at most 2^32-1 nodes.
+using NodeId = uint32_t;
+
+/// Binomial coefficient C(n, k) for small k (k <= 4 used here); saturates
+/// rather than overflowing for the domains the library supports.
+inline constexpr uint64_t Binomial(uint64_t n, uint32_t k) {
+  if (k > n) return 0;
+  switch (k) {
+    case 0:
+      return 1;
+    case 1:
+      return n;
+    case 2:
+      return n * (n - 1) / 2;
+    case 3:
+      return n * (n - 1) / 2 * (n - 2) / 3;
+    case 4:
+      return n * (n - 1) / 2 * (n - 2) / 3 * (n - 3) / 4;
+    default: {
+      uint64_t r = 1;
+      for (uint32_t i = 1; i <= k; ++i) r = r * (n - k + i) / i;
+      return r;
+    }
+  }
+}
+
+/// Number of edge slots for an n-node simple graph.
+inline constexpr uint64_t EdgeDomain(uint64_t n) { return Binomial(n, 2); }
+
+/// Encodes an unordered pair {u, v}, u != v, as an id in [0, C(n,2)).
+inline constexpr uint64_t EdgeId(NodeId u, NodeId v) {
+  uint64_t a = u < v ? u : v;
+  uint64_t b = u < v ? v : u;
+  return b * (b - 1) / 2 + a;
+}
+
+/// Decodes an edge id back to its endpoints (a < b).
+inline constexpr std::array<NodeId, 2> EdgeEndpoints(uint64_t id) {
+  // b is the largest integer with C(b,2) <= id.
+  uint64_t b = static_cast<uint64_t>((1.0 + __builtin_sqrt(1.0 + 8.0 * static_cast<double>(id))) / 2.0);
+  while (b * (b - 1) / 2 > id) --b;
+  while ((b + 1) * b / 2 <= id) ++b;
+  uint64_t a = id - b * (b - 1) / 2;
+  return {static_cast<NodeId>(a), static_cast<NodeId>(b)};
+}
+
+/// Encodes a k-subset (strictly ascending s[0] < ... < s[k-1]) as its
+/// combinadic rank in [0, C(n,k)).
+inline uint64_t SubsetRank(const NodeId* s, uint32_t k) {
+  uint64_t r = 0;
+  for (uint32_t i = 0; i < k; ++i) r += Binomial(s[i], i + 1);
+  return r;
+}
+
+/// Decodes a combinadic rank into the ascending k-subset it names.
+inline void SubsetUnrank(uint64_t rank, uint32_t k, NodeId* out) {
+  for (uint32_t i = k; i-- > 0;) {
+    // Largest v with C(v, i+1) <= rank.
+    uint64_t lo = i, hi = 1;
+    while (Binomial(hi, i + 1) <= rank) hi <<= 1;
+    uint64_t v = lo;
+    while (lo <= hi) {
+      uint64_t mid = lo + (hi - lo) / 2;
+      if (Binomial(mid, i + 1) <= rank) {
+        v = mid;
+        lo = mid + 1;
+      } else {
+        if (mid == 0) break;
+        hi = mid - 1;
+      }
+    }
+    out[i] = static_cast<NodeId>(v);
+    rank -= Binomial(v, i + 1);
+  }
+}
+
+/// Position of the pair (s_i, s_j), i < j, within the C(k,2) intra-subset
+/// pair slots (the bit index used by the squash encoding of Fig. 4).
+inline constexpr uint32_t PairSlot(uint32_t i, uint32_t j) {
+  return j * (j - 1) / 2 + i;
+}
+
+}  // namespace gsketch
+
+#endif  // GRAPHSKETCH_SRC_GRAPH_EDGE_ID_H_

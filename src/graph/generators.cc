@@ -1,0 +1,177 @@
+#include "src/graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/graph/edge_id.h"
+#include "src/hash/random.h"
+
+namespace gsketch {
+
+Graph ErdosRenyi(NodeId n, double p, uint64_t seed) {
+  Graph g(n);
+  Rng rng(seed);
+  if (p <= 0.0) return g;
+  if (p >= 1.0) return CompleteGraph(n);
+  // Geometric skipping: O(m) expected time.
+  double log1mp = std::log(1.0 - p);
+  uint64_t domain = EdgeDomain(n);
+  uint64_t idx = 0;
+  while (true) {
+    double r = rng.Unit();
+    uint64_t skip =
+        static_cast<uint64_t>(std::floor(std::log(1.0 - r) / log1mp));
+    idx += skip;
+    if (idx >= domain) break;
+    auto [u, v] = EdgeEndpoints(idx);
+    g.AddEdge(u, v, 1.0);
+    ++idx;
+  }
+  return g;
+}
+
+Graph ErdosRenyiM(NodeId n, size_t m, uint64_t seed) {
+  Graph g(n);
+  Rng rng(seed);
+  uint64_t domain = EdgeDomain(n);
+  m = std::min<size_t>(m, domain);
+  for (uint64_t id : rng.SampleDistinct(domain, m)) {
+    auto [u, v] = EdgeEndpoints(id);
+    g.AddEdge(u, v, 1.0);
+  }
+  return g;
+}
+
+Graph GridGraph(NodeId rows, NodeId cols, bool torus) {
+  Graph g(rows * cols);
+  auto at = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.AddEdge(at(r, c), at(r, c + 1), 1.0);
+      if (r + 1 < rows) g.AddEdge(at(r, c), at(r + 1, c), 1.0);
+      if (torus && c + 1 == cols && cols > 2) g.AddEdge(at(r, c), at(r, 0), 1.0);
+      if (torus && r + 1 == rows && rows > 2) g.AddEdge(at(r, c), at(0, c), 1.0);
+    }
+  }
+  return g;
+}
+
+Graph CompleteGraph(NodeId n) {
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) g.AddEdge(u, v, 1.0);
+  }
+  return g;
+}
+
+Graph CompleteBipartite(NodeId a, NodeId b) {
+  Graph g(a + b);
+  for (NodeId u = 0; u < a; ++u) {
+    for (NodeId v = a; v < a + b; ++v) g.AddEdge(u, v, 1.0);
+  }
+  return g;
+}
+
+Graph BarabasiAlbert(NodeId n, NodeId m0, NodeId m, uint64_t seed) {
+  m0 = std::max<NodeId>(m0, std::max<NodeId>(m, 2));
+  Graph g(n);
+  Rng rng(seed);
+  // Degree-proportional sampling via the repeated-endpoints trick.
+  std::vector<NodeId> endpoints;
+  for (NodeId u = 0; u < m0 && u < n; ++u) {
+    for (NodeId v = u + 1; v < m0 && v < n; ++v) {
+      g.AddEdge(u, v, 1.0);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  for (NodeId u = m0; u < n; ++u) {
+    std::vector<NodeId> targets;
+    size_t guard = 0;
+    while (targets.size() < m && guard++ < 100 * m) {
+      NodeId t = endpoints[rng.Below(endpoints.size())];
+      if (t != u &&
+          std::find(targets.begin(), targets.end(), t) == targets.end()) {
+        targets.push_back(t);
+      }
+    }
+    for (NodeId t : targets) {
+      g.AddEdge(u, t, 1.0);
+      endpoints.push_back(u);
+      endpoints.push_back(t);
+    }
+  }
+  return g;
+}
+
+Graph ChungLu(NodeId n, double exponent, double avg_deg, uint64_t seed) {
+  Graph g(n);
+  Rng rng(seed);
+  std::vector<double> w(n);
+  double sum = 0.0;
+  for (NodeId i = 0; i < n; ++i) {
+    w[i] = std::pow(static_cast<double>(i + 1), -1.0 / (exponent - 1.0));
+    sum += w[i];
+  }
+  double scale = avg_deg * n / sum;
+  for (NodeId i = 0; i < n; ++i) w[i] *= scale;
+  double total = avg_deg * n;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      double p = std::min(1.0, w[u] * w[v] / total);
+      if (p > 0.0 && rng.Coin(p)) g.AddEdge(u, v, 1.0);
+    }
+  }
+  return g;
+}
+
+Graph PlantedPartition(NodeId n, NodeId communities, double p_in,
+                       double p_out, uint64_t seed) {
+  Graph g(n);
+  Rng rng(seed);
+  auto block = [&](NodeId x) { return x % communities; };
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      double p = block(u) == block(v) ? p_in : p_out;
+      if (rng.Coin(p)) g.AddEdge(u, v, 1.0);
+    }
+  }
+  return g;
+}
+
+Graph Dumbbell(NodeId half, double p_dense, NodeId bridges, uint64_t seed) {
+  NodeId n = 2 * half;
+  Graph g(n);
+  Rng rng(seed);
+  for (NodeId side = 0; side < 2; ++side) {
+    NodeId base = side * half;
+    for (NodeId u = 0; u < half; ++u) {
+      for (NodeId v = u + 1; v < half; ++v) {
+        if (rng.Coin(p_dense)) g.AddEdge(base + u, base + v, 1.0);
+      }
+    }
+  }
+  // Exactly `bridges` distinct cross edges.
+  size_t placed = 0, guard = 0;
+  while (placed < bridges && guard++ < 1000u * bridges + 1000u) {
+    NodeId u = static_cast<NodeId>(rng.Below(half));
+    NodeId v = static_cast<NodeId>(half + rng.Below(half));
+    if (!g.HasEdge(u, v)) {
+      g.AddEdge(u, v, 1.0);
+      ++placed;
+    }
+  }
+  return g;
+}
+
+Graph WithRandomWeights(const Graph& g, int64_t max_weight, uint64_t seed) {
+  Graph out(g.NumNodes());
+  Rng rng(seed);
+  for (const auto& e : g.Edges()) {
+    out.AddEdge(e.u, e.v, static_cast<double>(rng.Range(1, max_weight)));
+  }
+  return out;
+}
+
+}  // namespace gsketch

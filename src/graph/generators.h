@@ -1,0 +1,54 @@
+// Synthetic workload generators. The paper evaluates nothing empirically
+// (PODS theory paper); these generators realize the graph families its
+// intro motivates — social-style heavy-tailed graphs, web-like preferential
+// attachment, near-threshold random graphs, and planted-structure graphs
+// with known cuts for verification.
+#ifndef GRAPHSKETCH_SRC_GRAPH_GENERATORS_H_
+#define GRAPHSKETCH_SRC_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "src/graph/graph.h"
+
+namespace gsketch {
+
+/// G(n, p) Erdős–Rényi.
+Graph ErdosRenyi(NodeId n, double p, uint64_t seed);
+
+/// G(n, m): exactly m distinct uniform edges.
+Graph ErdosRenyiM(NodeId n, size_t m, uint64_t seed);
+
+/// rows x cols grid; `torus` adds wrap-around edges.
+Graph GridGraph(NodeId rows, NodeId cols, bool torus = false);
+
+/// Complete graph K_n.
+Graph CompleteGraph(NodeId n);
+
+/// Complete bipartite graph K_{a,b}.
+Graph CompleteBipartite(NodeId a, NodeId b);
+
+/// Barabási–Albert preferential attachment: start from a clique on
+/// `m0` nodes, each new node attaches to `m` existing nodes.
+Graph BarabasiAlbert(NodeId n, NodeId m0, NodeId m, uint64_t seed);
+
+/// Chung–Lu power-law: expected degree of node i proportional to
+/// (i+1)^(-1/(exponent-1)), scaled to average degree `avg_deg`.
+Graph ChungLu(NodeId n, double exponent, double avg_deg, uint64_t seed);
+
+/// Planted partition: `communities` equal blocks, intra-block edge
+/// probability `p_in`, inter-block `p_out`. Small p_out plants sparse cuts.
+Graph PlantedPartition(NodeId n, NodeId communities, double p_in,
+                       double p_out, uint64_t seed);
+
+/// Two dense G(half, p_dense) blobs joined by exactly `bridges` edges: the
+/// global min cut equals `bridges` (for suitable densities), giving a
+/// ground-truth min cut for Fig. 1 experiments.
+Graph Dumbbell(NodeId half, double p_dense, NodeId bridges, uint64_t seed);
+
+/// Copies `g` and assigns each edge an integer weight drawn uniformly from
+/// [1, max_weight] (Section 3.5 workloads).
+Graph WithRandomWeights(const Graph& g, int64_t max_weight, uint64_t seed);
+
+}  // namespace gsketch
+
+#endif  // GRAPHSKETCH_SRC_GRAPH_GENERATORS_H_

@@ -1,0 +1,260 @@
+#include "src/graph/gomory_hu.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "src/graph/dinic.h"
+
+namespace gsketch {
+
+namespace {
+
+// The classical Gomory–Hu construction with supernode contraction. Fig. 3
+// step 4 requires a genuine *cut tree* — removing a tree edge must yield a
+// bipartition whose cut value equals the edge weight — which the simpler
+// Gusfield flow-equivalent tree does not guarantee. Hence the full
+// algorithm: maintain a tree of supernodes, repeatedly split a supernode by
+// a min cut computed in the graph with all other subtrees contracted.
+struct SuperTree {
+  std::vector<std::vector<NodeId>> members;           // per tree-node
+  std::vector<std::vector<std::pair<int, double>>> adj;  // tree adjacency
+
+  int AddNode() {
+    members.emplace_back();
+    adj.emplace_back();
+    return static_cast<int>(members.size()) - 1;
+  }
+  void AddTreeEdge(int a, int b, double w) {
+    adj[a].push_back({b, w});
+    adj[b].push_back({a, w});
+  }
+};
+
+}  // namespace
+
+GomoryHuTree GomoryHuTree::Build(const Graph& g) {
+  const NodeId n = g.NumNodes();
+  GomoryHuTree t;
+  t.parent_.assign(std::max<NodeId>(n, 1), 0);
+  t.weight_.assign(std::max<NodeId>(n, 1), 0.0);
+  if (n <= 1) {
+    t.ComputeDepths();
+    return t;
+  }
+
+  SuperTree st;
+  int root = st.AddNode();
+  for (NodeId v = 0; v < n; ++v) st.members[root].push_back(v);
+
+  const auto edges = g.Edges();
+
+  // Process until every supernode is a singleton.
+  std::vector<int> pending = {root};
+  while (!pending.empty()) {
+    int x = pending.back();
+    if (st.members[x].size() < 2) {
+      pending.pop_back();
+      continue;
+    }
+    NodeId s = st.members[x][0];
+    NodeId tt = st.members[x][1];
+
+    // Group the tree minus x into components; each component is contracted
+    // to one vertex for the flow computation.
+    int num_tree_nodes = static_cast<int>(st.members.size());
+    std::vector<int> comp(num_tree_nodes, -1);
+    int num_comp = 0;
+    std::vector<int> comp_root;  // tree-node adjacent to x per component
+    for (const auto& [nb, w] : st.adj[x]) {
+      (void)w;
+      if (comp[nb] != -1) continue;
+      // BFS within the tree avoiding x.
+      comp[nb] = num_comp;
+      comp_root.push_back(nb);
+      std::queue<int> q;
+      q.push(nb);
+      while (!q.empty()) {
+        int y = q.front();
+        q.pop();
+        for (const auto& [z, wz] : st.adj[y]) {
+          (void)wz;
+          if (z != x && comp[z] == -1) {
+            comp[z] = num_comp;
+            q.push(z);
+          }
+        }
+      }
+      ++num_comp;
+    }
+
+    // Map graph vertices to contracted ids: members of x keep distinct ids
+    // [0, |x|), each component collapses to |x| + comp.
+    std::vector<NodeId> vmap(n, 0);
+    std::vector<int> owner(n, -1);  // tree node owning each vertex
+    for (int tn = 0; tn < num_tree_nodes; ++tn) {
+      for (NodeId v : st.members[tn]) owner[v] = tn;
+    }
+    NodeId x_size = static_cast<NodeId>(st.members[x].size());
+    for (NodeId i = 0; i < x_size; ++i) vmap[st.members[x][i]] = i;
+    for (NodeId v = 0; v < n; ++v) {
+      if (owner[v] != x) {
+        vmap[v] = x_size + static_cast<NodeId>(comp[owner[v]]);
+      }
+    }
+
+    Graph contracted(x_size + static_cast<NodeId>(num_comp));
+    for (const auto& e : edges) {
+      NodeId cu = vmap[e.u], cv = vmap[e.v];
+      if (cu != cv) contracted.AddEdge(cu, cv, e.weight);
+    }
+
+    Dinic dinic(contracted);
+    double f = dinic.MaxFlow(vmap[s], vmap[tt]);
+    std::vector<NodeId> side = dinic.MinCutSide(vmap[s]);
+    std::vector<bool> in_s(contracted.NumNodes(), false);
+    for (NodeId v : side) in_s[v] = true;
+
+    // Split x: s-side keeps node x, t-side becomes a fresh node.
+    int xt = st.AddNode();
+    std::vector<NodeId> keep;
+    for (NodeId v : st.members[x]) {
+      if (in_s[vmap[v]]) {
+        keep.push_back(v);
+      } else {
+        st.members[xt].push_back(v);
+      }
+    }
+    st.members[x] = keep;
+
+    // Reattach x's old tree edges by which side their component fell on.
+    std::vector<std::pair<int, double>> old = st.adj[x];
+    st.adj[x].clear();
+    for (auto& [nb, w] : old) {
+      int side_node = in_s[x_size + static_cast<NodeId>(comp[nb])] ? x : xt;
+      st.adj[side_node].push_back({nb, w});
+      for (auto& [back, bw] : st.adj[nb]) {
+        (void)bw;
+        if (back == x) {
+          back = side_node;
+          break;
+        }
+      }
+    }
+    st.AddTreeEdge(x, xt, f);
+    pending.push_back(xt);
+  }
+
+  // Every supernode is now a singleton; translate to vertex-indexed
+  // parent/weight arrays rooted at vertex 0's node.
+  int num_tree_nodes = static_cast<int>(st.members.size());
+  std::vector<NodeId> vertex_of(num_tree_nodes, 0);
+  int start = -1;
+  for (int tn = 0; tn < num_tree_nodes; ++tn) {
+    vertex_of[tn] = st.members[tn][0];
+    if (st.members[tn][0] == 0) start = tn;
+  }
+  std::vector<bool> seen(num_tree_nodes, false);
+  std::queue<int> q;
+  seen[start] = true;
+  q.push(start);
+  t.parent_[0] = 0;
+  while (!q.empty()) {
+    int y = q.front();
+    q.pop();
+    for (const auto& [z, w] : st.adj[y]) {
+      if (!seen[z]) {
+        seen[z] = true;
+        t.parent_[vertex_of[z]] = vertex_of[y];
+        t.weight_[vertex_of[z]] = w;
+        q.push(z);
+      }
+    }
+  }
+  t.ComputeDepths();
+  return t;
+}
+
+void GomoryHuTree::ComputeDepths() {
+  const NodeId n = NumNodes();
+  depth_.assign(n, -1);
+  if (n == 0) return;
+  depth_[0] = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (depth_[v] >= 0) continue;
+    std::vector<NodeId> chain;
+    NodeId x = v;
+    while (depth_[x] < 0) {
+      chain.push_back(x);
+      x = parent_[x];
+    }
+    int32_t d = depth_[x];
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      depth_[*it] = ++d;
+    }
+  }
+}
+
+double GomoryHuTree::MinCutValue(NodeId u, NodeId v) const {
+  double best = std::numeric_limits<double>::infinity();
+  NodeId a = u, b = v;
+  while (a != b) {
+    if (depth_[a] >= depth_[b]) {
+      best = std::min(best, weight_[a]);
+      a = parent_[a];
+    } else {
+      best = std::min(best, weight_[b]);
+      b = parent_[b];
+    }
+  }
+  return best;
+}
+
+NodeId GomoryHuTree::MinEdgeOnPath(NodeId u, NodeId v) const {
+  double best = std::numeric_limits<double>::infinity();
+  NodeId arg = u;
+  NodeId a = u, b = v;
+  while (a != b) {
+    if (depth_[a] >= depth_[b]) {
+      if (weight_[a] < best) {
+        best = weight_[a];
+        arg = a;
+      }
+      a = parent_[a];
+    } else {
+      if (weight_[b] < best) {
+        best = weight_[b];
+        arg = b;
+      }
+      b = parent_[b];
+    }
+  }
+  return arg;
+}
+
+std::vector<NodeId> GomoryHuTree::CutSide(NodeId v) const {
+  const NodeId n = NumNodes();
+  std::vector<NodeId> side;
+  for (NodeId x = 0; x < n; ++x) {
+    NodeId y = x;
+    bool in = false;
+    while (true) {
+      if (y == v) {
+        in = true;
+        break;
+      }
+      if (y == 0) break;
+      y = parent_[y];
+    }
+    if (in) side.push_back(x);
+  }
+  return side;
+}
+
+std::vector<NodeId> GomoryHuTree::EdgeList() const {
+  std::vector<NodeId> out;
+  for (NodeId v = 1; v < NumNodes(); ++v) out.push_back(v);
+  return out;
+}
+
+}  // namespace gsketch

@@ -1,0 +1,57 @@
+// Gomory–Hu tree (Definition 6) via Gusfield's algorithm: n-1 max-flow
+// computations, no node contractions. The tree answers every pairwise min
+// cut query, supplies the per-edge connectivities λ_e used by the
+// sparsifiers, and its edges induce the cut family processed in Fig. 3
+// step 4.
+#ifndef GRAPHSKETCH_SRC_GRAPH_GOMORY_HU_H_
+#define GRAPHSKETCH_SRC_GRAPH_GOMORY_HU_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace gsketch {
+
+/// A rooted Gomory–Hu tree on the nodes of the source graph.
+class GomoryHuTree {
+ public:
+  /// Builds the tree for `g` (connected or not; cuts across components
+  /// have value 0). O(n) max-flows.
+  static GomoryHuTree Build(const Graph& g);
+
+  /// Number of nodes.
+  NodeId NumNodes() const { return static_cast<NodeId>(parent_.size()); }
+
+  /// Parent of `v` in the rooted tree (node 0 is the root, parent 0).
+  NodeId Parent(NodeId v) const { return parent_[v]; }
+
+  /// Weight of the tree edge (v, Parent(v)); 0 for the root.
+  double ParentWeight(NodeId v) const { return weight_[v]; }
+
+  /// Min u-v cut value: the minimum edge weight on the tree path
+  /// (Definition 6). O(n) per query.
+  double MinCutValue(NodeId u, NodeId v) const;
+
+  /// The vertex on the u-v tree path whose parent edge has minimum weight
+  /// (ties broken toward u). That edge *induces* the minimum u-v cut.
+  NodeId MinEdgeOnPath(NodeId u, NodeId v) const;
+
+  /// One side of the cut induced by the tree edge (v, Parent(v)): the set
+  /// of nodes in v's subtree.
+  std::vector<NodeId> CutSide(NodeId v) const;
+
+  /// All non-root nodes, i.e. one entry per tree edge.
+  std::vector<NodeId> EdgeList() const;
+
+ private:
+  std::vector<NodeId> parent_;
+  std::vector<double> weight_;
+  std::vector<int32_t> depth_;
+
+  void ComputeDepths();
+};
+
+}  // namespace gsketch
+
+#endif  // GRAPHSKETCH_SRC_GRAPH_GOMORY_HU_H_

@@ -1,0 +1,86 @@
+#include "src/graph/graph.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "src/graph/union_find.h"
+
+namespace gsketch {
+
+double Graph::EdgeWeight(NodeId u, NodeId v) const {
+  if (u >= n_ || v >= n_) return 0.0;
+  auto it = adj_[u].find(v);
+  return it == adj_[u].end() ? 0.0 : it->second;
+}
+
+void Graph::AddEdge(NodeId u, NodeId v, double weight) {
+  assert(u < n_ && v < n_ && u != v);
+  if (weight == 0.0) return;
+  auto apply = [&](NodeId a, NodeId b) -> bool {
+    auto [it, inserted] = adj_[a].try_emplace(b, 0.0);
+    it->second += weight;
+    if (it->second == 0.0) {
+      adj_[a].erase(it);
+      return false;  // edge vanished
+    }
+    return inserted;
+  };
+  bool created = apply(u, v);
+  bool created2 = apply(v, u);
+  assert(created == created2);
+  (void)created2;
+  if (created) {
+    ++edge_count_;
+  } else if (!HasEdge(u, v)) {
+    --edge_count_;
+  }
+}
+
+double Graph::WeightedDegree(NodeId u) const {
+  double d = 0.0;
+  for (const auto& [v, w] : adj_[u]) {
+    (void)v;
+    d += w;
+  }
+  return d;
+}
+
+std::vector<WeightedEdge> Graph::Edges() const {
+  std::vector<WeightedEdge> out;
+  out.reserve(edge_count_);
+  for (NodeId u = 0; u < n_; ++u) {
+    for (const auto& [v, w] : adj_[u]) {
+      if (u < v) out.push_back(WeightedEdge{u, v, w});
+    }
+  }
+  return out;
+}
+
+double Graph::TotalWeight() const {
+  double t = 0.0;
+  for (NodeId u = 0; u < n_; ++u) t += WeightedDegree(u);
+  return t / 2.0;
+}
+
+size_t Graph::NumComponents() const {
+  UnionFind uf(n_);
+  for (NodeId u = 0; u < n_; ++u) {
+    for (const auto& [v, w] : adj_[u]) {
+      (void)w;
+      uf.Union(u, v);
+    }
+  }
+  return uf.NumComponents();
+}
+
+bool Graph::ContainsEdgesOf(const Graph& other) const {
+  for (NodeId u = 0; u < other.NumNodes() && u < n_; ++u) {
+    for (const auto& [v, w] : other.Neighbors(u)) {
+      (void)w;
+      if (u < v && !HasEdge(u, v)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace gsketch

@@ -1,0 +1,80 @@
+// Weighted undirected graph used as the reference ("exact") object that the
+// sketches are verified against, and as the output type of sparsifiers,
+// witnesses, and spanners.
+#ifndef GRAPHSKETCH_SRC_GRAPH_GRAPH_H_
+#define GRAPHSKETCH_SRC_GRAPH_GRAPH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/graph/edge_id.h"
+
+namespace gsketch {
+
+/// A weighted edge between canonical endpoints u < v.
+struct WeightedEdge {
+  NodeId u = 0;
+  NodeId v = 0;
+  double weight = 0.0;
+};
+
+/// Undirected weighted graph on nodes [0, n). Parallel edges accumulate
+/// into a single weight (the natural reading of Definition 1's edge
+/// multiplicities); zero-weight edges are dropped.
+class Graph {
+ public:
+  Graph() = default;
+  /// An empty graph on `n` nodes.
+  explicit Graph(NodeId n) : n_(n), adj_(n) {}
+
+  /// Number of nodes.
+  NodeId NumNodes() const { return n_; }
+
+  /// Number of distinct edges with nonzero weight.
+  size_t NumEdges() const { return edge_count_; }
+
+  /// Total weight of edge {u, v} (0 if absent).
+  double EdgeWeight(NodeId u, NodeId v) const;
+
+  /// True iff {u, v} is present with nonzero weight.
+  bool HasEdge(NodeId u, NodeId v) const { return EdgeWeight(u, v) != 0.0; }
+
+  /// Adds `weight` to edge {u, v} (u != v); removes the edge if the total
+  /// reaches zero. Negative weights model deletions mid-stream.
+  void AddEdge(NodeId u, NodeId v, double weight = 1.0);
+
+  /// Neighbors of u with their accumulated weights.
+  const std::unordered_map<NodeId, double>& Neighbors(NodeId u) const {
+    return adj_[u];
+  }
+
+  /// Weighted degree of u.
+  double WeightedDegree(NodeId u) const;
+
+  /// Unweighted degree (number of distinct neighbors).
+  size_t Degree(NodeId u) const { return adj_[u].size(); }
+
+  /// All edges in canonical (u < v) order of discovery.
+  std::vector<WeightedEdge> Edges() const;
+
+  /// Sum of all edge weights.
+  double TotalWeight() const;
+
+  /// Number of connected components (ignoring weights).
+  size_t NumComponents() const;
+
+  /// True iff every edge of `other` exists in this graph (subgraph check,
+  /// ignoring weights). Used to validate spanners/witnesses.
+  bool ContainsEdgesOf(const Graph& other) const;
+
+ private:
+  NodeId n_ = 0;
+  size_t edge_count_ = 0;
+  std::vector<std::unordered_map<NodeId, double>> adj_;
+};
+
+}  // namespace gsketch
+
+#endif  // GRAPHSKETCH_SRC_GRAPH_GRAPH_H_

@@ -1,0 +1,46 @@
+#include "src/graph/spanner_check.h"
+
+#include <algorithm>
+
+#include "src/graph/bfs.h"
+#include "src/hash/random.h"
+
+namespace gsketch {
+
+StretchStats CheckSpanner(const Graph& g, const Graph& h, size_t sources,
+                          uint64_t seed) {
+  StretchStats stats;
+  stats.is_subgraph = g.ContainsEdgesOf(h);
+  const NodeId n = g.NumNodes();
+  std::vector<NodeId> roots;
+  if (sources == 0 || sources >= n) {
+    for (NodeId v = 0; v < n; ++v) roots.push_back(v);
+  } else {
+    Rng rng(seed);
+    for (uint64_t r : rng.SampleDistinct(n, sources)) {
+      roots.push_back(static_cast<NodeId>(r));
+    }
+  }
+  double sum = 0.0;
+  for (NodeId src : roots) {
+    auto dg = BfsDistances(g, src);
+    auto dh = BfsDistances(h, src);
+    for (NodeId v = 0; v < n; ++v) {
+      if (v == src || dg[v] <= 0) continue;
+      if (dh[v] < 0) {
+        ++stats.disconnected_pairs;
+        continue;
+      }
+      double s = static_cast<double>(dh[v]) / static_cast<double>(dg[v]);
+      stats.max_stretch = std::max(stats.max_stretch, s);
+      sum += s;
+      ++stats.pairs_measured;
+    }
+  }
+  if (stats.pairs_measured > 0) {
+    stats.avg_stretch = sum / static_cast<double>(stats.pairs_measured);
+  }
+  return stats;
+}
+
+}  // namespace gsketch

@@ -1,0 +1,30 @@
+// Spanner verification (Definition 3): exact stretch measurement of a
+// candidate spanner H against the base graph G.
+#ifndef GRAPHSKETCH_SRC_GRAPH_SPANNER_CHECK_H_
+#define GRAPHSKETCH_SRC_GRAPH_SPANNER_CHECK_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/graph/graph.h"
+
+namespace gsketch {
+
+/// Stretch statistics of H relative to G.
+struct StretchStats {
+  double max_stretch = 0.0;      ///< max over measured pairs of d_H / d_G
+  double avg_stretch = 0.0;
+  size_t pairs_measured = 0;
+  size_t disconnected_pairs = 0;  ///< pairs connected in G but not in H
+  bool is_subgraph = false;       ///< every H edge exists in G
+};
+
+/// Measures stretch from `sources` BFS roots (0 = all nodes, exact). The
+/// spanner definition bounds d_H(u,v) <= α · d_G(u,v) for ALL pairs; with a
+/// subset of sources this is a sampled lower bound on the true max.
+StretchStats CheckSpanner(const Graph& g, const Graph& h, size_t sources,
+                          uint64_t seed);
+
+}  // namespace gsketch
+
+#endif  // GRAPHSKETCH_SRC_GRAPH_SPANNER_CHECK_H_

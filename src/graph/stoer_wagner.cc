@@ -1,0 +1,89 @@
+#include "src/graph/stoer_wagner.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace gsketch {
+
+MinCutResult StoerWagnerMinCut(const Graph& g) {
+  const NodeId n = g.NumNodes();
+  MinCutResult best;
+  if (n < 2) return best;
+
+  // Disconnected short-circuit: cut value 0, one component as the side.
+  if (g.NumComponents() > 1) {
+    std::vector<int64_t> mark(n, 0);
+    std::queue<NodeId> q;
+    q.push(0);
+    mark[0] = 1;
+    while (!q.empty()) {
+      NodeId u = q.front();
+      q.pop();
+      best.side.push_back(u);
+      for (const auto& [v, w] : g.Neighbors(u)) {
+        (void)w;
+        if (!mark[v]) {
+          mark[v] = 1;
+          q.push(v);
+        }
+      }
+    }
+    best.value = 0.0;
+    return best;
+  }
+
+  // Dense weight matrix; merged super-nodes tracked by member lists.
+  std::vector<std::vector<double>> w(n, std::vector<double>(n, 0.0));
+  for (const auto& e : g.Edges()) {
+    w[e.u][e.v] += e.weight;
+    w[e.v][e.u] += e.weight;
+  }
+  std::vector<std::vector<NodeId>> members(n);
+  for (NodeId i = 0; i < n; ++i) members[i] = {i};
+  std::vector<bool> merged(n, false);
+
+  best.value = std::numeric_limits<double>::infinity();
+  for (NodeId phase = 0; phase + 1 < n; ++phase) {
+    // Maximum adjacency order.
+    std::vector<double> conn(n, 0.0);
+    std::vector<bool> in_a(n, false);
+    NodeId prev = 0, last = 0;
+    for (NodeId step = 0; step < n - phase; ++step) {
+      NodeId pick = n;  // sentinel
+      for (NodeId v = 0; v < n; ++v) {
+        if (merged[v] || in_a[v]) continue;
+        if (pick == n || conn[v] > conn[pick]) pick = v;
+      }
+      in_a[pick] = true;
+      prev = last;
+      last = pick;
+      for (NodeId v = 0; v < n; ++v) {
+        if (!merged[v] && !in_a[v]) conn[v] += w[pick][v];
+      }
+    }
+    // Cut-of-the-phase: `last` against the rest.
+    double cut = 0.0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (!merged[v] && v != last) cut += w[last][v];
+    }
+    if (cut < best.value) {
+      best.value = cut;
+      best.side = members[last];
+    }
+    // Merge `last` into `prev`.
+    merged[last] = true;
+    members[prev].insert(members[prev].end(), members[last].begin(),
+                         members[last].end());
+    for (NodeId v = 0; v < n; ++v) {
+      if (!merged[v] && v != prev) {
+        w[prev][v] += w[last][v];
+        w[v][prev] = w[prev][v];
+      }
+    }
+  }
+  std::sort(best.side.begin(), best.side.end());
+  return best;
+}
+
+}  // namespace gsketch

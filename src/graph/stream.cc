@@ -1,0 +1,70 @@
+#include "src/graph/stream.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gsketch {
+
+DynamicGraphStream DynamicGraphStream::FromGraph(const Graph& g) {
+  DynamicGraphStream s(g.NumNodes());
+  for (const auto& e : g.Edges()) {
+    int32_t mult = static_cast<int32_t>(e.weight);
+    assert(static_cast<double>(mult) == e.weight &&
+           "FromGraph requires integer multiplicities");
+    s.Push(e.u, e.v, mult);
+  }
+  return s;
+}
+
+Graph DynamicGraphStream::Materialize() const {
+  Graph g(n_);
+  for (const auto& e : updates_) {
+    g.AddEdge(e.u, e.v, static_cast<double>(e.delta));
+  }
+  return g;
+}
+
+DynamicGraphStream DynamicGraphStream::Shuffled(Rng* rng) const {
+  DynamicGraphStream s = *this;
+  rng->Shuffle(&s.updates_);
+  return s;
+}
+
+DynamicGraphStream DynamicGraphStream::WithChurn(size_t extra,
+                                                 Rng* rng) const {
+  if (n_ < 2) return *this;
+  // Collect edges present in the final graph so churn edges never collide
+  // with a real edge (which would change multiplicities).
+  Graph final_graph = Materialize();
+  DynamicGraphStream s = *this;
+  size_t added = 0, attempts = 0;
+  while (added < extra && attempts < extra * 20 + 100) {
+    ++attempts;
+    NodeId u = static_cast<NodeId>(rng->Below(n_));
+    NodeId v = static_cast<NodeId>(rng->Below(n_));
+    if (u == v || final_graph.HasEdge(u, v)) continue;
+    // Insert at a random position, delete at a random later position.
+    size_t pos_in = rng->Below(s.updates_.size() + 1);
+    s.updates_.insert(s.updates_.begin() + static_cast<long>(pos_in),
+                      EdgeUpdate{u, v, +1});
+    size_t pos_out =
+        pos_in + 1 + rng->Below(s.updates_.size() - pos_in);
+    s.updates_.insert(s.updates_.begin() + static_cast<long>(pos_out),
+                      EdgeUpdate{u, v, -1});
+    ++added;
+  }
+  return s;
+}
+
+std::vector<DynamicGraphStream> DynamicGraphStream::Partition(
+    size_t sites, Rng* rng) const {
+  std::vector<DynamicGraphStream> parts(sites, DynamicGraphStream(n_));
+  std::vector<EdgeUpdate> shuffled = updates_;
+  rng->Shuffle(&shuffled);
+  for (size_t i = 0; i < shuffled.size(); ++i) {
+    parts[i % sites].updates_.push_back(shuffled[i]);
+  }
+  return parts;
+}
+
+}  // namespace gsketch

@@ -1,0 +1,76 @@
+// Dynamic graph streams (Definition 1): sequences of signed edge updates
+// defining a multigraph. Utilities for shuffling, injecting churn
+// (insert-then-delete noise), and partitioning across distributed sites.
+#ifndef GRAPHSKETCH_SRC_GRAPH_STREAM_H_
+#define GRAPHSKETCH_SRC_GRAPH_STREAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/hash/random.h"
+
+namespace gsketch {
+
+/// One stream token a_k = (i, j, ±1) of Definition 1.
+struct EdgeUpdate {
+  NodeId u = 0;
+  NodeId v = 0;
+  int32_t delta = 0;  ///< +1 insertion, -1 deletion (other values allowed
+                      ///< for multigraph batches).
+};
+
+/// A dynamic graph stream over nodes [0, n).
+class DynamicGraphStream {
+ public:
+  DynamicGraphStream() = default;
+  explicit DynamicGraphStream(NodeId n) : n_(n) {}
+
+  /// Nodes in the universe.
+  NodeId NumNodes() const { return n_; }
+
+  /// Stream length t.
+  size_t Size() const { return updates_.size(); }
+
+  /// Appends an update.
+  void Push(NodeId u, NodeId v, int32_t delta) {
+    updates_.push_back(EdgeUpdate{u, v, delta});
+  }
+
+  /// The token sequence.
+  const std::vector<EdgeUpdate>& Updates() const { return updates_; }
+
+  /// Builds an insertion-only stream presenting every edge of `g` once.
+  static DynamicGraphStream FromGraph(const Graph& g);
+
+  /// Replays the stream into a graph (edge multiplicities become weights).
+  Graph Materialize() const;
+
+  /// Returns a copy with the update order randomly permuted. Sketch results
+  /// must be invariant under this (linearity), which tests exploit.
+  DynamicGraphStream Shuffled(Rng* rng) const;
+
+  /// Returns a copy with churn: `extra` spurious edges (not in the final
+  /// graph) are inserted and later deleted at random positions, exercising
+  /// the deletion path while leaving the final graph unchanged.
+  DynamicGraphStream WithChurn(size_t extra, Rng* rng) const;
+
+  /// Splits the stream into `sites` sub-streams (round-robin after a random
+  /// shuffle), modeling the distributed-stream setting of Section 1.1.
+  std::vector<DynamicGraphStream> Partition(size_t sites, Rng* rng) const;
+
+  /// Feeds every update into `fn(u, v, delta)`.
+  template <typename Fn>
+  void Replay(Fn&& fn) const {
+    for (const auto& e : updates_) fn(e.u, e.v, e.delta);
+  }
+
+ private:
+  NodeId n_ = 0;
+  std::vector<EdgeUpdate> updates_;
+};
+
+}  // namespace gsketch
+
+#endif  // GRAPHSKETCH_SRC_GRAPH_STREAM_H_

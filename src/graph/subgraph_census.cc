@@ -1,0 +1,144 @@
+#include "src/graph/subgraph_census.h"
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "src/graph/edge_id.h"
+
+namespace gsketch {
+
+uint32_t CanonicalPatternCode(uint32_t code, uint32_t k) {
+  if (k > 4) k = 4;  // the library supports orders 3 and 4
+  std::array<uint32_t, 4> perm = {0, 1, 2, 3};
+  uint32_t best = code;
+  // Enumerate the k! permutations; k <= 4 so at most 24.
+  std::sort(perm.begin(), perm.begin() + k);
+  do {
+    uint32_t mapped = 0;
+    for (uint32_t j = 1; j < k; ++j) {
+      for (uint32_t i = 0; i < j; ++i) {
+        if (code & (1u << PairSlot(i, j))) {
+          uint32_t a = perm[i], b = perm[j];
+          if (a > b) std::swap(a, b);
+          mapped |= 1u << PairSlot(a, b);
+        }
+      }
+    }
+    best = std::min(best, mapped);
+  } while (std::next_permutation(perm.begin(), perm.begin() + k));
+  return best;
+}
+
+uint64_t SubgraphCensus::NonEmpty() const {
+  uint64_t t = 0;
+  for (const auto& [code, c] : counts) {
+    if (code != 0) t += c;
+  }
+  return t;
+}
+
+double SubgraphCensus::Gamma(uint32_t canonical_code) const {
+  uint64_t ne = NonEmpty();
+  if (ne == 0) return 0.0;
+  auto it = counts.find(canonical_code);
+  return it == counts.end()
+             ? 0.0
+             : static_cast<double>(it->second) / static_cast<double>(ne);
+}
+
+namespace {
+
+// Row-major bitset adjacency.
+std::vector<std::vector<uint64_t>> BitAdjacency(const Graph& g) {
+  const NodeId n = g.NumNodes();
+  size_t words = (n + 63) / 64;
+  std::vector<std::vector<uint64_t>> rows(n, std::vector<uint64_t>(words, 0));
+  for (const auto& e : g.Edges()) {
+    rows[e.u][e.v / 64] |= uint64_t{1} << (e.v % 64);
+    rows[e.v][e.u / 64] |= uint64_t{1} << (e.u % 64);
+  }
+  return rows;
+}
+
+uint64_t IntersectCount(const std::vector<uint64_t>& a,
+                        const std::vector<uint64_t>& b) {
+  uint64_t c = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    c += static_cast<uint64_t>(__builtin_popcountll(a[i] & b[i]));
+  }
+  return c;
+}
+
+}  // namespace
+
+SubgraphCensus CensusOrder3(const Graph& g) {
+  SubgraphCensus census;
+  census.order = 3;
+  const NodeId n = g.NumNodes();
+  if (n < 3) return census;
+  auto rows = BitAdjacency(g);
+
+  // Triangles: each counted once per edge, i.e. three times total.
+  uint64_t tri3 = 0;
+  for (const auto& e : g.Edges()) {
+    tri3 += IntersectCount(rows[e.u], rows[e.v]);
+  }
+  uint64_t triangles = tri3 / 3;
+
+  // Wedge incidences Σ C(deg v, 2) = (#induced paths) + 3·(#triangles).
+  uint64_t wedges = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    uint64_t d = g.Degree(v);
+    wedges += d * (d - 1) / 2;
+  }
+  uint64_t paths = wedges - 3 * triangles;
+
+  // (edge, third vertex) incidences m(n-2) = N1 + 2·N2 + 3·N3.
+  uint64_t m = g.NumEdges();
+  uint64_t single = m * (n - 2) - 2 * paths - 3 * triangles;
+
+  // Canonical codes: one edge -> 0b001, path -> two edges sharing a vertex,
+  // triangle -> 0b111.
+  census.counts[CanonicalPatternCode(0b001, 3)] = single;
+  census.counts[CanonicalPatternCode(0b011, 3)] = paths;
+  census.counts[CanonicalPatternCode(0b111, 3)] = triangles;
+  return census;
+}
+
+SubgraphCensus CensusOrder4(const Graph& g) {
+  SubgraphCensus census;
+  census.order = 4;
+  const NodeId n = g.NumNodes();
+  if (n < 4) return census;
+  auto rows = BitAdjacency(g);
+  auto has = [&rows](NodeId a, NodeId b) {
+    return (rows[a][b / 64] >> (b % 64)) & 1;
+  };
+
+  // Canonicalization cache over the 64 possible codes.
+  std::array<uint32_t, 64> canon;
+  for (uint32_t c = 0; c < 64; ++c) canon[c] = CanonicalPatternCode(c, 4);
+
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = a + 1; b < n; ++b) {
+      uint32_t ab = has(a, b) ? 1u : 0u;  // PairSlot(0,1) == 0
+      for (NodeId c = b + 1; c < n; ++c) {
+        uint32_t abc = ab;
+        if (has(a, c)) abc |= 1u << PairSlot(0, 2);
+        if (has(b, c)) abc |= 1u << PairSlot(1, 2);
+        for (NodeId d = c + 1; d < n; ++d) {
+          uint32_t code = abc;
+          if (has(a, d)) code |= 1u << PairSlot(0, 3);
+          if (has(b, d)) code |= 1u << PairSlot(1, 3);
+          if (has(c, d)) code |= 1u << PairSlot(2, 3);
+          ++census.counts[canon[code]];
+        }
+      }
+    }
+  }
+  census.counts.erase(0);  // report only non-empty classes
+  return census;
+}
+
+}  // namespace gsketch

@@ -1,0 +1,43 @@
+// Exact induced-subgraph census for orders 3 and 4: the ground truth that
+// the Section 4 sketch estimates. Pattern codes are bitmasks over the
+// C(k,2) intra-subset pair slots (the squash encoding of Fig. 4);
+// isomorphism classes are represented by the minimum code over all vertex
+// permutations.
+#ifndef GRAPHSKETCH_SRC_GRAPH_SUBGRAPH_CENSUS_H_
+#define GRAPHSKETCH_SRC_GRAPH_SUBGRAPH_CENSUS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+
+#include "src/graph/graph.h"
+
+namespace gsketch {
+
+/// Canonical form of a pattern code: the minimum code obtainable by
+/// permuting the k vertices. Codes are bitmasks over PairSlot positions.
+uint32_t CanonicalPatternCode(uint32_t code, uint32_t k);
+
+/// Census of induced subgraphs of a fixed order, keyed by canonical code.
+struct SubgraphCensus {
+  uint32_t order = 0;                    ///< k (3 or 4)
+  std::map<uint32_t, uint64_t> counts;   ///< canonical code -> #occurrences
+
+  /// Number of non-empty induced subgraphs of this order.
+  uint64_t NonEmpty() const;
+
+  /// γ_H(G): fraction of non-empty induced subgraphs isomorphic to the
+  /// pattern with the given canonical code (0 if none).
+  double Gamma(uint32_t canonical_code) const;
+};
+
+/// Exact order-3 census in O(n·m/64) time via bitset adjacency plus the
+/// wedge/triangle counting identities.
+SubgraphCensus CensusOrder3(const Graph& g);
+
+/// Exact order-4 census by subset enumeration; intended for n <= ~160.
+SubgraphCensus CensusOrder4(const Graph& g);
+
+}  // namespace gsketch
+
+#endif  // GRAPHSKETCH_SRC_GRAPH_SUBGRAPH_CENSUS_H_

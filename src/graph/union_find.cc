@@ -1,0 +1,28 @@
+#include "src/graph/union_find.h"
+
+namespace gsketch {
+
+UnionFind::UnionFind(size_t n)
+    : parent_(n), size_(n, 1), components_(n) {
+  for (size_t i = 0; i < n; ++i) parent_[i] = static_cast<uint32_t>(i);
+}
+
+size_t UnionFind::Find(size_t x) {
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool UnionFind::Union(size_t a, size_t b) {
+  size_t ra = Find(a), rb = Find(b);
+  if (ra == rb) return false;
+  if (size_[ra] < size_[rb]) std::swap(ra, rb);
+  parent_[rb] = static_cast<uint32_t>(ra);
+  size_[ra] += size_[rb];
+  --components_;
+  return true;
+}
+
+}  // namespace gsketch

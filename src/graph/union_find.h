@@ -1,0 +1,40 @@
+// Disjoint-set union with union-by-rank and path compression. Used by the
+// Boruvka loop of the spanning-forest sketch and by exact baselines.
+#ifndef GRAPHSKETCH_SRC_GRAPH_UNION_FIND_H_
+#define GRAPHSKETCH_SRC_GRAPH_UNION_FIND_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gsketch {
+
+/// Standard DSU over elements [0, n).
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n);
+
+  /// Representative of x's set.
+  size_t Find(size_t x);
+
+  /// Merges the sets of a and b; returns true if they were distinct.
+  bool Union(size_t a, size_t b);
+
+  /// True iff a and b are in the same set.
+  bool Connected(size_t a, size_t b) { return Find(a) == Find(b); }
+
+  /// Current number of disjoint sets.
+  size_t NumComponents() const { return components_; }
+
+  /// Size of x's set.
+  size_t ComponentSize(size_t x) { return size_[Find(x)]; }
+
+ private:
+  std::vector<uint32_t> parent_;
+  std::vector<uint32_t> size_;
+  size_t components_;
+};
+
+}  // namespace gsketch
+
+#endif  // GRAPHSKETCH_SRC_GRAPH_UNION_FIND_H_

@@ -1,0 +1,45 @@
+#include "src/hash/kwise_hash.h"
+
+#include "src/hash/splitmix.h"
+
+namespace gsketch {
+
+uint64_t PowMod61(uint64_t base, uint64_t exp) {
+  uint64_t result = 1;
+  base %= kMersenne61;
+  while (exp > 0) {
+    if (exp & 1) result = MulMod61(result, base);
+    base = MulMod61(base, base);
+    exp >>= 1;
+  }
+  return result;
+}
+
+uint64_t InvMod61(uint64_t a) {
+  // p is prime, so a^(p-2) = a^-1 by Fermat's little theorem.
+  return PowMod61(a % kMersenne61, kMersenne61 - 2);
+}
+
+KWiseHash::KWiseHash(uint64_t seed, uint32_t k) {
+  coeffs_.reserve(k);
+  for (uint32_t i = 0; i < k; ++i) {
+    // Rejection-free: Mix64 output mod p is within 2^-58 of uniform, far
+    // below any failure probability the sketches care about.
+    coeffs_.push_back(Mix64(seed, 0x6b77u, i) % kMersenne61);
+  }
+  // Guarantee a non-constant polynomial so distinct inputs do not all
+  // collide when k > 1 and the leading draw happened to be zero.
+  if (k > 1 && coeffs_.back() == 0) coeffs_.back() = 1;
+}
+
+uint64_t KWiseHash::operator()(uint64_t x) const {
+  x %= kMersenne61;
+  // Horner evaluation: c_{k-1} x^{k-1} + ... + c_0.
+  uint64_t acc = 0;
+  for (size_t i = coeffs_.size(); i-- > 0;) {
+    acc = AddMod61(MulMod61(acc, x), coeffs_[i]);
+  }
+  return acc;
+}
+
+}  // namespace gsketch

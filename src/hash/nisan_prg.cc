@@ -1,0 +1,35 @@
+#include "src/hash/nisan_prg.h"
+
+#include "src/hash/kwise_hash.h"
+#include "src/hash/splitmix.h"
+
+namespace gsketch {
+
+NisanPrg::NisanPrg(uint64_t seed, uint32_t levels) {
+  initial_ = Mix64(seed, 0x4e505247u /* "NPRG" */);
+  mult_.reserve(levels);
+  add_.reserve(levels);
+  for (uint32_t i = 0; i < levels; ++i) {
+    uint64_t a = Mix64(seed, 0xa11ceu, i) % kMersenne61;
+    if (a == 0) a = 1;  // keep the map non-degenerate
+    mult_.push_back(a);
+    add_.push_back(Mix64(seed, 0xbeefu, i) % kMersenne61);
+  }
+}
+
+uint64_t NisanPrg::Word(uint64_t j) const {
+  uint64_t x = initial_;
+  // Walk the recursion tree from the top level down: taking the "right
+  // child" at level i (bit i of j set) corresponds to applying h_i.
+  for (uint32_t i = static_cast<uint32_t>(mult_.size()); i-- > 0;) {
+    if ((j >> i) & 1) {
+      x = AddMod61(MulMod61(mult_[i], x % kMersenne61), add_[i]);
+      // Re-expand the 61-bit residue to a full 64-bit block; SplitMix64 is
+      // bijective so no entropy is lost.
+      x = SplitMix64(x);
+    }
+  }
+  return SplitMix64(x);
+}
+
+}  // namespace gsketch

@@ -1,0 +1,73 @@
+// Nisan's pseudorandom generator for space-bounded computation
+// (Combinatorica 1992), used by Section 3.4 of the paper to remove the
+// random-oracle assumption: any S-space streaming algorithm reading R
+// pseudorandom bits one-way cannot distinguish the PRG output from true
+// randomness, so the sketch guarantees survive with only O(S log R) stored
+// random bits.
+//
+// Construction. Fix a block width of b = 64 bits and draw `levels` pairwise
+// independent hash functions h_1, ..., h_L : {0,1}^b -> {0,1}^b. Define
+//     G_0(x)   = x
+//     G_i(x)   = G_{i-1}(x) || G_{i-1}(h_i(x)).
+// The output G_L(x) has 2^L blocks. Block j (binary j_L ... j_1) is obtained
+// by walking the recursion: apply h_i whenever bit j_i is set. This gives
+// O(L) random access to any output word, which is what lets the sketches
+// "implicitly store" their measurement coefficients in small space.
+#ifndef GRAPHSKETCH_SRC_HASH_NISAN_PRG_H_
+#define GRAPHSKETCH_SRC_HASH_NISAN_PRG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace gsketch {
+
+/// Nisan's generator with 64-bit blocks and random word access.
+class NisanPrg {
+ public:
+  /// Creates a generator expanding a seed into 2^levels words (levels <= 63).
+  /// The entire seed (initial block plus 2*levels hash coefficients) is
+  /// derived from `seed`, so the stored state is O(levels) words — matching
+  /// the O(S log R) seed length of Theorem 3.5.
+  NisanPrg(uint64_t seed, uint32_t levels);
+
+  /// Returns output word `j` (j < 2^levels) in O(levels) time.
+  uint64_t Word(uint64_t j) const;
+
+  /// Returns bit `i` of the output stream (i < 64 * 2^levels).
+  bool Bit(uint64_t i) const { return (Word(i >> 6) >> (i & 63)) & 1; }
+
+  /// Number of recursion levels (output length is 2^levels words).
+  uint32_t levels() const { return static_cast<uint32_t>(mult_.size()); }
+
+  /// Total output length in 64-bit words.
+  uint64_t num_words() const { return uint64_t{1} << levels(); }
+
+ private:
+  // Pairwise independent h_i(x) = (a_i * x + c_i) mod 2^61-1, re-expanded to
+  // 64 bits by a fixed bijective mixer so blocks stay 64-bit.
+  uint64_t initial_;
+  std::vector<uint64_t> mult_;
+  std::vector<uint64_t> add_;
+};
+
+/// Hands out seeds for sketch sub-structures from a Nisan PRG stream.
+///
+/// This is the library's realization of Section 3.4: construct every sketch
+/// with seeds drawn from `PrgSeedBank` instead of fresh entropy, and the
+/// whole single-pass algorithm becomes a deterministic function of the
+/// O(S log R)-bit PRG seed.
+class PrgSeedBank {
+ public:
+  /// A bank exposing 2^levels derived seeds.
+  PrgSeedBank(uint64_t seed, uint32_t levels) : prg_(seed, levels) {}
+
+  /// Returns the `i`-th derived seed.
+  uint64_t Seed(uint64_t i) const { return prg_.Word(i % prg_.num_words()); }
+
+ private:
+  NisanPrg prg_;
+};
+
+}  // namespace gsketch
+
+#endif  // GRAPHSKETCH_SRC_HASH_NISAN_PRG_H_

@@ -1,0 +1,70 @@
+#include "src/hash/random.h"
+
+#include <algorithm>
+
+#include "src/hash/splitmix.h"
+
+namespace gsketch {
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  // Seed the four lanes through SplitMix64, per the xoshiro authors'
+  // recommendation; guards against the all-zero state.
+  for (int i = 0; i < 4; ++i) s_[i] = SplitMix64(seed += 0x9e3779b97f4a7c15ULL);
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::Next() {
+  uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Below(uint64_t bound) {
+  // Lemire's nearly-divisionless unbiased reduction.
+  __uint128_t m = static_cast<__uint128_t>(Next()) * bound;
+  uint64_t lo = static_cast<uint64_t>(m);
+  if (lo < bound) {
+    uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      m = static_cast<__uint128_t>(Next()) * bound;
+      lo = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::Range(int64_t lo, int64_t hi) {
+  return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo + 1)));
+}
+
+double Rng::Unit() { return ToUnitDouble(Next()); }
+
+bool Rng::Coin(double p) { return Unit() < p; }
+
+std::vector<uint64_t> Rng::SampleDistinct(uint64_t n, uint64_t k) {
+  // Floyd's algorithm: k iterations, O(k) space.
+  std::vector<uint64_t> out;
+  out.reserve(k);
+  for (uint64_t j = n - k; j < n; ++j) {
+    uint64_t t = Below(j + 1);
+    if (std::find(out.begin(), out.end(), t) == out.end()) {
+      out.push_back(t);
+    } else {
+      out.push_back(j);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace gsketch

@@ -1,0 +1,53 @@
+// Deterministic seeded RNG helpers for workload generation and tests.
+// The library core never uses global RNG state: every random object is an
+// explicit function of a 64-bit seed.
+#ifndef GRAPHSKETCH_SRC_HASH_RANDOM_H_
+#define GRAPHSKETCH_SRC_HASH_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gsketch {
+
+/// Small, fast, seedable PRNG (xoshiro256**) for generators and tests.
+/// Not used inside sketches; sketches use the stateless oracle in
+/// splitmix.h so that their measurements are reproducible and mergeable.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Next raw 64-bit word.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound) (bound > 0), Lemire reduction.
+  uint64_t Below(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double Unit();
+
+  /// Bernoulli(p) coin.
+  bool Coin(double p);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(Below(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Samples `k` distinct values from [0, n) (k <= n), ascending order.
+  std::vector<uint64_t> SampleDistinct(uint64_t n, uint64_t k);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace gsketch
+
+#endif  // GRAPHSKETCH_SRC_HASH_RANDOM_H_

@@ -1,0 +1,16 @@
+#include "src/hash/tabulation_hash.h"
+
+#include "src/hash/splitmix.h"
+
+namespace gsketch {
+
+TabulationHash::TabulationHash(uint64_t seed) {
+  for (int c = 0; c < 8; ++c) {
+    for (int v = 0; v < 256; ++v) {
+      tables_[c][v] = Mix64(seed, static_cast<uint64_t>(c),
+                            static_cast<uint64_t>(v));
+    }
+  }
+}
+
+}  // namespace gsketch

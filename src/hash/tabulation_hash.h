@@ -1,0 +1,41 @@
+// Simple tabulation hashing (Zobrist / Patrascu-Thorup). 3-wise independent
+// with much stronger concentration behaviour than its formal independence
+// suggests; used for fast bucket partitioning in the spanner constructions
+// where millions of hashes are evaluated per pass.
+#ifndef GRAPHSKETCH_SRC_HASH_TABULATION_HASH_H_
+#define GRAPHSKETCH_SRC_HASH_TABULATION_HASH_H_
+
+#include <array>
+#include <cstdint>
+
+namespace gsketch {
+
+/// Tabulation hash on 64-bit keys: the key is split into eight bytes, each
+/// indexes a table of random 64-bit words, and the results are XORed.
+class TabulationHash {
+ public:
+  /// Fills the eight 256-entry tables deterministically from `seed`.
+  explicit TabulationHash(uint64_t seed);
+
+  /// Hashes a 64-bit key.
+  uint64_t operator()(uint64_t x) const {
+    uint64_t h = 0;
+    for (int c = 0; c < 8; ++c) {
+      h ^= tables_[c][(x >> (8 * c)) & 0xff];
+    }
+    return h;
+  }
+
+  /// Hashes into [0, m) with the fair multiply-shift reduction.
+  uint64_t Bucket(uint64_t x, uint64_t m) const {
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>((*this)(x)) * m) >> 64);
+  }
+
+ private:
+  std::array<std::array<uint64_t, 256>, 8> tables_;
+};
+
+}  // namespace gsketch
+
+#endif  // GRAPHSKETCH_SRC_HASH_TABULATION_HASH_H_

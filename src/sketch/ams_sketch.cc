@@ -1,0 +1,51 @@
+#include "src/sketch/ams_sketch.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/hash/splitmix.h"
+
+namespace gsketch {
+
+AmsSketch::AmsSketch(uint32_t rows, uint32_t columns, uint64_t seed)
+    : rows_(std::max<uint32_t>(rows, 1)), cols_(std::max<uint32_t>(columns, 1)) {
+  sign_hashes_.reserve(static_cast<size_t>(rows_) * cols_);
+  for (uint32_t r = 0; r < rows_; ++r) {
+    for (uint32_t c = 0; c < cols_; ++c) {
+      // 4-wise independence suffices for the AMS variance bound.
+      sign_hashes_.emplace_back(Mix64(seed, r, c), 4);
+    }
+  }
+  counters_.assign(static_cast<size_t>(rows_) * cols_, 0);
+}
+
+void AmsSketch::Update(uint64_t index, int64_t delta) {
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    int64_t sign = (sign_hashes_[i](index) & 1) ? 1 : -1;
+    counters_[i] += sign * delta;
+  }
+}
+
+void AmsSketch::Merge(const AmsSketch& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] += other.counters_[i];
+  }
+}
+
+double AmsSketch::EstimateF2() const {
+  std::vector<double> row_means;
+  row_means.reserve(rows_);
+  for (uint32_t r = 0; r < rows_; ++r) {
+    double sum = 0;
+    for (uint32_t c = 0; c < cols_; ++c) {
+      double x = static_cast<double>(counters_[static_cast<size_t>(r) * cols_ + c]);
+      sum += x * x;
+    }
+    row_means.push_back(sum / cols_);
+  }
+  std::sort(row_means.begin(), row_means.end());
+  return row_means[row_means.size() / 2];
+}
+
+}  // namespace gsketch

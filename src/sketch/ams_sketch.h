@@ -1,0 +1,45 @@
+// The Alon–Matias–Szegedy "tug-of-war" F₂ sketch — the classic numeric
+// sketch the paper's introduction positions graph sketching against
+// (reference [5], and the Johnson–Lindenstrauss connection). Included as
+// part of the numeric-sketching substrate: on graphs it estimates the
+// second moment of the degree or multiplicity vector, a standard skew
+// diagnostic for dynamic streams.
+#ifndef GRAPHSKETCH_SRC_SKETCH_AMS_SKETCH_H_
+#define GRAPHSKETCH_SRC_SKETCH_AMS_SKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/hash/kwise_hash.h"
+
+namespace gsketch {
+
+/// Linear F₂ = ||x||₂² estimator with median-of-means decoding.
+class AmsSketch {
+ public:
+  /// `columns` independent ±1 projections averaged per row, `rows` rows
+  /// medianed. Error ~ 1/sqrt(columns) with failure prob exp(-Ω(rows)).
+  AmsSketch(uint32_t rows, uint32_t columns, uint64_t seed);
+
+  /// Applies x[index] += delta.
+  void Update(uint64_t index, int64_t delta);
+
+  /// Adds another sketch with identical parameterization.
+  void Merge(const AmsSketch& other);
+
+  /// Median-of-means estimate of Σ_i x_i².
+  double EstimateF2() const;
+
+  size_t CounterCount() const { return counters_.size(); }
+
+ private:
+  uint32_t rows_;
+  uint32_t cols_;
+  std::vector<KWiseHash> sign_hashes_;  // one 4-wise hash per (row, col)
+  std::vector<int64_t> counters_;       // rows x cols
+};
+
+}  // namespace gsketch
+
+#endif  // GRAPHSKETCH_SRC_SKETCH_AMS_SKETCH_H_

@@ -1,0 +1,95 @@
+#include "src/sketch/l0_sampler.h"
+
+#include <cassert>
+
+#include "src/hash/splitmix.h"
+
+namespace gsketch {
+
+namespace {
+uint32_t LevelsFor(uint64_t domain) {
+  uint32_t l = 0;
+  while ((uint64_t{1} << l) < domain && l < 63) ++l;
+  return l;
+}
+}  // namespace
+
+L0Sampler::L0Sampler(uint64_t domain, uint32_t repetitions, uint64_t seed)
+    : domain_(domain),
+      reps_(repetitions),
+      levels_(LevelsFor(domain)),
+      seed_(seed) {
+  cells_.resize(static_cast<size_t>(reps_) * (levels_ + 1));
+}
+
+void L0Sampler::Update(uint64_t index, int64_t delta) {
+  assert(index < domain_);
+  for (uint32_t r = 0; r < reps_; ++r) {
+    uint64_t rep_seed = DeriveSeed(seed_, r);
+    // Element lives at levels 0..z where z counts leading coin successes.
+    uint32_t z = GeometricLevel(Mix64(rep_seed, 0x5e7eu, index), levels_);
+    uint64_t finger = OneSparseCell::FingerOf(rep_seed, index);
+    for (uint32_t l = 0; l <= z; ++l) {
+      cells_[CellAt(r, l)].Update(index, delta, finger);
+    }
+  }
+}
+
+void L0Sampler::Merge(const L0Sampler& other) {
+  assert(domain_ == other.domain_ && reps_ == other.reps_ &&
+         seed_ == other.seed_);
+  for (size_t i = 0; i < cells_.size(); ++i) cells_[i].Merge(other.cells_[i]);
+}
+
+std::optional<L0Sample> L0Sampler::Sample() const {
+  for (uint32_t r = 0; r < reps_; ++r) {
+    uint64_t rep_seed = DeriveSeed(seed_, r);
+    // Scan from the sparsest restriction downward; the first decodable
+    // level yields the unique survivor, uniform over support by symmetry.
+    for (uint32_t l = levels_ + 1; l-- > 0;) {
+      auto res = cells_[CellAt(r, l)].Decode(rep_seed);
+      if (res.has_value()) {
+        return L0Sample{res->index, res->value};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+bool L0Sampler::IsZero() const {
+  for (uint32_t r = 0; r < reps_; ++r) {
+    if (!cells_[CellAt(r, 0)].IsZero()) return false;
+  }
+  return true;
+}
+
+namespace {
+constexpr uint32_t kL0Magic = 0x4c30534bu;  // "L0SK"
+}
+
+void L0Sampler::AppendTo(std::string* out) const {
+  ByteWriter w(out);
+  w.U32(kL0Magic);
+  w.U64(domain_);
+  w.U32(reps_);
+  w.U64(seed_);
+  for (const auto& cell : cells_) cell.AppendTo(&w);
+}
+
+std::optional<L0Sampler> L0Sampler::Deserialize(ByteReader* r) {
+  auto magic = r->U32();
+  if (!magic || *magic != kL0Magic) return std::nullopt;
+  auto domain = r->U64();
+  auto reps = r->U32();
+  auto seed = r->U64();
+  if (!domain || !reps || !seed || *domain == 0 || *reps == 0) {
+    return std::nullopt;
+  }
+  L0Sampler s(*domain, *reps, *seed);
+  for (auto& cell : s.cells_) {
+    if (!cell.ParseFrom(r)) return std::nullopt;
+  }
+  return s;
+}
+
+}  // namespace gsketch

@@ -1,0 +1,79 @@
+// δ-error ℓ₀-sampler (Theorem 2.1; Jowhari, Saglam, Tardos [31]).
+//
+// Layout: `repetitions` independent copies; each copy keeps one 1-sparse
+// cell per geometric level l = 0..L where an element i is present at levels
+// 0..z(i), z(i) geometric with ratio 1/2 (nested subsampling). A copy
+// succeeds if some level's restricted vector is exactly 1-sparse; by
+// exchangeability of the level hashes the recovered element is uniform on
+// the support. Per-copy success probability is a constant, so δ error needs
+// O(log 1/δ) repetitions; space is O(log²n · log 1/δ) words, matching the
+// theorem.
+#ifndef GRAPHSKETCH_SRC_SKETCH_L0_SAMPLER_H_
+#define GRAPHSKETCH_SRC_SKETCH_L0_SAMPLER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/sketch/one_sparse.h"
+
+namespace gsketch {
+
+/// A sample drawn from the support of the summarized vector.
+struct L0Sample {
+  uint64_t index = 0;  ///< Uniform over support(x).
+  int64_t value = 0;   ///< x_index (exact).
+};
+
+/// Linear ℓ₀-sampling sketch over a vector x ∈ Z^domain.
+class L0Sampler {
+ public:
+  /// Constructs a sampler for indices in [0, domain) with `repetitions`
+  /// independent copies. All randomness derives from `seed`; samplers with
+  /// equal (domain, repetitions, seed) are mergeable and perform identical
+  /// linear measurements.
+  L0Sampler(uint64_t domain, uint32_t repetitions, uint64_t seed);
+
+  /// Applies x[index] += delta. O(1) expected level updates per repetition.
+  void Update(uint64_t index, int64_t delta);
+
+  /// Adds another sampler with identical parameterization.
+  void Merge(const L0Sampler& other);
+
+  /// Draws a sample, or nullopt if every repetition fails (probability
+  /// exp(-Ω(repetitions))) or the vector is zero.
+  std::optional<L0Sample> Sample() const;
+
+  /// True iff the summarized vector is zero w.h.p. (level-0 cells cover the
+  /// full vector, so this is a fingerprint zero-test).
+  bool IsZero() const;
+
+  /// Number of 1-sparse cells held (space proxy used by the benchmarks).
+  size_t CellCount() const { return cells_.size(); }
+
+  /// Serializes parameters, seed, and cells (Sec 1.1 wire format).
+  void AppendTo(std::string* out) const;
+
+  /// Parses a sampler back from the wire; nullopt on malformed input.
+  static std::optional<L0Sampler> Deserialize(ByteReader* r);
+
+  uint64_t domain() const { return domain_; }
+  uint32_t repetitions() const { return reps_; }
+  uint64_t seed() const { return seed_; }
+
+ private:
+  size_t CellAt(uint32_t rep, uint32_t level) const {
+    return static_cast<size_t>(rep) * (levels_ + 1) + level;
+  }
+
+  uint64_t domain_;
+  uint32_t reps_;
+  uint32_t levels_;  // deepest level index; cells per rep = levels_+1
+  uint64_t seed_;
+  std::vector<OneSparseCell> cells_;
+};
+
+}  // namespace gsketch
+
+#endif  // GRAPHSKETCH_SRC_SKETCH_L0_SAMPLER_H_

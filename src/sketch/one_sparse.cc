@@ -1,0 +1,19 @@
+#include "src/sketch/one_sparse.h"
+
+namespace gsketch {
+
+std::optional<OneSparseResult> OneSparseCell::Decode(uint64_t seed) const {
+  if (IsZero()) return std::nullopt;
+  if (count_ == 0) return std::nullopt;  // cancellation: not 1-sparse
+  if (index_weight_ % count_ != 0) return std::nullopt;
+  int64_t q = index_weight_ / count_;
+  if (q < 0) return std::nullopt;
+  uint64_t index = static_cast<uint64_t>(q);
+  // Verify print == (count mod p) * h(index). For a genuinely 1-sparse
+  // vector this holds with certainty; otherwise it fails w.h.p.
+  uint64_t expect = MulMod61(ResidueOf(count_), FingerOf(seed, index));
+  if (expect != print_) return std::nullopt;
+  return OneSparseResult{index, count_};
+}
+
+}  // namespace gsketch

@@ -1,0 +1,114 @@
+// 1-sparse decoder: the atomic linear measurement underlying both
+// ℓ₀-sampling (Theorem 2.1) and k-RECOVERY (Theorem 2.2).
+//
+// For a vector x over domain [D] it maintains three linear functions of x:
+//     count   = Σ_i x_i
+//     indexw  = Σ_i i · x_i
+//     print   = Σ_i x_i · h(i)   (mod p = 2^61-1, h a seeded hash)
+// If x is exactly 1-sparse with x_{i*} = v, then indexw/count = i* and
+// print = v·h(i*); the fingerprint check fails for non-1-sparse x except
+// with probability ~ |support| / p.
+//
+// Cells are 24 bytes. The fingerprint seed lives in the *owning* structure
+// (sampler repetition / recovery row), not the cell: millions of cells
+// share a handful of seeds, and the owner can hash an index once per
+// update batch. `indexw` uses int64; callers must keep
+// Σ_i |i · x_i| < 2^63, which holds for every domain in this library
+// (edge slots C(n,2) with n <= 2^20 and subset columns C(n,k) for the
+// documented n; see DESIGN.md).
+#ifndef GRAPHSKETCH_SRC_SKETCH_ONE_SPARSE_H_
+#define GRAPHSKETCH_SRC_SKETCH_ONE_SPARSE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+#include "src/hash/kwise_hash.h"
+#include "src/hash/splitmix.h"
+#include "src/sketch/serde.h"
+
+namespace gsketch {
+
+/// Result of decoding a 1-sparse cell.
+struct OneSparseResult {
+  uint64_t index = 0;  ///< The unique support element.
+  int64_t value = 0;   ///< Its (nonzero) aggregate value.
+};
+
+/// A single 1-sparse decoding cell. Linear: cells summarizing measurements
+/// made with the same fingerprint seed add.
+class OneSparseCell {
+ public:
+  OneSparseCell() = default;
+
+  /// Fingerprint hash of an index under `seed`; owners precompute this once
+  /// per (repetition, index) and pass it to Update.
+  static uint64_t FingerOf(uint64_t seed, uint64_t index) {
+    return Mix64(seed, 0xf17eu, index) % kMersenne61;
+  }
+
+  /// Applies x[index] += delta, where finger == FingerOf(seed, index) for
+  /// the owner's seed.
+  void Update(uint64_t index, int64_t delta, uint64_t finger) {
+    count_ += delta;
+    index_weight_ += static_cast<int64_t>(index) * delta;
+    print_ = AddMod61(print_, MulMod61(ResidueOf(delta), finger));
+  }
+
+  /// Adds another cell with the same owner seed (linearity).
+  void Merge(const OneSparseCell& other) {
+    count_ += other.count_;
+    index_weight_ += other.index_weight_;
+    print_ = AddMod61(print_, other.print_);
+  }
+
+  /// Subtracts another cell with the same owner seed.
+  void Subtract(const OneSparseCell& other) {
+    count_ -= other.count_;
+    index_weight_ -= other.index_weight_;
+    print_ = SubMod61(print_, other.print_);
+  }
+
+  /// True iff the summarized vector is zero (exact up to fingerprint
+  /// collision probability ~ support/2^61).
+  bool IsZero() const {
+    return count_ == 0 && index_weight_ == 0 && print_ == 0;
+  }
+
+  /// Attempts to decode a 1-sparse vector under the owner's `seed`.
+  /// Returns nullopt if the vector is zero or demonstrably not 1-sparse.
+  std::optional<OneSparseResult> Decode(uint64_t seed) const;
+
+  static uint64_t ResidueOf(int64_t v) {
+    int64_t m = v % static_cast<int64_t>(kMersenne61);
+    if (m < 0) m += static_cast<int64_t>(kMersenne61);
+    return static_cast<uint64_t>(m);
+  }
+
+  /// Appends the cell's three linear measurements to the wire format.
+  void AppendTo(ByteWriter* w) const {
+    w->I64(count_);
+    w->I64(index_weight_);
+    w->U64(print_);
+  }
+
+  /// Reads a cell back; returns false on truncation.
+  bool ParseFrom(ByteReader* r) {
+    auto c = r->I64(), iw = r->I64();
+    auto p = r->U64();
+    if (!c || !iw || !p) return false;
+    count_ = *c;
+    index_weight_ = *iw;
+    print_ = *p;
+    return true;
+  }
+
+ private:
+  int64_t count_ = 0;
+  int64_t index_weight_ = 0;
+  uint64_t print_ = 0;
+};
+
+}  // namespace gsketch
+
+#endif  // GRAPHSKETCH_SRC_SKETCH_ONE_SPARSE_H_

@@ -1,0 +1,153 @@
+#include "src/sketch/sparse_recovery.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/hash/splitmix.h"
+
+namespace gsketch {
+
+SparseRecovery::SparseRecovery(uint64_t domain, uint32_t capacity,
+                               uint32_t rows, uint64_t seed)
+    : domain_(domain),
+      capacity_(std::max<uint32_t>(capacity, 1)),
+      rows_(std::max<uint32_t>(rows, 1)),
+      buckets_(2 * std::max<uint32_t>(capacity, 1)),
+      seed_(seed) {
+  cells_.resize(static_cast<size_t>(rows_) * buckets_);
+}
+
+size_t SparseRecovery::CellOf(uint32_t row, uint64_t index) const {
+  uint64_t h = Mix64(DeriveSeed(seed_, 0x7002u + row), index);
+  // Fair reduction into [0, buckets_).
+  uint64_t b = static_cast<uint64_t>(
+      (static_cast<__uint128_t>(h) * buckets_) >> 64);
+  return static_cast<size_t>(row) * buckets_ + static_cast<size_t>(b);
+}
+
+uint64_t SparseRecovery::RowSeed(uint32_t row) const {
+  return DeriveSeed(seed_, 0x7001u + row);
+}
+
+void SparseRecovery::Update(uint64_t index, int64_t delta) {
+  assert(index < domain_);
+  for (uint32_t r = 0; r < rows_; ++r) {
+    cells_[CellOf(r, index)].Update(
+        index, delta, OneSparseCell::FingerOf(RowSeed(r), index));
+  }
+}
+
+void SparseRecovery::Merge(const SparseRecovery& other) {
+  assert(domain_ == other.domain_ && capacity_ == other.capacity_ &&
+         rows_ == other.rows_ && seed_ == other.seed_);
+  for (size_t i = 0; i < cells_.size(); ++i) cells_[i].Merge(other.cells_[i]);
+}
+
+void SparseRecovery::Subtract(const SparseRecovery& other) {
+  assert(domain_ == other.domain_ && capacity_ == other.capacity_ &&
+         rows_ == other.rows_ && seed_ == other.seed_);
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    cells_[i].Subtract(other.cells_[i]);
+  }
+}
+
+RecoveryResult SparseRecovery::Decode() const {
+  // Peel on a scratch copy of the cells.
+  std::vector<OneSparseCell> work = cells_;
+  RecoveryResult result;
+
+  auto cancel = [&](uint64_t index, int64_t value) {
+    for (uint32_t r = 0; r < rows_; ++r) {
+      work[CellOf(r, index)].Update(
+          index, -value, OneSparseCell::FingerOf(RowSeed(r), index));
+    }
+  };
+
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (uint32_t r = 0; r < rows_; ++r) {
+      for (uint32_t b = 0; b < buckets_; ++b) {
+        auto one = work[static_cast<size_t>(r) * buckets_ + b].Decode(
+            RowSeed(r));
+        if (!one.has_value()) continue;
+        // Defensive cap: a fingerprint false positive could otherwise peel
+        // unbounded ghost entries.
+        if (result.entries.size() > static_cast<size_t>(capacity_) * 4 + 16) {
+          result.entries.clear();
+          return result;
+        }
+        result.entries.emplace_back(one->index, one->value);
+        cancel(one->index, one->value);
+        progress = true;
+      }
+    }
+  }
+
+  for (const auto& cell : work) {
+    if (!cell.IsZero()) {
+      // Residual mass: support exceeded capacity (or an unpeelable
+      // collision pattern). Report FAIL per Theorem 2.2.
+      result.entries.clear();
+      return result;
+    }
+  }
+
+  // Combine duplicate indices (an index can be peeled in opposite
+  // directions in pathological collision patterns) and drop zeros.
+  std::sort(result.entries.begin(), result.entries.end());
+  std::vector<std::pair<uint64_t, int64_t>> merged;
+  for (const auto& [idx, val] : result.entries) {
+    if (!merged.empty() && merged.back().first == idx) {
+      merged.back().second += val;
+    } else {
+      merged.emplace_back(idx, val);
+    }
+  }
+  merged.erase(std::remove_if(merged.begin(), merged.end(),
+                              [](const auto& e) { return e.second == 0; }),
+               merged.end());
+  result.entries = std::move(merged);
+  result.ok = true;
+  return result;
+}
+
+bool SparseRecovery::IsZero() const {
+  for (const auto& cell : cells_) {
+    if (!cell.IsZero()) return false;
+  }
+  return true;
+}
+
+namespace {
+constexpr uint32_t kRecoveryMagic = 0x4b524543u;  // "KREC"
+}
+
+void SparseRecovery::AppendTo(std::string* out) const {
+  ByteWriter w(out);
+  w.U32(kRecoveryMagic);
+  w.U64(domain_);
+  w.U32(capacity_);
+  w.U32(rows_);
+  w.U64(seed_);
+  for (const auto& cell : cells_) cell.AppendTo(&w);
+}
+
+std::optional<SparseRecovery> SparseRecovery::Deserialize(ByteReader* r) {
+  auto magic = r->U32();
+  if (!magic || *magic != kRecoveryMagic) return std::nullopt;
+  auto domain = r->U64();
+  auto capacity = r->U32();
+  auto rows = r->U32();
+  auto seed = r->U64();
+  if (!domain || !capacity || !rows || !seed || *domain == 0) {
+    return std::nullopt;
+  }
+  SparseRecovery s(*domain, *capacity, *rows, *seed);
+  for (auto& cell : s.cells_) {
+    if (!cell.ParseFrom(r)) return std::nullopt;
+  }
+  return s;
+}
+
+}  // namespace gsketch

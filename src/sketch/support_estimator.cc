@@ -1,0 +1,68 @@
+#include "src/sketch/support_estimator.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/hash/splitmix.h"
+
+namespace gsketch {
+
+namespace {
+uint32_t LevelsFor(uint64_t domain) {
+  uint32_t l = 0;
+  while ((uint64_t{1} << l) < domain && l < 63) ++l;
+  return l;
+}
+}  // namespace
+
+SupportEstimator::SupportEstimator(uint64_t domain, uint32_t repetitions,
+                                   uint64_t seed)
+    : domain_(domain),
+      reps_(repetitions),
+      levels_(LevelsFor(domain)),
+      seed_(seed) {
+  cells_.resize(static_cast<size_t>(reps_) * (levels_ + 1));
+}
+
+void SupportEstimator::Update(uint64_t index, int64_t delta) {
+  assert(index < domain_);
+  for (uint32_t r = 0; r < reps_; ++r) {
+    uint64_t rep_seed = DeriveSeed(seed_, 0xe571u + r);
+    uint32_t z = GeometricLevel(Mix64(rep_seed, 0x11f0u, index), levels_);
+    uint64_t finger = OneSparseCell::FingerOf(rep_seed, index);
+    for (uint32_t l = 0; l <= z; ++l) {
+      cells_[CellAt(r, l)].Update(index, delta, finger);
+    }
+  }
+}
+
+void SupportEstimator::Merge(const SupportEstimator& other) {
+  assert(domain_ == other.domain_ && reps_ == other.reps_ &&
+         seed_ == other.seed_);
+  for (size_t i = 0; i < cells_.size(); ++i) cells_[i].Merge(other.cells_[i]);
+}
+
+uint64_t SupportEstimator::Estimate() const {
+  std::vector<uint64_t> per_rep;
+  per_rep.reserve(reps_);
+  for (uint32_t r = 0; r < reps_; ++r) {
+    if (cells_[CellAt(r, 0)].IsZero()) {
+      per_rep.push_back(0);
+      continue;
+    }
+    // Deepest level whose restriction is non-empty; each surviving element
+    // reaches level l with probability 2^-l.
+    uint32_t deepest = 0;
+    for (uint32_t l = levels_ + 1; l-- > 0;) {
+      if (!cells_[CellAt(r, l)].IsZero()) {
+        deepest = l;
+        break;
+      }
+    }
+    per_rep.push_back(uint64_t{1} << deepest);
+  }
+  std::sort(per_rep.begin(), per_rep.end());
+  return per_rep[per_rep.size() / 2];
+}
+
+}  // namespace gsketch

@@ -1,0 +1,45 @@
+// Constant-factor support-size (ℓ₀ norm) estimator via geometric level
+// occupancy: level l holds each element with probability 2^-l, so the
+// deepest non-empty level concentrates around log₂|support|. Used for
+// diagnostics and for sizing adaptive structures between passes.
+#ifndef GRAPHSKETCH_SRC_SKETCH_SUPPORT_ESTIMATOR_H_
+#define GRAPHSKETCH_SRC_SKETCH_SUPPORT_ESTIMATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/sketch/one_sparse.h"
+
+namespace gsketch {
+
+/// Linear sketch estimating |support(x)| within a constant factor w.h.p.
+class SupportEstimator {
+ public:
+  /// Estimator over [0, domain) with `repetitions` independent copies.
+  SupportEstimator(uint64_t domain, uint32_t repetitions, uint64_t seed);
+
+  /// Applies x[index] += delta.
+  void Update(uint64_t index, int64_t delta);
+
+  /// Adds another estimator with identical parameterization.
+  void Merge(const SupportEstimator& other);
+
+  /// Median-of-repetitions estimate of |support(x)|; 0 for a zero vector.
+  uint64_t Estimate() const;
+
+ private:
+  size_t CellAt(uint32_t rep, uint32_t level) const {
+    return static_cast<size_t>(rep) * (levels_ + 1) + level;
+  }
+
+  uint64_t domain_;
+  uint32_t reps_;
+  uint32_t levels_;
+  uint64_t seed_;
+  std::vector<OneSparseCell> cells_;
+};
+
+}  // namespace gsketch
+
+#endif  // GRAPHSKETCH_SRC_SKETCH_SUPPORT_ESTIMATOR_H_

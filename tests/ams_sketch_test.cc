@@ -1,0 +1,87 @@
+// Tests for the AMS tug-of-war F2 sketch.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/hash/random.h"
+#include "src/sketch/ams_sketch.h"
+
+namespace gsketch {
+namespace {
+
+TEST(Ams, ZeroVector) {
+  AmsSketch s(5, 32, 1);
+  EXPECT_DOUBLE_EQ(s.EstimateF2(), 0.0);
+}
+
+TEST(Ams, SingletonExact) {
+  AmsSketch s(5, 32, 2);
+  s.Update(42, 7);
+  // One nonzero entry: every projection is ±7, F2 estimate exactly 49.
+  EXPECT_DOUBLE_EQ(s.EstimateF2(), 49.0);
+}
+
+TEST(Ams, EstimatesWithinRelativeError) {
+  Rng rng(3);
+  std::map<uint64_t, int64_t> x;
+  for (int i = 0; i < 500; ++i) {
+    x[rng.Below(1 << 20)] += static_cast<int64_t>(rng.Below(9)) - 4;
+  }
+  double truth = 0;
+  for (const auto& [i, v] : x) {
+    (void)i;
+    truth += static_cast<double>(v) * v;
+  }
+  AmsSketch s(7, 256, 4);
+  for (const auto& [i, v] : x) s.Update(i, v);
+  EXPECT_NEAR(s.EstimateF2(), truth, 0.3 * truth);
+}
+
+TEST(Ams, DeletionsCancel) {
+  AmsSketch s(5, 64, 5);
+  for (uint64_t i = 0; i < 100; ++i) s.Update(i, 3);
+  for (uint64_t i = 0; i < 100; ++i) s.Update(i, -3);
+  EXPECT_DOUBLE_EQ(s.EstimateF2(), 0.0);
+}
+
+TEST(Ams, MergeEqualsSingleStream) {
+  AmsSketch a(5, 64, 6), b(5, 64, 6), whole(5, 64, 6);
+  for (uint64_t i = 0; i < 50; ++i) {
+    a.Update(i, 1);
+    whole.Update(i, 1);
+  }
+  for (uint64_t i = 25; i < 75; ++i) {
+    b.Update(i, 2);
+    whole.Update(i, 2);
+  }
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.EstimateF2(), whole.EstimateF2());
+}
+
+TEST(Ams, ErrorShrinksWithColumns) {
+  // Average relative error over seeds must shrink as columns grow.
+  Rng rng(7);
+  std::map<uint64_t, int64_t> x;
+  for (int i = 0; i < 300; ++i) x[rng.Below(1 << 16)] += 1;
+  double truth = 0;
+  for (const auto& [i, v] : x) {
+    (void)i;
+    truth += static_cast<double>(v) * v;
+  }
+  auto avg_err = [&](uint32_t cols) {
+    double total = 0;
+    for (uint64_t seed = 0; seed < 8; ++seed) {
+      AmsSketch s(5, cols, 100 + seed);
+      for (const auto& [i, v] : x) s.Update(i, v);
+      total += std::abs(s.EstimateF2() - truth) / truth;
+    }
+    return total / 8;
+  };
+  double coarse = avg_err(16);
+  double fine = avg_err(256);
+  EXPECT_LT(fine, coarse);
+  EXPECT_LT(fine, 0.15);
+}
+
+}  // namespace
+}  // namespace gsketch

@@ -1,0 +1,197 @@
+// Tests for the exact subgraph census, cut utilities, and spanner checker.
+#include <gtest/gtest.h>
+
+#include "src/core/subgraph_patterns.h"
+#include "src/graph/cuts.h"
+#include "src/graph/generators.h"
+#include "src/graph/spanner_check.h"
+#include "src/graph/subgraph_census.h"
+#include "src/hash/random.h"
+
+namespace gsketch {
+namespace {
+
+// Brute-force order-3 census for cross-checking the formula-based one.
+SubgraphCensus BruteCensus3(const Graph& g) {
+  SubgraphCensus c;
+  c.order = 3;
+  NodeId n = g.NumNodes();
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = a + 1; b < n; ++b) {
+      for (NodeId d = b + 1; d < n; ++d) {
+        uint32_t code = 0;
+        if (g.HasEdge(a, b)) code |= 1u << PairSlot(0, 1);
+        if (g.HasEdge(a, d)) code |= 1u << PairSlot(0, 2);
+        if (g.HasEdge(b, d)) code |= 1u << PairSlot(1, 2);
+        if (code != 0) ++c.counts[CanonicalPatternCode(code, 3)];
+      }
+    }
+  }
+  return c;
+}
+
+TEST(Canonical, TriangleIsItsOwnClass) {
+  EXPECT_EQ(CanonicalPatternCode(0b111, 3), 0b111u);
+}
+
+TEST(Canonical, AllSingleEdgesCollapse) {
+  uint32_t canon = CanonicalPatternCode(0b001, 3);
+  EXPECT_EQ(CanonicalPatternCode(0b010, 3), canon);
+  EXPECT_EQ(CanonicalPatternCode(0b100, 3), canon);
+}
+
+TEST(Canonical, AllWedgesCollapse) {
+  uint32_t canon = CanonicalPatternCode(0b011, 3);
+  EXPECT_EQ(CanonicalPatternCode(0b101, 3), canon);
+  EXPECT_EQ(CanonicalPatternCode(0b110, 3), canon);
+}
+
+TEST(Canonical, Order4ClassCountIsEleven) {
+  std::set<uint32_t> classes;
+  for (uint32_t code = 0; code < 64; ++code) {
+    classes.insert(CanonicalPatternCode(code, 4));
+  }
+  EXPECT_EQ(classes.size(), 11u);  // incl. the empty graph
+}
+
+TEST(Census3, TriangleGraph) {
+  Graph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 2);
+  auto c = CensusOrder3(g);
+  EXPECT_EQ(c.counts.at(TriangleCode()), 1u);
+  EXPECT_EQ(c.NonEmpty(), 1u);
+  EXPECT_DOUBLE_EQ(c.Gamma(TriangleCode()), 1.0);
+}
+
+TEST(Census3, MatchesBruteForce) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    Graph g = ErdosRenyi(40, 0.15, seed);
+    auto fast = CensusOrder3(g);
+    auto brute = BruteCensus3(g);
+    EXPECT_EQ(fast.counts, brute.counts) << seed;
+  }
+}
+
+TEST(Census3, CompleteGraphAllTriangles) {
+  Graph g = CompleteGraph(10);
+  auto c = CensusOrder3(g);
+  EXPECT_EQ(c.counts.at(TriangleCode()), Binomial(10, 3));
+  EXPECT_DOUBLE_EQ(c.Gamma(TriangleCode()), 1.0);
+}
+
+TEST(Census3, StarGraphAllWedges) {
+  Graph g(6);
+  for (NodeId v = 1; v < 6; ++v) g.AddEdge(0, v);
+  auto c = CensusOrder3(g);
+  EXPECT_EQ(c.counts.at(WedgeCode()), Binomial(5, 2));
+  // Every triple containing an edge contains the center, so it is a wedge:
+  // there are no single-edge triples in a star.
+  EXPECT_EQ(c.counts.at(SingleEdge3Code()), 0u);
+}
+
+TEST(Census4, CompleteGraph) {
+  Graph g = CompleteGraph(8);
+  auto c = CensusOrder4(g);
+  EXPECT_EQ(c.counts.at(Clique4Code()), Binomial(8, 4));
+  EXPECT_EQ(c.NonEmpty(), Binomial(8, 4));
+}
+
+TEST(Census4, CycleGraphContainsPathsNotCliques) {
+  Graph g(8);
+  for (NodeId v = 0; v < 8; ++v) g.AddEdge(v, (v + 1) % 8);
+  auto c = CensusOrder4(g);
+  EXPECT_EQ(c.counts.count(Clique4Code()), 0u);
+  EXPECT_GT(c.counts.at(PatternCode(4, {{0, 1}, {1, 2}, {2, 3}})), 0u);
+  // Exactly two disjoint-edge pairs per ... at least some matchings.
+  EXPECT_GT(c.counts.at(PatternCode(4, {{0, 1}, {2, 3}})), 0u);
+}
+
+TEST(Cuts, CutValueBasics) {
+  Graph g(4);
+  g.AddEdge(0, 1, 2.0);
+  g.AddEdge(1, 2, 3.0);
+  g.AddEdge(2, 3, 4.0);
+  std::vector<bool> side{true, true, false, false};
+  EXPECT_DOUBLE_EQ(CutValue(g, side), 3.0);
+}
+
+TEST(Cuts, EnumerateAllCutsCount) {
+  auto cuts = EnumerateAllCuts(5);
+  EXPECT_EQ(cuts.size(), 15u);  // 2^4 - 1
+}
+
+TEST(Cuts, RandomAndBallFamiliesAreProper) {
+  Graph g = ErdosRenyi(30, 0.2, 3);
+  Rng rng(4);
+  for (const auto& side : RandomCuts(30, 20, &rng)) {
+    size_t c = 0;
+    for (bool b : side) c += b;
+    EXPECT_GT(c, 0u);
+    EXPECT_LT(c, 30u);
+  }
+  for (const auto& side : BfsBallCuts(g, 20, &rng)) {
+    size_t c = 0;
+    for (bool b : side) c += b;
+    EXPECT_GT(c, 0u);
+    EXPECT_LT(c, 30u);
+  }
+}
+
+TEST(Cuts, CompareCutsIdentityIsZeroError) {
+  Graph g = ErdosRenyi(20, 0.3, 5);
+  Rng rng(6);
+  auto stats = CompareCuts(g, g, RandomCuts(20, 50, &rng));
+  EXPECT_DOUBLE_EQ(stats.max_rel_error, 0.0);
+  EXPECT_EQ(stats.cuts_checked + stats.zero_cuts_skipped, 50u);
+}
+
+TEST(Cuts, CompareCutsDetectsScaledGraph) {
+  Graph g = CompleteGraph(10);
+  Graph h(10);
+  for (const auto& e : g.Edges()) h.AddEdge(e.u, e.v, 1.5 * e.weight);
+  Rng rng(7);
+  auto stats = CompareCuts(g, h, RandomCuts(10, 20, &rng));
+  EXPECT_NEAR(stats.max_rel_error, 0.5, 1e-9);
+}
+
+TEST(SpannerCheck, IdentityHasStretchOne) {
+  Graph g = GridGraph(5, 5);
+  auto s = CheckSpanner(g, g, 0, 1);
+  EXPECT_DOUBLE_EQ(s.max_stretch, 1.0);
+  EXPECT_TRUE(s.is_subgraph);
+  EXPECT_EQ(s.disconnected_pairs, 0u);
+}
+
+TEST(SpannerCheck, SpanningTreeOfCycleStretch) {
+  Graph g(6);
+  for (NodeId v = 0; v < 6; ++v) g.AddEdge(v, (v + 1) % 6);
+  Graph h(6);
+  for (NodeId v = 0; v < 5; ++v) h.AddEdge(v, v + 1);  // drop one edge
+  auto s = CheckSpanner(g, h, 0, 1);
+  EXPECT_DOUBLE_EQ(s.max_stretch, 5.0);  // the removed edge's endpoints
+  EXPECT_TRUE(s.is_subgraph);
+}
+
+TEST(SpannerCheck, DetectsNonSubgraph) {
+  Graph g(4), h(4);
+  g.AddEdge(0, 1);
+  h.AddEdge(0, 1);
+  h.AddEdge(2, 3);  // not in g
+  auto s = CheckSpanner(g, h, 0, 1);
+  EXPECT_FALSE(s.is_subgraph);
+}
+
+TEST(SpannerCheck, CountsDisconnectedPairs) {
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  Graph h(4);
+  h.AddEdge(0, 1);  // 2 unreachable in h
+  auto s = CheckSpanner(g, h, 0, 1);
+  EXPECT_GT(s.disconnected_pairs, 0u);
+}
+
+}  // namespace
+}  // namespace gsketch

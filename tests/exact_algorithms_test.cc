@@ -1,0 +1,241 @@
+// Tests for the exact baselines: BFS, Stoer–Wagner, Dinic, Gomory–Hu.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "src/graph/bfs.h"
+#include "src/graph/cuts.h"
+#include "src/graph/dinic.h"
+#include "src/graph/generators.h"
+#include "src/graph/gomory_hu.h"
+#include "src/graph/stoer_wagner.h"
+#include "src/hash/random.h"
+
+namespace gsketch {
+namespace {
+
+TEST(Bfs, PathGraphDistances) {
+  Graph g(5);
+  for (NodeId i = 0; i < 4; ++i) g.AddEdge(i, i + 1);
+  auto d = BfsDistances(g, 0);
+  for (NodeId i = 0; i < 5; ++i) EXPECT_EQ(d[i], i);
+}
+
+TEST(Bfs, UnreachableIsMinusOne) {
+  Graph g(4);
+  g.AddEdge(0, 1);
+  auto d = BfsDistances(g, 0);
+  EXPECT_EQ(d[1], 1);
+  EXPECT_EQ(d[2], -1);
+  EXPECT_EQ(d[3], -1);
+}
+
+TEST(StoerWagner, BridgeGraph) {
+  // Two triangles joined by one edge: min cut = 1.
+  Graph g(6);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 2);
+  g.AddEdge(3, 4);
+  g.AddEdge(4, 5);
+  g.AddEdge(3, 5);
+  g.AddEdge(2, 3);
+  auto r = StoerWagnerMinCut(g);
+  EXPECT_DOUBLE_EQ(r.value, 1.0);
+  EXPECT_TRUE(r.side.size() == 3 || r.side.size() == 6 - 3);
+}
+
+TEST(StoerWagner, CompleteGraphMinCutIsDegree) {
+  Graph g = CompleteGraph(7);
+  auto r = StoerWagnerMinCut(g);
+  EXPECT_DOUBLE_EQ(r.value, 6.0);
+}
+
+TEST(StoerWagner, WeightedCut) {
+  Graph g(4);
+  g.AddEdge(0, 1, 10.0);
+  g.AddEdge(2, 3, 10.0);
+  g.AddEdge(1, 2, 0.5);
+  g.AddEdge(0, 3, 0.25);
+  auto r = StoerWagnerMinCut(g);
+  EXPECT_DOUBLE_EQ(r.value, 0.75);
+}
+
+TEST(StoerWagner, DisconnectedIsZero) {
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(2, 3);
+  auto r = StoerWagnerMinCut(g);
+  EXPECT_DOUBLE_EQ(r.value, 0.0);
+  EXPECT_FALSE(r.side.empty());
+}
+
+TEST(StoerWagner, DumbbellMatchesPlantedBridges) {
+  Graph g = Dumbbell(16, 0.7, 3, 4);
+  auto r = StoerWagnerMinCut(g);
+  EXPECT_DOUBLE_EQ(r.value, 3.0);
+}
+
+TEST(StoerWagner, MatchesCutValueOfReportedSide) {
+  Graph g = ErdosRenyi(24, 0.3, 11);
+  auto r = StoerWagnerMinCut(g);
+  std::vector<bool> side(g.NumNodes(), false);
+  for (NodeId v : r.side) side[v] = true;
+  EXPECT_DOUBLE_EQ(CutValue(g, side), r.value);
+}
+
+TEST(Dinic, SeriesParallel) {
+  Graph g(4);
+  g.AddEdge(0, 1, 3.0);
+  g.AddEdge(1, 3, 2.0);
+  g.AddEdge(0, 2, 2.0);
+  g.AddEdge(2, 3, 4.0);
+  EXPECT_DOUBLE_EQ(MinCutBetween(g, 0, 3), 4.0);  // min(3,2)+min(2,4)
+}
+
+TEST(Dinic, DisconnectedPairIsZero) {
+  Graph g(4);
+  g.AddEdge(0, 1);
+  EXPECT_DOUBLE_EQ(MinCutBetween(g, 0, 3), 0.0);
+}
+
+TEST(Dinic, CapStopsEarly) {
+  Graph g = CompleteGraph(10);
+  EXPECT_DOUBLE_EQ(MinCutBetween(g, 0, 1, 3.0), 3.0);
+  EXPECT_DOUBLE_EQ(MinCutBetween(g, 0, 1), 9.0);
+}
+
+TEST(Dinic, MinCutSideSeparates) {
+  Graph g = Dumbbell(10, 0.8, 2, 5);
+  Dinic d(g);
+  double f = d.MaxFlow(0, 15);
+  EXPECT_DOUBLE_EQ(f, 2.0);
+  auto side = d.MinCutSide(0);
+  std::vector<bool> in(g.NumNodes(), false);
+  for (NodeId v : side) in[v] = true;
+  EXPECT_TRUE(in[0]);
+  EXPECT_FALSE(in[15]);
+  EXPECT_DOUBLE_EQ(CutValue(g, in), 2.0);
+}
+
+TEST(Dinic, MatchesStoerWagnerGlobalMin) {
+  // min over v of maxflow(0, v) == global min cut for connected graphs.
+  int checked = 0;
+  for (uint64_t seed = 17; seed < 25; ++seed) {
+    Graph g = ErdosRenyi(16, 0.35, seed);
+    if (g.NumComponents() != 1) continue;
+    ++checked;
+    auto sw = StoerWagnerMinCut(g);
+    double best = std::numeric_limits<double>::infinity();
+    for (NodeId v = 1; v < g.NumNodes(); ++v) {
+      best = std::min(best, MinCutBetween(g, 0, v));
+    }
+    EXPECT_DOUBLE_EQ(best, sw.value) << seed;
+  }
+  EXPECT_GE(checked, 3) << "seed range produced too few connected graphs";
+}
+
+TEST(GomoryHu, PathGraphTree) {
+  Graph g(4);
+  g.AddEdge(0, 1, 3.0);
+  g.AddEdge(1, 2, 1.0);
+  g.AddEdge(2, 3, 2.0);
+  auto t = GomoryHuTree::Build(g);
+  EXPECT_DOUBLE_EQ(t.MinCutValue(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(t.MinCutValue(0, 3), 1.0);
+  EXPECT_DOUBLE_EQ(t.MinCutValue(2, 3), 2.0);
+}
+
+TEST(GomoryHu, MatchesDinicOnAllPairs) {
+  Graph g = ErdosRenyi(14, 0.4, 23);
+  auto t = GomoryHuTree::Build(g);
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    for (NodeId v = u + 1; v < g.NumNodes(); ++v) {
+      EXPECT_DOUBLE_EQ(t.MinCutValue(u, v), MinCutBetween(g, u, v))
+          << u << "," << v;
+    }
+  }
+}
+
+TEST(GomoryHu, TreeEdgesInduceTheirCutValue) {
+  // The cut-tree property Fig. 3 relies on: removing a tree edge yields a
+  // bipartition whose cut value in G equals the edge weight.
+  Graph g = ErdosRenyi(16, 0.35, 29);
+  auto t = GomoryHuTree::Build(g);
+  for (NodeId v : t.EdgeList()) {
+    auto side_nodes = t.CutSide(v);
+    std::vector<bool> side(g.NumNodes(), false);
+    for (NodeId x : side_nodes) side[x] = true;
+    EXPECT_DOUBLE_EQ(CutValue(g, side), t.ParentWeight(v)) << v;
+  }
+}
+
+TEST(GomoryHu, MinEdgeOnPathInducesSeparatingCut) {
+  Graph g = ErdosRenyi(12, 0.45, 31);
+  auto t = GomoryHuTree::Build(g);
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    for (NodeId v = u + 1; v < g.NumNodes(); ++v) {
+      NodeId f = t.MinEdgeOnPath(u, v);
+      auto side_nodes = t.CutSide(f);
+      std::vector<bool> side(g.NumNodes(), false);
+      for (NodeId x : side_nodes) side[x] = true;
+      EXPECT_NE(side[u], side[v]) << "cut must separate the pair";
+    }
+  }
+}
+
+TEST(GomoryHu, WeightedGraph) {
+  Graph g = WithRandomWeights(ErdosRenyi(12, 0.5, 37), 8, 41);
+  auto t = GomoryHuTree::Build(g);
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    NodeId u = static_cast<NodeId>(rng.Below(12));
+    NodeId v = static_cast<NodeId>(rng.Below(12));
+    if (u == v) continue;
+    EXPECT_NEAR(t.MinCutValue(u, v), MinCutBetween(g, u, v), 1e-6);
+  }
+}
+
+TEST(GomoryHu, DisconnectedGraphZeroCuts) {
+  Graph g(5);
+  g.AddEdge(0, 1, 2.0);
+  g.AddEdge(3, 4, 2.0);
+  auto t = GomoryHuTree::Build(g);
+  EXPECT_DOUBLE_EQ(t.MinCutValue(0, 3), 0.0);
+  EXPECT_DOUBLE_EQ(t.MinCutValue(0, 1), 2.0);
+}
+
+// The two Gomory-Hu properties Fig. 3 rests on, swept over random graphs:
+// flow equivalence (path-min == max-flow) and the cut-tree property (tree
+// edges induce cuts achieving their weight).
+class GomoryHuSweep
+    : public ::testing::TestWithParam<std::tuple<double, uint64_t>> {};
+
+TEST_P(GomoryHuSweep, FlowEquivalenceAndCutTree) {
+  auto [p, seed] = GetParam();
+  Graph g = ErdosRenyi(13, p, seed);
+  auto t = GomoryHuTree::Build(g);
+  // Flow equivalence on all pairs.
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    for (NodeId v = u + 1; v < g.NumNodes(); ++v) {
+      EXPECT_NEAR(t.MinCutValue(u, v), MinCutBetween(g, u, v), 1e-9)
+          << u << "," << v << " p=" << p << " seed=" << seed;
+    }
+  }
+  // Cut-tree property on all tree edges.
+  for (NodeId v : t.EdgeList()) {
+    auto side_nodes = t.CutSide(v);
+    std::vector<bool> side(g.NumNodes(), false);
+    for (NodeId x : side_nodes) side[x] = true;
+    EXPECT_NEAR(CutValue(g, side), t.ParentWeight(v), 1e-9)
+        << "tree edge " << v << " p=" << p << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DensitiesAndSeeds, GomoryHuSweep,
+    ::testing::Combine(::testing::Values(0.15, 0.35, 0.7),
+                       ::testing::Values<uint64_t>(1, 2, 3, 4, 5)));
+
+}  // namespace
+}  // namespace gsketch

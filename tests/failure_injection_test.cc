@@ -1,0 +1,165 @@
+// Failure-path and edge-case tests: undersized sketches must fail loudly
+// (FAIL results, never silently-wrong answers), and degenerate inputs
+// (empty graphs, isolated nodes, multigraphs, duplicate deletes) must be
+// handled.
+#include <gtest/gtest.h>
+
+#include "src/core/min_cut.h"
+#include "src/core/simple_sparsifier.h"
+#include "src/core/sparsifier.h"
+#include "src/core/spanning_forest.h"
+#include "src/core/subgraph_sketch.h"
+#include "src/core/subgraph_patterns.h"
+#include "src/graph/generators.h"
+#include "src/sketch/l0_sampler.h"
+#include "src/sketch/sparse_recovery.h"
+
+namespace gsketch {
+namespace {
+
+TEST(FailurePaths, UndersizedRecoveryReportsFailNeverLies) {
+  // 64 entries into capacity-2 sketches: decode must FAIL, not hallucinate.
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    SparseRecovery s(1 << 16, 2, 3, seed);
+    for (uint64_t i = 0; i < 64; ++i) s.Update(i * 97 + seed, 1);
+    auto r = s.Decode();
+    EXPECT_FALSE(r.ok) << seed;
+    EXPECT_TRUE(r.entries.empty()) << seed;
+  }
+}
+
+TEST(FailurePaths, SingleRepetitionSamplerFailsGracefully) {
+  // reps=1 fails a constant fraction of the time; a failure must return
+  // nullopt, never a wrong (index, value).
+  int failures = 0;
+  for (uint64_t seed = 0; seed < 200; ++seed) {
+    L0Sampler s(1 << 16, 1, seed);
+    std::set<uint64_t> truth;
+    for (uint64_t i = 0; i < 30; ++i) {
+      truth.insert(i * 523 + 7);
+    }
+    for (uint64_t i : truth) s.Update(i, 2);
+    auto r = s.Sample();
+    if (!r.has_value()) {
+      ++failures;
+      continue;
+    }
+    EXPECT_TRUE(truth.count(r->index) > 0) << seed;
+    EXPECT_EQ(r->value, 2) << seed;
+  }
+  EXPECT_GT(failures, 0) << "reps=1 should fail sometimes";
+  EXPECT_LT(failures, 150) << "but not almost always";
+}
+
+TEST(FailurePaths, SparsifierRecoveryFailuresAreCounted) {
+  // A Fig. 3 sparsifier with absurdly small recovery capacity on a dense
+  // graph: decoding must record recovery failures rather than crash or
+  // fabricate edges.
+  Graph g = CompleteGraph(24);
+  SparsifierOptions opt;
+  opt.k_override = 4;  // far below the 23-edge min cut
+  opt.rows = 3;
+  opt.max_level = 2;   // hierarchy too shallow to thin the cuts
+  opt.rough.k_override = 4;
+  opt.rough.max_level = 2;
+  opt.rough.forest.repetitions = 4;
+  Sparsifier sk(24, opt, 3);
+  for (const auto& e : g.Edges()) sk.Update(e.u, e.v, 1);
+  SparsifierStats stats;
+  Graph h = sk.Extract(&stats);
+  EXPECT_GT(stats.recovery_failures, 0u);
+  EXPECT_TRUE(g.ContainsEdgesOf(h));  // whatever was recovered is real
+}
+
+TEST(EdgeCases, EmptyGraphEverywhere) {
+  ForestOptions fo;
+  fo.repetitions = 4;
+  SpanningForestSketch forest(16, fo, 1);
+  EXPECT_EQ(forest.ExtractForest().NumEdges(), 0u);
+
+  MinCutOptions mo;
+  mo.epsilon = 1.0;
+  mo.max_level = 4;
+  mo.forest.repetitions = 4;
+  MinCutSketch mincut(16, mo, 2);
+  auto est = mincut.Estimate();
+  EXPECT_DOUBLE_EQ(est.value, 0.0);
+
+  SimpleSparsifierOptions so;
+  so.k_override = 4;
+  so.max_level = 4;
+  so.forest.repetitions = 4;
+  SimpleSparsifier sparsifier(16, so, 3);
+  EXPECT_EQ(sparsifier.Extract().NumEdges(), 0u);
+}
+
+TEST(EdgeCases, SingleEdgeGraph) {
+  ForestOptions fo;
+  fo.repetitions = 6;
+  SpanningForestSketch forest(8, fo, 4);
+  forest.Update(2, 5, 1);
+  Graph f = forest.ExtractForest();
+  EXPECT_EQ(f.NumEdges(), 1u);
+  EXPECT_TRUE(f.HasEdge(2, 5));
+  EXPECT_EQ(f.NumComponents(), 7u);
+}
+
+TEST(EdgeCases, MultigraphMultiplicities) {
+  // The same edge inserted 5 times then deleted 3 times: multiplicity 2.
+  ForestOptions fo;
+  fo.repetitions = 6;
+  SpanningForestSketch forest(4, fo, 5);
+  for (int i = 0; i < 5; ++i) forest.Update(0, 1, 1);
+  for (int i = 0; i < 3; ++i) forest.Update(0, 1, -1);
+  Graph f = forest.ExtractForest();
+  ASSERT_EQ(f.NumEdges(), 1u);
+  EXPECT_DOUBLE_EQ(f.EdgeWeight(0, 1), 2.0);  // multiplicity recovered
+}
+
+TEST(EdgeCases, DeleteBeyondZeroThenReinsert) {
+  // Linearity allows transient negative multiplicities mid-stream as long
+  // as the final multiplicity is non-negative (Definition 1).
+  ForestOptions fo;
+  fo.repetitions = 6;
+  SpanningForestSketch forest(4, fo, 6);
+  forest.Update(0, 1, -1);
+  forest.Update(0, 1, 1);  // net zero
+  forest.Update(2, 3, 1);
+  Graph f = forest.ExtractForest();
+  EXPECT_EQ(f.NumEdges(), 1u);
+  EXPECT_TRUE(f.HasEdge(2, 3));
+}
+
+TEST(EdgeCases, IsolatedNodesCountAsComponents) {
+  ForestOptions fo;
+  fo.repetitions = 4;
+  SpanningForestSketch forest(10, fo, 7);
+  forest.Update(0, 1, 1);
+  EXPECT_EQ(forest.ExtractForest().NumComponents(), 9u);
+}
+
+TEST(EdgeCases, SubgraphSketchMinimumN) {
+  // n == order: exactly one column.
+  SubgraphSketch sk(3, 3, 20, 6, 8);
+  sk.Update(0, 1, 1);
+  sk.Update(1, 2, 1);
+  sk.Update(0, 2, 1);
+  auto est = sk.EstimateGamma(TriangleCode());
+  EXPECT_DOUBLE_EQ(est.gamma, 1.0);
+  EXPECT_EQ(sk.num_columns(), 1u);
+}
+
+TEST(EdgeCases, TwoNodeGraphMinCut) {
+  MinCutOptions mo;
+  mo.epsilon = 1.0;
+  mo.max_level = 2;
+  mo.forest.repetitions = 6;
+  MinCutSketch sk(2, mo, 9);
+  sk.Update(0, 1, 1);
+  auto est = sk.Estimate();
+  EXPECT_TRUE(est.resolved);
+  EXPECT_DOUBLE_EQ(est.value, 1.0);
+}
+
+}  // namespace
+}  // namespace gsketch

@@ -1,0 +1,109 @@
+// Tests for the synthetic workload generators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/graph/generators.h"
+
+namespace gsketch {
+namespace {
+
+TEST(Generators, ErdosRenyiDensityNearExpectation) {
+  constexpr NodeId n = 200;
+  constexpr double p = 0.1;
+  Graph g = ErdosRenyi(n, p, 1);
+  double expected = p * EdgeDomain(n);
+  EXPECT_NEAR(static_cast<double>(g.NumEdges()), expected, 4 * std::sqrt(expected));
+}
+
+TEST(Generators, ErdosRenyiDeterministicPerSeed) {
+  Graph a = ErdosRenyi(50, 0.2, 7), b = ErdosRenyi(50, 0.2, 7);
+  EXPECT_EQ(a.NumEdges(), b.NumEdges());
+  for (const auto& e : a.Edges()) EXPECT_TRUE(b.HasEdge(e.u, e.v));
+}
+
+TEST(Generators, ErdosRenyiEdgeCases) {
+  EXPECT_EQ(ErdosRenyi(20, 0.0, 1).NumEdges(), 0u);
+  EXPECT_EQ(ErdosRenyi(10, 1.0, 1).NumEdges(), EdgeDomain(10));
+}
+
+TEST(Generators, ErdosRenyiMExactCount) {
+  Graph g = ErdosRenyiM(64, 300, 3);
+  EXPECT_EQ(g.NumEdges(), 300u);
+}
+
+TEST(Generators, GridHasExpectedEdges) {
+  Graph g = GridGraph(4, 5);
+  // 4 rows x 5 cols: horizontal 4*4=16, vertical 3*5=15.
+  EXPECT_EQ(g.NumEdges(), 31u);
+  EXPECT_EQ(g.NumComponents(), 1u);
+}
+
+TEST(Generators, TorusAddsWraparound) {
+  Graph g = GridGraph(4, 4, /*torus=*/true);
+  EXPECT_EQ(g.NumEdges(), 32u);  // 2*n edges for an n-node torus
+  for (NodeId v = 0; v < 16; ++v) EXPECT_EQ(g.Degree(v), 4u);
+}
+
+TEST(Generators, CompleteGraphAndBipartite) {
+  EXPECT_EQ(CompleteGraph(8).NumEdges(), 28u);
+  Graph kb = CompleteBipartite(3, 4);
+  EXPECT_EQ(kb.NumEdges(), 12u);
+  EXPECT_EQ(kb.NumNodes(), 7u);
+  EXPECT_FALSE(kb.HasEdge(0, 1));  // same side
+  EXPECT_TRUE(kb.HasEdge(0, 3));
+}
+
+TEST(Generators, BarabasiAlbertConnectedAndSkewed) {
+  Graph g = BarabasiAlbert(300, 4, 3, 5);
+  EXPECT_EQ(g.NumComponents(), 1u);
+  size_t max_deg = 0;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    max_deg = std::max(max_deg, g.Degree(v));
+  }
+  EXPECT_GT(max_deg, 15u);  // hubs emerge
+}
+
+TEST(Generators, ChungLuAverageDegree) {
+  Graph g = ChungLu(300, 2.5, 8.0, 6);
+  double avg = 2.0 * g.NumEdges() / g.NumNodes();
+  EXPECT_GT(avg, 4.0);
+  EXPECT_LT(avg, 14.0);
+}
+
+TEST(Generators, PlantedPartitionDenserInside) {
+  Graph g = PlantedPartition(120, 3, 0.3, 0.01, 7);
+  size_t inside = 0, outside = 0;
+  for (const auto& e : g.Edges()) {
+    if (e.u % 3 == e.v % 3) {
+      ++inside;
+    } else {
+      ++outside;
+    }
+  }
+  EXPECT_GT(inside, outside * 3);
+}
+
+TEST(Generators, DumbbellPlantsExactBridges) {
+  Graph g = Dumbbell(30, 0.5, 4, 8);
+  size_t bridges = 0;
+  for (const auto& e : g.Edges()) {
+    bool left_u = e.u < 30, left_v = e.v < 30;
+    if (left_u != left_v) ++bridges;
+  }
+  EXPECT_EQ(bridges, 4u);
+}
+
+TEST(Generators, WithRandomWeightsInRange) {
+  Graph g = ErdosRenyi(60, 0.2, 9);
+  Graph w = WithRandomWeights(g, 16, 10);
+  EXPECT_EQ(w.NumEdges(), g.NumEdges());
+  for (const auto& e : w.Edges()) {
+    EXPECT_GE(e.weight, 1.0);
+    EXPECT_LE(e.weight, 16.0);
+    EXPECT_EQ(e.weight, std::floor(e.weight));
+  }
+}
+
+}  // namespace
+}  // namespace gsketch

@@ -1,0 +1,223 @@
+// Tests for the graph substrate: edge ids, combinadics, Graph, streams,
+// and union-find.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/graph/edge_id.h"
+#include "src/graph/graph.h"
+#include "src/graph/stream.h"
+#include "src/graph/union_find.h"
+#include "src/hash/random.h"
+
+namespace gsketch {
+namespace {
+
+TEST(EdgeId, RoundTripsAllPairsSmallN) {
+  constexpr NodeId n = 40;
+  std::set<uint64_t> seen;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      uint64_t id = EdgeId(u, v);
+      EXPECT_LT(id, EdgeDomain(n));
+      EXPECT_TRUE(seen.insert(id).second) << "collision";
+      auto [a, b] = EdgeEndpoints(id);
+      EXPECT_EQ(a, u);
+      EXPECT_EQ(b, v);
+    }
+  }
+  EXPECT_EQ(seen.size(), EdgeDomain(n));
+}
+
+TEST(EdgeId, SymmetricInArguments) {
+  EXPECT_EQ(EdgeId(3, 9), EdgeId(9, 3));
+}
+
+TEST(EdgeId, LargeIdsRoundTrip) {
+  for (NodeId u : {0u, 1u, 12345u, 99998u}) {
+    NodeId v = 99999;
+    auto [a, b] = EdgeEndpoints(EdgeId(u, v));
+    EXPECT_EQ(a, u);
+    EXPECT_EQ(b, v);
+  }
+}
+
+TEST(Binomial, KnownValues) {
+  EXPECT_EQ(Binomial(5, 2), 10u);
+  EXPECT_EQ(Binomial(5, 3), 10u);
+  EXPECT_EQ(Binomial(10, 4), 210u);
+  EXPECT_EQ(Binomial(3, 4), 0u);
+  EXPECT_EQ(Binomial(4, 4), 1u);
+  EXPECT_EQ(Binomial(0, 0), 1u);
+}
+
+TEST(SubsetRank, RoundTripsTriples) {
+  constexpr NodeId n = 16;
+  uint64_t expected_rank = 0;
+  for (NodeId c = 2; c < n; ++c) {
+    for (NodeId b = 1; b < c; ++b) {
+      for (NodeId a = 0; a < b; ++a) {
+        NodeId s[3] = {a, b, c};
+        // colex order: rank increases by one over the enumeration order
+        // (a fast a<b<c colex loop).
+        uint64_t r = SubsetRank(s, 3);
+        NodeId out[3];
+        SubsetUnrank(r, 3, out);
+        EXPECT_EQ(out[0], a);
+        EXPECT_EQ(out[1], b);
+        EXPECT_EQ(out[2], c);
+        (void)expected_rank;
+      }
+    }
+  }
+}
+
+TEST(SubsetRank, DenseAndBounded) {
+  constexpr NodeId n = 12;
+  std::set<uint64_t> ranks;
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = a + 1; b < n; ++b) {
+      for (NodeId c = b + 1; c < n; ++c) {
+        for (NodeId d = c + 1; d < n; ++d) {
+          NodeId s[4] = {a, b, c, d};
+          uint64_t r = SubsetRank(s, 4);
+          EXPECT_LT(r, Binomial(n, 4));
+          EXPECT_TRUE(ranks.insert(r).second);
+        }
+      }
+    }
+  }
+  EXPECT_EQ(ranks.size(), Binomial(n, 4));
+}
+
+TEST(PairSlot, LexicographicLayout) {
+  EXPECT_EQ(PairSlot(0, 1), 0u);
+  EXPECT_EQ(PairSlot(0, 2), 1u);
+  EXPECT_EQ(PairSlot(1, 2), 2u);
+  EXPECT_EQ(PairSlot(0, 3), 3u);
+  EXPECT_EQ(PairSlot(2, 3), 5u);
+}
+
+TEST(Graph, AddAndRemoveEdges) {
+  Graph g(5);
+  EXPECT_EQ(g.NumEdges(), 0u);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(1, 2, 2.5);
+  EXPECT_EQ(g.NumEdges(), 2u);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(1, 2), 2.5);
+  g.AddEdge(0, 1, -1.0);  // cancels
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_FALSE(g.HasEdge(0, 1));
+}
+
+TEST(Graph, MultiplicityAccumulates) {
+  Graph g(3);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(0, 1, 1.0);
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(0, 1), 2.0);
+}
+
+TEST(Graph, DegreesAndTotals) {
+  Graph g(4);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(0, 2, 3.0);
+  g.AddEdge(2, 3, 1.0);
+  EXPECT_EQ(g.Degree(0), 2u);
+  EXPECT_DOUBLE_EQ(g.WeightedDegree(0), 4.0);
+  EXPECT_DOUBLE_EQ(g.TotalWeight(), 5.0);
+  EXPECT_EQ(g.Edges().size(), 3u);
+}
+
+TEST(Graph, Components) {
+  Graph g(6);
+  g.AddEdge(0, 1);
+  g.AddEdge(2, 3);
+  EXPECT_EQ(g.NumComponents(), 4u);  // {0,1},{2,3},{4},{5}
+  g.AddEdge(1, 2);
+  g.AddEdge(4, 5);
+  EXPECT_EQ(g.NumComponents(), 2u);
+}
+
+TEST(Graph, ContainsEdgesOf) {
+  Graph g(4), h(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  h.AddEdge(0, 1);
+  EXPECT_TRUE(g.ContainsEdgesOf(h));
+  h.AddEdge(0, 3);
+  EXPECT_FALSE(g.ContainsEdgesOf(h));
+}
+
+TEST(Stream, MaterializeRoundTrip) {
+  Graph g(5);
+  g.AddEdge(0, 1);
+  g.AddEdge(2, 4);
+  auto s = DynamicGraphStream::FromGraph(g);
+  Graph back = s.Materialize();
+  EXPECT_EQ(back.NumEdges(), 2u);
+  EXPECT_TRUE(back.HasEdge(0, 1));
+  EXPECT_TRUE(back.HasEdge(2, 4));
+}
+
+TEST(Stream, ChurnPreservesFinalGraph) {
+  Graph g(10);
+  g.AddEdge(0, 1);
+  g.AddEdge(3, 7);
+  g.AddEdge(5, 9);
+  auto s = DynamicGraphStream::FromGraph(g);
+  Rng rng(42);
+  auto churned = s.WithChurn(20, &rng);
+  EXPECT_GT(churned.Size(), s.Size());
+  Graph back = churned.Materialize();
+  EXPECT_EQ(back.NumEdges(), 3u);
+  EXPECT_TRUE(back.HasEdge(0, 1));
+  EXPECT_TRUE(back.HasEdge(3, 7));
+  EXPECT_TRUE(back.HasEdge(5, 9));
+}
+
+TEST(Stream, ShuffleKeepsMultiset) {
+  Graph g(8);
+  for (NodeId i = 0; i < 7; ++i) g.AddEdge(i, i + 1);
+  auto s = DynamicGraphStream::FromGraph(g);
+  Rng rng(1);
+  auto t = s.Shuffled(&rng);
+  EXPECT_EQ(t.Size(), s.Size());
+  Graph back = t.Materialize();
+  EXPECT_EQ(back.NumEdges(), 7u);
+}
+
+TEST(Stream, PartitionCoversAllUpdates) {
+  Graph g(12);
+  for (NodeId i = 0; i < 11; ++i) g.AddEdge(i, i + 1);
+  auto s = DynamicGraphStream::FromGraph(g);
+  Rng rng(2);
+  auto parts = s.Partition(4, &rng);
+  ASSERT_EQ(parts.size(), 4u);
+  size_t total = 0;
+  Graph merged(12);
+  for (const auto& p : parts) {
+    total += p.Size();
+    p.Replay([&merged](NodeId u, NodeId v, int32_t d) {
+      merged.AddEdge(u, v, d);
+    });
+  }
+  EXPECT_EQ(total, s.Size());
+  EXPECT_EQ(merged.NumEdges(), 11u);
+}
+
+TEST(UnionFind, BasicMerging) {
+  UnionFind uf(10);
+  EXPECT_EQ(uf.NumComponents(), 10u);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_TRUE(uf.Union(1, 2));
+  EXPECT_FALSE(uf.Union(0, 2));
+  EXPECT_TRUE(uf.Connected(0, 2));
+  EXPECT_FALSE(uf.Connected(0, 3));
+  EXPECT_EQ(uf.NumComponents(), 8u);
+  EXPECT_EQ(uf.ComponentSize(1), 3u);
+}
+
+}  // namespace
+}  // namespace gsketch

@@ -1,0 +1,167 @@
+// End-to-end integration tests: full dynamic-stream pipelines, distributed
+// merging across every non-adaptive sketch, Nisan-PRG-seeded sketches, and
+// stream-order invariance.
+#include <gtest/gtest.h>
+
+#include "src/core/min_cut.h"
+#include "src/core/simple_sparsifier.h"
+#include "src/core/spanning_forest.h"
+#include "src/core/subgraph_patterns.h"
+#include "src/core/subgraph_sketch.h"
+#include "src/graph/cuts.h"
+#include "src/graph/generators.h"
+#include "src/graph/stoer_wagner.h"
+#include "src/graph/stream.h"
+#include "src/graph/subgraph_census.h"
+#include "src/hash/nisan_prg.h"
+#include "src/hash/random.h"
+
+namespace gsketch {
+namespace {
+
+TEST(Integration, FullPipelineOnChurnedPlantedCut) {
+  // A realistic end-to-end: planted 2-bridge graph, 50% churn, shuffled
+  // stream, then min-cut + sparsifier + triangle estimates, all single
+  // pass over the same stream.
+  Graph g = Dumbbell(10, 0.85, 2, 1);
+  auto stream = DynamicGraphStream::FromGraph(g);
+  Rng rng(2);
+  auto churned = stream.WithChurn(g.NumEdges() / 2, &rng).Shuffled(&rng);
+
+  MinCutOptions mc_opt;
+  mc_opt.epsilon = 0.5;
+  mc_opt.forest.repetitions = 5;
+  MinCutSketch mincut(20, mc_opt, 3);
+
+  SimpleSparsifierOptions sp_opt;
+  sp_opt.k_override = 8;
+  sp_opt.forest.repetitions = 5;
+  SimpleSparsifier sparsifier(20, sp_opt, 4);
+
+  SubgraphSketch triangles(20, 3, 80, 6, 5);
+
+  churned.Replay([&](NodeId u, NodeId v, int32_t d) {
+    mincut.Update(u, v, d);
+    sparsifier.Update(u, v, d);
+    triangles.Update(u, v, d);
+  });
+
+  auto mc = mincut.Estimate();
+  EXPECT_TRUE(mc.resolved);
+  EXPECT_DOUBLE_EQ(mc.value, 2.0);
+
+  Graph h = sparsifier.Extract();
+  EXPECT_TRUE(g.ContainsEdgesOf(h));
+  auto err = CompareCuts(g, h, BfsBallCuts(g, 20, &rng));
+  EXPECT_LT(err.max_rel_error, 0.8);
+
+  auto census = CensusOrder3(g);
+  auto tri = triangles.EstimateGamma(TriangleCode());
+  EXPECT_NEAR(tri.gamma, census.Gamma(TriangleCode()), 0.2);
+}
+
+TEST(Integration, SixteenSiteDistributedMergeExactEquality) {
+  // Section 1.1: adding per-site sketches must equal the single-stream
+  // sketch *bitwise* (same linear measurements), so decoded outputs are
+  // identical, not merely close.
+  Graph g = ErdosRenyi(24, 0.35, 7);
+  auto stream = DynamicGraphStream::FromGraph(g);
+  Rng rng(8);
+  auto parts = stream.Partition(16, &rng);
+
+  ForestOptions f_opt;
+  f_opt.repetitions = 5;
+  constexpr uint64_t kSeed = 99;
+
+  SpanningForestSketch whole(24, f_opt, kSeed);
+  stream.Replay(
+      [&whole](NodeId u, NodeId v, int32_t d) { whole.Update(u, v, d); });
+
+  SpanningForestSketch merged(24, f_opt, kSeed);
+  for (const auto& part : parts) {
+    SpanningForestSketch site(24, f_opt, kSeed);
+    part.Replay(
+        [&site](NodeId u, NodeId v, int32_t d) { site.Update(u, v, d); });
+    merged.Merge(site);
+  }
+
+  Graph fw = whole.ExtractForest(), fm = merged.ExtractForest();
+  EXPECT_EQ(fw.NumEdges(), fm.NumEdges());
+  for (const auto& e : fw.Edges()) {
+    EXPECT_TRUE(fm.HasEdge(e.u, e.v));
+  }
+}
+
+TEST(Integration, InsertDeleteEquivalentToNeverInserted) {
+  // Property: a stream with paired insert+delete of extra edges produces a
+  // sketch state identical to the clean stream's (linearity), hence equal
+  // decoded sparsifiers.
+  Graph g = GridGraph(4, 4);
+  auto clean = DynamicGraphStream::FromGraph(g);
+  Rng rng(9);
+  auto churned = clean.WithChurn(40, &rng);
+
+  SimpleSparsifierOptions opt;
+  opt.k_override = 6;
+  opt.forest.repetitions = 5;
+  SimpleSparsifier a(16, opt, 10), b(16, opt, 10);
+  clean.Replay([&a](NodeId u, NodeId v, int32_t d) { a.Update(u, v, d); });
+  churned.Replay([&b](NodeId u, NodeId v, int32_t d) { b.Update(u, v, d); });
+
+  Graph ha = a.Extract(), hb = b.Extract();
+  EXPECT_EQ(ha.NumEdges(), hb.NumEdges());
+  for (const auto& e : ha.Edges()) {
+    EXPECT_DOUBLE_EQ(hb.EdgeWeight(e.u, e.v), e.weight);
+  }
+}
+
+TEST(Integration, NisanSeededSketchesWork) {
+  // Section 3.4: draw every sketch seed from Nisan's PRG instead of fresh
+  // entropy; the algorithms must still function.
+  PrgSeedBank bank(12345, 10);
+  Graph g = Dumbbell(8, 0.9, 1, 11);
+
+  MinCutOptions opt;
+  opt.epsilon = 0.5;
+  opt.forest.repetitions = 5;
+  MinCutSketch sk(16, opt, bank.Seed(0));
+  for (const auto& e : g.Edges()) sk.Update(e.u, e.v, 1);
+  auto est = sk.Estimate();
+  EXPECT_TRUE(est.resolved);
+  EXPECT_DOUBLE_EQ(est.value, 1.0);
+
+  SpanningForestSketch forest(16, ForestOptions{0, 5}, bank.Seed(1));
+  for (const auto& e : g.Edges()) forest.Update(e.u, e.v, 1);
+  EXPECT_EQ(forest.CountComponents(), 1u);
+}
+
+TEST(Integration, MulticutQueryAfterHeavyChurnMatchesExact) {
+  // Stream shrinks a complete graph to a sparse planted-partition graph;
+  // the min-cut estimate must match the *final* graph, not history.
+  constexpr NodeId n = 16;
+  Graph final_graph = PlantedPartition(n, 2, 0.9, 0.1, 12);
+  if (final_graph.NumComponents() != 1) GTEST_SKIP();
+  Graph complete = CompleteGraph(n);
+
+  MinCutOptions opt;
+  opt.epsilon = 0.5;
+  opt.forest.repetitions = 5;
+  MinCutSketch sk(n, opt, 13);
+  for (const auto& e : complete.Edges()) sk.Update(e.u, e.v, 1);
+  for (const auto& e : complete.Edges()) {
+    if (!final_graph.HasEdge(e.u, e.v)) sk.Update(e.u, e.v, -1);
+  }
+  auto est = sk.Estimate();
+  auto exact = StoerWagnerMinCut(final_graph);
+  ASSERT_TRUE(est.resolved);
+  if (exact.value < sk.k()) {
+    // Small cut: resolved at level 0 exactly.
+    EXPECT_DOUBLE_EQ(est.value, exact.value);
+  } else {
+    EXPECT_GE(est.value, 0.4 * exact.value);
+    EXPECT_LE(est.value, 2.5 * exact.value);
+  }
+}
+
+}  // namespace
+}  // namespace gsketch

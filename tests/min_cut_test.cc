@@ -1,0 +1,141 @@
+// Tests for MINCUT (Fig. 1 / Theorem 3.2) against Stoer–Wagner.
+#include <gtest/gtest.h>
+
+#include "src/core/min_cut.h"
+#include "src/graph/generators.h"
+#include "src/graph/stoer_wagner.h"
+#include "src/graph/stream.h"
+#include "src/hash/random.h"
+
+namespace gsketch {
+namespace {
+
+MinCutOptions TestOptions(double eps = 0.5) {
+  MinCutOptions opt;
+  opt.epsilon = eps;
+  opt.k_scale = 1.0;
+  opt.forest.repetitions = 5;
+  return opt;
+}
+
+void Feed(MinCutSketch* sk, const Graph& g) {
+  for (const auto& e : g.Edges()) {
+    sk->Update(e.u, e.v, static_cast<int64_t>(e.weight));
+  }
+}
+
+TEST(MinCut, SmallPlantedBridge) {
+  // Two dense blobs, one bridge: λ = 1, small enough that level 0 resolves
+  // it exactly.
+  Graph g = Dumbbell(10, 0.9, 1, 3);
+  MinCutSketch sk(20, TestOptions(), 5);
+  Feed(&sk, g);
+  auto est = sk.Estimate();
+  EXPECT_TRUE(est.resolved);
+  EXPECT_DOUBLE_EQ(est.value, 1.0);
+  EXPECT_EQ(est.level, 0u);
+}
+
+TEST(MinCut, SmallCutsResolvedExactly) {
+  // λ < k resolves at level 0 with the exact value and a correct side.
+  for (NodeId bridges : {2u, 4u}) {
+    Graph g = Dumbbell(12, 0.9, bridges, 7 + bridges);
+    MinCutSketch sk(24, TestOptions(), 11 + bridges);
+    Feed(&sk, g);
+    auto est = sk.Estimate();
+    EXPECT_TRUE(est.resolved);
+    EXPECT_DOUBLE_EQ(est.value, static_cast<double>(bridges)) << bridges;
+  }
+}
+
+TEST(MinCut, DisconnectedGraphIsZero) {
+  Graph g(16);
+  g.AddEdge(0, 1);
+  g.AddEdge(2, 3);
+  MinCutSketch sk(16, TestOptions(), 13);
+  Feed(&sk, g);
+  auto est = sk.Estimate();
+  EXPECT_TRUE(est.resolved);
+  EXPECT_DOUBLE_EQ(est.value, 0.0);
+}
+
+TEST(MinCut, ApproximatesDenseGraphCut) {
+  // Complete graph on 24 nodes: λ = 23 > k; subsampling levels engage.
+  Graph g = CompleteGraph(24);
+  auto exact = StoerWagnerMinCut(g);
+  MinCutSketch sk(24, TestOptions(0.5), 17);
+  Feed(&sk, g);
+  auto est = sk.Estimate();
+  ASSERT_TRUE(est.resolved);
+  EXPECT_GE(est.value, exact.value * 0.4);
+  EXPECT_LE(est.value, exact.value * 2.5);
+}
+
+TEST(MinCut, DeletionsChangeAnswer) {
+  // Start with 3 bridges, delete 2: estimate must drop to 1.
+  Graph g = Dumbbell(10, 0.9, 3, 19);
+  MinCutSketch sk(20, TestOptions(), 23);
+  Feed(&sk, g);
+  size_t removed = 0;
+  for (const auto& e : g.Edges()) {
+    if ((e.u < 10) != (e.v < 10) && removed < 2) {
+      sk.Update(e.u, e.v, -1);
+      ++removed;
+    }
+  }
+  ASSERT_EQ(removed, 2u);
+  auto est = sk.Estimate();
+  EXPECT_TRUE(est.resolved);
+  EXPECT_DOUBLE_EQ(est.value, 1.0);
+}
+
+TEST(MinCut, StreamOrderInvariance) {
+  Graph g = Dumbbell(8, 0.9, 2, 29);
+  auto stream = DynamicGraphStream::FromGraph(g);
+  Rng rng(31);
+  auto shuffled = stream.Shuffled(&rng);
+  MinCutSketch a(16, TestOptions(), 37), b(16, TestOptions(), 37);
+  stream.Replay([&a](NodeId u, NodeId v, int32_t d) { a.Update(u, v, d); });
+  shuffled.Replay([&b](NodeId u, NodeId v, int32_t d) { b.Update(u, v, d); });
+  // Linear sketches: identical state => identical estimates.
+  auto ea = a.Estimate(), eb = b.Estimate();
+  EXPECT_DOUBLE_EQ(ea.value, eb.value);
+  EXPECT_EQ(ea.level, eb.level);
+}
+
+TEST(MinCut, DistributedMergeMatchesSingleSketch) {
+  Graph g = Dumbbell(8, 0.8, 2, 41);
+  auto stream = DynamicGraphStream::FromGraph(g);
+  Rng rng(43);
+  auto parts = stream.Partition(2, &rng);
+  MinCutSketch merged(16, TestOptions(), 47), site(16, TestOptions(), 47),
+      whole(16, TestOptions(), 47);
+  parts[0].Replay(
+      [&merged](NodeId u, NodeId v, int32_t d) { merged.Update(u, v, d); });
+  parts[1].Replay(
+      [&site](NodeId u, NodeId v, int32_t d) { site.Update(u, v, d); });
+  stream.Replay(
+      [&whole](NodeId u, NodeId v, int32_t d) { whole.Update(u, v, d); });
+  merged.Merge(site);
+  EXPECT_DOUBLE_EQ(merged.Estimate().value, whole.Estimate().value);
+}
+
+TEST(MinCut, SideSeparatesGraphWithPlantedCut) {
+  Graph g = Dumbbell(10, 0.95, 1, 53);
+  MinCutSketch sk(20, TestOptions(), 59);
+  Feed(&sk, g);
+  auto est = sk.Estimate();
+  ASSERT_TRUE(est.resolved);
+  ASSERT_FALSE(est.side.empty());
+  std::vector<bool> side(20, false);
+  for (NodeId v : est.side) side[v] = true;
+  // The reported side realizes the min cut: exactly the bridge crosses.
+  double crossing = 0;
+  for (const auto& e : g.Edges()) {
+    if (side[e.u] != side[e.v]) crossing += e.weight;
+  }
+  EXPECT_DOUBLE_EQ(crossing, 1.0);
+}
+
+}  // namespace
+}  // namespace gsketch

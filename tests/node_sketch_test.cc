@@ -1,0 +1,160 @@
+// Tests for the Eq. (1) node incidence sketches: the component-sum
+// cancellation property that everything in Section 3 rests on.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/core/node_sketch.h"
+#include "src/graph/generators.h"
+
+namespace gsketch {
+namespace {
+
+TEST(IncidenceSign, LowEndpointPositive) {
+  EXPECT_EQ(IncidenceSign(2, 2, 7), +1);
+  EXPECT_EQ(IncidenceSign(7, 2, 7), -1);
+  EXPECT_EQ(IncidenceSign(7, 7, 2), -1);  // order-insensitive
+}
+
+TEST(NodeL0Bank, SingleNodeSamplesIncidentEdge) {
+  NodeL0Bank bank(8, 6, 1);
+  bank.Update(2, 5, 1);
+  auto s = bank.Of(2).Sample();
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->index, EdgeId(2, 5));
+  auto s5 = bank.Of(5).Sample();
+  ASSERT_TRUE(s5.has_value());
+  EXPECT_EQ(s5->index, EdgeId(2, 5));
+  // Signs are opposite on the two endpoints.
+  EXPECT_EQ(s->value, -s5->value);
+}
+
+TEST(NodeL0Bank, ComponentSumCancelsInternalEdges) {
+  // Triangle {0,1,2} plus one edge leaving to 3: summing the triangle's
+  // sketches must expose exactly the outgoing edge.
+  NodeL0Bank bank(6, 8, 2);
+  bank.Update(0, 1, 1);
+  bank.Update(1, 2, 1);
+  bank.Update(0, 2, 1);
+  bank.Update(2, 3, 1);
+  auto sum = bank.SumOver({0, 1, 2});
+  auto s = sum.Sample();
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->index, EdgeId(2, 3));
+}
+
+TEST(NodeL0Bank, ClosedComponentSumsToZero) {
+  NodeL0Bank bank(5, 6, 3);
+  bank.Update(0, 1, 1);
+  bank.Update(1, 2, 1);
+  bank.Update(0, 2, 1);
+  auto sum = bank.SumOver({0, 1, 2});
+  EXPECT_TRUE(sum.IsZero());
+  EXPECT_FALSE(sum.Sample().has_value());
+}
+
+TEST(NodeL0Bank, SumExposesAllCutEdges) {
+  // K4 on {0..3} + K4 on {4..7} + two cross edges; the cut sketch's
+  // samples must come from the cross edges.
+  NodeL0Bank bank(8, 8, 4);
+  for (NodeId u = 0; u < 4; ++u) {
+    for (NodeId v = u + 1; v < 4; ++v) bank.Update(u, v, 1);
+  }
+  for (NodeId u = 4; u < 8; ++u) {
+    for (NodeId v = u + 1; v < 8; ++v) bank.Update(u, v, 1);
+  }
+  bank.Update(0, 5, 1);
+  bank.Update(3, 6, 1);
+  auto sum = bank.SumOver({0, 1, 2, 3});
+  auto s = sum.Sample();
+  ASSERT_TRUE(s.has_value());
+  std::set<uint64_t> cut{EdgeId(0, 5), EdgeId(3, 6)};
+  EXPECT_TRUE(cut.count(s->index) > 0);
+}
+
+TEST(NodeL0Bank, DeletionRemovesEdgeFromCut) {
+  NodeL0Bank bank(6, 8, 5);
+  bank.Update(0, 3, 1);
+  bank.Update(1, 4, 1);
+  bank.Update(1, 4, -1);
+  auto sum = bank.SumOver({0, 1, 2});
+  auto s = sum.Sample();
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->index, EdgeId(0, 3));
+}
+
+TEST(NodeL0Bank, DistributedMergeEqualsSingleStream) {
+  NodeL0Bank a(10, 6, 6), b(10, 6, 6), whole(10, 6, 6);
+  Graph g = ErdosRenyi(10, 0.4, 7);
+  size_t i = 0;
+  for (const auto& e : g.Edges()) {
+    (i++ % 2 == 0 ? a : b).Update(e.u, e.v, 1);
+    whole.Update(e.u, e.v, 1);
+  }
+  a.Merge(b);
+  for (NodeId v = 0; v < 10; ++v) {
+    auto sa = a.Of(v).Sample();
+    auto sw = whole.Of(v).Sample();
+    ASSERT_EQ(sa.has_value(), sw.has_value());
+    if (sa.has_value()) {
+      EXPECT_EQ(sa->index, sw->index);
+      EXPECT_EQ(sa->value, sw->value);
+    }
+  }
+}
+
+TEST(NodeRecoveryBank, RecoversFullCutEdgeSet) {
+  NodeRecoveryBank bank(12, 8, 3, 8);
+  // Complete bipartite-ish cut: nodes {0,1,2} vs rest with 5 cross edges
+  // and internal clutter.
+  bank.Update(0, 1, 1);
+  bank.Update(1, 2, 1);
+  std::set<uint64_t> cross;
+  bank.Update(0, 5, 1);
+  cross.insert(EdgeId(0, 5));
+  bank.Update(0, 7, 1);
+  cross.insert(EdgeId(0, 7));
+  bank.Update(1, 9, 1);
+  cross.insert(EdgeId(1, 9));
+  bank.Update(2, 3, 1);
+  cross.insert(EdgeId(2, 3));
+  bank.Update(2, 11, 1);
+  cross.insert(EdgeId(2, 11));
+  bank.Update(5, 7, 1);  // outside edge, must not appear
+  auto sum = bank.SumOver({0, 1, 2});
+  auto rec = sum.Decode();
+  ASSERT_TRUE(rec.ok);
+  std::set<uint64_t> got;
+  for (const auto& [id, val] : rec.entries) {
+    EXPECT_NE(val, 0);
+    got.insert(id);
+  }
+  EXPECT_EQ(got, cross);
+}
+
+TEST(NodeRecoveryBank, FailsWhenCutExceedsCapacity) {
+  NodeRecoveryBank bank(20, 3, 3, 9);
+  for (NodeId v = 1; v < 20; ++v) bank.Update(0, v, 1);  // 19-edge star cut
+  auto sum = bank.SumOver({0});
+  auto rec = sum.Decode();
+  EXPECT_FALSE(rec.ok);
+}
+
+TEST(NodeRecoveryBank, MergeMatchesSingleStream) {
+  NodeRecoveryBank a(8, 6, 3, 10), b(8, 6, 3, 10), whole(8, 6, 3, 10);
+  a.Update(0, 3, 1);
+  whole.Update(0, 3, 1);
+  b.Update(1, 4, 1);
+  whole.Update(1, 4, 1);
+  b.Update(0, 3, 1);
+  whole.Update(0, 3, 1);
+  a.Merge(b);
+  auto ra = a.SumOver({0, 1}).Decode();
+  auto rw = whole.SumOver({0, 1}).Decode();
+  ASSERT_TRUE(ra.ok);
+  ASSERT_TRUE(rw.ok);
+  EXPECT_EQ(ra.entries, rw.entries);
+}
+
+}  // namespace
+}  // namespace gsketch

@@ -1,0 +1,141 @@
+// Tests for the 1-sparse decoding cell.
+#include <gtest/gtest.h>
+
+#include "src/sketch/one_sparse.h"
+
+namespace gsketch {
+namespace {
+
+constexpr uint64_t kSeed = 0xabcdef;
+
+void Upd(OneSparseCell* c, uint64_t index, int64_t delta) {
+  c->Update(index, delta, OneSparseCell::FingerOf(kSeed, index));
+}
+
+TEST(OneSparse, EmptyCellIsZeroAndUndecodable) {
+  OneSparseCell c;
+  EXPECT_TRUE(c.IsZero());
+  EXPECT_FALSE(c.Decode(kSeed).has_value());
+}
+
+TEST(OneSparse, SingleEntryDecodes) {
+  OneSparseCell c;
+  Upd(&c, 42, 7);
+  auto r = c.Decode(kSeed);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->index, 42u);
+  EXPECT_EQ(r->value, 7);
+}
+
+TEST(OneSparse, NegativeValueDecodes) {
+  OneSparseCell c;
+  Upd(&c, 9, -3);
+  auto r = c.Decode(kSeed);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->index, 9u);
+  EXPECT_EQ(r->value, -3);
+}
+
+TEST(OneSparse, IndexZeroDecodes) {
+  OneSparseCell c;
+  Upd(&c, 0, 5);
+  auto r = c.Decode(kSeed);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->index, 0u);
+  EXPECT_EQ(r->value, 5);
+}
+
+TEST(OneSparse, InsertDeleteCancelsToZero) {
+  OneSparseCell c;
+  Upd(&c, 100, 1);
+  Upd(&c, 100, -1);
+  EXPECT_TRUE(c.IsZero());
+  EXPECT_FALSE(c.Decode(kSeed).has_value());
+}
+
+TEST(OneSparse, TwoEntriesRejected) {
+  OneSparseCell c;
+  Upd(&c, 3, 1);
+  Upd(&c, 8, 1);
+  EXPECT_FALSE(c.Decode(kSeed).has_value());
+  EXPECT_FALSE(c.IsZero());
+}
+
+TEST(OneSparse, TwoEntriesWithIntegerMeanRejected) {
+  // index_weight/count = (4+8)/2 = 6: the division test alone would wrongly
+  // report index 6; the fingerprint must catch it.
+  OneSparseCell c;
+  Upd(&c, 4, 1);
+  Upd(&c, 8, 1);
+  EXPECT_FALSE(c.Decode(kSeed).has_value());
+}
+
+TEST(OneSparse, CancellingValuesNotZeroVector) {
+  // +1 at 5, -1 at 11: count == 0 but the vector is not zero.
+  OneSparseCell c;
+  Upd(&c, 5, 1);
+  Upd(&c, 11, -1);
+  EXPECT_FALSE(c.IsZero());
+  EXPECT_FALSE(c.Decode(kSeed).has_value());
+}
+
+TEST(OneSparse, BecomesDecodableAfterPeeling) {
+  OneSparseCell c;
+  Upd(&c, 5, 2);
+  Upd(&c, 11, 4);
+  EXPECT_FALSE(c.Decode(kSeed).has_value());
+  Upd(&c, 11, -4);  // peel the second entry
+  auto r = c.Decode(kSeed);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->index, 5u);
+  EXPECT_EQ(r->value, 2);
+}
+
+TEST(OneSparse, MergeActsLikeConcatenatedStream) {
+  OneSparseCell a, b, whole;
+  Upd(&a, 7, 3);
+  Upd(&b, 7, -1);
+  Upd(&whole, 7, 3);
+  Upd(&whole, 7, -1);
+  a.Merge(b);
+  auto r1 = a.Decode(kSeed), r2 = whole.Decode(kSeed);
+  ASSERT_TRUE(r1.has_value());
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_EQ(r1->index, r2->index);
+  EXPECT_EQ(r1->value, r2->value);
+}
+
+TEST(OneSparse, SubtractInvertsMerge) {
+  OneSparseCell a, b;
+  Upd(&a, 1, 1);
+  Upd(&b, 2, 5);
+  a.Merge(b);
+  a.Subtract(b);
+  auto r = a.Decode(kSeed);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->index, 1u);
+}
+
+TEST(OneSparse, LargeIndicesAndValues) {
+  OneSparseCell c;
+  uint64_t big = (uint64_t{1} << 40) + 12345;
+  Upd(&c, big, 1 << 20);
+  auto r = c.Decode(kSeed);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->index, big);
+  EXPECT_EQ(r->value, 1 << 20);
+}
+
+TEST(OneSparse, ManyEntriesNeverFalselyDecode) {
+  // Property sweep: dense cells with varying contents must not decode.
+  for (int trial = 0; trial < 50; ++trial) {
+    OneSparseCell c;
+    for (int i = 0; i < 10; ++i) {
+      Upd(&c, static_cast<uint64_t>(trial * 100 + i * 3), 1 + (i % 3));
+    }
+    EXPECT_FALSE(c.Decode(kSeed).has_value()) << trial;
+  }
+}
+
+}  // namespace
+}  // namespace gsketch

@@ -1,0 +1,177 @@
+// Tests for sketch serialization: round-trips, cross-site merge on
+// deserialized sketches, and malformed-input rejection.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/core/node_sketch.h"
+#include "src/core/spanning_forest.h"
+#include "src/graph/generators.h"
+#include "src/sketch/l0_sampler.h"
+#include "src/sketch/serde.h"
+#include "src/sketch/sparse_recovery.h"
+
+namespace gsketch {
+namespace {
+
+TEST(Serde, ByteRoundTripPrimitives) {
+  std::string buf;
+  ByteWriter w(&buf);
+  w.U8(0xab);
+  w.U32(0xdeadbeef);
+  w.U64(0x0123456789abcdefULL);
+  w.I64(-42);
+  ByteReader r(buf);
+  EXPECT_EQ(r.U8().value(), 0xab);
+  EXPECT_EQ(r.U32().value(), 0xdeadbeefu);
+  EXPECT_EQ(r.U64().value(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.I64().value(), -42);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(Serde, ReaderFailsOnTruncation) {
+  std::string buf;
+  ByteWriter w(&buf);
+  w.U32(7);
+  ByteReader r(buf);
+  EXPECT_TRUE(r.U32().has_value());
+  EXPECT_FALSE(r.U64().has_value());
+  EXPECT_TRUE(r.failed());
+}
+
+TEST(Serde, L0SamplerRoundTripDecodesIdentically) {
+  L0Sampler s(1 << 16, 6, 42);
+  for (uint64_t i = 0; i < 100; ++i) s.Update(i * 37, 1 + (i % 3));
+  std::string buf;
+  s.AppendTo(&buf);
+  ByteReader r(buf);
+  auto back = L0Sampler::Deserialize(&r);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(r.AtEnd());
+  auto a = s.Sample(), b = back->Sample();
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a->index, b->index);
+  EXPECT_EQ(a->value, b->value);
+}
+
+TEST(Serde, L0SamplerCrossSiteMergeAfterShipping) {
+  // Site A serializes; the coordinator deserializes and merges with its
+  // own sketch; result equals a single-stream sketch.
+  L0Sampler site_a(4096, 6, 7), coord(4096, 6, 7), whole(4096, 6, 7);
+  for (uint64_t i = 0; i < 40; ++i) {
+    site_a.Update(i, 1);
+    whole.Update(i, 1);
+  }
+  for (uint64_t i = 40; i < 80; ++i) {
+    coord.Update(i, 1);
+    whole.Update(i, 1);
+  }
+  std::string wire;
+  site_a.AppendTo(&wire);
+  ByteReader r(wire);
+  auto shipped = L0Sampler::Deserialize(&r);
+  ASSERT_TRUE(shipped.has_value());
+  coord.Merge(*shipped);
+  auto a = coord.Sample(), b = whole.Sample();
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a->index, b->index);
+}
+
+TEST(Serde, L0SamplerRejectsGarbage) {
+  std::string buf = "not a sketch at all, definitely";
+  ByteReader r(buf);
+  EXPECT_FALSE(L0Sampler::Deserialize(&r).has_value());
+}
+
+TEST(Serde, L0SamplerRejectsTruncated) {
+  L0Sampler s(1024, 4, 9);
+  s.Update(5, 1);
+  std::string buf;
+  s.AppendTo(&buf);
+  buf.resize(buf.size() / 2);
+  ByteReader r(buf);
+  EXPECT_FALSE(L0Sampler::Deserialize(&r).has_value());
+}
+
+TEST(Serde, SparseRecoveryRoundTrip) {
+  SparseRecovery s(1 << 14, 8, 3, 11);
+  s.Update(100, 5);
+  s.Update(2000, -3);
+  std::string buf;
+  s.AppendTo(&buf);
+  ByteReader r(buf);
+  auto back = SparseRecovery::Deserialize(&r);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(r.AtEnd());
+  auto da = s.Decode(), db = back->Decode();
+  ASSERT_TRUE(da.ok);
+  ASSERT_TRUE(db.ok);
+  EXPECT_EQ(da.entries, db.entries);
+}
+
+TEST(Serde, SparseRecoverySubtractAfterShipping) {
+  SparseRecovery a(4096, 8, 3, 13), b(4096, 8, 3, 13);
+  a.Update(1, 1);
+  a.Update(2, 2);
+  b.Update(2, 2);
+  std::string wire;
+  b.AppendTo(&wire);
+  ByteReader r(wire);
+  auto shipped = SparseRecovery::Deserialize(&r);
+  ASSERT_TRUE(shipped.has_value());
+  a.Subtract(*shipped);
+  auto d = a.Decode();
+  ASSERT_TRUE(d.ok);
+  ASSERT_EQ(d.entries.size(), 1u);
+  EXPECT_EQ(d.entries[0].first, 1u);
+}
+
+TEST(Serde, SpanningForestRoundTripSameForest) {
+  Graph g = ErdosRenyi(24, 0.25, 3);
+  ForestOptions opt;
+  opt.repetitions = 5;
+  SpanningForestSketch sk(24, opt, 17);
+  for (const auto& e : g.Edges()) sk.Update(e.u, e.v, 1);
+  std::string wire;
+  sk.AppendTo(&wire);
+  ByteReader r(wire);
+  auto back = SpanningForestSketch::Deserialize(&r);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(r.AtEnd());
+  Graph fa = sk.ExtractForest(), fb = back->ExtractForest();
+  EXPECT_EQ(fa.NumEdges(), fb.NumEdges());
+  for (const auto& e : fa.Edges()) EXPECT_TRUE(fb.HasEdge(e.u, e.v));
+}
+
+TEST(Serde, ShippedForestSketchMergesWithLocal) {
+  Graph g = ErdosRenyi(20, 0.3, 5);
+  ForestOptions opt;
+  opt.repetitions = 5;
+  SpanningForestSketch site(20, opt, 19), coord(20, opt, 19),
+      whole(20, opt, 19);
+  size_t i = 0;
+  for (const auto& e : g.Edges()) {
+    ((i++ % 2 == 0) ? site : coord).Update(e.u, e.v, 1);
+    whole.Update(e.u, e.v, 1);
+  }
+  std::string wire;
+  site.AppendTo(&wire);
+  ByteReader r(wire);
+  auto shipped = SpanningForestSketch::Deserialize(&r);
+  ASSERT_TRUE(shipped.has_value());
+  coord.Merge(*shipped);
+  EXPECT_EQ(coord.CountComponents(), whole.CountComponents());
+}
+
+TEST(Serde, WireSizeMatchesCellCount) {
+  L0Sampler s(1 << 20, 4, 21);
+  std::string buf;
+  s.AppendTo(&buf);
+  // header (4+8+4+8) + cells * 24 bytes.
+  EXPECT_EQ(buf.size(), 24 + s.CellCount() * 24);
+}
+
+}  // namespace
+}  // namespace gsketch

@@ -1,0 +1,185 @@
+// Tests for the adaptive spanner schemes: Baswana–Sen (Sec 5) and
+// RECURSECONNECT (Sec 5.1).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/baswana_sen.h"
+#include "src/core/recurse_connect.h"
+#include "src/graph/generators.h"
+#include "src/graph/spanner_check.h"
+#include "src/graph/stream.h"
+#include "src/hash/random.h"
+
+namespace gsketch {
+namespace {
+
+BaswanaSenOptions BsOptions(uint32_t k) {
+  BaswanaSenOptions opt;
+  opt.k = k;
+  opt.partitions = 3;
+  opt.repetitions = 5;
+  return opt;
+}
+
+TEST(BaswanaSen, KOneReturnsWholeGraph) {
+  // k=1: stretch bound 1; the single clean-up pass must connect every
+  // vertex to each adjacent (singleton) cluster, i.e. keep every edge.
+  Graph g = ErdosRenyi(20, 0.2, 1);
+  auto stream = DynamicGraphStream::FromGraph(g);
+  BaswanaSenSpanner sp(20, BsOptions(1), 3);
+  sp.Run(stream);
+  auto stats = CheckSpanner(g, sp.Spanner(), 0, 1);
+  EXPECT_TRUE(stats.is_subgraph);
+  EXPECT_EQ(stats.disconnected_pairs, 0u);
+  EXPECT_DOUBLE_EQ(stats.max_stretch, 1.0);
+}
+
+TEST(BaswanaSen, StretchWithinBoundGrid) {
+  Graph g = GridGraph(6, 6);
+  auto stream = DynamicGraphStream::FromGraph(g);
+  for (uint32_t k : {2u, 3u}) {
+    BaswanaSenSpanner sp(36, BsOptions(k), 100 + k);
+    sp.Run(stream);
+    auto stats = CheckSpanner(g, sp.Spanner(), 0, 1);
+    EXPECT_TRUE(stats.is_subgraph) << k;
+    EXPECT_EQ(stats.disconnected_pairs, 0u) << k;
+    EXPECT_LE(stats.max_stretch, sp.StretchBound()) << k;
+  }
+}
+
+TEST(BaswanaSen, StretchWithinBoundRandomGraphs) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    Graph g = ErdosRenyi(48, 0.15, seed);
+    auto stream = DynamicGraphStream::FromGraph(g);
+    BaswanaSenSpanner sp(48, BsOptions(3), 200 + seed);
+    sp.Run(stream);
+    auto stats = CheckSpanner(g, sp.Spanner(), 0, seed);
+    EXPECT_TRUE(stats.is_subgraph) << seed;
+    EXPECT_EQ(stats.disconnected_pairs, 0u) << seed;
+    EXPECT_LE(stats.max_stretch, sp.StretchBound()) << seed;
+  }
+}
+
+TEST(BaswanaSen, SparsifiesDenseGraph) {
+  Graph g = CompleteGraph(40);
+  auto stream = DynamicGraphStream::FromGraph(g);
+  BaswanaSenSpanner sp(40, BsOptions(2), 7);
+  sp.Run(stream);
+  EXPECT_LT(sp.Spanner().NumEdges(), g.NumEdges() / 2);
+  auto stats = CheckSpanner(g, sp.Spanner(), 0, 1);
+  EXPECT_LE(stats.max_stretch, 3.0);
+  EXPECT_EQ(stats.disconnected_pairs, 0u);
+}
+
+TEST(BaswanaSen, HandlesDeletionsInStream) {
+  Graph g = GridGraph(5, 5);
+  auto stream = DynamicGraphStream::FromGraph(g);
+  Rng rng(9);
+  auto churned = stream.WithChurn(60, &rng);
+  BaswanaSenSpanner sp(25, BsOptions(2), 11);
+  sp.Run(churned);
+  auto stats = CheckSpanner(g, sp.Spanner(), 0, 1);
+  EXPECT_TRUE(stats.is_subgraph) << "spanner kept a deleted edge";
+  EXPECT_EQ(stats.disconnected_pairs, 0u);
+  EXPECT_LE(stats.max_stretch, sp.StretchBound());
+}
+
+TEST(BaswanaSen, DisconnectedGraphPreservesComponents) {
+  Graph g(30);
+  // Two separate grids.
+  for (NodeId r = 0; r < 3; ++r) {
+    for (NodeId c = 0; c < 5; ++c) {
+      NodeId v = r * 5 + c;
+      if (c + 1 < 5) g.AddEdge(v, v + 1);
+      if (r + 1 < 3) g.AddEdge(v, v + 5);
+      NodeId w = 15 + v;
+      if (c + 1 < 5) g.AddEdge(w, w + 1);
+      if (r + 1 < 3) g.AddEdge(w, w + 5);
+    }
+  }
+  auto stream = DynamicGraphStream::FromGraph(g);
+  BaswanaSenSpanner sp(30, BsOptions(2), 13);
+  sp.Run(stream);
+  auto stats = CheckSpanner(g, sp.Spanner(), 0, 1);
+  EXPECT_EQ(stats.disconnected_pairs, 0u);
+  EXPECT_LE(stats.max_stretch, sp.StretchBound());
+}
+
+RecurseConnectOptions RcOptions(uint32_t k) {
+  RecurseConnectOptions opt;
+  opt.k = k;
+  opt.partitions = 3;
+  opt.repetitions = 5;
+  return opt;
+}
+
+TEST(RecurseConnect, PassCountIsLogK) {
+  RecurseConnectSpanner sp2(16, RcOptions(2), 1);
+  EXPECT_EQ(sp2.NumPasses(), 2u);  // ceil(log2 2) + final
+  RecurseConnectSpanner sp4(16, RcOptions(4), 1);
+  EXPECT_EQ(sp4.NumPasses(), 3u);
+  RecurseConnectSpanner sp8(16, RcOptions(8), 1);
+  EXPECT_EQ(sp8.NumPasses(), 4u);
+}
+
+TEST(RecurseConnect, StretchBoundFormula) {
+  RecurseConnectSpanner sp(16, RcOptions(4), 1);
+  EXPECT_NEAR(sp.StretchBound(), std::pow(4.0, std::log2(5.0)) - 1.0, 1e-9);
+}
+
+TEST(RecurseConnect, ConnectivityPreservedGrid) {
+  Graph g = GridGraph(6, 6);
+  auto stream = DynamicGraphStream::FromGraph(g);
+  RecurseConnectSpanner sp(36, RcOptions(2), 3);
+  sp.Run(stream);
+  auto stats = CheckSpanner(g, sp.Spanner(), 0, 1);
+  EXPECT_TRUE(stats.is_subgraph);
+  EXPECT_EQ(stats.disconnected_pairs, 0u);
+  EXPECT_LE(stats.max_stretch, sp.StretchBound());
+}
+
+TEST(RecurseConnect, StretchWithinBoundRandomGraphs) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    Graph g = ErdosRenyi(40, 0.2, seed);
+    auto stream = DynamicGraphStream::FromGraph(g);
+    RecurseConnectSpanner sp(40, RcOptions(4), 300 + seed);
+    sp.Run(stream);
+    auto stats = CheckSpanner(g, sp.Spanner(), 0, seed);
+    EXPECT_TRUE(stats.is_subgraph) << seed;
+    EXPECT_EQ(stats.disconnected_pairs, 0u) << seed;
+    EXPECT_LE(stats.max_stretch, sp.StretchBound()) << seed;
+  }
+}
+
+TEST(RecurseConnect, SupersShrinkAcrossPasses) {
+  Graph g = CompleteGraph(48);
+  auto stream = DynamicGraphStream::FromGraph(g);
+  RecurseConnectSpanner sp(48, RcOptions(4), 5);
+  sp.Run(stream);
+  const auto& supers = sp.SupersPerPass();
+  ASSERT_GE(supers.size(), 2u);
+  EXPECT_LT(supers.back(), supers.front());
+}
+
+TEST(RecurseConnect, HandlesDeletions) {
+  Graph g = GridGraph(5, 5);
+  auto stream = DynamicGraphStream::FromGraph(g);
+  Rng rng(7);
+  auto churned = stream.WithChurn(50, &rng);
+  RecurseConnectSpanner sp(25, RcOptions(2), 9);
+  sp.Run(churned);
+  auto stats = CheckSpanner(g, sp.Spanner(), 0, 1);
+  EXPECT_TRUE(stats.is_subgraph);
+  EXPECT_EQ(stats.disconnected_pairs, 0u);
+}
+
+TEST(RecurseConnect, EmptyGraph) {
+  DynamicGraphStream stream(10);
+  RecurseConnectSpanner sp(10, RcOptions(2), 11);
+  sp.Run(stream);
+  EXPECT_EQ(sp.Spanner().NumEdges(), 0u);
+}
+
+}  // namespace
+}  // namespace gsketch

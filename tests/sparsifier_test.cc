@@ -1,0 +1,199 @@
+// Tests for SIMPLE-SPARSIFICATION (Fig. 2), SPARSIFICATION (Fig. 3), and
+// the weighted variant (Sec 3.5).
+#include <gtest/gtest.h>
+
+#include "src/core/simple_sparsifier.h"
+#include "src/core/sparsifier.h"
+#include "src/core/weighted_sparsifier.h"
+#include "src/graph/cuts.h"
+#include "src/graph/generators.h"
+#include "src/graph/stream.h"
+#include "src/hash/random.h"
+
+namespace gsketch {
+namespace {
+
+SimpleSparsifierOptions SimpleOptions(uint32_t k = 8) {
+  SimpleSparsifierOptions opt;
+  opt.k_override = k;
+  opt.forest.repetitions = 5;
+  return opt;
+}
+
+void Feed(SimpleSparsifier* sk, const Graph& g) {
+  for (const auto& e : g.Edges()) {
+    sk->Update(e.u, e.v, static_cast<int64_t>(e.weight));
+  }
+}
+
+TEST(SimpleSparsifier, SparseGraphReproducedExactly) {
+  // When every edge connectivity is below k, level 0 keeps every edge with
+  // weight 2^0 = 1: the sparsifier IS the graph.
+  Graph g = GridGraph(5, 5);  // max connectivity 4 < k
+  SimpleSparsifier sk(25, SimpleOptions(8), 3);
+  Feed(&sk, g);
+  Graph h = sk.Extract();
+  EXPECT_EQ(h.NumEdges(), g.NumEdges());
+  for (const auto& e : h.Edges()) {
+    EXPECT_DOUBLE_EQ(e.weight, 1.0);
+    EXPECT_TRUE(g.HasEdge(e.u, e.v));
+  }
+}
+
+TEST(SimpleSparsifier, AllCutsWithinToleranceSmallGraph) {
+  Graph g = ErdosRenyi(14, 0.5, 5);
+  SimpleSparsifier sk(14, SimpleOptions(10), 7);
+  Feed(&sk, g);
+  Graph h = sk.Extract();
+  auto stats = CompareCuts(g, h, EnumerateAllCuts(14));
+  // k=10 on a 14-node graph: moderate approximation; cuts must be close.
+  EXPECT_LT(stats.max_rel_error, 0.6);
+  EXPECT_LT(stats.avg_rel_error, 0.25);
+}
+
+TEST(SimpleSparsifier, SparsifiesDenseGraph) {
+  Graph g = CompleteGraph(40);
+  SimpleSparsifier sk(40, SimpleOptions(8), 9);
+  Feed(&sk, g);
+  Graph h = sk.Extract();
+  EXPECT_LT(h.NumEdges(), g.NumEdges());
+  // Total weight approximates total edge mass.
+  EXPECT_NEAR(h.TotalWeight(), g.TotalWeight(), 0.6 * g.TotalWeight());
+  Rng rng(11);
+  auto stats = CompareCuts(g, h, RandomCuts(40, 60, &rng));
+  EXPECT_LT(stats.max_rel_error, 0.8);
+}
+
+TEST(SimpleSparsifier, OnlyGraphEdgesAppear) {
+  Graph g = ErdosRenyi(20, 0.4, 13);
+  SimpleSparsifier sk(20, SimpleOptions(6), 15);
+  Feed(&sk, g);
+  Graph h = sk.Extract();
+  EXPECT_TRUE(g.ContainsEdgesOf(h));
+}
+
+TEST(SimpleSparsifier, ChurnDoesNotPolluteSparsifier) {
+  Graph g = GridGraph(4, 5);
+  auto stream = DynamicGraphStream::FromGraph(g);
+  Rng rng(17);
+  auto churned = stream.WithChurn(60, &rng);
+  SimpleSparsifier sk(20, SimpleOptions(8), 19);
+  churned.Replay([&sk](NodeId u, NodeId v, int32_t d) { sk.Update(u, v, d); });
+  Graph h = sk.Extract();
+  EXPECT_TRUE(g.ContainsEdgesOf(h)) << "deleted edge leaked into sparsifier";
+  EXPECT_EQ(h.NumEdges(), g.NumEdges());
+}
+
+TEST(SimpleSparsifier, DistributedMergeMatchesSingleSketch) {
+  Graph g = ErdosRenyi(16, 0.5, 21);
+  auto stream = DynamicGraphStream::FromGraph(g);
+  Rng rng(23);
+  auto parts = stream.Partition(3, &rng);
+  SimpleSparsifier s0(16, SimpleOptions(6), 25), s1(16, SimpleOptions(6), 25),
+      s2(16, SimpleOptions(6), 25), whole(16, SimpleOptions(6), 25);
+  parts[0].Replay([&](NodeId u, NodeId v, int32_t d) { s0.Update(u, v, d); });
+  parts[1].Replay([&](NodeId u, NodeId v, int32_t d) { s1.Update(u, v, d); });
+  parts[2].Replay([&](NodeId u, NodeId v, int32_t d) { s2.Update(u, v, d); });
+  stream.Replay(
+      [&](NodeId u, NodeId v, int32_t d) { whole.Update(u, v, d); });
+  s0.Merge(s1);
+  s0.Merge(s2);
+  Graph hm = s0.Extract(), hw = whole.Extract();
+  EXPECT_EQ(hm.NumEdges(), hw.NumEdges());
+  for (const auto& e : hw.Edges()) {
+    EXPECT_DOUBLE_EQ(hm.EdgeWeight(e.u, e.v), e.weight);
+  }
+}
+
+SparsifierOptions BetterOptions() {
+  SparsifierOptions opt;
+  opt.k_override = 12;
+  opt.rows = 3;
+  opt.rough.k_override = 6;
+  opt.rough.forest.repetitions = 5;
+  return opt;
+}
+
+TEST(Sparsifier, SparseGraphCutsPreserved) {
+  Graph g = GridGraph(5, 4);
+  Sparsifier sk(20, BetterOptions(), 27);
+  for (const auto& e : g.Edges()) sk.Update(e.u, e.v, 1);
+  SparsifierStats stats;
+  Graph h = sk.Extract(&stats);
+  EXPECT_TRUE(g.ContainsEdgesOf(h));
+  Rng rng(29);
+  auto err = CompareCuts(g, h, BfsBallCuts(g, 30, &rng));
+  EXPECT_LT(err.max_rel_error, 0.75);
+  EXPECT_EQ(stats.recovery_failures, 0u);
+}
+
+TEST(Sparsifier, DenseGraphApproximatesCuts) {
+  Graph g = ErdosRenyi(20, 0.6, 31);
+  Sparsifier sk(20, BetterOptions(), 33);
+  for (const auto& e : g.Edges()) sk.Update(e.u, e.v, 1);
+  Graph h = sk.Extract();
+  EXPECT_GT(h.NumEdges(), 0u);
+  EXPECT_TRUE(g.ContainsEdgesOf(h));
+  Rng rng(35);
+  auto err = CompareCuts(g, h, RandomCuts(20, 40, &rng));
+  EXPECT_LT(err.max_rel_error, 0.9);
+  EXPECT_LT(err.avg_rel_error, 0.4);
+}
+
+TEST(Sparsifier, DeletionsRespected) {
+  Graph g = CompleteGraph(12);
+  Sparsifier sk(12, BetterOptions(), 37);
+  for (const auto& e : g.Edges()) sk.Update(e.u, e.v, 1);
+  // Delete everything except a ring.
+  Graph ring(12);
+  for (NodeId v = 0; v < 12; ++v) ring.AddEdge(v, (v + 1) % 12);
+  for (const auto& e : g.Edges()) {
+    if (!ring.HasEdge(e.u, e.v)) sk.Update(e.u, e.v, -1);
+  }
+  Graph h = sk.Extract();
+  EXPECT_TRUE(ring.ContainsEdgesOf(h));
+  // The ring is 2-edge-connected with tiny cuts; expect near-exact copy.
+  Rng rng(39);
+  auto err = CompareCuts(ring, h, BfsBallCuts(ring, 20, &rng));
+  EXPECT_LT(err.max_rel_error, 0.5);
+}
+
+TEST(WeightedSparsifier, UniformWeightsMatchUnweightedBehavior) {
+  Graph g = GridGraph(4, 4);
+  WeightedSparsifier sk(16, /*max_weight=*/1, SimpleOptions(8), 41);
+  for (const auto& e : g.Edges()) sk.Update(e.u, e.v, 1, 1);
+  Graph h = sk.Extract();
+  EXPECT_EQ(h.NumEdges(), g.NumEdges());
+  for (const auto& e : h.Edges()) EXPECT_DOUBLE_EQ(e.weight, 1.0);
+}
+
+TEST(WeightedSparsifier, RecoversActualWeights) {
+  Graph g = GridGraph(4, 4);
+  Graph w = WithRandomWeights(g, 50, 43);
+  WeightedSparsifier sk(16, 50, SimpleOptions(8), 45);
+  for (const auto& e : w.Edges()) {
+    sk.Update(e.u, e.v, 1, static_cast<int64_t>(e.weight));
+  }
+  Graph h = sk.Extract();
+  // Sparse graph: every class keeps its edges at level 0 with true weight.
+  EXPECT_EQ(h.NumEdges(), w.NumEdges());
+  for (const auto& e : h.Edges()) {
+    EXPECT_DOUBLE_EQ(e.weight, w.EdgeWeight(e.u, e.v));
+  }
+}
+
+TEST(WeightedSparsifier, CutsApproximatedOnWeightedDenseGraph) {
+  Graph g = ErdosRenyi(18, 0.5, 47);
+  Graph w = WithRandomWeights(g, 15, 49);
+  WeightedSparsifier sk(18, 15, SimpleOptions(8), 51);
+  for (const auto& e : w.Edges()) {
+    sk.Update(e.u, e.v, 1, static_cast<int64_t>(e.weight));
+  }
+  Graph h = sk.Extract();
+  Rng rng(53);
+  auto err = CompareCuts(w, h, RandomCuts(18, 40, &rng));
+  EXPECT_LT(err.max_rel_error, 0.9);
+}
+
+}  // namespace
+}  // namespace gsketch

@@ -1,0 +1,61 @@
+// Tests for the constant-factor support-size estimator.
+#include <gtest/gtest.h>
+
+#include "src/hash/random.h"
+#include "src/sketch/support_estimator.h"
+
+namespace gsketch {
+namespace {
+
+TEST(SupportEstimator, ZeroVector) {
+  SupportEstimator s(1 << 16, 9, 1);
+  EXPECT_EQ(s.Estimate(), 0u);
+}
+
+TEST(SupportEstimator, SingletonIsSmall) {
+  SupportEstimator s(1 << 16, 9, 2);
+  s.Update(123, 5);
+  EXPECT_GE(s.Estimate(), 1u);
+  EXPECT_LE(s.Estimate(), 8u);
+}
+
+TEST(SupportEstimator, WithinConstantFactor) {
+  for (uint64_t truth : {64u, 512u, 4096u}) {
+    SupportEstimator s(1 << 20, 15, truth);
+    Rng rng(truth);
+    std::set<uint64_t> used;
+    while (used.size() < truth) used.insert(rng.Below(1 << 20));
+    for (uint64_t i : used) s.Update(i, 1);
+    uint64_t est = s.Estimate();
+    EXPECT_GE(est, truth / 16) << truth;
+    EXPECT_LE(est, truth * 16) << truth;
+  }
+}
+
+TEST(SupportEstimator, DeletionsLowerEstimate) {
+  SupportEstimator s(1 << 16, 15, 9);
+  for (uint64_t i = 0; i < 2048; ++i) s.Update(i, 1);
+  uint64_t before = s.Estimate();
+  for (uint64_t i = 4; i < 2048; ++i) s.Update(i, -1);
+  uint64_t after = s.Estimate();
+  EXPECT_LT(after, before);
+  EXPECT_LE(after, 64u);
+}
+
+TEST(SupportEstimator, MergeMatchesUnion) {
+  SupportEstimator a(1 << 16, 9, 4), b(1 << 16, 9, 4),
+      whole(1 << 16, 9, 4);
+  for (uint64_t i = 0; i < 100; ++i) {
+    a.Update(i, 1);
+    whole.Update(i, 1);
+  }
+  for (uint64_t i = 100; i < 200; ++i) {
+    b.Update(i, 1);
+    whole.Update(i, 1);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.Estimate(), whole.Estimate());
+}
+
+}  // namespace
+}  // namespace gsketch

@@ -1,0 +1,187 @@
+// gsketch: command-line driver for sketching dynamic graph streams from
+// files.
+//
+// Usage:
+//   gsketch <command> <n> <stream-file> [seed]
+//
+// Commands:
+//   connectivity   components / connected?
+//   bipartite      bipartiteness via the double cover
+//   mincut         (1+eps) minimum cut (eps = 0.5)
+//   sparsify       decode a cut sparsifier, print its edges
+//   triangles      order-3 pattern fractions
+//   spanner        3-pass Baswana-Sen spanner, print stretch-checked edges
+//   stats          stream statistics only
+//
+// Stream file format: one update per line, "u v delta" with delta = +1 or
+// -1 (or any integer multiplicity); '#' starts a comment. A file
+// "demo.stream" for n=5:
+//     0 1 1
+//     1 2 1
+//     0 1 -1
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/graphsketch.h"
+
+namespace {
+
+using namespace gsketch;
+
+bool LoadStream(const char* path, NodeId n, DynamicGraphStream* out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", path);
+    return false;
+  }
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    long long u, v, delta;
+    if (!(ss >> u >> v >> delta)) {
+      std::fprintf(stderr, "error: %s:%zu: expected 'u v delta'\n", path,
+                   lineno);
+      return false;
+    }
+    if (u < 0 || v < 0 || u >= static_cast<long long>(n) ||
+        v >= static_cast<long long>(n) || u == v) {
+      std::fprintf(stderr, "error: %s:%zu: bad endpoints %lld %lld (n=%u)\n",
+                   path, lineno, u, v, n);
+      return false;
+    }
+    out->Push(static_cast<NodeId>(u), static_cast<NodeId>(v),
+              static_cast<int32_t>(delta));
+  }
+  return true;
+}
+
+int RunConnectivity(NodeId n, const DynamicGraphStream& stream,
+                    uint64_t seed) {
+  ConnectivitySketch sk(n, ForestOptions{}, seed);
+  stream.Replay([&sk](NodeId u, NodeId v, int32_t d) { sk.Update(u, v, d); });
+  std::printf("components: %zu\nconnected:  %s\n", sk.NumComponents(),
+              sk.IsConnected() ? "yes" : "no");
+  return 0;
+}
+
+int RunBipartite(NodeId n, const DynamicGraphStream& stream, uint64_t seed) {
+  BipartitenessSketch sk(n, ForestOptions{}, seed);
+  stream.Replay([&sk](NodeId u, NodeId v, int32_t d) { sk.Update(u, v, d); });
+  std::printf("bipartite: %s\n", sk.IsBipartite() ? "yes" : "no");
+  return 0;
+}
+
+int RunMinCut(NodeId n, const DynamicGraphStream& stream, uint64_t seed) {
+  MinCutOptions opt;
+  opt.epsilon = 0.5;
+  opt.k_scale = 2.0;
+  MinCutSketch sk(n, opt, seed);
+  stream.Replay([&sk](NodeId u, NodeId v, int32_t d) { sk.Update(u, v, d); });
+  auto est = sk.Estimate();
+  std::printf("min cut: %.0f (level %u%s)\n", est.value, est.level,
+              est.resolved ? "" : ", UNRESOLVED");
+  std::printf("one side (%zu nodes):", est.side.size());
+  for (NodeId v : est.side) std::printf(" %u", v);
+  std::printf("\n");
+  return 0;
+}
+
+int RunSparsify(NodeId n, const DynamicGraphStream& stream, uint64_t seed) {
+  SimpleSparsifierOptions opt;
+  opt.epsilon = 0.5;
+  SimpleSparsifier sk(n, opt, seed);
+  stream.Replay([&sk](NodeId u, NodeId v, int32_t d) { sk.Update(u, v, d); });
+  Graph h = sk.Extract();
+  std::printf("# sparsifier: %zu edges (k=%u)\n", h.NumEdges(), sk.k());
+  for (const auto& e : h.Edges()) {
+    std::printf("%u %u %.0f\n", e.u, e.v, e.weight);
+  }
+  return 0;
+}
+
+int RunTriangles(NodeId n, const DynamicGraphStream& stream, uint64_t seed) {
+  SubgraphSketch sk(n, 3, 200, 6, seed);
+  stream.Replay([&sk](NodeId u, NodeId v, int32_t d) { sk.Update(u, v, d); });
+  for (const auto& p : Order3Patterns()) {
+    auto est = sk.EstimateGamma(p.canonical_code);
+    std::printf("gamma[%-11s] = %.4f   (count estimate ~%.0f)\n",
+                p.name.c_str(), est.gamma,
+                sk.EstimateCount(p.canonical_code));
+  }
+  return 0;
+}
+
+int RunSpanner(NodeId n, const DynamicGraphStream& stream, uint64_t seed) {
+  BaswanaSenOptions opt;
+  opt.k = 3;
+  BaswanaSenSpanner sp(n, opt, seed);
+  sp.Run(stream);
+  Graph g = stream.Materialize();
+  auto stats = CheckSpanner(g, sp.Spanner(), 0, seed);
+  std::printf("# spanner: %zu edges, %u passes, stretch %.2f (bound %.0f)\n",
+              sp.Spanner().NumEdges(), sp.NumPasses(), stats.max_stretch,
+              sp.StretchBound());
+  for (const auto& e : sp.Spanner().Edges()) {
+    std::printf("%u %u\n", e.u, e.v);
+  }
+  return 0;
+}
+
+int RunStats(NodeId n, const DynamicGraphStream& stream) {
+  Graph g = stream.Materialize();
+  size_t inserts = 0, deletes = 0;
+  for (const auto& e : stream.Updates()) {
+    if (e.delta > 0) {
+      ++inserts;
+    } else {
+      ++deletes;
+    }
+  }
+  std::printf("nodes:       %u\nupdates:     %zu (%zu ins, %zu del)\n"
+              "final edges: %zu\ncomponents:  %zu\n",
+              n, stream.Size(), inserts, deletes, g.NumEdges(),
+              g.NumComponents());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: %s <connectivity|bipartite|mincut|sparsify|"
+                 "triangles|spanner|stats> <n> <stream-file> [seed]\n",
+                 argv[0]);
+    return 2;
+  }
+  const char* cmd = argv[1];
+  long long n_arg = std::atoll(argv[2]);
+  if (n_arg < 2 || n_arg > (1 << 24)) {
+    std::fprintf(stderr, "error: n out of range\n");
+    return 2;
+  }
+  gsketch::NodeId n = static_cast<gsketch::NodeId>(n_arg);
+  uint64_t seed = argc > 4 ? std::strtoull(argv[4], nullptr, 0) : 1;
+
+  gsketch::DynamicGraphStream stream(n);
+  if (!LoadStream(argv[3], n, &stream)) return 1;
+
+  if (std::strcmp(cmd, "connectivity") == 0) {
+    return RunConnectivity(n, stream, seed);
+  }
+  if (std::strcmp(cmd, "bipartite") == 0) return RunBipartite(n, stream, seed);
+  if (std::strcmp(cmd, "mincut") == 0) return RunMinCut(n, stream, seed);
+  if (std::strcmp(cmd, "sparsify") == 0) return RunSparsify(n, stream, seed);
+  if (std::strcmp(cmd, "triangles") == 0) return RunTriangles(n, stream, seed);
+  if (std::strcmp(cmd, "spanner") == 0) return RunSpanner(n, stream, seed);
+  if (std::strcmp(cmd, "stats") == 0) return RunStats(n, stream);
+  std::fprintf(stderr, "error: unknown command '%s'\n", cmd);
+  return 2;
+}
