@@ -15,6 +15,11 @@ void ConnectivitySketch::Update(NodeId u, NodeId v, int64_t delta) {
   forest_.Update(u, v, delta);
 }
 
+void ConnectivitySketch::UpdateEndpoint(NodeId endpoint, NodeId u, NodeId v,
+                                        int64_t delta) {
+  forest_.UpdateEndpoint(endpoint, u, v, delta);
+}
+
 void ConnectivitySketch::Merge(const ConnectivitySketch& other) {
   forest_.Merge(other.forest_);
 }
@@ -30,6 +35,17 @@ void BipartitenessSketch::Update(NodeId u, NodeId v, int64_t delta) {
   // Double cover: (u, v+n) and (v, u+n).
   cover_.Update(u, v + n_, delta);
   cover_.Update(v, u + n_, delta);
+}
+
+void BipartitenessSketch::UpdateEndpoint(NodeId endpoint, NodeId u, NodeId v,
+                                         int64_t delta) {
+  assert(endpoint == u || endpoint == v);
+  NodeId other = endpoint == u ? v : u;
+  base_.UpdateEndpoint(endpoint, u, v, delta);
+  // Of the cover edges (u, v+n) and (v, u+n), stream node `endpoint` owns
+  // cover nodes `endpoint` and `endpoint + n`: one endpoint of each.
+  cover_.UpdateEndpoint(endpoint, endpoint, other + n_, delta);
+  cover_.UpdateEndpoint(endpoint + n_, other, endpoint + n_, delta);
 }
 
 void BipartitenessSketch::Merge(const BipartitenessSketch& other) {
@@ -115,6 +131,11 @@ KConnectivityTester::KConnectivityTester(NodeId n, uint32_t k,
 
 void KConnectivityTester::Update(NodeId u, NodeId v, int64_t delta) {
   witness_.Update(u, v, delta);
+}
+
+void KConnectivityTester::UpdateEndpoint(NodeId endpoint, NodeId u, NodeId v,
+                                         int64_t delta) {
+  witness_.UpdateEndpoint(endpoint, u, v, delta);
 }
 
 void KConnectivityTester::Merge(const KConnectivityTester& other) {

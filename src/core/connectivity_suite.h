@@ -32,6 +32,11 @@ class ConnectivitySketch {
   /// Applies one stream token.
   void Update(NodeId u, NodeId v, int64_t delta);
 
+  /// Endpoint half of one token; the two halves compose to Update and
+  /// distinct endpoints touch disjoint state (lock-free sharded ingestion,
+  /// see src/driver/sketch_driver.h).
+  void UpdateEndpoint(NodeId endpoint, NodeId u, NodeId v, int64_t delta);
+
   /// Adds another sketch with identical parameterization.
   void Merge(const ConnectivitySketch& other);
 
@@ -62,6 +67,10 @@ class BipartitenessSketch {
 
   /// Applies one stream token.
   void Update(NodeId u, NodeId v, int64_t delta);
+
+  /// Endpoint half of one token. Stream node e owns base sampler e plus
+  /// cover samplers e and e+n, so distinct endpoints stay disjoint.
+  void UpdateEndpoint(NodeId endpoint, NodeId u, NodeId v, int64_t delta);
 
   /// Adds another sketch with identical parameterization.
   void Merge(const BipartitenessSketch& other);
@@ -119,6 +128,9 @@ class KConnectivityTester {
 
   /// Applies one stream token.
   void Update(NodeId u, NodeId v, int64_t delta);
+
+  /// Endpoint half of one token (see ConnectivitySketch::UpdateEndpoint).
+  void UpdateEndpoint(NodeId endpoint, NodeId u, NodeId v, int64_t delta);
 
   /// Adds another sketch with identical parameterization.
   void Merge(const KConnectivityTester& other);

@@ -19,6 +19,11 @@ void KEdgeConnectSketch::Update(NodeId u, NodeId v, int64_t delta) {
   for (auto& layer : layers_) layer.Update(u, v, delta);
 }
 
+void KEdgeConnectSketch::UpdateEndpoint(NodeId endpoint, NodeId u, NodeId v,
+                                        int64_t delta) {
+  for (auto& layer : layers_) layer.UpdateEndpoint(endpoint, u, v, delta);
+}
+
 void KEdgeConnectSketch::Merge(const KEdgeConnectSketch& other) {
   assert(layers_.size() == other.layers_.size());
   for (size_t i = 0; i < layers_.size(); ++i) layers_[i].Merge(other.layers_[i]);

@@ -30,6 +30,10 @@ class KEdgeConnectSketch {
   /// Applies one stream token to all k layers.
   void Update(NodeId u, NodeId v, int64_t delta);
 
+  /// Endpoint half of one token across all k layers (see
+  /// SpanningForestSketch::UpdateEndpoint).
+  void UpdateEndpoint(NodeId endpoint, NodeId u, NodeId v, int64_t delta);
+
   /// Adds another sketch with identical parameterization.
   void Merge(const KEdgeConnectSketch& other);
 

@@ -39,6 +39,14 @@ void MinCutSketch::Update(NodeId u, NodeId v, int64_t delta) {
   }
 }
 
+void MinCutSketch::UpdateEndpoint(NodeId endpoint, NodeId u, NodeId v,
+                                  int64_t delta) {
+  uint32_t deepest = sampler_.LevelOf(u, v);
+  for (uint32_t i = 0; i <= deepest && i < levels_.size(); ++i) {
+    levels_[i].UpdateEndpoint(endpoint, u, v, delta);
+  }
+}
+
 void MinCutSketch::Merge(const MinCutSketch& other) {
   assert(levels_.size() == other.levels_.size() && k_ == other.k_);
   for (size_t i = 0; i < levels_.size(); ++i) levels_[i].Merge(other.levels_[i]);

@@ -46,6 +46,10 @@ class MinCutSketch {
   /// survives to.
   void Update(NodeId u, NodeId v, int64_t delta);
 
+  /// Endpoint half of one token. Level routing hashes the edge, not the
+  /// endpoint, so both halves land on the same levels.
+  void UpdateEndpoint(NodeId endpoint, NodeId u, NodeId v, int64_t delta);
+
   /// Adds another sketch with identical parameterization.
   void Merge(const MinCutSketch& other);
 

@@ -20,6 +20,13 @@ void NodeL0Bank::Update(NodeId u, NodeId v, int64_t delta) {
   samplers_[v].Update(id, delta * IncidenceSign(v, u, v));
 }
 
+void NodeL0Bank::UpdateEndpoint(NodeId endpoint, NodeId u, NodeId v,
+                                int64_t delta) {
+  assert(u != v && (endpoint == u || endpoint == v));
+  samplers_[endpoint].Update(EdgeId(u, v),
+                             delta * IncidenceSign(endpoint, u, v));
+}
+
 L0Sampler NodeL0Bank::SumOver(const std::vector<NodeId>& nodes) const {
   assert(!nodes.empty());
   L0Sampler acc = samplers_[nodes[0]];
@@ -73,6 +80,13 @@ void NodeRecoveryBank::Update(NodeId u, NodeId v, int64_t delta) {
   uint64_t id = EdgeId(u, v);
   sketches_[u].Update(id, delta * IncidenceSign(u, u, v));
   sketches_[v].Update(id, delta * IncidenceSign(v, u, v));
+}
+
+void NodeRecoveryBank::UpdateEndpoint(NodeId endpoint, NodeId u, NodeId v,
+                                      int64_t delta) {
+  assert(u != v && (endpoint == u || endpoint == v));
+  sketches_[endpoint].Update(EdgeId(u, v),
+                             delta * IncidenceSign(endpoint, u, v));
 }
 
 SparseRecovery NodeRecoveryBank::SumOver(

@@ -34,6 +34,13 @@ class NodeL0Bank {
   /// Applies one stream token (u, v, delta) to both endpoint vectors.
   void Update(NodeId u, NodeId v, int64_t delta);
 
+  /// Applies only the half of the token that lands in `endpoint`'s vector
+  /// (`endpoint` must be u or v). Update(u,v,d) ==
+  /// UpdateEndpoint(u,u,v,d); UpdateEndpoint(v,u,v,d), which lets callers
+  /// shard a stream by endpoint: workers owning disjoint node sets touch
+  /// disjoint samplers and may run concurrently without locks.
+  void UpdateEndpoint(NodeId endpoint, NodeId u, NodeId v, int64_t delta);
+
   /// Sampler of a single node.
   const L0Sampler& Of(NodeId u) const { return samplers_[u]; }
 
@@ -69,6 +76,9 @@ class NodeRecoveryBank {
 
   /// Applies one stream token to both endpoint vectors.
   void Update(NodeId u, NodeId v, int64_t delta);
+
+  /// Endpoint half of one token (see NodeL0Bank::UpdateEndpoint).
+  void UpdateEndpoint(NodeId endpoint, NodeId u, NodeId v, int64_t delta);
 
   /// Sketch of a single node.
   const SparseRecovery& Of(NodeId u) const { return sketches_[u]; }

@@ -31,6 +31,11 @@ void SpanningForestSketch::Update(NodeId u, NodeId v, int64_t delta) {
   for (auto& bank : banks_) bank.Update(u, v, delta);
 }
 
+void SpanningForestSketch::UpdateEndpoint(NodeId endpoint, NodeId u, NodeId v,
+                                          int64_t delta) {
+  for (auto& bank : banks_) bank.UpdateEndpoint(endpoint, u, v, delta);
+}
+
 void SpanningForestSketch::Merge(const SpanningForestSketch& other) {
   assert(banks_.size() == other.banks_.size());
   for (size_t i = 0; i < banks_.size(); ++i) banks_[i].Merge(other.banks_[i]);

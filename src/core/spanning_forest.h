@@ -34,6 +34,12 @@ class SpanningForestSketch {
   /// Applies one stream token.
   void Update(NodeId u, NodeId v, int64_t delta);
 
+  /// Applies the half of one token owned by `endpoint` (u or v); the two
+  /// endpoint halves compose to Update(u,v,delta). Calls for distinct
+  /// endpoints touch disjoint sampler state, enabling lock-free sharded
+  /// ingestion (src/driver/sketch_driver.h).
+  void UpdateEndpoint(NodeId endpoint, NodeId u, NodeId v, int64_t delta);
+
   /// Adds another sketch with identical parameterization.
   void Merge(const SpanningForestSketch& other);
 

@@ -1,0 +1,227 @@
+#include "src/driver/binary_stream.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace gsketch {
+
+namespace {
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>(static_cast<uint8_t>(v >> (8 * i))));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>(static_cast<uint8_t>(v >> (8 * i))));
+  }
+}
+
+uint32_t GetU32(const unsigned char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+uint64_t GetU64(const unsigned char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+BinaryStreamWriter::BinaryStreamWriter(const std::string& path, NodeId n,
+                                       size_t buffer_bytes)
+    : buffer_limit_(buffer_bytes < kBinaryStreamRecordBytes
+                        ? kBinaryStreamRecordBytes
+                        : buffer_bytes),
+      n_(n) {
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) return;
+  buffer_.reserve(buffer_limit_ + kBinaryStreamRecordBytes);
+  PutU32(&buffer_, kBinaryStreamMagic);
+  PutU32(&buffer_, kBinaryStreamVersion);
+  PutU32(&buffer_, n_);
+  PutU64(&buffer_, 0);  // update count, patched by Close()
+  ok_ = true;
+}
+
+BinaryStreamWriter::~BinaryStreamWriter() { Close(); }
+
+void BinaryStreamWriter::Append(NodeId u, NodeId v, int32_t delta) {
+  assert(u != v && u < n_ && v < n_);
+  if (!ok_) return;
+  PutU32(&buffer_, u);
+  PutU32(&buffer_, v);
+  PutU32(&buffer_, static_cast<uint32_t>(delta));
+  ++count_;
+  if (buffer_.size() >= buffer_limit_) FlushBuffer();
+}
+
+void BinaryStreamWriter::FlushBuffer() {
+  if (buffer_.empty() || file_ == nullptr) return;
+  if (std::fwrite(buffer_.data(), 1, buffer_.size(), file_) !=
+      buffer_.size()) {
+    ok_ = false;
+  }
+  buffer_.clear();
+}
+
+bool BinaryStreamWriter::Close() {
+  if (file_ == nullptr) return false;
+  FlushBuffer();
+  // Patch the final update count into the header.
+  if (ok_ && std::fseek(file_, 12, SEEK_SET) == 0) {
+    std::string patch;
+    PutU64(&patch, count_);
+    if (std::fwrite(patch.data(), 1, patch.size(), file_) != patch.size()) {
+      ok_ = false;
+    }
+  } else {
+    ok_ = false;
+  }
+  if (std::fclose(file_) != 0) ok_ = false;
+  file_ = nullptr;
+  return ok_;
+}
+
+BinaryStreamReader::BinaryStreamReader(const std::string& path,
+                                       size_t buffer_bytes) {
+  // Round the buffer up to a whole number of records so records never
+  // straddle a refill boundary.
+  size_t records = buffer_bytes / kBinaryStreamRecordBytes;
+  if (records == 0) records = 1;
+  buffer_.resize(records * kBinaryStreamRecordBytes);
+
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) {
+    Fail("cannot open " + path);
+    return;
+  }
+  unsigned char header[kBinaryStreamHeaderBytes];
+  if (std::fread(header, 1, sizeof(header), file_) != sizeof(header)) {
+    Fail("truncated header");
+    return;
+  }
+  if (GetU32(header) != kBinaryStreamMagic) {
+    Fail("bad magic (not a GSKB stream)");
+    return;
+  }
+  uint32_t version = GetU32(header + 4);
+  if (version != kBinaryStreamVersion) {
+    Fail("unsupported format version " + std::to_string(version));
+    return;
+  }
+  n_ = GetU32(header + 8);
+  total_ = GetU64(header + 12);
+  if (n_ < 2) {
+    Fail("header declares n < 2");
+    return;
+  }
+  // The file must hold exactly t records: a too-short file is truncation,
+  // a too-long one (or a zero count) is typically a producer that died
+  // before Close() patched the header.
+  if (std::fseek(file_, 0, SEEK_END) != 0) {
+    Fail("not seekable");
+    return;
+  }
+  long end = std::ftell(file_);
+  uint64_t expected = kBinaryStreamHeaderBytes +
+                      total_ * kBinaryStreamRecordBytes;
+  if (end < 0 || static_cast<uint64_t>(end) != expected) {
+    Fail("file holds " + std::to_string(end) + " bytes but header declares " +
+         std::to_string(total_) + " updates (" + std::to_string(expected) +
+         " bytes)");
+    return;
+  }
+  if (std::fseek(file_, kBinaryStreamHeaderBytes, SEEK_SET) != 0) {
+    Fail("not seekable");
+    return;
+  }
+  ok_ = true;
+}
+
+BinaryStreamReader::~BinaryStreamReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void BinaryStreamReader::Fail(const std::string& why) {
+  ok_ = false;
+  if (error_.empty()) error_ = why;
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+size_t BinaryStreamReader::ReadBatch(size_t max_updates,
+                                     std::vector<EdgeUpdate>* out) {
+  size_t produced = 0;
+  while (ok_ && produced < max_updates && delivered_ < total_) {
+    if (buf_pos_ == buf_size_) {
+      uint64_t left = total_ - delivered_;
+      size_t want = buffer_.size();
+      if (left * kBinaryStreamRecordBytes < want) {
+        want = static_cast<size_t>(left) * kBinaryStreamRecordBytes;
+      }
+      buf_size_ = std::fread(buffer_.data(), 1, want, file_);
+      buf_pos_ = 0;
+      if (buf_size_ < kBinaryStreamRecordBytes) {
+        Fail("truncated stream: header declares " + std::to_string(total_) +
+             " updates, file ends after " + std::to_string(delivered_));
+        return produced;
+      }
+      buf_size_ -= buf_size_ % kBinaryStreamRecordBytes;
+    }
+    const unsigned char* p = buffer_.data() + buf_pos_;
+    NodeId u = GetU32(p);
+    NodeId v = GetU32(p + 4);
+    int32_t delta = static_cast<int32_t>(GetU32(p + 8));
+    if (u >= n_ || v >= n_ || u == v) {
+      Fail("bad record at update " + std::to_string(delivered_) + ": (" +
+           std::to_string(u) + ", " + std::to_string(v) + ") with n=" +
+           std::to_string(n_));
+      return produced;
+    }
+    out->push_back(EdgeUpdate{u, v, delta});
+    buf_pos_ += kBinaryStreamRecordBytes;
+    ++delivered_;
+    ++produced;
+  }
+  return produced;
+}
+
+bool WriteBinaryStream(const std::string& path, const DynamicGraphStream& s) {
+  BinaryStreamWriter w(path, s.NumNodes());
+  for (const auto& e : s.Updates()) w.Append(e);
+  return w.Close();
+}
+
+std::optional<DynamicGraphStream> ReadBinaryStream(const std::string& path) {
+  BinaryStreamReader r(path);
+  if (!r.ok()) return std::nullopt;
+  DynamicGraphStream s(r.nodes());
+  std::vector<EdgeUpdate> batch;
+  while (!r.Done()) {
+    batch.clear();
+    if (r.ReadBatch(1 << 14, &batch) == 0) break;
+    for (const auto& e : batch) s.Push(e.u, e.v, e.delta);
+  }
+  if (!r.ok() || !r.Done()) return std::nullopt;
+  return s;
+}
+
+bool LooksLikeBinaryStream(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  unsigned char head[4];
+  bool is_binary = std::fread(head, 1, sizeof(head), f) == sizeof(head) &&
+                   GetU32(head) == kBinaryStreamMagic;
+  std::fclose(f);
+  return is_binary;
+}
+
+}  // namespace gsketch

@@ -1,0 +1,64 @@
+#include "src/driver/progress.h"
+
+#include <chrono>
+#include <string>
+
+namespace gsketch {
+
+InsertionTracker::InsertionTracker(uint64_t total,
+                                   std::function<uint64_t()> counter,
+                                   std::FILE* out, double interval_seconds)
+    : total_(total),
+      counter_(std::move(counter)),
+      out_(out),
+      interval_seconds_(interval_seconds > 0.01 ? interval_seconds : 0.01),
+      thread_([this] { Loop(); }) {}
+
+void InsertionTracker::Loop() {
+  constexpr int kBarWidth = 20;
+  auto prev_time = std::chrono::steady_clock::now();
+  uint64_t prev_count = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      wake_.wait_for(lock,
+                     std::chrono::duration<double>(interval_seconds_),
+                     [this] { return stopping_; });
+      if (stopping_) return;
+    }
+    uint64_t count = counter_();
+    auto now = std::chrono::steady_clock::now();
+    double dt = std::chrono::duration<double>(now - prev_time).count();
+    double rate = dt > 0 ? static_cast<double>(count - prev_count) / dt : 0;
+    prev_time = now;
+    prev_count = count;
+    if (total_ > 0 && count >= total_) return;
+
+    int filled = total_ > 0 ? static_cast<int>(kBarWidth * count / total_)
+                            : 0;
+    if (filled > kBarWidth) filled = kBarWidth;
+    int percent = total_ > 0 ? static_cast<int>(100 * count / total_) : 0;
+    std::fprintf(out_, "progress: %s%s| %3d%% -- %.0f updates/sec\r",
+                 std::string(filled, '=').c_str(),
+                 std::string(kBarWidth - filled, ' ').c_str(), percent,
+                 rate);
+    std::fflush(out_);
+  }
+}
+
+void InsertionTracker::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+    stopping_ = true;
+    wake_.notify_all();
+  }
+  thread_.join();
+  std::fprintf(out_, "progress: ====================| done%*s\n", 24, "");
+  std::fflush(out_);
+}
+
+InsertionTracker::~InsertionTracker() { Stop(); }
+
+}  // namespace gsketch

@@ -1,0 +1,50 @@
+// Background insertion-rate reporting for long ingestion runs, after the
+// track_insertions pattern of production stream processors: a sampler
+// thread polls a progress counter about once a second and redraws a
+// progress bar with the instantaneous updates/sec.
+#ifndef GRAPHSKETCH_SRC_DRIVER_PROGRESS_H_
+#define GRAPHSKETCH_SRC_DRIVER_PROGRESS_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace gsketch {
+
+/// Polls `counter()` until it reaches `total` (or Stop()), printing a
+/// progress bar + rate line to `out` each interval. Counter units are
+/// whatever the caller supplies (the SketchDriver reports endpoint
+/// half-updates; divide by 2 for stream tokens — pass a lambda that does).
+class InsertionTracker {
+ public:
+  InsertionTracker(uint64_t total, std::function<uint64_t()> counter,
+                   std::FILE* out = stderr, double interval_seconds = 1.0);
+
+  /// Stops the sampler thread and prints the closing line; idempotent.
+  void Stop();
+
+  ~InsertionTracker();
+
+  InsertionTracker(const InsertionTracker&) = delete;
+  InsertionTracker& operator=(const InsertionTracker&) = delete;
+
+ private:
+  void Loop();
+
+  const uint64_t total_;
+  const std::function<uint64_t()> counter_;
+  std::FILE* const out_;
+  const double interval_seconds_;
+  std::mutex mu_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+  bool stopped_ = false;
+  std::thread thread_;
+};
+
+}  // namespace gsketch
+
+#endif  // GRAPHSKETCH_SRC_DRIVER_PROGRESS_H_

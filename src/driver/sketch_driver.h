@@ -1,0 +1,214 @@
+// Batched multi-threaded stream ingestion, in the style of the
+// GraphSketchDriver of production streaming-connectivity systems.
+//
+// Every stream token (u, v, δ) is split into its two endpoint halves and
+// routed to the worker owning that endpoint (node % num_workers). Workers
+// therefore own DISJOINT node-indexed sketch state — per-node ℓ₀-samplers
+// are touched by exactly one thread — so they apply updates to one shared
+// Alg instance with no locks on the hot path. Linearity of the sketches
+// makes the result bit-identical to sequential ingestion in any update
+// order and with any worker count.
+//
+// Alg concept:
+//   void UpdateEndpoint(NodeId endpoint, NodeId u, NodeId v, int64_t delta);
+// where the call touches only state owned by stream node `endpoint`
+// (ConnectivitySketch, BipartitenessSketch, MinCutSketch, SimpleSparsifier,
+// KEdgeConnectSketch, SpanningForestSketch, and KConnectivityTester all
+// satisfy this).
+//
+// Flow control: the producer (the thread calling Push/ProcessStream)
+// accumulates per-worker batches and hands them to bounded queues;
+// `max_pending_batches` bounds memory and provides backpressure when
+// workers fall behind the reader.
+#ifndef GRAPHSKETCH_SRC_DRIVER_SKETCH_DRIVER_H_
+#define GRAPHSKETCH_SRC_DRIVER_SKETCH_DRIVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/driver/binary_stream.h"
+#include "src/graph/stream.h"
+
+namespace gsketch {
+
+/// Tuning knobs for SketchDriver.
+struct DriverOptions {
+  uint32_t num_workers = 1;  ///< worker threads; 0 = hardware concurrency
+  size_t batch_size = 4096;  ///< endpoint updates per dispatched batch
+  size_t max_pending_batches = 8;  ///< per-worker queue bound (backpressure)
+};
+
+template <typename Alg>
+class SketchDriver {
+ public:
+  /// Drives `*alg`, which must outlive the driver. Workers start
+  /// immediately and idle until updates arrive.
+  explicit SketchDriver(Alg* alg, const DriverOptions& opt = DriverOptions())
+      : alg_(alg),
+        batch_size_(opt.batch_size < 1 ? 1 : opt.batch_size),
+        max_pending_(opt.max_pending_batches < 1 ? 1
+                                                 : opt.max_pending_batches) {
+    uint32_t workers = opt.num_workers;
+    if (workers == 0) {
+      workers = std::thread::hardware_concurrency();
+      if (workers == 0) workers = 1;
+    }
+    shards_.reserve(workers);
+    for (uint32_t w = 0; w < workers; ++w) {
+      shards_.push_back(std::make_unique<Shard>());
+    }
+    pending_.resize(workers);
+    for (uint32_t w = 0; w < workers; ++w) {
+      threads_.emplace_back([this, w] { WorkerLoop(w); });
+    }
+  }
+
+  ~SketchDriver() {
+    Drain();
+    for (auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      shard->stopping = true;
+      shard->not_empty.notify_all();
+    }
+    for (auto& t : threads_) t.join();
+  }
+
+  SketchDriver(const SketchDriver&) = delete;
+  SketchDriver& operator=(const SketchDriver&) = delete;
+
+  /// Routes one stream token to its two endpoint shards. Producer-side
+  /// only; not safe to call from multiple threads at once.
+  void Push(NodeId u, NodeId v, int32_t delta) {
+    ++stream_updates_;
+    EnqueueHalf(u, v, delta);
+    EnqueueHalf(v, u, delta);
+  }
+
+  /// Flushes partial batches and blocks until every queued update has been
+  /// applied. After Drain() returns, `*alg` reflects the whole stream
+  /// pushed so far and may be queried safely from the calling thread.
+  void Drain() {
+    for (uint32_t w = 0; w < pending_.size(); ++w) {
+      if (!pending_[w].empty()) Dispatch(w);
+    }
+    std::unique_lock<std::mutex> lock(drained_mu_);
+    drained_.wait(lock, [this] {
+      return applied_halves_.load(std::memory_order_acquire) ==
+             enqueued_halves_;
+    });
+  }
+
+  /// Ingests a whole in-memory stream and drains.
+  void ProcessStream(const DynamicGraphStream& stream) {
+    for (const auto& e : stream.Updates()) Push(e.u, e.v, e.delta);
+    Drain();
+  }
+
+  /// Ingests a whole binary stream file and drains. Returns false if the
+  /// reader failed (the driver still drains whatever was read).
+  bool ProcessFile(BinaryStreamReader* reader) {
+    std::vector<EdgeUpdate> batch;
+    batch.reserve(batch_size_);
+    while (!reader->Done() && reader->ok()) {
+      batch.clear();
+      if (reader->ReadBatch(batch_size_, &batch) == 0) break;
+      for (const auto& e : batch) Push(e.u, e.v, e.delta);
+    }
+    Drain();
+    return reader->ok() && reader->Done();
+  }
+
+  /// Endpoint half-updates applied so far (2 per stream token). Safe to
+  /// read from any thread; progress reporters poll this.
+  uint64_t TotalUpdates() const {
+    return applied_halves_.load(std::memory_order_relaxed);
+  }
+
+  /// Stream tokens pushed so far (producer-side count).
+  uint64_t StreamUpdates() const { return stream_updates_; }
+
+  uint32_t num_workers() const {
+    return static_cast<uint32_t>(threads_.size());
+  }
+
+ private:
+  // One endpoint half of a stream token: apply to `endpoint`'s state the
+  // update for edge {endpoint, other}.
+  struct HalfUpdate {
+    NodeId endpoint;
+    NodeId other;
+    int32_t delta;
+  };
+  using Batch = std::vector<HalfUpdate>;
+
+  struct Shard {
+    std::mutex mu;
+    std::condition_variable not_empty;
+    std::condition_variable not_full;
+    std::deque<Batch> queue;
+    bool stopping = false;
+  };
+
+  void EnqueueHalf(NodeId endpoint, NodeId other, int32_t delta) {
+    uint32_t w = endpoint % num_workers();
+    Batch& pending = pending_[w];
+    pending.push_back(HalfUpdate{endpoint, other, delta});
+    if (pending.size() >= batch_size_) Dispatch(w);
+  }
+
+  void Dispatch(uint32_t w) {
+    Batch batch;
+    batch.swap(pending_[w]);
+    enqueued_halves_ += batch.size();
+    Shard& shard = *shards_[w];
+    std::unique_lock<std::mutex> lock(shard.mu);
+    shard.not_full.wait(
+        lock, [&] { return shard.queue.size() < max_pending_; });
+    shard.queue.push_back(std::move(batch));
+    shard.not_empty.notify_one();
+  }
+
+  void WorkerLoop(uint32_t w) {
+    Shard& shard = *shards_[w];
+    for (;;) {
+      Batch batch;
+      {
+        std::unique_lock<std::mutex> lock(shard.mu);
+        shard.not_empty.wait(
+            lock, [&] { return shard.stopping || !shard.queue.empty(); });
+        if (shard.queue.empty()) return;  // stopping and fully drained
+        batch = std::move(shard.queue.front());
+        shard.queue.pop_front();
+        shard.not_full.notify_one();
+      }
+      for (const auto& h : batch) {
+        alg_->UpdateEndpoint(h.endpoint, h.endpoint, h.other, h.delta);
+      }
+      applied_halves_.fetch_add(batch.size(), std::memory_order_acq_rel);
+      std::lock_guard<std::mutex> lock(drained_mu_);
+      drained_.notify_all();
+    }
+  }
+
+  Alg* alg_;
+  const size_t batch_size_;
+  const size_t max_pending_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<Batch> pending_;  // producer-side, one building batch/worker
+  std::vector<std::thread> threads_;
+  uint64_t stream_updates_ = 0;
+  uint64_t enqueued_halves_ = 0;  // producer-side
+  std::atomic<uint64_t> applied_halves_{0};
+  std::mutex drained_mu_;
+  std::condition_variable drained_;
+};
+
+}  // namespace gsketch
+
+#endif  // GRAPHSKETCH_SRC_DRIVER_SKETCH_DRIVER_H_

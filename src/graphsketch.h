@@ -52,4 +52,10 @@
 #include "src/core/subgraph_sketch.h"
 #include "src/core/weighted_sparsifier.h"
 
+// High-throughput ingestion: binary stream files and the batched
+// multi-threaded driver.
+#include "src/driver/binary_stream.h"
+#include "src/driver/progress.h"
+#include "src/driver/sketch_driver.h"
+
 #endif  // GRAPHSKETCH_SRC_GRAPHSKETCH_H_

@@ -1,0 +1,298 @@
+// Tests for the ingestion subsystem (src/driver/): GSKB binary stream
+// round-tripping and exact sequential-vs-parallel parity of the batched
+// sketch driver. Parity is exact — not approximate — because the sketches
+// are linear: any partition of the update stream across workers sums to
+// the same sketch state.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "src/core/connectivity_suite.h"
+#include "src/core/simple_sparsifier.h"
+#include "src/core/spanning_forest.h"
+#include "src/driver/binary_stream.h"
+#include "src/driver/sketch_driver.h"
+#include "src/graph/generators.h"
+#include "src/graph/stream.h"
+#include "src/hash/random.h"
+
+namespace gsketch {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// A stream with deletions: an Erdos-Renyi graph plus churn (edges inserted
+// and later deleted), shuffled so updates arrive in adversarial order.
+DynamicGraphStream TestStream(NodeId n, double p, uint64_t seed) {
+  Rng rng(seed);
+  Graph g = ErdosRenyi(n, p, seed);
+  DynamicGraphStream s = DynamicGraphStream::FromGraph(g);
+  return s.WithChurn(/*extra=*/s.Size() / 4 + 5, &rng).Shuffled(&rng);
+}
+
+void ExpectSameUpdates(const DynamicGraphStream& a,
+                       const DynamicGraphStream& b) {
+  ASSERT_EQ(a.NumNodes(), b.NumNodes());
+  ASSERT_EQ(a.Size(), b.Size());
+  for (size_t i = 0; i < a.Size(); ++i) {
+    EXPECT_EQ(a.Updates()[i].u, b.Updates()[i].u) << i;
+    EXPECT_EQ(a.Updates()[i].v, b.Updates()[i].v) << i;
+    EXPECT_EQ(a.Updates()[i].delta, b.Updates()[i].delta) << i;
+  }
+}
+
+TEST(BinaryStream, RoundTripIsIdentity) {
+  DynamicGraphStream s = TestStream(50, 0.15, 7);
+  ASSERT_GT(s.Size(), 0u);
+  std::string path = TempPath("roundtrip.gskb");
+  ASSERT_TRUE(WriteBinaryStream(path, s));
+
+  auto back = ReadBinaryStream(path);
+  ASSERT_TRUE(back.has_value());
+  ExpectSameUpdates(s, *back);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryStream, HeaderCarriesCountAndNodes) {
+  DynamicGraphStream s = TestStream(30, 0.2, 3);
+  std::string path = TempPath("header.gskb");
+  ASSERT_TRUE(WriteBinaryStream(path, s));
+
+  BinaryStreamReader r(path);
+  ASSERT_TRUE(r.ok()) << r.error();
+  EXPECT_EQ(r.nodes(), 30u);
+  EXPECT_EQ(r.num_updates(), s.Size());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryStream, BatchedReadsReassembleTheStream) {
+  DynamicGraphStream s = TestStream(40, 0.2, 11);
+  std::string path = TempPath("batched.gskb");
+  ASSERT_TRUE(WriteBinaryStream(path, s));
+
+  // A tiny I/O buffer and a batch size coprime to everything exercise the
+  // refill path.
+  BinaryStreamReader r(path, /*buffer_bytes=*/64);
+  ASSERT_TRUE(r.ok()) << r.error();
+  DynamicGraphStream back(r.nodes());
+  std::vector<EdgeUpdate> batch;
+  while (!r.Done()) {
+    batch.clear();
+    ASSERT_GT(r.ReadBatch(7, &batch), 0u) << r.error();
+    for (const auto& e : batch) back.Push(e.u, e.v, e.delta);
+  }
+  ASSERT_TRUE(r.ok()) << r.error();
+  ExpectSameUpdates(s, back);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryStream, RejectsBadMagic) {
+  std::string path = TempPath("notastream.gskb");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("this is not a binary stream at all, not even close", f);
+  std::fclose(f);
+
+  BinaryStreamReader r(path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(ReadBinaryStream(path).has_value());
+  EXPECT_FALSE(LooksLikeBinaryStream(path));
+  std::remove(path.c_str());
+}
+
+TEST(BinaryStream, RejectsTruncatedFile) {
+  DynamicGraphStream s = TestStream(30, 0.2, 5);
+  std::string path = TempPath("truncated.gskb");
+  ASSERT_TRUE(WriteBinaryStream(path, s));
+
+  // Chop off the last record and a half.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), size - 18), 0);
+
+  EXPECT_TRUE(LooksLikeBinaryStream(path));
+  EXPECT_FALSE(ReadBinaryStream(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryStream, RejectsUnpatchedHeaderCount) {
+  // A producer killed before Close() leaves the placeholder count 0 in the
+  // header while records follow; the size cross-check must catch it.
+  DynamicGraphStream s = TestStream(30, 0.2, 8);
+  std::string path = TempPath("unpatched.gskb");
+  ASSERT_TRUE(WriteBinaryStream(path, s));
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 12, SEEK_SET);
+  unsigned char zeros[8] = {0};
+  ASSERT_EQ(std::fwrite(zeros, 1, 8, f), 8u);
+  std::fclose(f);
+
+  BinaryStreamReader r(path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(ReadBinaryStream(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryStream, RejectsOutOfRangeEndpoint) {
+  std::string path = TempPath("badendpoint.gskb");
+  {
+    BinaryStreamWriter w(path, 10);
+    ASSERT_TRUE(w.ok());
+    w.Append(0, 1, 1);
+    ASSERT_TRUE(w.Close());
+  }
+  // Corrupt the record's v field (offset 20 + 4) to an out-of-range id.
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 24, SEEK_SET);
+  unsigned char big[4] = {0xff, 0xff, 0xff, 0xff};
+  ASSERT_EQ(std::fwrite(big, 1, 4, f), 4u);
+  std::fclose(f);
+
+  EXPECT_FALSE(ReadBinaryStream(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(SketchDriver, EndpointHalvesComposeToFullUpdate) {
+  // The sharded driver relies on UpdateEndpoint(u) + UpdateEndpoint(v)
+  // producing the exact same sketch state as Update(u, v). Serialization
+  // makes the comparison bit-exact.
+  SpanningForestSketch whole(32, ForestOptions{}, 99);
+  SpanningForestSketch halves(32, ForestOptions{}, 99);
+  DynamicGraphStream s = TestStream(32, 0.2, 21);
+  for (const auto& e : s.Updates()) {
+    whole.Update(e.u, e.v, e.delta);
+    halves.UpdateEndpoint(e.u, e.u, e.v, e.delta);
+    halves.UpdateEndpoint(e.v, e.u, e.v, e.delta);
+  }
+  std::string a, b;
+  whole.AppendTo(&a);
+  halves.AppendTo(&b);
+  EXPECT_EQ(a, b);
+}
+
+std::vector<std::tuple<NodeId, NodeId, double>> SortedEdges(const Graph& g) {
+  std::vector<std::tuple<NodeId, NodeId, double>> edges;
+  for (const auto& e : g.Edges()) {
+    edges.emplace_back(std::min(e.u, e.v), std::max(e.u, e.v), e.weight);
+  }
+  std::sort(edges.begin(), edges.end());
+  return edges;
+}
+
+TEST(SketchDriver, ConnectivityParityAcrossThreadCounts) {
+  constexpr NodeId kN = 60;
+  constexpr uint64_t kSeed = 17;
+  DynamicGraphStream s = TestStream(kN, 0.1, 13);
+
+  ConnectivitySketch sequential(kN, ForestOptions{}, kSeed);
+  s.Replay([&](NodeId u, NodeId v, int32_t d) { sequential.Update(u, v, d); });
+
+  for (uint32_t threads : {1u, 4u}) {
+    ConnectivitySketch parallel(kN, ForestOptions{}, kSeed);
+    DriverOptions opt;
+    opt.num_workers = threads;
+    opt.batch_size = 64;  // force many dispatches
+    SketchDriver<ConnectivitySketch> driver(&parallel, opt);
+    driver.ProcessStream(s);
+    EXPECT_EQ(driver.StreamUpdates(), s.Size());
+    EXPECT_EQ(driver.TotalUpdates(), 2 * s.Size());
+
+    // Identical sketch state decodes to the identical forest, so the
+    // answers match exactly, not just approximately.
+    EXPECT_EQ(parallel.NumComponents(), sequential.NumComponents())
+        << threads << " threads";
+    EXPECT_EQ(SortedEdges(parallel.Forest()), SortedEdges(sequential.Forest()))
+        << threads << " threads";
+  }
+}
+
+TEST(SketchDriver, BipartitenessParityAcrossThreadCounts) {
+  constexpr uint64_t kSeed = 23;
+  // One bipartite graph, one graph with an odd cycle.
+  Graph bip = CompleteBipartite(6, 7);
+  Graph odd = CompleteGraph(5);
+  for (const Graph* g : {&bip, &odd}) {
+    NodeId n = g->NumNodes();
+    Rng rng(5);
+    DynamicGraphStream s =
+        DynamicGraphStream::FromGraph(*g).WithChurn(10, &rng).Shuffled(&rng);
+
+    BipartitenessSketch sequential(n, ForestOptions{}, kSeed);
+    s.Replay([&](NodeId u, NodeId v, int32_t d) {
+      sequential.Update(u, v, d);
+    });
+
+    for (uint32_t threads : {1u, 4u}) {
+      BipartitenessSketch parallel(n, ForestOptions{}, kSeed);
+      DriverOptions opt;
+      opt.num_workers = threads;
+      opt.batch_size = 16;
+      SketchDriver<BipartitenessSketch> driver(&parallel, opt);
+      driver.ProcessStream(s);
+      EXPECT_EQ(parallel.IsBipartite(), sequential.IsBipartite())
+          << threads << " threads";
+    }
+  }
+}
+
+TEST(SketchDriver, SparsifierParityAcrossThreadCounts) {
+  constexpr NodeId kN = 40;
+  constexpr uint64_t kSeed = 31;
+  DynamicGraphStream s = TestStream(kN, 0.2, 19);
+
+  SimpleSparsifierOptions sopt;
+  sopt.epsilon = 0.5;
+  SimpleSparsifier sequential(kN, sopt, kSeed);
+  s.Replay([&](NodeId u, NodeId v, int32_t d) { sequential.Update(u, v, d); });
+  auto expected = SortedEdges(sequential.Extract());
+
+  for (uint32_t threads : {1u, 4u}) {
+    SimpleSparsifier parallel(kN, sopt, kSeed);
+    DriverOptions opt;
+    opt.num_workers = threads;
+    opt.batch_size = 32;
+    SketchDriver<SimpleSparsifier> driver(&parallel, opt);
+    driver.ProcessStream(s);
+    EXPECT_EQ(SortedEdges(parallel.Extract()), expected)
+        << threads << " threads";
+  }
+}
+
+TEST(SketchDriver, ProcessFileMatchesInMemoryIngestion) {
+  constexpr NodeId kN = 50;
+  constexpr uint64_t kSeed = 41;
+  DynamicGraphStream s = TestStream(kN, 0.15, 29);
+  std::string path = TempPath("driver_ingest.gskb");
+  ASSERT_TRUE(WriteBinaryStream(path, s));
+
+  ConnectivitySketch sequential(kN, ForestOptions{}, kSeed);
+  s.Replay([&](NodeId u, NodeId v, int32_t d) { sequential.Update(u, v, d); });
+
+  ConnectivitySketch parallel(kN, ForestOptions{}, kSeed);
+  DriverOptions opt;
+  opt.num_workers = 4;
+  opt.batch_size = 128;
+  SketchDriver<ConnectivitySketch> driver(&parallel, opt);
+  BinaryStreamReader reader(path);
+  ASSERT_TRUE(reader.ok()) << reader.error();
+  ASSERT_TRUE(driver.ProcessFile(&reader));
+
+  EXPECT_EQ(parallel.NumComponents(), sequential.NumComponents());
+  EXPECT_EQ(SortedEdges(parallel.Forest()), SortedEdges(sequential.Forest()));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gsketch

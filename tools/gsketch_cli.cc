@@ -1,8 +1,9 @@
 // gsketch: command-line driver for sketching dynamic graph streams from
-// files.
+// files. See docs/CLI.md for the full manual.
 //
 // Usage:
-//   gsketch <command> <n> <stream-file> [seed]
+//   gsketch <command> [options] <n> <stream-file> [seed]
+//   gsketch convert <n> <input> <output>
 //
 // Commands:
 //   connectivity   components / connected?
@@ -12,19 +13,33 @@
 //   triangles      order-3 pattern fractions
 //   spanner        3-pass Baswana-Sen spanner, print stretch-checked edges
 //   stats          stream statistics only
+//   convert        text stream -> GSKB binary (or binary -> text)
 //
-// Stream file format: one update per line, "u v delta" with delta = +1 or
-// -1 (or any integer multiplicity); '#' starts a comment. A file
-// "demo.stream" for n=5:
+// Options:
+//   --threads N    ingestion worker threads (connectivity, bipartite,
+//                  mincut, sparsify; default 1)
+//   --batch N      updates per dispatched batch (default 4096)
+//   --progress     live insertion-rate reporting on stderr
+//
+// Stream files are either GSKB binary (see src/driver/binary_stream.h;
+// produce them with `convert`) or text: one update per line, "u v delta"
+// with delta = +1 or -1 (or any integer multiplicity); '#' starts a
+// comment. A text file "demo.stream" for n=5:
 //     0 1 1
 //     1 2 1
 //     0 1 -1
+//
+// Exit status: 0 success, 1 runtime failure (unreadable/malformed stream),
+// 2 usage error (unknown command, malformed numbers, bad flags).
+#include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "src/graphsketch.h"
 
@@ -32,7 +47,39 @@ namespace {
 
 using namespace gsketch;
 
-bool LoadStream(const char* path, NodeId n, DynamicGraphStream* out) {
+constexpr int kExitRuntime = 1;
+constexpr int kExitUsage = 2;
+
+void PrintUsage(std::FILE* out, const char* argv0) {
+  std::fprintf(
+      out,
+      "usage: %s <command> [options] <n> <stream-file> [seed]\n"
+      "       %s convert <n> <input> <output>\n"
+      "\n"
+      "commands: connectivity bipartite mincut sparsify triangles spanner\n"
+      "          stats convert\n"
+      "options:  --threads N   worker threads (connectivity, bipartite,\n"
+      "                        mincut, sparsify; default 1)\n"
+      "          --batch N     updates per dispatched batch (default 4096)\n"
+      "          --progress    live insertion-rate reporting on stderr\n"
+      "\n"
+      "Stream files are GSKB binary (make one with `convert`) or text\n"
+      "\"u v delta\" lines. See docs/CLI.md.\n",
+      argv0, argv0);
+}
+
+/// Strict unsigned decimal parse: the whole token must be digits.
+bool ParseU64(const char* s, uint64_t* out) {
+  if (s == nullptr || *s == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool LoadTextStream(const char* path, NodeId n, DynamicGraphStream* out) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "error: cannot open %s\n", path);
@@ -56,34 +103,120 @@ bool LoadStream(const char* path, NodeId n, DynamicGraphStream* out) {
                    path, lineno, u, v, n);
       return false;
     }
+    if (delta < INT32_MIN || delta > INT32_MAX) {
+      std::fprintf(stderr, "error: %s:%zu: delta %lld out of int32 range\n",
+                   path, lineno, delta);
+      return false;
+    }
     out->Push(static_cast<NodeId>(u), static_cast<NodeId>(v),
               static_cast<int32_t>(delta));
   }
   return true;
 }
 
-int RunConnectivity(NodeId n, const DynamicGraphStream& stream,
-                    uint64_t seed) {
+/// Loads a whole stream (binary or text) into memory, for the commands
+/// that need random access to it.
+bool LoadAnyStream(const char* path, NodeId n, DynamicGraphStream* out) {
+  if (!LooksLikeBinaryStream(path)) return LoadTextStream(path, n, out);
+  auto s = ReadBinaryStream(path);
+  if (!s.has_value()) {
+    std::fprintf(stderr, "error: %s: malformed binary stream\n", path);
+    return false;
+  }
+  if (s->NumNodes() != n) {
+    std::fprintf(stderr, "error: %s: stream declares n=%u but n=%u given\n",
+                 path, s->NumNodes(), n);
+    return false;
+  }
+  *out = std::move(*s);
+  return true;
+}
+
+struct IngestOptions {
+  uint32_t threads = 1;
+  size_t batch = 4096;
+  bool progress = false;
+};
+
+// More workers than this is never useful and protects against typo'd
+// thread counts exhausting the process's thread limit.
+constexpr uint64_t kMaxThreads = 256;
+
+/// Feeds the stream at `path` into `*alg` through the batched parallel
+/// driver, streaming binary files from disk without materializing them.
+template <typename Alg>
+bool Ingest(Alg* alg, const char* path, NodeId n, const IngestOptions& opt) {
+  DriverOptions dopt;
+  dopt.num_workers = opt.threads;
+  dopt.batch_size = opt.batch;
+
+  if (LooksLikeBinaryStream(path)) {
+    BinaryStreamReader reader(path);
+    if (!reader.ok()) {
+      std::fprintf(stderr, "error: %s: %s\n", path, reader.error().c_str());
+      return false;
+    }
+    if (reader.nodes() != n) {
+      std::fprintf(stderr, "error: %s: stream declares n=%u but n=%u given\n",
+                   path, reader.nodes(), n);
+      return false;
+    }
+    SketchDriver<Alg> driver(alg, dopt);
+    bool ok;
+    if (opt.progress) {
+      // The driver counts endpoint halves: 2 per stream update.
+      InsertionTracker tracker(
+          reader.num_updates() * 2,
+          [&driver] { return driver.TotalUpdates(); });
+      ok = driver.ProcessFile(&reader);
+      tracker.Stop();
+    } else {
+      ok = driver.ProcessFile(&reader);
+    }
+    if (!ok) {
+      std::fprintf(stderr, "error: %s: %s\n", path, reader.error().c_str());
+    }
+    return ok;
+  }
+
+  DynamicGraphStream stream(n);
+  if (!LoadTextStream(path, n, &stream)) return false;
+  SketchDriver<Alg> driver(alg, dopt);
+  if (opt.progress) {
+    InsertionTracker tracker(stream.Size() * 2,
+                             [&driver] { return driver.TotalUpdates(); });
+    driver.ProcessStream(stream);
+    tracker.Stop();
+  } else {
+    driver.ProcessStream(stream);
+  }
+  return true;
+}
+
+int RunConnectivity(NodeId n, const char* path, uint64_t seed,
+                    const IngestOptions& opt) {
   ConnectivitySketch sk(n, ForestOptions{}, seed);
-  stream.Replay([&sk](NodeId u, NodeId v, int32_t d) { sk.Update(u, v, d); });
+  if (!Ingest(&sk, path, n, opt)) return kExitRuntime;
   std::printf("components: %zu\nconnected:  %s\n", sk.NumComponents(),
               sk.IsConnected() ? "yes" : "no");
   return 0;
 }
 
-int RunBipartite(NodeId n, const DynamicGraphStream& stream, uint64_t seed) {
+int RunBipartite(NodeId n, const char* path, uint64_t seed,
+                 const IngestOptions& opt) {
   BipartitenessSketch sk(n, ForestOptions{}, seed);
-  stream.Replay([&sk](NodeId u, NodeId v, int32_t d) { sk.Update(u, v, d); });
+  if (!Ingest(&sk, path, n, opt)) return kExitRuntime;
   std::printf("bipartite: %s\n", sk.IsBipartite() ? "yes" : "no");
   return 0;
 }
 
-int RunMinCut(NodeId n, const DynamicGraphStream& stream, uint64_t seed) {
-  MinCutOptions opt;
-  opt.epsilon = 0.5;
-  opt.k_scale = 2.0;
-  MinCutSketch sk(n, opt, seed);
-  stream.Replay([&sk](NodeId u, NodeId v, int32_t d) { sk.Update(u, v, d); });
+int RunMinCut(NodeId n, const char* path, uint64_t seed,
+              const IngestOptions& opt) {
+  MinCutOptions mopt;
+  mopt.epsilon = 0.5;
+  mopt.k_scale = 2.0;
+  MinCutSketch sk(n, mopt, seed);
+  if (!Ingest(&sk, path, n, opt)) return kExitRuntime;
   auto est = sk.Estimate();
   std::printf("min cut: %.0f (level %u%s)\n", est.value, est.level,
               est.resolved ? "" : ", UNRESOLVED");
@@ -93,11 +226,12 @@ int RunMinCut(NodeId n, const DynamicGraphStream& stream, uint64_t seed) {
   return 0;
 }
 
-int RunSparsify(NodeId n, const DynamicGraphStream& stream, uint64_t seed) {
-  SimpleSparsifierOptions opt;
-  opt.epsilon = 0.5;
-  SimpleSparsifier sk(n, opt, seed);
-  stream.Replay([&sk](NodeId u, NodeId v, int32_t d) { sk.Update(u, v, d); });
+int RunSparsify(NodeId n, const char* path, uint64_t seed,
+                const IngestOptions& opt) {
+  SimpleSparsifierOptions sopt;
+  sopt.epsilon = 0.5;
+  SimpleSparsifier sk(n, sopt, seed);
+  if (!Ingest(&sk, path, n, opt)) return kExitRuntime;
   Graph h = sk.Extract();
   std::printf("# sparsifier: %zu edges (k=%u)\n", h.NumEdges(), sk.k());
   for (const auto& e : h.Edges()) {
@@ -151,37 +285,138 @@ int RunStats(NodeId n, const DynamicGraphStream& stream) {
   return 0;
 }
 
+/// convert: text -> GSKB binary, or (when the input is already binary)
+/// binary -> text, so `convert; convert` round-trips a stream.
+int RunConvert(NodeId n, const char* in_path, const char* out_path) {
+  const bool to_text = LooksLikeBinaryStream(in_path);
+  DynamicGraphStream stream(n);
+  if (!LoadAnyStream(in_path, n, &stream)) return kExitRuntime;
+
+  if (to_text) {
+    std::FILE* out = std::fopen(out_path, "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "error: cannot open %s\n", out_path);
+      return kExitRuntime;
+    }
+    std::fprintf(out, "# converted from %s (n=%u, %zu updates)\n", in_path,
+                 n, stream.Size());
+    for (const auto& e : stream.Updates()) {
+      std::fprintf(out, "%u %u %d\n", e.u, e.v, e.delta);
+    }
+    if (std::fclose(out) != 0) {
+      std::fprintf(stderr, "error: write to %s failed\n", out_path);
+      return kExitRuntime;
+    }
+  } else if (!WriteBinaryStream(out_path, stream)) {
+    std::fprintf(stderr, "error: write to %s failed\n", out_path);
+    return kExitRuntime;
+  }
+  std::fprintf(stderr, "wrote %zu updates (%s) to %s\n", stream.Size(),
+               to_text ? "text" : "GSKB binary", out_path);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 4) {
-    std::fprintf(stderr,
-                 "usage: %s <connectivity|bipartite|mincut|sparsify|"
-                 "triangles|spanner|stats> <n> <stream-file> [seed]\n",
-                 argv[0]);
-    return 2;
+  if (argc < 2) {
+    PrintUsage(stderr, argv[0]);
+    return kExitUsage;
   }
-  const char* cmd = argv[1];
-  long long n_arg = std::atoll(argv[2]);
-  if (n_arg < 2 || n_arg > (1 << 24)) {
-    std::fprintf(stderr, "error: n out of range\n");
-    return 2;
+  const std::string cmd = argv[1];
+  if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+    PrintUsage(stdout, argv[0]);
+    return 0;
   }
-  gsketch::NodeId n = static_cast<gsketch::NodeId>(n_arg);
-  uint64_t seed = argc > 4 ? std::strtoull(argv[4], nullptr, 0) : 1;
 
-  gsketch::DynamicGraphStream stream(n);
-  if (!LoadStream(argv[3], n, &stream)) return 1;
-
-  if (std::strcmp(cmd, "connectivity") == 0) {
-    return RunConnectivity(n, stream, seed);
+  // Split the remaining arguments into flags and positionals.
+  IngestOptions opt;
+  bool ingest_flags_given = false;
+  std::vector<const char*> pos;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    uint64_t value = 0;
+    if (arg == "--threads" || arg == "--batch") {
+      if (i + 1 >= argc || !ParseU64(argv[i + 1], &value) || value == 0) {
+        std::fprintf(stderr, "error: %s needs a positive integer\n",
+                     arg.c_str());
+        return kExitUsage;
+      }
+      ++i;
+      ingest_flags_given = true;
+      if (arg == "--threads") {
+        if (value > kMaxThreads) {
+          std::fprintf(stderr, "error: --threads must be <= %llu\n",
+                       static_cast<unsigned long long>(kMaxThreads));
+          return kExitUsage;
+        }
+        opt.threads = static_cast<uint32_t>(value);
+      } else {
+        opt.batch = value;
+      }
+    } else if (arg == "--progress") {
+      opt.progress = true;
+      ingest_flags_given = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "error: unknown option '%s'\n", arg.c_str());
+      return kExitUsage;
+    } else {
+      pos.push_back(argv[i]);
+    }
   }
-  if (std::strcmp(cmd, "bipartite") == 0) return RunBipartite(n, stream, seed);
-  if (std::strcmp(cmd, "mincut") == 0) return RunMinCut(n, stream, seed);
-  if (std::strcmp(cmd, "sparsify") == 0) return RunSparsify(n, stream, seed);
-  if (std::strcmp(cmd, "triangles") == 0) return RunTriangles(n, stream, seed);
-  if (std::strcmp(cmd, "spanner") == 0) return RunSpanner(n, stream, seed);
-  if (std::strcmp(cmd, "stats") == 0) return RunStats(n, stream);
-  std::fprintf(stderr, "error: unknown command '%s'\n", cmd);
-  return 2;
+
+  const bool is_convert = cmd == "convert";
+  const size_t min_pos = is_convert ? 3 : 2;
+  const size_t max_pos = 3;
+  if (pos.size() < min_pos || pos.size() > max_pos) {
+    PrintUsage(stderr, argv[0]);
+    return kExitUsage;
+  }
+
+  uint64_t n_arg = 0;
+  if (!ParseU64(pos[0], &n_arg) || n_arg < 2 || n_arg > (1 << 24)) {
+    std::fprintf(stderr, "error: n must be an integer in [2, 2^24]\n");
+    return kExitUsage;
+  }
+  NodeId n = static_cast<NodeId>(n_arg);
+
+  if (is_convert) {
+    if (ingest_flags_given) {
+      std::fprintf(stderr, "error: convert takes no options\n");
+      return kExitUsage;
+    }
+    return RunConvert(n, pos[1], pos[2]);
+  }
+
+  const char* path = pos[1];
+  uint64_t seed = 1;
+  if (pos.size() > 2 && !ParseU64(pos[2], &seed)) {
+    std::fprintf(stderr, "error: seed must be a non-negative integer\n");
+    return kExitUsage;
+  }
+
+  if (cmd == "connectivity") return RunConnectivity(n, path, seed, opt);
+  if (cmd == "bipartite") return RunBipartite(n, path, seed, opt);
+  if (cmd == "mincut") return RunMinCut(n, path, seed, opt);
+  if (cmd == "sparsify") return RunSparsify(n, path, seed, opt);
+
+  // The remaining commands replay an in-memory stream (multi-pass or
+  // whole-stream algorithms); parallel ingestion does not apply.
+  if (cmd == "triangles" || cmd == "spanner" || cmd == "stats") {
+    if (ingest_flags_given) {
+      std::fprintf(stderr,
+                   "error: --threads/--batch/--progress apply only to "
+                   "connectivity, bipartite, mincut, and sparsify\n");
+      return kExitUsage;
+    }
+    DynamicGraphStream stream(n);
+    if (!LoadAnyStream(path, n, &stream)) return kExitRuntime;
+    if (cmd == "triangles") return RunTriangles(n, stream, seed);
+    if (cmd == "spanner") return RunSpanner(n, stream, seed);
+    return RunStats(n, stream);
+  }
+
+  std::fprintf(stderr, "error: unknown command '%s'\n", cmd.c_str());
+  PrintUsage(stderr, argv[0]);
+  return kExitUsage;
 }
