@@ -68,11 +68,19 @@ int Run(NodeId n, size_t updates, uint32_t max_threads) {
                                   kBinaryStreamRecordBytes * stream.Size()) /
                   (1024.0 * 1024.0));
 
-  bench::Row("%-8s %14s %14s %10s %12s", "threads", "seconds", "updates/s",
-             "speedup", "components");
+  bench::Row("%-8s %14s %14s %10s %14s %12s", "threads", "seconds",
+             "updates/s", "speedup", "bytes/node", "components");
+  bench::BenchJson json("E13", "parallel stream ingestion");
+  json.Metric("n", static_cast<double>(n));
+  json.Metric("stream_updates", static_cast<double>(stream.Size()));
   double base_rate = 0.0;
+  double best_rate = 0.0;
   for (uint32_t threads = 1; threads <= max_threads; threads *= 2) {
     ConnectivitySketch sketch(n, ForestOptions{}, /*seed=*/1);
+    // Sketch cells dominate memory; with arena banks this is also (almost
+    // exactly) the allocated footprint, not just a lower bound.
+    double bytes_per_node =
+        static_cast<double>(sketch.CellCount() * sizeof(OneSparseCell)) / n;
     DriverOptions opt;
     opt.num_workers = threads;
 
@@ -92,10 +100,19 @@ int Run(NodeId n, size_t updates, uint32_t max_threads) {
     }
     double seconds = timer.Seconds();
     double rate = static_cast<double>(stream.Size()) / seconds;
-    if (threads == 1) base_rate = rate;
-    bench::Row("%-8u %14.3f %14.0f %9.2fx %12zu", threads, seconds, rate,
-               rate / base_rate, sketch.NumComponents());
+    if (threads == 1) {
+      base_rate = rate;
+      json.Metric("updates_per_sec_1thread", rate);
+      json.Metric("bytes_per_node", bytes_per_node);
+    }
+    if (rate > best_rate) best_rate = rate;
+    bench::Row("%-8u %14.3f %14.0f %9.2fx %14.0f %12zu", threads, seconds,
+               rate, rate / base_rate, bytes_per_node,
+               sketch.NumComponents());
   }
+  json.Metric("updates_per_sec_best", best_rate);
+  json.Metric("speedup_best", base_rate > 0 ? best_rate / base_rate : 0.0);
+  json.Write();
   std::remove(path.c_str());
   return 0;
 }

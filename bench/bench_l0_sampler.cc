@@ -92,7 +92,17 @@ int main() {
   L0Sampler s(kDomain, 6, 42);
   constexpr int kOps = 200000;
   for (int i = 0; i < kOps; ++i) s.Update(static_cast<uint64_t>(i) % kDomain, 1);
+  double updates_per_sec = kOps / timer.Seconds();
   Row("\nupdate throughput: %.2f M updates/s (6 repetitions)",
-      kOps / timer.Seconds() / 1e6);
+      updates_per_sec / 1e6);
+  Row("space: %zu cells, %zu bytes per sampler", s.CellCount(),
+      s.CellCount() * sizeof(OneSparseCell));
+
+  bench::BenchJson json("E1", "l0-sampler quality and throughput");
+  json.Metric("updates_per_sec", updates_per_sec);
+  json.Metric("cells_per_sampler", static_cast<double>(s.CellCount()));
+  json.Metric("bytes_per_sampler",
+              static_cast<double>(s.CellCount() * sizeof(OneSparseCell)));
+  json.Write();
   return 0;
 }

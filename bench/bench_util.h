@@ -8,6 +8,9 @@
 #include <chrono>
 #include <cstdarg>
 #include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
 
 namespace gsketch::bench {
 
@@ -40,6 +43,44 @@ class Timer {
 
  private:
   std::chrono::steady_clock::time_point start_;
+};
+
+/// Machine-readable result sink: collects flat numeric metrics and writes
+/// them as BENCH_<id>.json in the working directory, so runs are diffable
+/// across commits. Space metrics report bytes-per-node alongside
+/// updates/sec — the two axes every arena/locality change moves.
+class BenchJson {
+ public:
+  BenchJson(const char* id, const char* title) : id_(id), title_(title) {}
+
+  void Metric(const char* key, double value) {
+    metrics_.emplace_back(key, value);
+  }
+
+  /// Writes BENCH_<id>.json; returns success (best-effort, benches still
+  /// print their tables either way).
+  bool Write() const {
+    std::string path = "BENCH_" + id_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"title\": \"%s\",\n",
+                 id_.c_str(), title_.c_str());
+    std::fprintf(f, "  \"metrics\": {\n");
+    for (size_t i = 0; i < metrics_.size(); ++i) {
+      std::fprintf(f, "    \"%s\": %.6g%s\n", metrics_[i].first.c_str(),
+                   metrics_[i].second,
+                   i + 1 < metrics_.size() ? "," : "");
+    }
+    std::fprintf(f, "  }\n}\n");
+    bool ok = std::fclose(f) == 0;
+    if (ok) std::fprintf(stderr, "wrote %s\n", path.c_str());
+    return ok;
+  }
+
+ private:
+  std::string id_;
+  std::string title_;
+  std::vector<std::pair<std::string, double>> metrics_;
 };
 
 }  // namespace gsketch::bench

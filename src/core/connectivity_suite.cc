@@ -24,6 +24,25 @@ void ConnectivitySketch::Merge(const ConnectivitySketch& other) {
   forest_.Merge(other.forest_);
 }
 
+namespace {
+constexpr uint32_t kConnMagic = 0x434f4e4bu;  // "KNOC"
+}
+
+void ConnectivitySketch::AppendTo(std::string* out) const {
+  ByteWriter w(out);
+  w.U32(kConnMagic);
+  forest_.AppendTo(out);
+}
+
+std::optional<ConnectivitySketch> ConnectivitySketch::Deserialize(
+    ByteReader* r) {
+  auto magic = r->U32();
+  if (!magic || *magic != kConnMagic) return std::nullopt;
+  auto forest = SpanningForestSketch::Deserialize(r);
+  if (!forest) return std::nullopt;
+  return ConnectivitySketch(std::move(*forest));
+}
+
 BipartitenessSketch::BipartitenessSketch(NodeId n, const ForestOptions& opt,
                                          uint64_t seed)
     : n_(n),
@@ -140,6 +159,28 @@ void KConnectivityTester::UpdateEndpoint(NodeId endpoint, NodeId u, NodeId v,
 
 void KConnectivityTester::Merge(const KConnectivityTester& other) {
   witness_.Merge(other.witness_);
+}
+
+namespace {
+constexpr uint32_t kKConnMagic = 0x4b435453u;  // "STCK"
+}
+
+void KConnectivityTester::AppendTo(std::string* out) const {
+  ByteWriter w(out);
+  w.U32(kKConnMagic);
+  w.U32(k_);
+  witness_.AppendTo(out);
+}
+
+std::optional<KConnectivityTester> KConnectivityTester::Deserialize(
+    ByteReader* r) {
+  auto magic = r->U32();
+  if (!magic || *magic != kKConnMagic) return std::nullopt;
+  auto k = r->U32();
+  if (!k || *k == 0) return std::nullopt;
+  auto witness = KEdgeConnectSketch::Deserialize(r);
+  if (!witness) return std::nullopt;
+  return KConnectivityTester(*k, std::move(*witness));
 }
 
 double KConnectivityTester::WitnessMinCut() const {

@@ -51,7 +51,18 @@ class ConnectivitySketch {
 
   size_t CellCount() const { return forest_.CellCount(); }
 
+  /// Serializes the full sketch state (checkpoint payload format).
+  void AppendTo(std::string* out) const;
+
+  /// Parses a sketch back; nullopt on malformed input.
+  static std::optional<ConnectivitySketch> Deserialize(ByteReader* r);
+
+  NodeId num_nodes() const { return forest_.num_nodes(); }
+
  private:
+  explicit ConnectivitySketch(SpanningForestSketch forest)
+      : forest_(std::move(forest)) {}
+
   SpanningForestSketch forest_;
 };
 
@@ -144,7 +155,19 @@ class KConnectivityTester {
 
   size_t CellCount() const { return witness_.CellCount(); }
 
+  /// Serializes the full tester state (checkpoint payload format).
+  void AppendTo(std::string* out) const;
+
+  /// Parses a tester back; nullopt on malformed input.
+  static std::optional<KConnectivityTester> Deserialize(ByteReader* r);
+
+  uint32_t k() const { return k_; }
+  NodeId num_nodes() const { return witness_.num_nodes(); }
+
  private:
+  KConnectivityTester(uint32_t k, KEdgeConnectSketch witness)
+      : k_(k), witness_(std::move(witness)) {}
+
   uint32_t k_;
   KEdgeConnectSketch witness_;
 };

@@ -47,6 +47,36 @@ Graph KEdgeConnectSketch::ExtractWitness() const {
   return witness;
 }
 
+namespace {
+constexpr uint32_t kKEdgeMagic = 0x4b454353u;  // "KECS"
+}
+
+void KEdgeConnectSketch::AppendTo(std::string* out) const {
+  ByteWriter w(out);
+  w.U32(kKEdgeMagic);
+  w.U32(n_);
+  w.U32(static_cast<uint32_t>(layers_.size()));
+  for (const auto& layer : layers_) layer.AppendTo(out);
+}
+
+std::optional<KEdgeConnectSketch> KEdgeConnectSketch::Deserialize(
+    ByteReader* r) {
+  auto magic = r->U32();
+  if (!magic || *magic != kKEdgeMagic) return std::nullopt;
+  auto n = r->U32();
+  auto k = r->U32();
+  if (!n || !k || *k == 0) return std::nullopt;
+  KEdgeConnectSketch sk;
+  sk.n_ = *n;
+  sk.layers_.reserve(*k);
+  for (uint32_t i = 0; i < *k; ++i) {
+    auto layer = SpanningForestSketch::Deserialize(r);
+    if (!layer || layer->num_nodes() != *n) return std::nullopt;
+    sk.layers_.push_back(std::move(*layer));
+  }
+  return sk;
+}
+
 size_t KEdgeConnectSketch::CellCount() const {
   size_t total = 0;
   for (const auto& layer : layers_) total += layer.CellCount();

@@ -45,11 +45,18 @@ class KEdgeConnectSketch {
   /// Total 1-sparse cells (space proxy).
   size_t CellCount() const;
 
+  /// Serializes the sketch (all k layers; checkpoint payload format).
+  void AppendTo(std::string* out) const;
+
+  /// Parses a sketch back; nullopt on malformed input.
+  static std::optional<KEdgeConnectSketch> Deserialize(ByteReader* r);
+
   uint32_t k() const { return static_cast<uint32_t>(layers_.size()); }
   NodeId num_nodes() const { return n_; }
 
  private:
-  NodeId n_;
+  KEdgeConnectSketch() = default;
+  NodeId n_ = 0;
   std::vector<SpanningForestSketch> layers_;
 };
 

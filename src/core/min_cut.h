@@ -66,7 +66,19 @@ class MinCutSketch {
   /// Total 1-sparse cells (space proxy).
   size_t CellCount() const;
 
+  /// Serializes the full sketch state, including the subsampling
+  /// hierarchy's seed (checkpoint payload format).
+  void AppendTo(std::string* out) const;
+
+  /// Parses a sketch back; nullopt on malformed input.
+  static std::optional<MinCutSketch> Deserialize(ByteReader* r);
+
+  NodeId num_nodes() const { return n_; }
+
  private:
+  MinCutSketch(NodeId n, uint32_t k, SamplingLevels sampler)
+      : n_(n), k_(k), sampler_(sampler) {}
+
   NodeId n_;
   uint32_t k_;
   SamplingLevels sampler_;

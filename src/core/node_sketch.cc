@@ -4,110 +4,113 @@
 
 namespace gsketch {
 
-NodeL0Bank::NodeL0Bank(NodeId n, uint32_t repetitions, uint64_t seed) {
-  samplers_.reserve(n);
-  uint64_t domain = EdgeDomain(n);
-  for (NodeId u = 0; u < n; ++u) {
-    // Same seed for every node: one shared linear measurement matrix.
-    samplers_.emplace_back(domain, repetitions, seed);
-  }
+NodeL0Bank::NodeL0Bank(NodeId n, uint32_t repetitions, uint64_t seed)
+    : n_(n),
+      // Same seed for every node: one shared linear measurement matrix.
+      params_(L0Params::Make(EdgeDomain(n), repetitions, seed)),
+      stride_(params_.CellsPerSampler()) {
+  arena_.resize(static_cast<size_t>(n_) * stride_);
 }
 
 void NodeL0Bank::Update(NodeId u, NodeId v, int64_t delta) {
   assert(u != v);
   uint64_t id = EdgeId(u, v);
-  samplers_[u].Update(id, delta * IncidenceSign(u, u, v));
-  samplers_[v].Update(id, delta * IncidenceSign(v, u, v));
+  L0CellsUpdateTwo(params_, arena_.data() + u * stride_,
+                   arena_.data() + v * stride_, id,
+                   delta * IncidenceSign(u, u, v),
+                   delta * IncidenceSign(v, u, v));
 }
 
 void NodeL0Bank::UpdateEndpoint(NodeId endpoint, NodeId u, NodeId v,
                                 int64_t delta) {
   assert(u != v && (endpoint == u || endpoint == v));
-  samplers_[endpoint].Update(EdgeId(u, v),
-                             delta * IncidenceSign(endpoint, u, v));
+  L0CellsUpdate(params_, arena_.data() + endpoint * stride_, EdgeId(u, v),
+                delta * IncidenceSign(endpoint, u, v));
 }
 
 L0Sampler NodeL0Bank::SumOver(const std::vector<NodeId>& nodes) const {
   assert(!nodes.empty());
-  L0Sampler acc = samplers_[nodes[0]];
-  for (size_t i = 1; i < nodes.size(); ++i) acc.Merge(samplers_[nodes[i]]);
+  L0Sampler acc = Of(nodes[0]).Materialize();
+  for (size_t i = 1; i < nodes.size(); ++i) {
+    const OneSparseCell* slice = arena_.data() + nodes[i] * stride_;
+    for (size_t c = 0; c < stride_; ++c) acc.cells_[c].Merge(slice[c]);
+  }
   return acc;
 }
 
 void NodeL0Bank::Merge(const NodeL0Bank& other) {
-  assert(samplers_.size() == other.samplers_.size());
-  for (size_t u = 0; u < samplers_.size(); ++u) {
-    samplers_[u].Merge(other.samplers_[u]);
-  }
-}
-
-size_t NodeL0Bank::CellCount() const {
-  size_t total = 0;
-  for (const auto& s : samplers_) total += s.CellCount();
-  return total;
+  assert(n_ == other.n_ && params_ == other.params_);
+  for (size_t i = 0; i < arena_.size(); ++i) arena_[i].Merge(other.arena_[i]);
 }
 
 void NodeL0Bank::AppendTo(std::string* out) const {
   ByteWriter w(out);
-  w.U32(static_cast<uint32_t>(samplers_.size()));
-  for (const auto& s : samplers_) s.AppendTo(out);
+  w.U32(n_);
+  for (NodeId u = 0; u < n_; ++u) {
+    L0CellsAppendTo(params_, arena_.data() + u * stride_, out);
+  }
 }
 
 std::optional<NodeL0Bank> NodeL0Bank::Deserialize(ByteReader* r) {
   auto n = r->U32();
   if (!n) return std::nullopt;
   NodeL0Bank bank;
-  bank.samplers_.reserve(*n);
-  for (uint32_t i = 0; i < *n; ++i) {
-    auto s = L0Sampler::Deserialize(r);
-    if (!s) return std::nullopt;
-    bank.samplers_.push_back(std::move(*s));
+  bank.n_ = *n;
+  for (NodeId u = 0; u < bank.n_; ++u) {
+    L0Params p;
+    if (!L0ParseHeader(r, &p)) return std::nullopt;
+    if (u == 0) {
+      bank.params_ = p;
+      bank.stride_ = p.CellsPerSampler();
+      bank.arena_.resize(static_cast<size_t>(bank.n_) * bank.stride_);
+    } else if (p != bank.params_) {
+      return std::nullopt;
+    }
+    if (!ParseCells(r, bank.arena_.data() + u * bank.stride_, bank.stride_)) {
+      return std::nullopt;
+    }
   }
   return bank;
 }
 
 NodeRecoveryBank::NodeRecoveryBank(NodeId n, uint32_t capacity, uint32_t rows,
-                                   uint64_t seed) {
-  sketches_.reserve(n);
-  uint64_t domain = EdgeDomain(n);
-  for (NodeId u = 0; u < n; ++u) {
-    sketches_.emplace_back(domain, capacity, rows, seed);
-  }
+                                   uint64_t seed)
+    : n_(n),
+      params_(RecoveryParams::Make(EdgeDomain(n), capacity, rows, seed)),
+      stride_(params_.CellsPerSketch()) {
+  arena_.resize(static_cast<size_t>(n_) * stride_);
 }
 
 void NodeRecoveryBank::Update(NodeId u, NodeId v, int64_t delta) {
   assert(u != v);
   uint64_t id = EdgeId(u, v);
-  sketches_[u].Update(id, delta * IncidenceSign(u, u, v));
-  sketches_[v].Update(id, delta * IncidenceSign(v, u, v));
+  RecoveryCellsUpdateTwo(params_, arena_.data() + u * stride_,
+                         arena_.data() + v * stride_, id,
+                         delta * IncidenceSign(u, u, v),
+                         delta * IncidenceSign(v, u, v));
 }
 
 void NodeRecoveryBank::UpdateEndpoint(NodeId endpoint, NodeId u, NodeId v,
                                       int64_t delta) {
   assert(u != v && (endpoint == u || endpoint == v));
-  sketches_[endpoint].Update(EdgeId(u, v),
-                             delta * IncidenceSign(endpoint, u, v));
+  RecoveryCellsUpdate(params_, arena_.data() + endpoint * stride_,
+                      EdgeId(u, v), delta * IncidenceSign(endpoint, u, v));
 }
 
 SparseRecovery NodeRecoveryBank::SumOver(
     const std::vector<NodeId>& nodes) const {
   assert(!nodes.empty());
-  SparseRecovery acc = sketches_[nodes[0]];
-  for (size_t i = 1; i < nodes.size(); ++i) acc.Merge(sketches_[nodes[i]]);
+  SparseRecovery acc = Of(nodes[0]).Materialize();
+  for (size_t i = 1; i < nodes.size(); ++i) {
+    const OneSparseCell* slice = arena_.data() + nodes[i] * stride_;
+    for (size_t c = 0; c < stride_; ++c) acc.cells_[c].Merge(slice[c]);
+  }
   return acc;
 }
 
 void NodeRecoveryBank::Merge(const NodeRecoveryBank& other) {
-  assert(sketches_.size() == other.sketches_.size());
-  for (size_t u = 0; u < sketches_.size(); ++u) {
-    sketches_[u].Merge(other.sketches_[u]);
-  }
-}
-
-size_t NodeRecoveryBank::CellCount() const {
-  size_t total = 0;
-  for (const auto& s : sketches_) total += s.CellCount();
-  return total;
+  assert(n_ == other.n_ && params_ == other.params_);
+  for (size_t i = 0; i < arena_.size(); ++i) arena_[i].Merge(other.arena_[i]);
 }
 
 }  // namespace gsketch

@@ -5,6 +5,17 @@
 // crossing (A, V \ A): edges inside A cancel. Every bank below applies the
 // *same* linear measurement (same seed) to every node, which is what makes
 // the component-sum trick work.
+//
+// Storage: each bank owns ONE contiguous OneSparseCell arena holding every
+// node's cells back to back (node u's sampler occupies the stride-sized
+// slice starting at u * stride). The hot path `Update` therefore touches
+// two arena slices computed by pointer arithmetic instead of chasing
+// per-node heap vectors, and checkpointing snapshots the whole bank with a
+// single bulk copy of the arena (src/driver/checkpoint.h). Per-node access
+// hands out lightweight views (L0SamplerView / SparseRecoveryView) over
+// arena slices; the cells are bit-identical to the historical per-node
+// layout (tests/parity_test.cc proves this against a reference
+// implementation).
 #ifndef GRAPHSKETCH_SRC_CORE_NODE_SKETCH_H_
 #define GRAPHSKETCH_SRC_CORE_NODE_SKETCH_H_
 
@@ -25,24 +36,28 @@ inline int64_t IncidenceSign(NodeId node, NodeId u, NodeId v) {
 }
 
 /// A bank of n ℓ₀-samplers, one per node, over the edge-slot domain, all
-/// sharing one measurement seed.
+/// sharing one measurement seed. All cells live in one bank-owned arena.
 class NodeL0Bank {
  public:
   /// Bank for an n-node graph; `repetitions` per sampler.
   NodeL0Bank(NodeId n, uint32_t repetitions, uint64_t seed);
 
-  /// Applies one stream token (u, v, delta) to both endpoint vectors.
+  /// Applies one stream token (u, v, delta) to both endpoint vectors. The
+  /// per-repetition hashes are computed once and applied to both arena
+  /// slices.
   void Update(NodeId u, NodeId v, int64_t delta);
 
   /// Applies only the half of the token that lands in `endpoint`'s vector
   /// (`endpoint` must be u or v). Update(u,v,d) ==
   /// UpdateEndpoint(u,u,v,d); UpdateEndpoint(v,u,v,d), which lets callers
   /// shard a stream by endpoint: workers owning disjoint node sets touch
-  /// disjoint samplers and may run concurrently without locks.
+  /// disjoint arena slices and may run concurrently without locks.
   void UpdateEndpoint(NodeId endpoint, NodeId u, NodeId v, int64_t delta);
 
-  /// Sampler of a single node.
-  const L0Sampler& Of(NodeId u) const { return samplers_[u]; }
+  /// View of a single node's sampler (valid while the bank lives).
+  L0SamplerView Of(NodeId u) const {
+    return L0SamplerView(&params_, arena_.data() + u * stride_);
+  }
 
   /// Sketch of Σ_{u∈nodes} x^u: supported on the edges leaving `nodes`.
   L0Sampler SumOver(const std::vector<NodeId>& nodes) const;
@@ -51,23 +66,35 @@ class NodeL0Bank {
   void Merge(const NodeL0Bank& other);
 
   /// Total 1-sparse cells (space proxy).
-  size_t CellCount() const;
+  size_t CellCount() const { return arena_.size(); }
 
-  /// Serializes the full bank (Sec 1.1 wire format).
+  /// Heap bytes held by the bank (one arena allocation).
+  size_t ArenaBytes() const { return arena_.size() * sizeof(OneSparseCell); }
+
+  /// Serializes the full bank (Sec 1.1 wire format; byte-compatible with
+  /// the historical per-node-sampler encoding).
   void AppendTo(std::string* out) const;
 
-  /// Parses a bank back; nullopt on malformed input.
+  /// Parses a bank back; nullopt on malformed input or if the per-node
+  /// records disagree on parameters (one shared measurement is an
+  /// invariant of every writer).
   static std::optional<NodeL0Bank> Deserialize(ByteReader* r);
 
-  NodeId num_nodes() const { return static_cast<NodeId>(samplers_.size()); }
+  NodeId num_nodes() const { return n_; }
+  const L0Params& params() const { return params_; }
 
  private:
   NodeL0Bank() = default;
-  std::vector<L0Sampler> samplers_;
+
+  NodeId n_ = 0;
+  L0Params params_;
+  size_t stride_ = 0;  // cells per node = params_.CellsPerSampler()
+  std::vector<OneSparseCell> arena_;  // n_ * stride_
 };
 
 /// A bank of n k-RECOVERY sketches, one per node, over the edge-slot
-/// domain, sharing one measurement seed (Fig. 3 step 3b).
+/// domain, sharing one measurement seed (Fig. 3 step 3b). Arena-backed
+/// like NodeL0Bank.
 class NodeRecoveryBank {
  public:
   /// Bank for an n-node graph; each sketch recovers up to `capacity`
@@ -80,8 +107,10 @@ class NodeRecoveryBank {
   /// Endpoint half of one token (see NodeL0Bank::UpdateEndpoint).
   void UpdateEndpoint(NodeId endpoint, NodeId u, NodeId v, int64_t delta);
 
-  /// Sketch of a single node.
-  const SparseRecovery& Of(NodeId u) const { return sketches_[u]; }
+  /// View of a single node's sketch (valid while the bank lives).
+  SparseRecoveryView Of(NodeId u) const {
+    return SparseRecoveryView(&params_, arena_.data() + u * stride_);
+  }
 
   /// Sketch of Σ_{u∈nodes} x^u (Fig. 3 step 4c): decoding it recovers all
   /// edges crossing the cut, if at most `capacity` of them.
@@ -91,12 +120,19 @@ class NodeRecoveryBank {
   void Merge(const NodeRecoveryBank& other);
 
   /// Total 1-sparse cells (space proxy).
-  size_t CellCount() const;
+  size_t CellCount() const { return arena_.size(); }
 
-  NodeId num_nodes() const { return static_cast<NodeId>(sketches_.size()); }
+  /// Heap bytes held by the bank (one arena allocation).
+  size_t ArenaBytes() const { return arena_.size() * sizeof(OneSparseCell); }
+
+  NodeId num_nodes() const { return n_; }
+  const RecoveryParams& params() const { return params_; }
 
  private:
-  std::vector<SparseRecovery> sketches_;
+  NodeId n_ = 0;
+  RecoveryParams params_;
+  size_t stride_ = 0;  // cells per node = params_.CellsPerSketch()
+  std::vector<OneSparseCell> arena_;  // n_ * stride_
 };
 
 }  // namespace gsketch

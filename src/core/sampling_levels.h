@@ -35,6 +35,10 @@ class SamplingLevels {
   /// Deepest level of the hierarchy.
   uint32_t max_level() const { return max_level_; }
 
+  /// Seed of the level coins (serialization; the hierarchy is a pure
+  /// function of (max_level, seed)).
+  uint64_t seed() const { return seed_; }
+
   /// The conventional depth for an n-node graph: 2·ceil(log2 n) + 1 levels
   /// (indices 0..2·ceil(log2 n)).
   static uint32_t DefaultMaxLevel(NodeId n) {

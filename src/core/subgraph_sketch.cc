@@ -38,7 +38,9 @@ void SubgraphSketch::Update(NodeId u, NodeId v, int64_t delta) {
       if (subset[i] == b) ib = i;
     }
     uint64_t rank = SubsetRank(subset, k);
-    int64_t add = delta << PairSlot(ia, ib);
+    // Multiply instead of shifting: delta may be negative, and a left
+    // shift of a negative value is UB in C++17.
+    int64_t add = delta * (int64_t{1} << PairSlot(ia, ib));
     for (auto& sampler : samplers_) sampler.Update(rank, add);
     support_.Update(rank, add);
   };

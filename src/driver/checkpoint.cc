@@ -1,0 +1,218 @@
+#include "src/driver/checkpoint.h"
+
+#include <cstdio>
+
+#include "src/sketch/serde.h"
+
+namespace gsketch {
+
+namespace {
+
+// FNV-1a over the checksummed region (alg tag through payload). Not
+// cryptographic — it catches truncation, bit rot, and header/payload
+// mix-ups, which is what a resume point needs.
+uint64_t Fnv1a(const unsigned char* data, size_t len, uint64_t h) {
+  for (size_t i = 0; i < len; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+
+uint64_t ChecksumOf(const std::string& bytes, size_t from, size_t to) {
+  return Fnv1a(reinterpret_cast<const unsigned char*>(bytes.data()) + from,
+               to - from, kFnvOffset);
+}
+
+bool ValidAlg(uint32_t tag) {
+  return tag >= static_cast<uint32_t>(CheckpointAlg::kConnectivity) &&
+         tag <= static_cast<uint32_t>(CheckpointAlg::kMinCut);
+}
+
+}  // namespace
+
+const char* CheckpointAlgName(CheckpointAlg alg) {
+  switch (alg) {
+    case CheckpointAlg::kConnectivity:
+      return "connectivity";
+    case CheckpointAlg::kKConnectivity:
+      return "kconnect";
+    case CheckpointAlg::kMinCut:
+      return "mincut";
+  }
+  return "unknown";
+}
+
+bool WriteCheckpointFile(const std::string& path, const Checkpoint& c,
+                         std::string* error) {
+  std::string bytes;
+  ByteWriter w(&bytes);
+  w.U32(kCheckpointMagic);
+  w.U32(kCheckpointVersion);
+  w.U32(static_cast<uint32_t>(c.alg));
+  w.U32(0);  // reserved
+  w.U64(c.stream_pos);
+  w.U64(c.payload.size());
+  bytes += c.payload;
+  w.U64(ChecksumOf(bytes, 8, bytes.size()));
+
+  // Write to a temp file and rename into place: a crash mid-write must
+  // never destroy the previous checkpoint at `path` — surviving crashes
+  // is the whole point of a resume point.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    if (error) *error = "cannot open " + tmp + " for writing";
+    return false;
+  }
+  bool ok = std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  ok = (std::fclose(f) == 0) && ok;
+  if (ok) ok = std::rename(tmp.c_str(), path.c_str()) == 0;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    if (error) *error = "write to " + path + " failed";
+  }
+  return ok;
+}
+
+std::optional<Checkpoint> ReadCheckpointFile(const std::string& path,
+                                             std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (error) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::string bytes;
+  char buf[1 << 16];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    bytes.append(buf, got);
+  }
+  bool read_ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!read_ok) {
+    if (error) *error = path + ": read failed";
+    return std::nullopt;
+  }
+
+  ByteReader r(bytes);
+  auto magic = r.U32();
+  if (!magic || *magic != kCheckpointMagic) {
+    if (error) *error = path + ": not a GSKC checkpoint (bad magic)";
+    return std::nullopt;
+  }
+  auto version = r.U32();
+  if (!version || *version != kCheckpointVersion) {
+    if (error) {
+      *error = path + ": unsupported checkpoint version " +
+               std::to_string(version.value_or(0));
+    }
+    return std::nullopt;
+  }
+  auto alg = r.U32();
+  auto reserved = r.U32();
+  auto stream_pos = r.U64();
+  auto payload_size = r.U64();
+  if (!alg || !reserved || !stream_pos || !payload_size) {
+    if (error) *error = path + ": truncated checkpoint header";
+    return std::nullopt;
+  }
+  if (!ValidAlg(*alg)) {
+    if (error) {
+      *error = path + ": unknown algorithm tag " + std::to_string(*alg);
+    }
+    return std::nullopt;
+  }
+  // Header (32) + payload + trailing checksum (8) must be exactly the
+  // file. Compare against the actual size (never trust payload_size in
+  // arithmetic: a corrupt huge value must not wrap).
+  if (bytes.size() < 40 || *payload_size != bytes.size() - 40) {
+    if (error) *error = path + ": truncated or oversized checkpoint";
+    return std::nullopt;
+  }
+  uint64_t want = ChecksumOf(bytes, 8, 32 + *payload_size);
+  ByteReader tail(bytes.data() + 32 + *payload_size, 8);
+  auto got_sum = tail.U64();
+  if (!got_sum || *got_sum != want) {
+    if (error) *error = path + ": checksum mismatch (corrupt checkpoint)";
+    return std::nullopt;
+  }
+
+  Checkpoint c;
+  c.alg = static_cast<CheckpointAlg>(*alg);
+  c.stream_pos = *stream_pos;
+  c.payload = bytes.substr(32, *payload_size);
+  return c;
+}
+
+bool LooksLikeCheckpoint(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  unsigned char head[4];
+  bool ok = std::fread(head, 1, 4, f) == 4;
+  std::fclose(f);
+  if (!ok) return false;
+  uint32_t magic = static_cast<uint32_t>(head[0]) |
+                   static_cast<uint32_t>(head[1]) << 8 |
+                   static_cast<uint32_t>(head[2]) << 16 |
+                   static_cast<uint32_t>(head[3]) << 24;
+  return magic == kCheckpointMagic;
+}
+
+namespace {
+
+template <typename Sketch>
+bool SaveTyped(const std::string& path, const Sketch& sk, CheckpointAlg alg,
+               uint64_t stream_pos, std::string* error) {
+  Checkpoint c;
+  c.alg = alg;
+  c.stream_pos = stream_pos;
+  sk.AppendTo(&c.payload);
+  return WriteCheckpointFile(path, c, error);
+}
+
+}  // namespace
+
+bool SaveCheckpoint(const std::string& path, const ConnectivitySketch& sk,
+                    uint64_t stream_pos, std::string* error) {
+  return SaveTyped(path, sk, CheckpointAlg::kConnectivity, stream_pos, error);
+}
+
+bool SaveCheckpoint(const std::string& path, const KConnectivityTester& sk,
+                    uint64_t stream_pos, std::string* error) {
+  return SaveTyped(path, sk, CheckpointAlg::kKConnectivity, stream_pos,
+                   error);
+}
+
+bool SaveCheckpoint(const std::string& path, const MinCutSketch& sk,
+                    uint64_t stream_pos, std::string* error) {
+  return SaveTyped(path, sk, CheckpointAlg::kMinCut, stream_pos, error);
+}
+
+std::optional<ConnectivitySketch> RestoreConnectivity(const Checkpoint& c) {
+  if (c.alg != CheckpointAlg::kConnectivity) return std::nullopt;
+  ByteReader r(c.payload);
+  auto sk = ConnectivitySketch::Deserialize(&r);
+  if (!sk || !r.AtEnd()) return std::nullopt;
+  return sk;
+}
+
+std::optional<KConnectivityTester> RestoreKConnectivity(const Checkpoint& c) {
+  if (c.alg != CheckpointAlg::kKConnectivity) return std::nullopt;
+  ByteReader r(c.payload);
+  auto sk = KConnectivityTester::Deserialize(&r);
+  if (!sk || !r.AtEnd()) return std::nullopt;
+  return sk;
+}
+
+std::optional<MinCutSketch> RestoreMinCut(const Checkpoint& c) {
+  if (c.alg != CheckpointAlg::kMinCut) return std::nullopt;
+  ByteReader r(c.payload);
+  auto sk = MinCutSketch::Deserialize(&r);
+  if (!sk || !r.AtEnd()) return std::nullopt;
+  return sk;
+}
+
+}  // namespace gsketch

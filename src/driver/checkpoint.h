@@ -1,0 +1,90 @@
+// GSKC checkpoint files: durable snapshots of sketch state mid-stream.
+//
+// A long-running ingestion (days of stream) should survive process death:
+// because every sketch is a linear function of the stream prefix, a
+// snapshot of the sketch cells plus the stream position is a complete
+// resume point — restore, replay the remaining updates, and the final
+// state is bit-identical to an uninterrupted run. The arena storage of
+// src/core/node_sketch.h makes the snapshot cheap: each bank's cells are
+// one contiguous block, serialized with bulk copies rather than a million
+// per-sampler traversals.
+//
+// Layout (little-endian, no alignment):
+//   offset  size  field
+//   0       4     magic  "GSKC" (0x434b5347)
+//   4       4     format version (currently 1)
+//   8       4     algorithm tag (CheckpointAlg)
+//   12      4     reserved (0)
+//   16      8     stream position — updates already applied
+//   24      8     payload size p
+//   32      p     payload: the sketch's AppendTo bytes
+//   32+p    8     FNV-1a checksum over bytes [8, 32+p)
+//
+// Readers validate magic, version, size, and checksum before handing the
+// payload to a sketch Deserialize, so truncation and bit corruption fail
+// with a clean error instead of a garbage sketch.
+#ifndef GRAPHSKETCH_SRC_DRIVER_CHECKPOINT_H_
+#define GRAPHSKETCH_SRC_DRIVER_CHECKPOINT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/core/connectivity_suite.h"
+#include "src/core/min_cut.h"
+
+namespace gsketch {
+
+inline constexpr uint32_t kCheckpointMagic = 0x434b5347u;  // "GSKC"
+inline constexpr uint32_t kCheckpointVersion = 1;
+
+/// Which sketch type a checkpoint carries.
+enum class CheckpointAlg : uint32_t {
+  kConnectivity = 1,
+  kKConnectivity = 2,
+  kMinCut = 3,
+};
+
+/// Human-readable algorithm name ("connectivity", ...); "unknown" for
+/// unrecognized tags.
+const char* CheckpointAlgName(CheckpointAlg alg);
+
+/// A parsed checkpoint envelope: what was snapshotted and where in the
+/// stream it was taken.
+struct Checkpoint {
+  CheckpointAlg alg = CheckpointAlg::kConnectivity;
+  uint64_t stream_pos = 0;  ///< stream updates already applied
+  std::string payload;      ///< sketch serialization (AppendTo bytes)
+};
+
+/// Writes a checkpoint file atomically enough for crash-adjacent use
+/// (write + close, no rename); false on I/O failure with `*error` set.
+bool WriteCheckpointFile(const std::string& path, const Checkpoint& c,
+                         std::string* error);
+
+/// Reads and validates a checkpoint file; nullopt with `*error` set on
+/// open failure, bad magic/version, truncation, or checksum mismatch.
+std::optional<Checkpoint> ReadCheckpointFile(const std::string& path,
+                                             std::string* error);
+
+/// True iff `path` starts with the GSKC magic (false also on I/O error).
+bool LooksLikeCheckpoint(const std::string& path);
+
+// Typed save/restore wrappers. Save serializes the sketch and writes the
+// envelope; Restore validates the tag and parses the payload, returning
+// nullopt (with untouched inputs) on any mismatch.
+
+bool SaveCheckpoint(const std::string& path, const ConnectivitySketch& sk,
+                    uint64_t stream_pos, std::string* error);
+bool SaveCheckpoint(const std::string& path, const KConnectivityTester& sk,
+                    uint64_t stream_pos, std::string* error);
+bool SaveCheckpoint(const std::string& path, const MinCutSketch& sk,
+                    uint64_t stream_pos, std::string* error);
+
+std::optional<ConnectivitySketch> RestoreConnectivity(const Checkpoint& c);
+std::optional<KConnectivityTester> RestoreKConnectivity(const Checkpoint& c);
+std::optional<MinCutSketch> RestoreMinCut(const Checkpoint& c);
+
+}  // namespace gsketch
+
+#endif  // GRAPHSKETCH_SRC_DRIVER_CHECKPOINT_H_

@@ -52,9 +52,10 @@
 #include "src/core/subgraph_sketch.h"
 #include "src/core/weighted_sparsifier.h"
 
-// High-throughput ingestion: binary stream files and the batched
-// multi-threaded driver.
+// High-throughput ingestion: binary stream files, the batched
+// multi-threaded driver, and mid-stream checkpointing.
 #include "src/driver/binary_stream.h"
+#include "src/driver/checkpoint.h"
 #include "src/driver/progress.h"
 #include "src/driver/sketch_driver.h"
 

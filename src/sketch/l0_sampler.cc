@@ -1,6 +1,7 @@
 #include "src/sketch/l0_sampler.h"
 
 #include <cassert>
+#include <cstring>
 
 #include "src/hash/splitmix.h"
 
@@ -12,42 +13,62 @@ uint32_t LevelsFor(uint64_t domain) {
   while ((uint64_t{1} << l) < domain && l < 63) ++l;
   return l;
 }
+
+constexpr uint32_t kL0Magic = 0x4c30534bu;  // "L0SK"
 }  // namespace
 
-L0Sampler::L0Sampler(uint64_t domain, uint32_t repetitions, uint64_t seed)
-    : domain_(domain),
-      reps_(repetitions),
-      levels_(LevelsFor(domain)),
-      seed_(seed) {
-  cells_.resize(static_cast<size_t>(reps_) * (levels_ + 1));
+L0Params L0Params::Make(uint64_t domain, uint32_t repetitions, uint64_t seed) {
+  L0Params p;
+  p.domain = domain;
+  p.repetitions = repetitions;
+  p.levels = LevelsFor(domain);
+  p.seed = seed;
+  return p;
 }
 
-void L0Sampler::Update(uint64_t index, int64_t delta) {
-  assert(index < domain_);
-  for (uint32_t r = 0; r < reps_; ++r) {
-    uint64_t rep_seed = DeriveSeed(seed_, r);
+void L0CellsUpdate(const L0Params& p, OneSparseCell* cells, uint64_t index,
+                   int64_t delta) {
+  assert(index < p.domain);
+  const uint32_t per_rep = p.levels + 1;
+  for (uint32_t r = 0; r < p.repetitions; ++r) {
+    uint64_t rep_seed = DeriveSeed(p.seed, r);
     // Element lives at levels 0..z where z counts leading coin successes.
-    uint32_t z = GeometricLevel(Mix64(rep_seed, 0x5e7eu, index), levels_);
+    uint32_t z = GeometricLevel(Mix64(rep_seed, 0x5e7eu, index), p.levels);
     uint64_t finger = OneSparseCell::FingerOf(rep_seed, index);
+    OneSparseCell* rep_cells = cells + static_cast<size_t>(r) * per_rep;
     for (uint32_t l = 0; l <= z; ++l) {
-      cells_[CellAt(r, l)].Update(index, delta, finger);
+      rep_cells[l].Update(index, delta, finger);
     }
   }
 }
 
-void L0Sampler::Merge(const L0Sampler& other) {
-  assert(domain_ == other.domain_ && reps_ == other.reps_ &&
-         seed_ == other.seed_);
-  for (size_t i = 0; i < cells_.size(); ++i) cells_[i].Merge(other.cells_[i]);
+void L0CellsUpdateTwo(const L0Params& p, OneSparseCell* cells_a,
+                      OneSparseCell* cells_b, uint64_t index, int64_t delta_a,
+                      int64_t delta_b) {
+  assert(index < p.domain);
+  const uint32_t per_rep = p.levels + 1;
+  for (uint32_t r = 0; r < p.repetitions; ++r) {
+    uint64_t rep_seed = DeriveSeed(p.seed, r);
+    uint32_t z = GeometricLevel(Mix64(rep_seed, 0x5e7eu, index), p.levels);
+    uint64_t finger = OneSparseCell::FingerOf(rep_seed, index);
+    size_t base = static_cast<size_t>(r) * per_rep;
+    for (uint32_t l = 0; l <= z; ++l) {
+      cells_a[base + l].Update(index, delta_a, finger);
+      cells_b[base + l].Update(index, delta_b, finger);
+    }
+  }
 }
 
-std::optional<L0Sample> L0Sampler::Sample() const {
-  for (uint32_t r = 0; r < reps_; ++r) {
-    uint64_t rep_seed = DeriveSeed(seed_, r);
+std::optional<L0Sample> L0CellsSample(const L0Params& p,
+                                      const OneSparseCell* cells) {
+  const uint32_t per_rep = p.levels + 1;
+  for (uint32_t r = 0; r < p.repetitions; ++r) {
+    uint64_t rep_seed = DeriveSeed(p.seed, r);
+    const OneSparseCell* rep_cells = cells + static_cast<size_t>(r) * per_rep;
     // Scan from the sparsest restriction downward; the first decodable
     // level yields the unique survivor, uniform over support by symmetry.
-    for (uint32_t l = levels_ + 1; l-- > 0;) {
-      auto res = cells_[CellAt(r, l)].Decode(rep_seed);
+    for (uint32_t l = per_rep; l-- > 0;) {
+      auto res = rep_cells[l].Decode(rep_seed);
       if (res.has_value()) {
         return L0Sample{res->index, res->value};
       }
@@ -56,39 +77,57 @@ std::optional<L0Sample> L0Sampler::Sample() const {
   return std::nullopt;
 }
 
-bool L0Sampler::IsZero() const {
-  for (uint32_t r = 0; r < reps_; ++r) {
-    if (!cells_[CellAt(r, 0)].IsZero()) return false;
+bool L0CellsIsZero(const L0Params& p, const OneSparseCell* cells) {
+  const uint32_t per_rep = p.levels + 1;
+  for (uint32_t r = 0; r < p.repetitions; ++r) {
+    if (!cells[static_cast<size_t>(r) * per_rep].IsZero()) return false;
   }
   return true;
 }
 
-namespace {
-constexpr uint32_t kL0Magic = 0x4c30534bu;  // "L0SK"
-}
-
-void L0Sampler::AppendTo(std::string* out) const {
+void L0CellsAppendTo(const L0Params& p, const OneSparseCell* cells,
+                     std::string* out) {
   ByteWriter w(out);
   w.U32(kL0Magic);
-  w.U64(domain_);
-  w.U32(reps_);
-  w.U64(seed_);
-  for (const auto& cell : cells_) cell.AppendTo(&w);
+  w.U64(p.domain);
+  w.U32(p.repetitions);
+  w.U64(p.seed);
+  AppendCells(&w, cells, p.CellsPerSampler());
 }
 
-std::optional<L0Sampler> L0Sampler::Deserialize(ByteReader* r) {
+bool L0ParseHeader(ByteReader* r, L0Params* p) {
   auto magic = r->U32();
-  if (!magic || *magic != kL0Magic) return std::nullopt;
+  if (!magic || *magic != kL0Magic) return false;
   auto domain = r->U64();
   auto reps = r->U32();
   auto seed = r->U64();
-  if (!domain || !reps || !seed || *domain == 0 || *reps == 0) {
-    return std::nullopt;
-  }
-  L0Sampler s(*domain, *reps, *seed);
-  for (auto& cell : s.cells_) {
-    if (!cell.ParseFrom(r)) return std::nullopt;
-  }
+  if (!domain || !reps || !seed || *domain == 0 || *reps == 0) return false;
+  *p = L0Params::Make(*domain, *reps, *seed);
+  return true;
+}
+
+L0Sampler::L0Sampler(uint64_t domain, uint32_t repetitions, uint64_t seed)
+    : params_(L0Params::Make(domain, repetitions, seed)) {
+  cells_.resize(params_.CellsPerSampler());
+}
+
+void L0Sampler::Merge(const L0Sampler& other) {
+  assert(params_ == other.params_);
+  for (size_t i = 0; i < cells_.size(); ++i) cells_[i].Merge(other.cells_[i]);
+}
+
+std::optional<L0Sampler> L0Sampler::Deserialize(ByteReader* r) {
+  L0Params p;
+  if (!L0ParseHeader(r, &p)) return std::nullopt;
+  L0Sampler s(p.domain, p.repetitions, p.seed);
+  if (!ParseCells(r, s.cells_.data(), s.cells_.size())) return std::nullopt;
+  return s;
+}
+
+L0Sampler L0SamplerView::Materialize() const {
+  L0Sampler s(params_->domain, params_->repetitions, params_->seed);
+  std::memcpy(s.cells_.data(), cells_,
+              s.cells_.size() * sizeof(OneSparseCell));
   return s;
 }
 

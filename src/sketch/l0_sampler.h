@@ -8,6 +8,15 @@
 // the support. Per-copy success probability is a constant, so δ error needs
 // O(log 1/δ) repetitions; space is O(log²n · log 1/δ) words, matching the
 // theorem.
+//
+// Storage comes in two flavours sharing one measurement core:
+//   * L0Sampler        — owns its cells (standalone use: Baswana-Sen
+//                        buckets, subgraph sketches, component sums);
+//   * L0SamplerView    — a borrowed slice of a bank-owned arena
+//                        (src/core/node_sketch.h), where all n node
+//                        samplers live in one contiguous allocation.
+// Both perform identical linear measurements for equal L0Params, so cells
+// are bit-identical regardless of where they live.
 #ifndef GRAPHSKETCH_SRC_SKETCH_L0_SAMPLER_H_
 #define GRAPHSKETCH_SRC_SKETCH_L0_SAMPLER_H_
 
@@ -26,7 +35,62 @@ struct L0Sample {
   int64_t value = 0;   ///< x_index (exact).
 };
 
-/// Linear ℓ₀-sampling sketch over a vector x ∈ Z^domain.
+/// Shared parameterization of identically-measured ℓ₀-samplers. Samplers
+/// with equal params perform identical linear measurements (mergeable,
+/// bit-identical cells).
+struct L0Params {
+  uint64_t domain = 0;
+  uint32_t repetitions = 0;
+  uint32_t levels = 0;  ///< deepest level index; cells per rep = levels+1
+  uint64_t seed = 0;
+
+  /// Canonical construction: levels derived from the domain exactly as the
+  /// original per-node sampler did.
+  static L0Params Make(uint64_t domain, uint32_t repetitions, uint64_t seed);
+
+  size_t CellsPerSampler() const {
+    return static_cast<size_t>(repetitions) * (levels + 1);
+  }
+
+  bool operator==(const L0Params& o) const {
+    return domain == o.domain && repetitions == o.repetitions &&
+           levels == o.levels && seed == o.seed;
+  }
+  bool operator!=(const L0Params& o) const { return !(*this == o); }
+};
+
+// Measurement core: every operation below acts on a slice of
+// p.CellsPerSampler() cells laid out rep-major (rep r, level l at
+// r*(levels+1)+l), identically for owned and arena-resident samplers.
+
+/// Applies x[index] += delta to one sampler's cells.
+void L0CellsUpdate(const L0Params& p, OneSparseCell* cells, uint64_t index,
+                   int64_t delta);
+
+/// Applies x[index] += delta_a / delta_b to two samplers sharing params —
+/// the per-repetition hashes are computed once and reused, which is the
+/// bank hot path (both endpoints of a stream token).
+void L0CellsUpdateTwo(const L0Params& p, OneSparseCell* cells_a,
+                      OneSparseCell* cells_b, uint64_t index, int64_t delta_a,
+                      int64_t delta_b);
+
+/// Draws a sample from one sampler's cells (nullopt if all reps fail).
+std::optional<L0Sample> L0CellsSample(const L0Params& p,
+                                      const OneSparseCell* cells);
+
+/// Fingerprint zero-test over the level-0 cells.
+bool L0CellsIsZero(const L0Params& p, const OneSparseCell* cells);
+
+/// Appends one sampler wire record (magic, params, cells) — the format of
+/// L0Sampler::AppendTo, regardless of where the cells live.
+void L0CellsAppendTo(const L0Params& p, const OneSparseCell* cells,
+                     std::string* out);
+
+/// Parses a sampler wire record header into `*p` (levels derived from the
+/// domain); the caller then reads p->CellsPerSampler() cells.
+bool L0ParseHeader(ByteReader* r, L0Params* p);
+
+/// Linear ℓ₀-sampling sketch over a vector x ∈ Z^domain, owning its cells.
 class L0Sampler {
  public:
   /// Constructs a sampler for indices in [0, domain) with `repetitions`
@@ -36,42 +100,75 @@ class L0Sampler {
   L0Sampler(uint64_t domain, uint32_t repetitions, uint64_t seed);
 
   /// Applies x[index] += delta. O(1) expected level updates per repetition.
-  void Update(uint64_t index, int64_t delta);
+  void Update(uint64_t index, int64_t delta) {
+    L0CellsUpdate(params_, cells_.data(), index, delta);
+  }
 
   /// Adds another sampler with identical parameterization.
   void Merge(const L0Sampler& other);
 
   /// Draws a sample, or nullopt if every repetition fails (probability
   /// exp(-Ω(repetitions))) or the vector is zero.
-  std::optional<L0Sample> Sample() const;
+  std::optional<L0Sample> Sample() const {
+    return L0CellsSample(params_, cells_.data());
+  }
 
   /// True iff the summarized vector is zero w.h.p. (level-0 cells cover the
   /// full vector, so this is a fingerprint zero-test).
-  bool IsZero() const;
+  bool IsZero() const { return L0CellsIsZero(params_, cells_.data()); }
 
   /// Number of 1-sparse cells held (space proxy used by the benchmarks).
   size_t CellCount() const { return cells_.size(); }
 
   /// Serializes parameters, seed, and cells (Sec 1.1 wire format).
-  void AppendTo(std::string* out) const;
+  void AppendTo(std::string* out) const {
+    L0CellsAppendTo(params_, cells_.data(), out);
+  }
 
   /// Parses a sampler back from the wire; nullopt on malformed input.
   static std::optional<L0Sampler> Deserialize(ByteReader* r);
 
-  uint64_t domain() const { return domain_; }
-  uint32_t repetitions() const { return reps_; }
-  uint64_t seed() const { return seed_; }
+  uint64_t domain() const { return params_.domain; }
+  uint32_t repetitions() const { return params_.repetitions; }
+  uint64_t seed() const { return params_.seed; }
+  const L0Params& params() const { return params_; }
 
  private:
-  size_t CellAt(uint32_t rep, uint32_t level) const {
-    return static_cast<size_t>(rep) * (levels_ + 1) + level;
+  friend class NodeL0Bank;     // arena SumOver accumulates into cells_
+  friend class L0SamplerView;  // Materialize copies into cells_
+
+  L0Params params_;
+  std::vector<OneSparseCell> cells_;
+};
+
+/// Read-only view of one sampler whose cells live in a bank arena. Cheap to
+/// copy; valid only while the owning bank (and its arena) is alive and
+/// unmoved.
+class L0SamplerView {
+ public:
+  L0SamplerView(const L0Params* params, const OneSparseCell* cells)
+      : params_(params), cells_(cells) {}
+
+  std::optional<L0Sample> Sample() const {
+    return L0CellsSample(*params_, cells_);
+  }
+  bool IsZero() const { return L0CellsIsZero(*params_, cells_); }
+  size_t CellCount() const { return params_->CellsPerSampler(); }
+  void AppendTo(std::string* out) const {
+    L0CellsAppendTo(*params_, cells_, out);
   }
 
-  uint64_t domain_;
-  uint32_t reps_;
-  uint32_t levels_;  // deepest level index; cells per rep = levels_+1
-  uint64_t seed_;
-  std::vector<OneSparseCell> cells_;
+  /// Copies the viewed slice into an owning sampler.
+  L0Sampler Materialize() const;
+
+  uint64_t domain() const { return params_->domain; }
+  uint32_t repetitions() const { return params_->repetitions; }
+  uint64_t seed() const { return params_->seed; }
+  const OneSparseCell* cells() const { return cells_; }
+
+ private:
+  const L0Params* params_;
+  const OneSparseCell* cells_;
 };
 
 }  // namespace gsketch

@@ -22,6 +22,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <type_traits>
 
 #include "src/hash/kwise_hash.h"
 #include "src/hash/splitmix.h"
@@ -108,6 +109,43 @@ class OneSparseCell {
   int64_t index_weight_ = 0;
   uint64_t print_ = 0;
 };
+
+// The bulk-cell codec below memcpy's whole cell arrays on little-endian
+// hosts; that is only the wire format if a cell is exactly its three
+// measurements, declaration-ordered with no padding.
+static_assert(sizeof(OneSparseCell) == 24, "cell must pack to 24 bytes");
+static_assert(std::is_trivially_copyable<OneSparseCell>::value,
+              "bulk cell serde memcpy's cells");
+
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+inline constexpr bool kHostLittleEndian = true;
+#else
+inline constexpr bool kHostLittleEndian = false;
+#endif
+
+/// Appends `count` cells to the wire format. On little-endian hosts the
+/// whole array is one memcpy (cells ARE the wire format there); otherwise
+/// falls back to per-cell byte composition.
+inline void AppendCells(ByteWriter* w, const OneSparseCell* cells,
+                        size_t count) {
+  if (kHostLittleEndian) {
+    w->Raw(cells, count * sizeof(OneSparseCell));
+  } else {
+    for (size_t i = 0; i < count; ++i) cells[i].AppendTo(w);
+  }
+}
+
+/// Reads `count` cells back; false on truncation. Bulk memcpy on
+/// little-endian hosts, per-cell parse otherwise.
+inline bool ParseCells(ByteReader* r, OneSparseCell* cells, size_t count) {
+  if (kHostLittleEndian) {
+    return r->Raw(cells, count * sizeof(OneSparseCell));
+  }
+  for (size_t i = 0; i < count; ++i) {
+    if (!cells[i].ParseFrom(r)) return false;
+  }
+  return true;
+}
 
 }  // namespace gsketch
 

@@ -12,6 +12,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <optional>
 #include <string>
 
@@ -33,6 +34,12 @@ class ByteWriter {
   }
 
   void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+
+  /// Appends `len` raw bytes verbatim. Only meaningful for data whose byte
+  /// order the caller already controls (see AppendCells in one_sparse.h).
+  void Raw(const void* data, size_t len) {
+    out_->append(static_cast<const char*>(data), len);
+  }
 
  private:
   std::string* out_;
@@ -77,6 +84,17 @@ class ByteReader {
     auto v = U64();
     if (!v.has_value()) return std::nullopt;
     return static_cast<int64_t>(*v);
+  }
+
+  /// Copies `len` raw bytes into `out`; false (and poisoned) on truncation.
+  bool Raw(void* out, size_t len) {
+    if (failed_ || size_ - pos_ < len) {
+      failed_ = true;
+      return false;
+    }
+    std::memcpy(out, data_ + pos_, len);
+    pos_ += len;
+    return true;
   }
 
   /// True once any read has failed.

@@ -2,78 +2,87 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 
 #include "src/hash/splitmix.h"
 
 namespace gsketch {
 
-SparseRecovery::SparseRecovery(uint64_t domain, uint32_t capacity,
-                               uint32_t rows, uint64_t seed)
-    : domain_(domain),
-      capacity_(std::max<uint32_t>(capacity, 1)),
-      rows_(std::max<uint32_t>(rows, 1)),
-      buckets_(2 * std::max<uint32_t>(capacity, 1)),
-      seed_(seed) {
-  cells_.resize(static_cast<size_t>(rows_) * buckets_);
+namespace {
+
+uint64_t RowSeed(const RecoveryParams& p, uint32_t row) {
+  return DeriveSeed(p.seed, 0x7001u + row);
 }
 
-size_t SparseRecovery::CellOf(uint32_t row, uint64_t index) const {
-  uint64_t h = Mix64(DeriveSeed(seed_, 0x7002u + row), index);
-  // Fair reduction into [0, buckets_).
+size_t CellOf(const RecoveryParams& p, uint32_t row, uint64_t index) {
+  uint64_t h = Mix64(DeriveSeed(p.seed, 0x7002u + row), index);
+  // Fair reduction into [0, buckets).
   uint64_t b = static_cast<uint64_t>(
-      (static_cast<__uint128_t>(h) * buckets_) >> 64);
-  return static_cast<size_t>(row) * buckets_ + static_cast<size_t>(b);
+      (static_cast<__uint128_t>(h) * p.buckets) >> 64);
+  return static_cast<size_t>(row) * p.buckets + static_cast<size_t>(b);
 }
 
-uint64_t SparseRecovery::RowSeed(uint32_t row) const {
-  return DeriveSeed(seed_, 0x7001u + row);
+constexpr uint32_t kRecoveryMagic = 0x4b524543u;  // "KREC"
+
+}  // namespace
+
+RecoveryParams RecoveryParams::Make(uint64_t domain, uint32_t capacity,
+                                    uint32_t rows, uint64_t seed) {
+  RecoveryParams p;
+  p.domain = domain;
+  p.capacity = std::max<uint32_t>(capacity, 1);
+  p.rows = std::max<uint32_t>(rows, 1);
+  p.buckets = 2 * p.capacity;
+  p.seed = seed;
+  return p;
 }
 
-void SparseRecovery::Update(uint64_t index, int64_t delta) {
-  assert(index < domain_);
-  for (uint32_t r = 0; r < rows_; ++r) {
-    cells_[CellOf(r, index)].Update(
-        index, delta, OneSparseCell::FingerOf(RowSeed(r), index));
+void RecoveryCellsUpdate(const RecoveryParams& p, OneSparseCell* cells,
+                         uint64_t index, int64_t delta) {
+  assert(index < p.domain);
+  for (uint32_t r = 0; r < p.rows; ++r) {
+    cells[CellOf(p, r, index)].Update(
+        index, delta, OneSparseCell::FingerOf(RowSeed(p, r), index));
   }
 }
 
-void SparseRecovery::Merge(const SparseRecovery& other) {
-  assert(domain_ == other.domain_ && capacity_ == other.capacity_ &&
-         rows_ == other.rows_ && seed_ == other.seed_);
-  for (size_t i = 0; i < cells_.size(); ++i) cells_[i].Merge(other.cells_[i]);
-}
-
-void SparseRecovery::Subtract(const SparseRecovery& other) {
-  assert(domain_ == other.domain_ && capacity_ == other.capacity_ &&
-         rows_ == other.rows_ && seed_ == other.seed_);
-  for (size_t i = 0; i < cells_.size(); ++i) {
-    cells_[i].Subtract(other.cells_[i]);
+void RecoveryCellsUpdateTwo(const RecoveryParams& p, OneSparseCell* cells_a,
+                            OneSparseCell* cells_b, uint64_t index,
+                            int64_t delta_a, int64_t delta_b) {
+  assert(index < p.domain);
+  for (uint32_t r = 0; r < p.rows; ++r) {
+    size_t cell = CellOf(p, r, index);
+    uint64_t finger = OneSparseCell::FingerOf(RowSeed(p, r), index);
+    cells_a[cell].Update(index, delta_a, finger);
+    cells_b[cell].Update(index, delta_b, finger);
   }
 }
 
-RecoveryResult SparseRecovery::Decode() const {
+RecoveryResult RecoveryCellsDecode(const RecoveryParams& p,
+                                   const OneSparseCell* cells) {
   // Peel on a scratch copy of the cells.
-  std::vector<OneSparseCell> work = cells_;
+  std::vector<OneSparseCell> work(cells, cells + p.CellsPerSketch());
   RecoveryResult result;
 
   auto cancel = [&](uint64_t index, int64_t value) {
-    for (uint32_t r = 0; r < rows_; ++r) {
-      work[CellOf(r, index)].Update(
-          index, -value, OneSparseCell::FingerOf(RowSeed(r), index));
+    for (uint32_t r = 0; r < p.rows; ++r) {
+      work[CellOf(p, r, index)].Update(
+          index, -value, OneSparseCell::FingerOf(RowSeed(p, r), index));
     }
   };
 
   bool progress = true;
   while (progress) {
     progress = false;
-    for (uint32_t r = 0; r < rows_; ++r) {
-      for (uint32_t b = 0; b < buckets_; ++b) {
-        auto one = work[static_cast<size_t>(r) * buckets_ + b].Decode(
-            RowSeed(r));
+    for (uint32_t r = 0; r < p.rows; ++r) {
+      for (uint32_t b = 0; b < p.buckets; ++b) {
+        auto one = work[static_cast<size_t>(r) * p.buckets + b].Decode(
+            RowSeed(p, r));
         if (!one.has_value()) continue;
         // Defensive cap: a fingerprint false positive could otherwise peel
         // unbounded ghost entries.
-        if (result.entries.size() > static_cast<size_t>(capacity_) * 4 + 16) {
+        if (result.entries.size() >
+            static_cast<size_t>(p.capacity) * 4 + 16) {
           result.entries.clear();
           return result;
         }
@@ -112,25 +121,41 @@ RecoveryResult SparseRecovery::Decode() const {
   return result;
 }
 
-bool SparseRecovery::IsZero() const {
-  for (const auto& cell : cells_) {
-    if (!cell.IsZero()) return false;
+bool RecoveryCellsIsZero(const RecoveryParams& p,
+                         const OneSparseCell* cells) {
+  size_t total = p.CellsPerSketch();
+  for (size_t i = 0; i < total; ++i) {
+    if (!cells[i].IsZero()) return false;
   }
   return true;
 }
 
-namespace {
-constexpr uint32_t kRecoveryMagic = 0x4b524543u;  // "KREC"
+SparseRecovery::SparseRecovery(uint64_t domain, uint32_t capacity,
+                               uint32_t rows, uint64_t seed)
+    : params_(RecoveryParams::Make(domain, capacity, rows, seed)) {
+  cells_.resize(params_.CellsPerSketch());
+}
+
+void SparseRecovery::Merge(const SparseRecovery& other) {
+  assert(params_ == other.params_);
+  for (size_t i = 0; i < cells_.size(); ++i) cells_[i].Merge(other.cells_[i]);
+}
+
+void SparseRecovery::Subtract(const SparseRecovery& other) {
+  assert(params_ == other.params_);
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    cells_[i].Subtract(other.cells_[i]);
+  }
 }
 
 void SparseRecovery::AppendTo(std::string* out) const {
   ByteWriter w(out);
   w.U32(kRecoveryMagic);
-  w.U64(domain_);
-  w.U32(capacity_);
-  w.U32(rows_);
-  w.U64(seed_);
-  for (const auto& cell : cells_) cell.AppendTo(&w);
+  w.U64(params_.domain);
+  w.U32(params_.capacity);
+  w.U32(params_.rows);
+  w.U64(params_.seed);
+  AppendCells(&w, cells_.data(), cells_.size());
 }
 
 std::optional<SparseRecovery> SparseRecovery::Deserialize(ByteReader* r) {
@@ -144,9 +169,15 @@ std::optional<SparseRecovery> SparseRecovery::Deserialize(ByteReader* r) {
     return std::nullopt;
   }
   SparseRecovery s(*domain, *capacity, *rows, *seed);
-  for (auto& cell : s.cells_) {
-    if (!cell.ParseFrom(r)) return std::nullopt;
-  }
+  if (!ParseCells(r, s.cells_.data(), s.cells_.size())) return std::nullopt;
+  return s;
+}
+
+SparseRecovery SparseRecoveryView::Materialize() const {
+  SparseRecovery s(params_->domain, params_->capacity, params_->rows,
+                   params_->seed);
+  std::memcpy(s.cells_.data(), cells_,
+              s.cells_.size() * sizeof(OneSparseCell));
   return s;
 }
 

@@ -8,6 +8,11 @@
 // 2k cells per row and O(log) rows this recovers every k-sparse vector
 // w.h.p. and detects failure otherwise — the classic IBLT / exact sparse
 // recovery structure of Gilbert-Indyk [24].
+//
+// Like the ℓ₀-sampler, the measurement core is factored out over raw cell
+// slices so sketches can either own their cells (SparseRecovery) or borrow
+// them from a bank-owned contiguous arena (SparseRecoveryView over
+// NodeRecoveryBank storage, src/core/node_sketch.h).
 #ifndef GRAPHSKETCH_SRC_SKETCH_SPARSE_RECOVERY_H_
 #define GRAPHSKETCH_SRC_SKETCH_SPARSE_RECOVERY_H_
 
@@ -30,6 +35,48 @@ struct RecoveryResult {
   bool ok = false;
 };
 
+/// Shared parameterization of identically-measured k-RECOVERY sketches.
+struct RecoveryParams {
+  uint64_t domain = 0;
+  uint32_t capacity = 0;
+  uint32_t rows = 0;
+  uint32_t buckets = 0;  ///< cells per row
+  uint64_t seed = 0;
+
+  /// Canonical construction (clamps exactly as the original sketch did).
+  static RecoveryParams Make(uint64_t domain, uint32_t capacity,
+                             uint32_t rows, uint64_t seed);
+
+  size_t CellsPerSketch() const {
+    return static_cast<size_t>(rows) * buckets;
+  }
+
+  bool operator==(const RecoveryParams& o) const {
+    return domain == o.domain && capacity == o.capacity && rows == o.rows &&
+           buckets == o.buckets && seed == o.seed;
+  }
+  bool operator!=(const RecoveryParams& o) const { return !(*this == o); }
+};
+
+// Measurement core over a slice of p.CellsPerSketch() cells, row-major.
+
+/// Applies x[index] += delta to one sketch's cells.
+void RecoveryCellsUpdate(const RecoveryParams& p, OneSparseCell* cells,
+                         uint64_t index, int64_t delta);
+
+/// Two-sketch variant sharing the per-row hashes (bank hot path: both
+/// endpoints of a stream token).
+void RecoveryCellsUpdateTwo(const RecoveryParams& p, OneSparseCell* cells_a,
+                            OneSparseCell* cells_b, uint64_t index,
+                            int64_t delta_a, int64_t delta_b);
+
+/// Attempts full recovery from one sketch's cells (peels a scratch copy).
+RecoveryResult RecoveryCellsDecode(const RecoveryParams& p,
+                                   const OneSparseCell* cells);
+
+/// True iff the summarized vector is zero w.h.p.
+bool RecoveryCellsIsZero(const RecoveryParams& p, const OneSparseCell* cells);
+
 /// Linear sketch recovering vectors of support size <= capacity exactly.
 class SparseRecovery {
  public:
@@ -39,7 +86,9 @@ class SparseRecovery {
                  uint64_t seed);
 
   /// Applies x[index] += delta. O(rows) cell updates.
-  void Update(uint64_t index, int64_t delta);
+  void Update(uint64_t index, int64_t delta) {
+    RecoveryCellsUpdate(params_, cells_.data(), index, delta);
+  }
 
   /// Adds another sketch with identical parameterization.
   void Merge(const SparseRecovery& other);
@@ -48,10 +97,12 @@ class SparseRecovery {
   void Subtract(const SparseRecovery& other);
 
   /// Attempts full recovery. Does not mutate the sketch.
-  RecoveryResult Decode() const;
+  RecoveryResult Decode() const {
+    return RecoveryCellsDecode(params_, cells_.data());
+  }
 
   /// True iff the summarized vector is zero w.h.p.
-  bool IsZero() const;
+  bool IsZero() const { return RecoveryCellsIsZero(params_, cells_.data()); }
 
   /// Number of 1-sparse cells held (space proxy used by the benchmarks).
   size_t CellCount() const { return cells_.size(); }
@@ -62,21 +113,45 @@ class SparseRecovery {
   /// Parses a sketch back from the wire; nullopt on malformed input.
   static std::optional<SparseRecovery> Deserialize(ByteReader* r);
 
-  uint64_t domain() const { return domain_; }
-  uint32_t capacity() const { return capacity_; }
-  uint32_t rows() const { return rows_; }
-  uint64_t seed() const { return seed_; }
+  uint64_t domain() const { return params_.domain; }
+  uint32_t capacity() const { return params_.capacity; }
+  uint32_t rows() const { return params_.rows; }
+  uint64_t seed() const { return params_.seed; }
+  const RecoveryParams& params() const { return params_; }
 
  private:
-  size_t CellOf(uint32_t row, uint64_t index) const;
-  uint64_t RowSeed(uint32_t row) const;
+  friend class NodeRecoveryBank;    // arena SumOver accumulates into cells_
+  friend class SparseRecoveryView;  // Materialize copies into cells_
 
-  uint64_t domain_;
-  uint32_t capacity_;
-  uint32_t rows_;
-  uint32_t buckets_;  // cells per row
-  uint64_t seed_;
-  std::vector<OneSparseCell> cells_;  // rows_ x buckets_
+  RecoveryParams params_;
+  std::vector<OneSparseCell> cells_;
+};
+
+/// Read-only view of one k-RECOVERY sketch living in a bank arena. Valid
+/// only while the owning bank is alive and unmoved.
+class SparseRecoveryView {
+ public:
+  SparseRecoveryView(const RecoveryParams* params, const OneSparseCell* cells)
+      : params_(params), cells_(cells) {}
+
+  RecoveryResult Decode() const {
+    return RecoveryCellsDecode(*params_, cells_);
+  }
+  bool IsZero() const { return RecoveryCellsIsZero(*params_, cells_); }
+  size_t CellCount() const { return params_->CellsPerSketch(); }
+
+  /// Copies the viewed slice into an owning sketch.
+  SparseRecovery Materialize() const;
+
+  uint64_t domain() const { return params_->domain; }
+  uint32_t capacity() const { return params_->capacity; }
+  uint32_t rows() const { return params_->rows; }
+  uint64_t seed() const { return params_->seed; }
+  const OneSparseCell* cells() const { return cells_; }
+
+ private:
+  const RecoveryParams* params_;
+  const OneSparseCell* cells_;
 };
 
 }  // namespace gsketch

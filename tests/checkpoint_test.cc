@@ -1,0 +1,303 @@
+// Tests for the GSKC checkpoint subsystem (src/driver/checkpoint.h):
+// snapshot mid-stream, restore, finish the stream, and land in a state
+// bit-identical to an uninterrupted run — for connectivity,
+// k-edge-connectivity, and min-cut — plus clean errors on corrupt or
+// truncated checkpoint files.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+#include "src/driver/checkpoint.h"
+#include "src/driver/sketch_driver.h"
+#include "src/graph/generators.h"
+#include "src/graph/stream.h"
+#include "src/hash/random.h"
+
+namespace gsketch {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// A stream with deletions: an Erdos-Renyi graph plus churn, shuffled so
+// updates arrive in adversarial order (mirrors driver_test.cc).
+DynamicGraphStream TestStream(NodeId n, double p, uint64_t seed) {
+  Rng rng(seed);
+  Graph g = ErdosRenyi(n, p, seed);
+  DynamicGraphStream s = DynamicGraphStream::FromGraph(g);
+  return s.WithChurn(/*extra=*/s.Size() / 4 + 5, &rng).Shuffled(&rng);
+}
+
+template <typename Alg>
+void ApplyRange(Alg* alg, const DynamicGraphStream& s, size_t from,
+                size_t to) {
+  const auto& ups = s.Updates();
+  for (size_t i = from; i < to; ++i) {
+    alg->Update(ups[i].u, ups[i].v, ups[i].delta);
+  }
+}
+
+TEST(Checkpoint, ConnectivityResumeMatchesUninterruptedRun) {
+  constexpr NodeId kN = 48;
+  constexpr uint64_t kSeed = 7;
+  DynamicGraphStream s = TestStream(kN, 0.12, 19);
+  size_t half = s.Size() / 2;
+  std::string path = TempPath("conn.gskc");
+
+  ConnectivitySketch uninterrupted(kN, ForestOptions{}, kSeed);
+  ApplyRange(&uninterrupted, s, 0, s.Size());
+
+  ConnectivitySketch first_half(kN, ForestOptions{}, kSeed);
+  ApplyRange(&first_half, s, 0, half);
+  std::string error;
+  ASSERT_TRUE(SaveCheckpoint(path, first_half, half, &error)) << error;
+
+  auto ckpt = ReadCheckpointFile(path, &error);
+  ASSERT_TRUE(ckpt.has_value()) << error;
+  EXPECT_EQ(ckpt->alg, CheckpointAlg::kConnectivity);
+  EXPECT_EQ(ckpt->stream_pos, half);
+
+  auto restored = RestoreConnectivity(*ckpt);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->num_nodes(), kN);
+  ApplyRange(&*restored, s, ckpt->stream_pos, s.Size());
+
+  // Bit-identical final state, hence identical answers.
+  std::string resumed_bytes, straight_bytes;
+  restored->AppendTo(&resumed_bytes);
+  uninterrupted.AppendTo(&straight_bytes);
+  EXPECT_EQ(resumed_bytes, straight_bytes);
+  EXPECT_EQ(restored->NumComponents(), uninterrupted.NumComponents());
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, ResumedIngestionMayUseTheParallelDriver) {
+  // Restoring and finishing through the sharded driver must agree with the
+  // sequential uninterrupted run (linearity, any thread count).
+  constexpr NodeId kN = 40;
+  constexpr uint64_t kSeed = 23;
+  DynamicGraphStream s = TestStream(kN, 0.15, 31);
+  size_t cut = s.Size() / 3;
+  std::string path = TempPath("conn_driver.gskc");
+
+  ConnectivitySketch uninterrupted(kN, ForestOptions{}, kSeed);
+  ApplyRange(&uninterrupted, s, 0, s.Size());
+
+  ConnectivitySketch prefix(kN, ForestOptions{}, kSeed);
+  ApplyRange(&prefix, s, 0, cut);
+  std::string error;
+  ASSERT_TRUE(SaveCheckpoint(path, prefix, cut, &error)) << error;
+
+  auto ckpt = ReadCheckpointFile(path, &error);
+  ASSERT_TRUE(ckpt.has_value()) << error;
+  auto restored = RestoreConnectivity(*ckpt);
+  ASSERT_TRUE(restored.has_value());
+  {
+    DriverOptions opt;
+    opt.num_workers = 4;
+    opt.batch_size = 32;
+    SketchDriver<ConnectivitySketch> driver(&*restored, opt);
+    const auto& ups = s.Updates();
+    for (size_t i = ckpt->stream_pos; i < ups.size(); ++i) {
+      driver.Push(ups[i].u, ups[i].v, ups[i].delta);
+    }
+    driver.Drain();
+  }
+  std::string resumed_bytes, straight_bytes;
+  restored->AppendTo(&resumed_bytes);
+  uninterrupted.AppendTo(&straight_bytes);
+  EXPECT_EQ(resumed_bytes, straight_bytes);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, KConnectivityResumeMatchesUninterruptedRun) {
+  constexpr NodeId kN = 24;
+  constexpr uint64_t kSeed = 11;
+  constexpr uint32_t kK = 3;
+  DynamicGraphStream s = TestStream(kN, 0.3, 41);
+  size_t half = s.Size() / 2;
+  std::string path = TempPath("kconn.gskc");
+
+  KConnectivityTester uninterrupted(kN, kK, ForestOptions{}, kSeed);
+  ApplyRange(&uninterrupted, s, 0, s.Size());
+
+  KConnectivityTester prefix(kN, kK, ForestOptions{}, kSeed);
+  ApplyRange(&prefix, s, 0, half);
+  std::string error;
+  ASSERT_TRUE(SaveCheckpoint(path, prefix, half, &error)) << error;
+
+  auto ckpt = ReadCheckpointFile(path, &error);
+  ASSERT_TRUE(ckpt.has_value()) << error;
+  EXPECT_EQ(ckpt->alg, CheckpointAlg::kKConnectivity);
+  auto restored = RestoreKConnectivity(*ckpt);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->k(), kK);
+  ApplyRange(&*restored, s, ckpt->stream_pos, s.Size());
+
+  std::string resumed_bytes, straight_bytes;
+  restored->AppendTo(&resumed_bytes);
+  uninterrupted.AppendTo(&straight_bytes);
+  EXPECT_EQ(resumed_bytes, straight_bytes);
+  EXPECT_EQ(restored->IsKConnected(), uninterrupted.IsKConnected());
+  EXPECT_EQ(restored->WitnessMinCut(), uninterrupted.WitnessMinCut());
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MinCutResumeMatchesUninterruptedRun) {
+  constexpr NodeId kN = 24;
+  constexpr uint64_t kSeed = 13;
+  DynamicGraphStream s = TestStream(kN, 0.3, 43);
+  size_t half = s.Size() / 2;
+  std::string path = TempPath("mincut.gskc");
+
+  MinCutOptions opt;
+  opt.epsilon = 0.5;
+  MinCutSketch uninterrupted(kN, opt, kSeed);
+  ApplyRange(&uninterrupted, s, 0, s.Size());
+
+  MinCutSketch prefix(kN, opt, kSeed);
+  ApplyRange(&prefix, s, 0, half);
+  std::string error;
+  ASSERT_TRUE(SaveCheckpoint(path, prefix, half, &error)) << error;
+
+  auto ckpt = ReadCheckpointFile(path, &error);
+  ASSERT_TRUE(ckpt.has_value()) << error;
+  EXPECT_EQ(ckpt->alg, CheckpointAlg::kMinCut);
+  auto restored = RestoreMinCut(*ckpt);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->k(), uninterrupted.k());
+  EXPECT_EQ(restored->num_levels(), uninterrupted.num_levels());
+  ApplyRange(&*restored, s, ckpt->stream_pos, s.Size());
+
+  std::string resumed_bytes, straight_bytes;
+  restored->AppendTo(&resumed_bytes);
+  uninterrupted.AppendTo(&straight_bytes);
+  EXPECT_EQ(resumed_bytes, straight_bytes);
+
+  MinCutEstimate a = restored->Estimate();
+  MinCutEstimate b = uninterrupted.Estimate();
+  EXPECT_EQ(a.value, b.value);
+  EXPECT_EQ(a.level, b.level);
+  EXPECT_EQ(a.side, b.side);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsBadMagic) {
+  std::string path = TempPath("notackpt.gskc");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("certainly not a checkpoint file", f);
+  std::fclose(f);
+
+  std::string error;
+  EXPECT_FALSE(ReadCheckpointFile(path, &error).has_value());
+  EXPECT_NE(error.find("magic"), std::string::npos) << error;
+  EXPECT_FALSE(LooksLikeCheckpoint(path));
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsTruncatedFile) {
+  constexpr NodeId kN = 16;
+  DynamicGraphStream s = TestStream(kN, 0.2, 3);
+  ConnectivitySketch sk(kN, ForestOptions{}, 1);
+  ApplyRange(&sk, s, 0, s.Size());
+  std::string path = TempPath("truncated.gskc");
+  std::string error;
+  ASSERT_TRUE(SaveCheckpoint(path, sk, s.Size(), &error)) << error;
+  EXPECT_TRUE(LooksLikeCheckpoint(path));
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), size - 37), 0);
+
+  EXPECT_FALSE(ReadCheckpointFile(path, &error).has_value());
+  EXPECT_NE(error.find("truncated"), std::string::npos) << error;
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsFlippedPayloadByte) {
+  constexpr NodeId kN = 16;
+  DynamicGraphStream s = TestStream(kN, 0.2, 5);
+  ConnectivitySketch sk(kN, ForestOptions{}, 1);
+  ApplyRange(&sk, s, 0, s.Size());
+  std::string path = TempPath("bitrot.gskc");
+  std::string error;
+  ASSERT_TRUE(SaveCheckpoint(path, sk, s.Size(), &error)) << error;
+
+  // Flip one bit in the middle of the payload.
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, size / 2, SEEK_SET);
+  int byte = std::fgetc(f);
+  ASSERT_NE(byte, EOF);
+  std::fseek(f, size / 2, SEEK_SET);
+  std::fputc(byte ^ 0x40, f);
+  std::fclose(f);
+
+  EXPECT_FALSE(ReadCheckpointFile(path, &error).has_value());
+  EXPECT_NE(error.find("checksum"), std::string::npos) << error;
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RestoreRejectsAlgorithmMismatch) {
+  constexpr NodeId kN = 16;
+  DynamicGraphStream s = TestStream(kN, 0.2, 9);
+  ConnectivitySketch sk(kN, ForestOptions{}, 1);
+  ApplyRange(&sk, s, 0, s.Size());
+  std::string path = TempPath("mismatch.gskc");
+  std::string error;
+  ASSERT_TRUE(SaveCheckpoint(path, sk, s.Size(), &error)) << error;
+
+  auto ckpt = ReadCheckpointFile(path, &error);
+  ASSERT_TRUE(ckpt.has_value()) << error;
+  EXPECT_FALSE(RestoreMinCut(*ckpt).has_value());
+  EXPECT_FALSE(RestoreKConnectivity(*ckpt).has_value());
+  EXPECT_TRUE(RestoreConnectivity(*ckpt).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsUnknownVersionAndAlg) {
+  constexpr NodeId kN = 16;
+  DynamicGraphStream s = TestStream(kN, 0.2, 13);
+  ConnectivitySketch sk(kN, ForestOptions{}, 1);
+  ApplyRange(&sk, s, 0, s.Size());
+  std::string path = TempPath("version.gskc");
+  std::string error;
+  ASSERT_TRUE(SaveCheckpoint(path, sk, s.Size(), &error)) << error;
+
+  // Bump the version field (offset 4).
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 4, SEEK_SET);
+  unsigned char v99[4] = {99, 0, 0, 0};
+  ASSERT_EQ(std::fwrite(v99, 1, 4, f), 4u);
+  std::fclose(f);
+  EXPECT_FALSE(ReadCheckpointFile(path, &error).has_value());
+  EXPECT_NE(error.find("version"), std::string::npos) << error;
+
+  // Restore the version, break the algorithm tag (offset 8). The checksum
+  // covers the tag, so recompute nothing — corruption must be caught
+  // before the tag is even interpreted.
+  f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  unsigned char v1[4] = {1, 0, 0, 0};
+  std::fseek(f, 4, SEEK_SET);
+  ASSERT_EQ(std::fwrite(v1, 1, 4, f), 4u);
+  unsigned char tag77[4] = {77, 0, 0, 0};
+  std::fseek(f, 8, SEEK_SET);
+  ASSERT_EQ(std::fwrite(tag77, 1, 4, f), 4u);
+  std::fclose(f);
+  EXPECT_FALSE(ReadCheckpointFile(path, &error).has_value());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gsketch

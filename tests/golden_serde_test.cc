@@ -1,0 +1,92 @@
+// Golden-file wire-format tests: committed GSKB stream and GSKC checkpoint
+// fixtures under tests/data/ must keep parsing with today's readers. These
+// fixtures were produced by the v1 writers (gsketch_cli convert /
+// checkpoint, seed 42); if this test breaks, the wire format drifted —
+// bump the format version and keep reading v1, don't regenerate the
+// fixtures to paper over it.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/driver/binary_stream.h"
+#include "src/driver/checkpoint.h"
+
+#ifndef GSKETCH_TEST_DATA_DIR
+#error "GSKETCH_TEST_DATA_DIR must be defined (see CMakeLists.txt)"
+#endif
+
+namespace gsketch {
+namespace {
+
+std::string DataPath(const char* name) {
+  return std::string(GSKETCH_TEST_DATA_DIR) + "/" + name;
+}
+
+// The fixture stream (tests/data/golden_stream.txt): n=8, 12 updates, edge
+// (2,6) inserted then deleted; final graph is one ring-like component.
+constexpr NodeId kGoldenN = 8;
+constexpr uint64_t kGoldenUpdates = 12;
+constexpr uint64_t kGoldenCheckpointPos = 7;
+
+TEST(GoldenSerde, BinaryStreamFixtureParses) {
+  auto s = ReadBinaryStream(DataPath("golden_stream.gskb"));
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->NumNodes(), kGoldenN);
+  ASSERT_EQ(s->Size(), kGoldenUpdates);
+
+  // Spot-check pinned records: first, the one deletion, and last.
+  EXPECT_EQ(s->Updates()[0].u, 0u);
+  EXPECT_EQ(s->Updates()[0].v, 1u);
+  EXPECT_EQ(s->Updates()[0].delta, 1);
+  EXPECT_EQ(s->Updates()[7].u, 2u);
+  EXPECT_EQ(s->Updates()[7].v, 6u);
+  EXPECT_EQ(s->Updates()[7].delta, -1);
+  EXPECT_EQ(s->Updates()[11].u, 0u);
+  EXPECT_EQ(s->Updates()[11].v, 7u);
+  EXPECT_EQ(s->Updates()[11].delta, 1);
+
+  // The header+record layout is pinned: 20-byte header, 12-byte records.
+  BinaryStreamReader r(DataPath("golden_stream.gskb"));
+  ASSERT_TRUE(r.ok()) << r.error();
+  EXPECT_EQ(r.nodes(), kGoldenN);
+  EXPECT_EQ(r.num_updates(), kGoldenUpdates);
+}
+
+TEST(GoldenSerde, CheckpointFixtureParsesAndResumes) {
+  std::string error;
+  auto ckpt = ReadCheckpointFile(DataPath("golden_connectivity.gskc"),
+                                 &error);
+  ASSERT_TRUE(ckpt.has_value()) << error;
+  EXPECT_EQ(ckpt->alg, CheckpointAlg::kConnectivity);
+  EXPECT_EQ(ckpt->stream_pos, kGoldenCheckpointPos);
+
+  auto sk = RestoreConnectivity(*ckpt);
+  ASSERT_TRUE(sk.has_value());
+  EXPECT_EQ(sk->num_nodes(), kGoldenN);
+
+  // Restoration is lossless: re-serializing reproduces the payload bytes.
+  std::string reserialized;
+  sk->AppendTo(&reserialized);
+  EXPECT_EQ(reserialized, ckpt->payload);
+
+  // Resume against the committed stream: final answer matches the
+  // uninterrupted run recorded when the fixture was made.
+  auto s = ReadBinaryStream(DataPath("golden_stream.gskb"));
+  ASSERT_TRUE(s.has_value());
+  for (size_t i = ckpt->stream_pos; i < s->Size(); ++i) {
+    const auto& e = s->Updates()[i];
+    sk->Update(e.u, e.v, e.delta);
+  }
+  EXPECT_EQ(sk->NumComponents(), 1u);
+  EXPECT_TRUE(sk->IsConnected());
+}
+
+TEST(GoldenSerde, FixtureFormatSniffersAgree) {
+  EXPECT_TRUE(LooksLikeBinaryStream(DataPath("golden_stream.gskb")));
+  EXPECT_FALSE(LooksLikeBinaryStream(DataPath("golden_connectivity.gskc")));
+  EXPECT_TRUE(LooksLikeCheckpoint(DataPath("golden_connectivity.gskc")));
+  EXPECT_FALSE(LooksLikeCheckpoint(DataPath("golden_stream.gskb")));
+}
+
+}  // namespace
+}  // namespace gsketch

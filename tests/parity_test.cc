@@ -1,0 +1,230 @@
+// Parity tier: proves the arena-backed banks (src/core/node_sketch.h) are
+// BIT-IDENTICAL to the historical per-node-vector layout preserved in
+// tests/reference_layout.h — same cells, same wire bytes, same samples,
+// same decoded answers — over randomized 10k-update streams, under
+// endpoint-half updates, and across distributed Merge. Run this tier alone
+// with `ctest -L parity`.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/core/connectivity_suite.h"
+#include "src/core/node_sketch.h"
+#include "src/graph/stream.h"
+#include "src/hash/random.h"
+#include "tests/reference_layout.h"
+
+namespace gsketch {
+namespace {
+
+using reference::RefNodeL0Bank;
+using reference::RefNodeRecoveryBank;
+
+// A randomized stream with deletions: every inserted copy is deleted at
+// most once, so multiplicities stay non-negative (the regime every
+// algorithm in the library assumes).
+std::vector<EdgeUpdate> RandomStream(NodeId n, size_t updates, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<EdgeUpdate> s;
+  std::vector<std::pair<NodeId, NodeId>> live;
+  while (s.size() < updates) {
+    if (!live.empty() && rng.Below(4) == 0) {
+      size_t pick = rng.Below(live.size());
+      auto [u, v] = live[pick];
+      live[pick] = live.back();
+      live.pop_back();
+      s.push_back(EdgeUpdate{u, v, -1});
+      continue;
+    }
+    NodeId u = static_cast<NodeId>(rng.Below(n));
+    NodeId v = static_cast<NodeId>(rng.Below(n));
+    if (u == v) continue;
+    s.push_back(EdgeUpdate{u, v, +1});
+    live.emplace_back(u, v);
+  }
+  return s;
+}
+
+std::vector<NodeId> RandomSubset(NodeId n, Rng* rng) {
+  std::vector<NodeId> nodes;
+  for (NodeId v = 0; v < n; ++v) {
+    if (rng->Below(2) == 0) nodes.push_back(v);
+  }
+  if (nodes.empty()) nodes.push_back(static_cast<NodeId>(rng->Below(n)));
+  return nodes;
+}
+
+void ExpectSameSample(const std::optional<L0Sample>& got,
+                      const std::optional<L0Sample>& want) {
+  ASSERT_EQ(got.has_value(), want.has_value());
+  if (got.has_value()) {
+    EXPECT_EQ(got->index, want->index);
+    EXPECT_EQ(got->value, want->value);
+  }
+}
+
+constexpr NodeId kN = 64;
+constexpr size_t kUpdates = 10000;
+
+TEST(ArenaParity, L0BankBitIdenticalToPerNodeLayout) {
+  for (uint64_t seed : {1u, 77u, 4242u}) {
+    NodeL0Bank arena(kN, 6, seed);
+    RefNodeL0Bank ref(kN, 6, seed);
+    for (const auto& e : RandomStream(kN, kUpdates, seed * 13 + 1)) {
+      arena.Update(e.u, e.v, e.delta);
+      ref.Update(e.u, e.v, e.delta);
+    }
+
+    // Cells: the serialized bank (which is just headers + cell contents)
+    // must match byte for byte. The reference writes strictly per-cell, so
+    // this also pins the bulk-copy codec to the historical wire format.
+    std::string arena_bytes, ref_bytes;
+    arena.AppendTo(&arena_bytes);
+    ref.AppendTo(&ref_bytes);
+    ASSERT_EQ(arena_bytes, ref_bytes) << "seed " << seed;
+
+    // Samples and zero-tests, node by node.
+    for (NodeId v = 0; v < kN; ++v) {
+      ExpectSameSample(arena.Of(v).Sample(), ref.Of(v).Sample());
+      EXPECT_EQ(arena.Of(v).IsZero(), ref.Of(v).IsZero()) << "node " << v;
+    }
+
+    // Component-sum queries over random node sets (the connectivity
+    // primitive) — including the sampler the sum materializes.
+    Rng rng(seed + 99);
+    for (int trial = 0; trial < 20; ++trial) {
+      std::vector<NodeId> nodes = RandomSubset(kN, &rng);
+      L0Sampler sum = arena.SumOver(nodes);
+      reference::RefL0Sampler ref_sum = ref.SumOver(nodes);
+      ExpectSameSample(sum.Sample(), ref_sum.Sample());
+      EXPECT_EQ(sum.IsZero(), ref_sum.IsZero());
+      std::string a, b;
+      sum.AppendTo(&a);
+      ref_sum.AppendTo(&b);
+      EXPECT_EQ(a, b);
+    }
+  }
+}
+
+TEST(ArenaParity, EndpointHalvesMatchReferenceFullUpdates) {
+  // The sharded-ingestion path: arena UpdateEndpoint halves must compose
+  // to exactly the reference's full updates.
+  NodeL0Bank arena(kN, 6, 5);
+  RefNodeL0Bank ref(kN, 6, 5);
+  for (const auto& e : RandomStream(kN, kUpdates, 321)) {
+    arena.UpdateEndpoint(e.u, e.u, e.v, e.delta);
+    arena.UpdateEndpoint(e.v, e.u, e.v, e.delta);
+    ref.Update(e.u, e.v, e.delta);
+  }
+  std::string arena_bytes, ref_bytes;
+  arena.AppendTo(&arena_bytes);
+  ref.AppendTo(&ref_bytes);
+  EXPECT_EQ(arena_bytes, ref_bytes);
+}
+
+TEST(ArenaParity, MergePreservesBitIdentity) {
+  // Distributed ingestion: stream split across two sites, merged — arena
+  // and reference must agree with each other AND with single-site.
+  constexpr uint64_t kSeed = 909;
+  NodeL0Bank arena_a(kN, 6, kSeed), arena_b(kN, 6, kSeed);
+  NodeL0Bank arena_whole(kN, 6, kSeed);
+  RefNodeL0Bank ref_a(kN, 6, kSeed), ref_b(kN, 6, kSeed);
+  size_t i = 0;
+  for (const auto& e : RandomStream(kN, kUpdates, 654)) {
+    if (i++ % 2 == 0) {
+      arena_a.Update(e.u, e.v, e.delta);
+      ref_a.Update(e.u, e.v, e.delta);
+    } else {
+      arena_b.Update(e.u, e.v, e.delta);
+      ref_b.Update(e.u, e.v, e.delta);
+    }
+    arena_whole.Update(e.u, e.v, e.delta);
+  }
+  arena_a.Merge(arena_b);
+  ref_a.Merge(ref_b);
+
+  std::string merged_arena, merged_ref, whole_bytes;
+  arena_a.AppendTo(&merged_arena);
+  ref_a.AppendTo(&merged_ref);
+  arena_whole.AppendTo(&whole_bytes);
+  EXPECT_EQ(merged_arena, merged_ref);
+  EXPECT_EQ(merged_arena, whole_bytes);
+}
+
+TEST(ArenaParity, RecoveryBankMatchesPerNodeLayout) {
+  for (uint64_t seed : {3u, 888u}) {
+    NodeRecoveryBank arena(32, 8, 3, seed);
+    RefNodeRecoveryBank ref(32, 8, 3, seed);
+    for (const auto& e : RandomStream(32, kUpdates, seed * 7 + 2)) {
+      arena.Update(e.u, e.v, e.delta);
+      ref.Update(e.u, e.v, e.delta);
+    }
+
+    // Per-node: wire bytes (via the view's materialization) and decoded
+    // edge sets.
+    for (NodeId v = 0; v < 32; ++v) {
+      std::string a, b;
+      arena.Of(v).Materialize().AppendTo(&a);
+      ref.Of(v).AppendTo(&b);
+      ASSERT_EQ(a, b) << "node " << v << " seed " << seed;
+      RecoveryResult ra = arena.Of(v).Decode();
+      RecoveryResult rb = ref.Of(v).Decode();
+      EXPECT_EQ(ra.ok, rb.ok);
+      EXPECT_EQ(ra.entries, rb.entries);
+    }
+
+    // Cut queries over random subsets.
+    Rng rng(seed + 5);
+    for (int trial = 0; trial < 10; ++trial) {
+      std::vector<NodeId> nodes = RandomSubset(32, &rng);
+      RecoveryResult ra = arena.SumOver(nodes).Decode();
+      RecoveryResult rb = ref.SumOver(nodes).Decode();
+      EXPECT_EQ(ra.ok, rb.ok);
+      EXPECT_EQ(ra.entries, rb.entries);
+    }
+  }
+}
+
+TEST(ArenaParity, RecoveryBankMergeMatchesReference) {
+  NodeRecoveryBank arena_a(24, 6, 3, 17), arena_b(24, 6, 3, 17);
+  RefNodeRecoveryBank ref_a(24, 6, 3, 17), ref_b(24, 6, 3, 17);
+  size_t i = 0;
+  for (const auto& e : RandomStream(24, 4000, 111)) {
+    if (i++ % 2 == 0) {
+      arena_a.Update(e.u, e.v, e.delta);
+      ref_a.Update(e.u, e.v, e.delta);
+    } else {
+      arena_b.Update(e.u, e.v, e.delta);
+      ref_b.Update(e.u, e.v, e.delta);
+    }
+  }
+  arena_a.Merge(arena_b);
+  ref_a.Merge(ref_b);
+  for (NodeId v = 0; v < 24; ++v) {
+    std::string a, b;
+    arena_a.Of(v).Materialize().AppendTo(&a);
+    ref_a.Of(v).AppendTo(&b);
+    ASSERT_EQ(a, b) << "node " << v;
+  }
+}
+
+TEST(ArenaParity, ConnectivityAnswersStayExactOverArena) {
+  // End-to-end: the full connectivity pipeline on arena storage still
+  // answers the query correctly on a deletion-heavy random stream (the
+  // sketch is w.h.p. exact; seeds here are known-good like every other
+  // connectivity test in the suite).
+  for (uint64_t seed : {11u, 29u}) {
+    DynamicGraphStream stream(kN);
+    for (const auto& e : RandomStream(kN, kUpdates, seed)) {
+      stream.Push(e.u, e.v, e.delta);
+    }
+    ConnectivitySketch sk(kN, ForestOptions{}, seed);
+    stream.Replay([&](NodeId u, NodeId v, int32_t d) { sk.Update(u, v, d); });
+    EXPECT_EQ(sk.NumComponents(), stream.Materialize().NumComponents())
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace gsketch

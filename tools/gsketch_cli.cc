@@ -4,6 +4,8 @@
 // Usage:
 //   gsketch <command> [options] <n> <stream-file> [seed]
 //   gsketch convert <n> <input> <output>
+//   gsketch checkpoint <alg> <n> <stream-file> <out.gskc> [seed]
+//   gsketch resume <stream-file> <in.gskc>
 //
 // Commands:
 //   connectivity   components / connected?
@@ -14,12 +16,18 @@
 //   spanner        3-pass Baswana-Sen spanner, print stretch-checked edges
 //   stats          stream statistics only
 //   convert        text stream -> GSKB binary (or binary -> text)
+//   checkpoint     ingest a stream prefix, snapshot the sketch to a GSKC
+//                  file (alg: connectivity | kconnect | mincut)
+//   resume         restore a GSKC snapshot, ingest the rest of the
+//                  stream, print the algorithm's answer
 //
 // Options:
 //   --threads N    ingestion worker threads (connectivity, bipartite,
-//                  mincut, sparsify; default 1)
+//                  mincut, sparsify, checkpoint, resume; default 1)
 //   --batch N      updates per dispatched batch (default 4096)
 //   --progress     live insertion-rate reporting on stderr
+//   --at N         checkpoint after N stream updates (default: half)
+//   --k K          witness strength for `checkpoint kconnect` (default 3)
 //
 // Stream files are either GSKB binary (see src/driver/binary_stream.h;
 // produce them with `convert`) or text: one update per line, "u v delta"
@@ -39,6 +47,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "src/graphsketch.h"
@@ -55,17 +64,24 @@ void PrintUsage(std::FILE* out, const char* argv0) {
       out,
       "usage: %s <command> [options] <n> <stream-file> [seed]\n"
       "       %s convert <n> <input> <output>\n"
+      "       %s checkpoint <alg> <n> <stream-file> <out.gskc> [seed]\n"
+      "       %s resume <stream-file> <in.gskc>\n"
       "\n"
       "commands: connectivity bipartite mincut sparsify triangles spanner\n"
-      "          stats convert\n"
+      "          stats convert checkpoint resume\n"
       "options:  --threads N   worker threads (connectivity, bipartite,\n"
-      "                        mincut, sparsify; default 1)\n"
+      "                        mincut, sparsify, checkpoint, resume;\n"
+      "                        default 1)\n"
       "          --batch N     updates per dispatched batch (default 4096)\n"
       "          --progress    live insertion-rate reporting on stderr\n"
+      "          --at N        checkpoint after N updates (default: half)\n"
+      "          --k K         witness strength for checkpoint kconnect\n"
+      "                        (default 3)\n"
       "\n"
+      "checkpoint algs: connectivity kconnect mincut\n"
       "Stream files are GSKB binary (make one with `convert`) or text\n"
       "\"u v delta\" lines. See docs/CLI.md.\n",
-      argv0, argv0);
+      argv0, argv0, argv0, argv0);
 }
 
 /// Strict unsigned decimal parse: the whole token must be digits.
@@ -193,12 +209,30 @@ bool Ingest(Alg* alg, const char* path, NodeId n, const IngestOptions& opt) {
   return true;
 }
 
+void PrintConnectivityAnswer(const ConnectivitySketch& sk) {
+  std::printf("components: %zu\nconnected:  %s\n", sk.NumComponents(),
+              sk.IsConnected() ? "yes" : "no");
+}
+
+void PrintKConnectAnswer(const KConnectivityTester& sk) {
+  std::printf("witness min cut: %.0f\n%u-connected: %s\n", sk.WitnessMinCut(),
+              sk.k(), sk.IsKConnected() ? "yes" : "no");
+}
+
+void PrintMinCutAnswer(const MinCutSketch& sk) {
+  auto est = sk.Estimate();
+  std::printf("min cut: %.0f (level %u%s)\n", est.value, est.level,
+              est.resolved ? "" : ", UNRESOLVED");
+  std::printf("one side (%zu nodes):", est.side.size());
+  for (NodeId v : est.side) std::printf(" %u", v);
+  std::printf("\n");
+}
+
 int RunConnectivity(NodeId n, const char* path, uint64_t seed,
                     const IngestOptions& opt) {
   ConnectivitySketch sk(n, ForestOptions{}, seed);
   if (!Ingest(&sk, path, n, opt)) return kExitRuntime;
-  std::printf("components: %zu\nconnected:  %s\n", sk.NumComponents(),
-              sk.IsConnected() ? "yes" : "no");
+  PrintConnectivityAnswer(sk);
   return 0;
 }
 
@@ -217,13 +251,213 @@ int RunMinCut(NodeId n, const char* path, uint64_t seed,
   mopt.k_scale = 2.0;
   MinCutSketch sk(n, mopt, seed);
   if (!Ingest(&sk, path, n, opt)) return kExitRuntime;
-  auto est = sk.Estimate();
-  std::printf("min cut: %.0f (level %u%s)\n", est.value, est.level,
-              est.resolved ? "" : ", UNRESOLVED");
-  std::printf("one side (%zu nodes):", est.side.size());
-  for (NodeId v : est.side) std::printf(" %u", v);
-  std::printf("\n");
+  PrintMinCutAnswer(sk);
   return 0;
+}
+
+/// Counts the updates in a stream file without materializing it: the GSKB
+/// header carries the count; text files are scanned into memory (they are
+/// the small-stream path) and the stream is handed back via *preloaded.
+bool CountStreamUpdates(const char* path, NodeId n, uint64_t* total,
+                        std::optional<DynamicGraphStream>* preloaded) {
+  if (LooksLikeBinaryStream(path)) {
+    BinaryStreamReader reader(path);
+    if (!reader.ok()) {
+      std::fprintf(stderr, "error: %s: %s\n", path, reader.error().c_str());
+      return false;
+    }
+    if (reader.nodes() != n) {
+      std::fprintf(stderr, "error: %s: stream declares n=%u but n=%u given\n",
+                   path, reader.nodes(), n);
+      return false;
+    }
+    *total = reader.num_updates();
+    return true;
+  }
+  DynamicGraphStream stream(n);
+  if (!LoadTextStream(path, n, &stream)) return false;
+  *total = stream.Size();
+  *preloaded = std::move(stream);
+  return true;
+}
+
+/// Feeds updates [from, to) of the stream at `path` through the batched
+/// parallel driver (checkpoint prefix / resume suffix ingestion). GSKB
+/// files are streamed from disk in constant memory — the records before
+/// `from` are read and discarded (the format has no index); text streams
+/// arrive preloaded from CountStreamUpdates.
+template <typename Alg>
+bool IngestStreamRange(Alg* alg, const char* path, NodeId n,
+                       const std::optional<DynamicGraphStream>& preloaded,
+                       uint64_t from, uint64_t to, const IngestOptions& opt) {
+  DriverOptions dopt;
+  dopt.num_workers = opt.threads;
+  dopt.batch_size = opt.batch;
+  SketchDriver<Alg> driver(alg, dopt);
+  std::optional<InsertionTracker> tracker;
+  if (opt.progress) {
+    // The driver counts endpoint halves: 2 per stream update.
+    tracker.emplace((to - from) * 2,
+                    [&driver] { return driver.TotalUpdates(); });
+  }
+
+  bool ok = true;
+  if (preloaded.has_value()) {
+    const auto& updates = preloaded->Updates();
+    for (uint64_t i = from; i < to; ++i) {
+      driver.Push(updates[i].u, updates[i].v, updates[i].delta);
+    }
+  } else {
+    BinaryStreamReader reader(path);
+    ok = reader.ok() && reader.nodes() == n;
+    std::vector<EdgeUpdate> batch;
+    batch.reserve(opt.batch);
+    uint64_t index = 0;
+    while (ok && !reader.Done() && index < to) {
+      batch.clear();
+      if (reader.ReadBatch(opt.batch, &batch) == 0) break;
+      for (const auto& e : batch) {
+        if (index >= to) break;
+        if (index >= from) driver.Push(e.u, e.v, e.delta);
+        ++index;
+      }
+    }
+    if (!reader.ok()) {
+      std::fprintf(stderr, "error: %s: %s\n", path, reader.error().c_str());
+      ok = false;
+    }
+  }
+  driver.Drain();
+  if (tracker.has_value()) tracker->Stop();
+  return ok;
+}
+
+struct CheckpointCmdOptions {
+  uint64_t at = UINT64_MAX;  ///< updates before the snapshot; MAX = half
+  uint32_t k = 3;            ///< witness strength for kconnect
+  bool k_given = false;      ///< --k passed explicitly
+};
+
+int RunCheckpoint(const char* alg, NodeId n, const char* stream_path,
+                  const char* out_path, uint64_t seed,
+                  const IngestOptions& opt, const CheckpointCmdOptions& copt) {
+  const std::string alg_name = alg;
+  if (alg_name != "connectivity" && alg_name != "kconnect" &&
+      alg_name != "mincut") {
+    std::fprintf(stderr,
+                 "error: unknown checkpoint alg '%s' (want connectivity, "
+                 "kconnect, or mincut)\n",
+                 alg);
+    return kExitUsage;
+  }
+  if (copt.k_given && alg_name != "kconnect") {
+    std::fprintf(stderr, "error: --k applies only to checkpoint kconnect\n");
+    return kExitUsage;
+  }
+
+  uint64_t total = 0;
+  std::optional<DynamicGraphStream> preloaded;
+  if (!CountStreamUpdates(stream_path, n, &total, &preloaded)) {
+    return kExitRuntime;
+  }
+  uint64_t at = copt.at == UINT64_MAX ? total / 2 : copt.at;
+  if (at > total) {
+    std::fprintf(stderr,
+                 "error: --at %llu exceeds the stream's %llu updates\n",
+                 static_cast<unsigned long long>(at),
+                 static_cast<unsigned long long>(total));
+    return kExitRuntime;
+  }
+
+  std::string error;
+  bool ok = false;
+  if (alg_name == "connectivity") {
+    ConnectivitySketch sk(n, ForestOptions{}, seed);
+    ok = IngestStreamRange(&sk, stream_path, n, preloaded, 0, at, opt) &&
+         SaveCheckpoint(out_path, sk, at, &error);
+  } else if (alg_name == "kconnect") {
+    KConnectivityTester sk(n, copt.k, ForestOptions{}, seed);
+    ok = IngestStreamRange(&sk, stream_path, n, preloaded, 0, at, opt) &&
+         SaveCheckpoint(out_path, sk, at, &error);
+  } else {
+    MinCutOptions mopt;
+    mopt.epsilon = 0.5;
+    mopt.k_scale = 2.0;
+    MinCutSketch sk(n, mopt, seed);
+    ok = IngestStreamRange(&sk, stream_path, n, preloaded, 0, at, opt) &&
+         SaveCheckpoint(out_path, sk, at, &error);
+  }
+  if (!ok) {
+    if (!error.empty()) std::fprintf(stderr, "error: %s\n", error.c_str());
+    return kExitRuntime;
+  }
+  std::fprintf(stderr, "checkpointed %s after %llu/%llu updates to %s\n",
+               alg, static_cast<unsigned long long>(at),
+               static_cast<unsigned long long>(total), out_path);
+  return 0;
+}
+
+int RunResume(const char* stream_path, const char* ckpt_path,
+              const IngestOptions& opt) {
+  std::string error;
+  auto ckpt = ReadCheckpointFile(ckpt_path, &error);
+  if (!ckpt.has_value()) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return kExitRuntime;
+  }
+
+  // Restore first: the sketch payload carries n, which the stream load
+  // validates against.
+  auto finish = [&](auto sketch) -> int {
+    if (!sketch.has_value()) {
+      std::fprintf(stderr, "error: %s: corrupt %s payload\n", ckpt_path,
+                   CheckpointAlgName(ckpt->alg));
+      return kExitRuntime;
+    }
+    NodeId n = sketch->num_nodes();
+    uint64_t total = 0;
+    std::optional<DynamicGraphStream> preloaded;
+    if (!CountStreamUpdates(stream_path, n, &total, &preloaded)) {
+      return kExitRuntime;
+    }
+    if (ckpt->stream_pos > total) {
+      std::fprintf(stderr,
+                   "error: checkpoint taken at update %llu but %s has only "
+                   "%llu updates\n",
+                   static_cast<unsigned long long>(ckpt->stream_pos),
+                   stream_path, static_cast<unsigned long long>(total));
+      return kExitRuntime;
+    }
+    std::fprintf(stderr, "resuming %s at update %llu/%llu\n",
+                 CheckpointAlgName(ckpt->alg),
+                 static_cast<unsigned long long>(ckpt->stream_pos),
+                 static_cast<unsigned long long>(total));
+    if (!IngestStreamRange(&*sketch, stream_path, n, preloaded,
+                           ckpt->stream_pos, total, opt)) {
+      return kExitRuntime;
+    }
+    if constexpr (std::is_same_v<std::decay_t<decltype(*sketch)>,
+                                 ConnectivitySketch>) {
+      PrintConnectivityAnswer(*sketch);
+    } else if constexpr (std::is_same_v<std::decay_t<decltype(*sketch)>,
+                                        KConnectivityTester>) {
+      PrintKConnectAnswer(*sketch);
+    } else {
+      PrintMinCutAnswer(*sketch);
+    }
+    return 0;
+  };
+
+  switch (ckpt->alg) {
+    case CheckpointAlg::kConnectivity:
+      return finish(RestoreConnectivity(*ckpt));
+    case CheckpointAlg::kKConnectivity:
+      return finish(RestoreKConnectivity(*ckpt));
+    case CheckpointAlg::kMinCut:
+      return finish(RestoreMinCut(*ckpt));
+  }
+  std::fprintf(stderr, "error: %s: unknown algorithm tag\n", ckpt_path);
+  return kExitRuntime;
 }
 
 int RunSparsify(NodeId n, const char* path, uint64_t seed,
@@ -331,12 +565,32 @@ int main(int argc, char** argv) {
 
   // Split the remaining arguments into flags and positionals.
   IngestOptions opt;
+  CheckpointCmdOptions copt;
   bool ingest_flags_given = false;
+  bool ckpt_flags_given = false;
   std::vector<const char*> pos;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     uint64_t value = 0;
-    if (arg == "--threads" || arg == "--batch") {
+    if (arg == "--at" || arg == "--k") {
+      if (i + 1 >= argc || !ParseU64(argv[i + 1], &value)) {
+        std::fprintf(stderr, "error: %s needs a non-negative integer\n",
+                     arg.c_str());
+        return kExitUsage;
+      }
+      ++i;
+      ckpt_flags_given = true;
+      if (arg == "--at") {
+        copt.at = value;
+      } else {
+        if (value == 0 || value > 1024) {
+          std::fprintf(stderr, "error: --k must be in [1, 1024]\n");
+          return kExitUsage;
+        }
+        copt.k = static_cast<uint32_t>(value);
+        copt.k_given = true;
+      }
+    } else if (arg == "--threads" || arg == "--batch") {
       if (i + 1 >= argc || !ParseU64(argv[i + 1], &value) || value == 0) {
         std::fprintf(stderr, "error: %s needs a positive integer\n",
                      arg.c_str());
@@ -363,6 +617,40 @@ int main(int argc, char** argv) {
     } else {
       pos.push_back(argv[i]);
     }
+  }
+
+  if (cmd == "checkpoint") {
+    if (pos.size() < 4 || pos.size() > 5) {
+      PrintUsage(stderr, argv[0]);
+      return kExitUsage;
+    }
+    uint64_t n_arg = 0;
+    if (!ParseU64(pos[1], &n_arg) || n_arg < 2 || n_arg > (1 << 24)) {
+      std::fprintf(stderr, "error: n must be an integer in [2, 2^24]\n");
+      return kExitUsage;
+    }
+    uint64_t seed = 1;
+    if (pos.size() > 4 && !ParseU64(pos[4], &seed)) {
+      std::fprintf(stderr, "error: seed must be a non-negative integer\n");
+      return kExitUsage;
+    }
+    return RunCheckpoint(pos[0], static_cast<NodeId>(n_arg), pos[2], pos[3],
+                         seed, opt, copt);
+  }
+  if (cmd == "resume") {
+    if (ckpt_flags_given) {
+      std::fprintf(stderr, "error: --at/--k apply only to checkpoint\n");
+      return kExitUsage;
+    }
+    if (pos.size() != 2) {
+      PrintUsage(stderr, argv[0]);
+      return kExitUsage;
+    }
+    return RunResume(pos[0], pos[1], opt);
+  }
+  if (ckpt_flags_given) {
+    std::fprintf(stderr, "error: --at/--k apply only to checkpoint\n");
+    return kExitUsage;
   }
 
   const bool is_convert = cmd == "convert";
