@@ -81,6 +81,31 @@ bool BipartitenessSketch::IsBipartite() const {
 }
 
 namespace {
+constexpr uint32_t kBipMagic = 0x42495054u;  // "TPIB"
+}
+
+void BipartitenessSketch::AppendTo(std::string* out) const {
+  ByteWriter w(out);
+  w.U32(kBipMagic);
+  w.U32(n_);
+  base_.AppendTo(out);
+  cover_.AppendTo(out);
+}
+
+std::optional<BipartitenessSketch> BipartitenessSketch::Deserialize(
+    ByteReader* r) {
+  auto magic = r->U32();
+  if (!magic || *magic != kBipMagic) return std::nullopt;
+  auto n = r->U32();
+  if (!n || *n == 0) return std::nullopt;
+  auto base = SpanningForestSketch::Deserialize(r);
+  if (!base || base->num_nodes() != *n) return std::nullopt;
+  auto cover = SpanningForestSketch::Deserialize(r);
+  if (!cover || cover->num_nodes() != 2 * *n) return std::nullopt;
+  return BipartitenessSketch(*n, std::move(*base), std::move(*cover));
+}
+
+namespace {
 std::vector<int64_t> GeometricThresholds(int64_t max_weight, double epsilon) {
   std::vector<int64_t> t;
   int64_t cur = 1;
@@ -111,6 +136,52 @@ void ApproxMstSketch::Update(NodeId u, NodeId v, int64_t delta,
   for (size_t i = 0; i < thresholds_.size(); ++i) {
     if (weight <= thresholds_[i]) forests_[i].Update(u, v, delta);
   }
+}
+
+void ApproxMstSketch::UpdateEndpoint(NodeId endpoint, NodeId u, NodeId v,
+                                     int64_t delta, int64_t weight) {
+  assert(weight >= 1 && weight <= thresholds_.back());
+  for (size_t i = 0; i < thresholds_.size(); ++i) {
+    if (weight <= thresholds_[i]) {
+      forests_[i].UpdateEndpoint(endpoint, u, v, delta);
+    }
+  }
+}
+
+namespace {
+constexpr uint32_t kMstMagic = 0x4d535457u;  // "WTSM"
+}
+
+void ApproxMstSketch::AppendTo(std::string* out) const {
+  ByteWriter w(out);
+  w.U32(kMstMagic);
+  w.U32(n_);
+  w.U32(static_cast<uint32_t>(thresholds_.size()));
+  for (int64_t t : thresholds_) w.I64(t);
+  for (const auto& f : forests_) f.AppendTo(out);
+}
+
+std::optional<ApproxMstSketch> ApproxMstSketch::Deserialize(ByteReader* r) {
+  auto magic = r->U32();
+  if (!magic || *magic != kMstMagic) return std::nullopt;
+  auto n = r->U32();
+  auto count = r->U32();
+  if (!n || !count || *count == 0) return std::nullopt;
+  std::vector<int64_t> thresholds;
+  thresholds.reserve(*count);
+  for (uint32_t i = 0; i < *count; ++i) {
+    auto t = r->I64();
+    if (!t || *t < 1) return std::nullopt;
+    thresholds.push_back(*t);
+  }
+  std::vector<SpanningForestSketch> forests;
+  forests.reserve(*count);
+  for (uint32_t i = 0; i < *count; ++i) {
+    auto f = SpanningForestSketch::Deserialize(r);
+    if (!f || f->num_nodes() != *n) return std::nullopt;
+    forests.push_back(std::move(*f));
+  }
+  return ApproxMstSketch(*n, std::move(thresholds), std::move(forests));
 }
 
 void ApproxMstSketch::Merge(const ApproxMstSketch& other) {

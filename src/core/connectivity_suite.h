@@ -93,7 +93,19 @@ class BipartitenessSketch {
     return base_.CellCount() + cover_.CellCount();
   }
 
+  /// Serializes the full sketch state (checkpoint payload format).
+  void AppendTo(std::string* out) const;
+
+  /// Parses a sketch back; nullopt on malformed input.
+  static std::optional<BipartitenessSketch> Deserialize(ByteReader* r);
+
+  NodeId num_nodes() const { return n_; }
+
  private:
+  BipartitenessSketch(NodeId n, SpanningForestSketch base,
+                      SpanningForestSketch cover)
+      : n_(n), base_(std::move(base)), cover_(std::move(cover)) {}
+
   NodeId n_;
   SpanningForestSketch base_;   // G, on n nodes
   SpanningForestSketch cover_;  // double cover, on 2n nodes
@@ -113,6 +125,12 @@ class ApproxMstSketch {
   /// across the edge's updates).
   void Update(NodeId u, NodeId v, int64_t delta, int64_t weight);
 
+  /// Endpoint half of one token for an edge of weight `weight` (see
+  /// ConnectivitySketch::UpdateEndpoint). The default weight 1 serves
+  /// unweighted streams, where the estimate is the spanning-forest size.
+  void UpdateEndpoint(NodeId endpoint, NodeId u, NodeId v, int64_t delta,
+                      int64_t weight = 1);
+
   /// Adds another sketch with identical parameterization.
   void Merge(const ApproxMstSketch& other);
 
@@ -125,7 +143,21 @@ class ApproxMstSketch {
 
   size_t CellCount() const;
 
+  /// Serializes the full sketch state (checkpoint payload format).
+  void AppendTo(std::string* out) const;
+
+  /// Parses a sketch back; nullopt on malformed input.
+  static std::optional<ApproxMstSketch> Deserialize(ByteReader* r);
+
+  NodeId num_nodes() const { return n_; }
+
  private:
+  ApproxMstSketch(NodeId n, std::vector<int64_t> thresholds,
+                  std::vector<SpanningForestSketch> forests)
+      : n_(n),
+        thresholds_(std::move(thresholds)),
+        forests_(std::move(forests)) {}
+
   NodeId n_;
   std::vector<int64_t> thresholds_;           // ascending, last >= max_weight
   std::vector<SpanningForestSketch> forests_;  // G_{<= thresholds_[i]}

@@ -120,6 +120,42 @@ Graph SimpleSparsifier::Extract() const {
   return sparsifier;
 }
 
+namespace {
+constexpr uint32_t kSparsMagic = 0x53505346u;  // "FSPS"
+}
+
+void SimpleSparsifier::AppendTo(std::string* out) const {
+  ByteWriter w(out);
+  w.U32(kSparsMagic);
+  w.U32(n_);
+  w.U32(k_);
+  w.U32(sampler_.max_level());
+  w.U64(sampler_.seed());
+  w.U32(static_cast<uint32_t>(levels_.size()));
+  for (const auto& level : levels_) level.AppendTo(out);
+}
+
+std::optional<SimpleSparsifier> SimpleSparsifier::Deserialize(ByteReader* r) {
+  auto magic = r->U32();
+  if (!magic || *magic != kSparsMagic) return std::nullopt;
+  auto n = r->U32();
+  auto k = r->U32();
+  auto max_level = r->U32();
+  auto seed = r->U64();
+  auto num_levels = r->U32();
+  if (!n || !k || !max_level || !seed || !num_levels || *num_levels == 0) {
+    return std::nullopt;
+  }
+  SimpleSparsifier sk(*n, *k, SamplingLevels(*max_level, *seed));
+  sk.levels_.reserve(*num_levels);
+  for (uint32_t i = 0; i < *num_levels; ++i) {
+    auto level = KEdgeConnectSketch::Deserialize(r);
+    if (!level || level->num_nodes() != *n) return std::nullopt;
+    sk.levels_.push_back(std::move(*level));
+  }
+  return sk;
+}
+
 size_t SimpleSparsifier::CellCount() const {
   size_t total = 0;
   for (const auto& l : levels_) total += l.CellCount();

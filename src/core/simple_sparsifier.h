@@ -61,7 +61,19 @@ class SimpleSparsifier {
   uint32_t num_levels() const { return static_cast<uint32_t>(levels_.size()); }
   size_t CellCount() const;
 
+  /// Serializes the full sketch state, including the subsampling
+  /// hierarchy's seed (checkpoint payload format).
+  void AppendTo(std::string* out) const;
+
+  /// Parses a sketch back; nullopt on malformed input.
+  static std::optional<SimpleSparsifier> Deserialize(ByteReader* r);
+
+  NodeId num_nodes() const { return n_; }
+
  private:
+  SimpleSparsifier(NodeId n, uint32_t k, SamplingLevels sampler)
+      : n_(n), k_(k), sampler_(sampler) {}
+
   NodeId n_;
   uint32_t k_;
   SamplingLevels sampler_;

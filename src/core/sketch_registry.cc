@@ -1,0 +1,415 @@
+#include "src/core/sketch_registry.h"
+
+#include "src/core/connectivity_suite.h"
+#include "src/core/k_edge_connect.h"
+#include "src/core/min_cut.h"
+#include "src/core/simple_sparsifier.h"
+#include "src/core/spanning_forest.h"
+#include "src/core/subgraph_patterns.h"
+#include "src/core/subgraph_sketch.h"
+
+namespace gsketch {
+
+namespace {
+
+// Shared forwarding shell: holds the concrete sketch by value and routes
+// the uniform contract to it. Derived adapters add only what genuinely
+// differs per family (parameter summary and answer decoding).
+template <typename Sketch, AlgTag TagV>
+class Adapter : public LinearSketch {
+ public:
+  explicit Adapter(Sketch sk) : sk_(std::move(sk)) {}
+
+  AlgTag Tag() const override { return TagV; }
+  NodeId num_nodes() const override { return sk_.num_nodes(); }
+  size_t CellCount() const override { return sk_.CellCount(); }
+
+  void UpdateEndpoint(NodeId endpoint, NodeId u, NodeId v,
+                      int64_t delta) override {
+    sk_.UpdateEndpoint(endpoint, u, v, delta);
+  }
+
+  bool Merge(const LinearSketch& other, std::string* error) override {
+    const auto* o = dynamic_cast<const Adapter*>(&other);
+    if (o == nullptr) {
+      if (error) {
+        *error = std::string("algorithm mismatch: cannot merge ") +
+                 AlgTagName(other.Tag()) + " into " + AlgTagName(TagV);
+      }
+      return false;
+    }
+    // Structural compatibility: n and the full cell layout must agree
+    // (cell count captures rounds, repetitions, k, and hierarchy depth).
+    if (sk_.num_nodes() != o->sk_.num_nodes() ||
+        sk_.CellCount() != o->sk_.CellCount()) {
+      if (error) {
+        *error = std::string(AlgTagName(TagV)) +
+                 ": incompatible sketch shapes (n=" +
+                 std::to_string(sk_.num_nodes()) + "/" +
+                 std::to_string(o->sk_.num_nodes()) + ", cells=" +
+                 std::to_string(sk_.CellCount()) + "/" +
+                 std::to_string(o->sk_.CellCount()) + ")";
+      }
+      return false;
+    }
+    sk_.Merge(o->sk_);
+    return true;
+  }
+
+  void AppendTo(std::string* out) const override { sk_.AppendTo(out); }
+
+  const Sketch& sketch() const { return sk_; }
+
+ protected:
+  Sketch sk_;
+};
+
+void PrintWeightedEdges(std::FILE* out, const Graph& g) {
+  for (const auto& e : g.Edges()) {
+    std::fprintf(out, "%u %u %.0f\n", e.u, e.v, e.weight);
+  }
+}
+
+// ----------------------------------------------------------- adapters --
+
+class ConnectivityAdapter final
+    : public Adapter<ConnectivitySketch, AlgTag::kConnectivity> {
+ public:
+  using Adapter::Adapter;
+  std::string Describe() const override {
+    return "connectivity: n=" + std::to_string(sk_.num_nodes()) + ", " +
+           std::to_string(sk_.CellCount()) + " cells";
+  }
+  void PrintAnswer(std::FILE* out) const override {
+    std::fprintf(out, "components: %zu\nconnected:  %s\n",
+                 sk_.NumComponents(), sk_.IsConnected() ? "yes" : "no");
+  }
+};
+
+class BipartiteAdapter final
+    : public Adapter<BipartitenessSketch, AlgTag::kBipartite> {
+ public:
+  using Adapter::Adapter;
+  std::string Describe() const override {
+    return "bipartite: n=" + std::to_string(sk_.num_nodes()) +
+           " (double cover on 2n), " + std::to_string(sk_.CellCount()) +
+           " cells";
+  }
+  void PrintAnswer(std::FILE* out) const override {
+    std::fprintf(out, "bipartite: %s\n", sk_.IsBipartite() ? "yes" : "no");
+  }
+};
+
+class MstAdapter final : public Adapter<ApproxMstSketch, AlgTag::kApproxMst> {
+ public:
+  using Adapter::Adapter;
+  std::string Describe() const override {
+    return "mst: n=" + std::to_string(sk_.num_nodes()) + ", " +
+           std::to_string(sk_.thresholds().size()) + " weight thresholds, " +
+           std::to_string(sk_.CellCount()) + " cells";
+  }
+  void PrintAnswer(std::FILE* out) const override {
+    // Unweighted streams: the estimate is the spanning-forest edge count
+    // (weight-1 Kruskal), i.e. n - #components.
+    std::fprintf(out, "mst weight: %.0f\n", sk_.EstimateWeight());
+  }
+};
+
+class KConnectAdapter final
+    : public Adapter<KConnectivityTester, AlgTag::kKConnectivity> {
+ public:
+  using Adapter::Adapter;
+  std::string Describe() const override {
+    return "kconnect: n=" + std::to_string(sk_.num_nodes()) +
+           ", k=" + std::to_string(sk_.k()) + ", " +
+           std::to_string(sk_.CellCount()) + " cells";
+  }
+  void PrintAnswer(std::FILE* out) const override {
+    std::fprintf(out, "witness min cut: %.0f\n%u-connected: %s\n",
+                 sk_.WitnessMinCut(), sk_.k(),
+                 sk_.IsKConnected() ? "yes" : "no");
+  }
+};
+
+class KEdgeAdapter final
+    : public Adapter<KEdgeConnectSketch, AlgTag::kKEdgeConnect> {
+ public:
+  using Adapter::Adapter;
+  std::string Describe() const override {
+    return "kedge: n=" + std::to_string(sk_.num_nodes()) +
+           ", k=" + std::to_string(sk_.k()) + ", " +
+           std::to_string(sk_.CellCount()) + " cells";
+  }
+  void PrintAnswer(std::FILE* out) const override {
+    Graph h = sk_.ExtractWitness();
+    std::fprintf(out, "# witness: %zu edges (k=%u)\n", h.NumEdges(),
+                 sk_.k());
+    PrintWeightedEdges(out, h);
+  }
+};
+
+class ForestAdapter final
+    : public Adapter<SpanningForestSketch, AlgTag::kSpanningForest> {
+ public:
+  using Adapter::Adapter;
+  std::string Describe() const override {
+    return "forest: n=" + std::to_string(sk_.num_nodes()) + ", " +
+           std::to_string(sk_.rounds()) + " rounds, " +
+           std::to_string(sk_.CellCount()) + " cells";
+  }
+  void PrintAnswer(std::FILE* out) const override {
+    Graph f = sk_.ExtractForest();
+    std::fprintf(out, "# forest: %zu edges, %zu components\n", f.NumEdges(),
+                 f.NumComponents());
+    PrintWeightedEdges(out, f);
+  }
+};
+
+class MinCutAdapter final : public Adapter<MinCutSketch, AlgTag::kMinCut> {
+ public:
+  using Adapter::Adapter;
+  std::string Describe() const override {
+    return "mincut: n=" + std::to_string(sk_.num_nodes()) +
+           ", k=" + std::to_string(sk_.k()) + ", " +
+           std::to_string(sk_.num_levels()) + " levels, " +
+           std::to_string(sk_.CellCount()) + " cells";
+  }
+  void PrintAnswer(std::FILE* out) const override {
+    auto est = sk_.Estimate();
+    std::fprintf(out, "min cut: %.0f (level %u%s)\n", est.value, est.level,
+                 est.resolved ? "" : ", UNRESOLVED");
+    std::fprintf(out, "one side (%zu nodes):", est.side.size());
+    for (NodeId v : est.side) std::fprintf(out, " %u", v);
+    std::fprintf(out, "\n");
+  }
+};
+
+class SparsifyAdapter final
+    : public Adapter<SimpleSparsifier, AlgTag::kSparsify> {
+ public:
+  using Adapter::Adapter;
+  std::string Describe() const override {
+    return "sparsify: n=" + std::to_string(sk_.num_nodes()) +
+           ", k=" + std::to_string(sk_.k()) + ", " +
+           std::to_string(sk_.num_levels()) + " levels, " +
+           std::to_string(sk_.CellCount()) + " cells";
+  }
+  void PrintAnswer(std::FILE* out) const override {
+    Graph h = sk_.Extract();
+    std::fprintf(out, "# sparsifier: %zu edges (k=%u)\n", h.NumEdges(),
+                 sk_.k());
+    PrintWeightedEdges(out, h);
+  }
+};
+
+class TrianglesAdapter final
+    : public Adapter<SubgraphSketch, AlgTag::kTriangles> {
+ public:
+  using Adapter::Adapter;
+  std::string Describe() const override {
+    return "triangles: n=" + std::to_string(sk_.num_nodes()) + ", order " +
+           std::to_string(sk_.order()) + ", " +
+           std::to_string(sk_.num_samplers()) + " samplers, " +
+           std::to_string(sk_.CellCount()) + " cells";
+  }
+  void PrintAnswer(std::FILE* out) const override {
+    for (const auto& p : Order3Patterns()) {
+      auto est = sk_.EstimateGamma(p.canonical_code);
+      std::fprintf(out, "gamma[%-11s] = %.4f   (count estimate ~%.0f)\n",
+                   p.name.c_str(), est.gamma,
+                   sk_.EstimateCount(p.canonical_code));
+    }
+  }
+  bool EndpointSharded() const override { return false; }
+};
+
+// ---------------------------------------------------------- factories --
+// Construction mirrors the historical per-command CLI setup exactly, so a
+// registered run at seed s is byte-compatible with a pre-registry run.
+
+template <typename A, typename Sketch>
+std::unique_ptr<LinearSketch> WrapDeserialized(std::optional<Sketch> sk) {
+  if (!sk.has_value()) return nullptr;
+  return std::make_unique<A>(std::move(*sk));
+}
+
+std::unique_ptr<LinearSketch> MakeConnectivity(NodeId n,
+                                               const AlgOptions& opt,
+                                               uint64_t seed) {
+  return std::make_unique<ConnectivityAdapter>(
+      ConnectivitySketch(n, opt.forest, seed));
+}
+
+std::unique_ptr<LinearSketch> MakeBipartite(NodeId n, const AlgOptions& opt,
+                                            uint64_t seed) {
+  return std::make_unique<BipartiteAdapter>(
+      BipartitenessSketch(n, opt.forest, seed));
+}
+
+std::unique_ptr<LinearSketch> MakeMst(NodeId n, const AlgOptions& opt,
+                                      uint64_t seed) {
+  // Unweighted stream ingestion: weight 1 for every edge, one threshold.
+  return std::make_unique<MstAdapter>(
+      ApproxMstSketch(n, /*max_weight=*/1, opt.epsilon, opt.forest, seed));
+}
+
+std::unique_ptr<LinearSketch> MakeKConnect(NodeId n, const AlgOptions& opt,
+                                           uint64_t seed) {
+  return std::make_unique<KConnectAdapter>(
+      KConnectivityTester(n, opt.k, opt.forest, seed));
+}
+
+std::unique_ptr<LinearSketch> MakeKEdge(NodeId n, const AlgOptions& opt,
+                                        uint64_t seed) {
+  return std::make_unique<KEdgeAdapter>(
+      KEdgeConnectSketch(n, opt.k, opt.forest, seed));
+}
+
+std::unique_ptr<LinearSketch> MakeForest(NodeId n, const AlgOptions& opt,
+                                         uint64_t seed) {
+  return std::make_unique<ForestAdapter>(
+      SpanningForestSketch(n, opt.forest, seed));
+}
+
+std::unique_ptr<LinearSketch> MakeMinCut(NodeId n, const AlgOptions& opt,
+                                         uint64_t seed) {
+  MinCutOptions mopt;
+  mopt.epsilon = opt.epsilon;
+  mopt.k_scale = 2.0;
+  mopt.max_level = opt.max_level;
+  mopt.forest = opt.forest;
+  return std::make_unique<MinCutAdapter>(MinCutSketch(n, mopt, seed));
+}
+
+std::unique_ptr<LinearSketch> MakeSparsify(NodeId n, const AlgOptions& opt,
+                                           uint64_t seed) {
+  SimpleSparsifierOptions sopt;
+  sopt.epsilon = opt.epsilon;
+  sopt.k_override = opt.k_override;
+  sopt.max_level = opt.max_level;
+  sopt.forest = opt.forest;
+  return std::make_unique<SparsifyAdapter>(SimpleSparsifier(n, sopt, seed));
+}
+
+std::unique_ptr<LinearSketch> MakeTriangles(NodeId n, const AlgOptions& opt,
+                                            uint64_t seed) {
+  return std::make_unique<TrianglesAdapter>(
+      SubgraphSketch(n, /*order=*/3, opt.triangle_samplers,
+                     opt.triangle_reps, seed));
+}
+
+std::unique_ptr<LinearSketch> DeserializeConnectivity(ByteReader* r) {
+  return WrapDeserialized<ConnectivityAdapter>(
+      ConnectivitySketch::Deserialize(r));
+}
+std::unique_ptr<LinearSketch> DeserializeBipartite(ByteReader* r) {
+  return WrapDeserialized<BipartiteAdapter>(
+      BipartitenessSketch::Deserialize(r));
+}
+std::unique_ptr<LinearSketch> DeserializeMst(ByteReader* r) {
+  return WrapDeserialized<MstAdapter>(ApproxMstSketch::Deserialize(r));
+}
+std::unique_ptr<LinearSketch> DeserializeKConnect(ByteReader* r) {
+  return WrapDeserialized<KConnectAdapter>(
+      KConnectivityTester::Deserialize(r));
+}
+std::unique_ptr<LinearSketch> DeserializeKEdge(ByteReader* r) {
+  return WrapDeserialized<KEdgeAdapter>(KEdgeConnectSketch::Deserialize(r));
+}
+std::unique_ptr<LinearSketch> DeserializeForest(ByteReader* r) {
+  return WrapDeserialized<ForestAdapter>(
+      SpanningForestSketch::Deserialize(r));
+}
+std::unique_ptr<LinearSketch> DeserializeMinCut(ByteReader* r) {
+  return WrapDeserialized<MinCutAdapter>(MinCutSketch::Deserialize(r));
+}
+std::unique_ptr<LinearSketch> DeserializeSparsify(ByteReader* r) {
+  return WrapDeserialized<SparsifyAdapter>(SimpleSparsifier::Deserialize(r));
+}
+std::unique_ptr<LinearSketch> DeserializeTriangles(ByteReader* r) {
+  return WrapDeserialized<TrianglesAdapter>(SubgraphSketch::Deserialize(r));
+}
+
+}  // namespace
+
+const std::vector<AlgInfo>& Registry() {
+  // Presentation order: the historical CLI commands first, then the
+  // families the registry newly exposed.
+  static const std::vector<AlgInfo> kRegistry = {
+      {"connectivity", AlgTag::kConnectivity, "components / connected?",
+       /*endpoint_sharded=*/true, /*uses_k=*/false, MakeConnectivity,
+       DeserializeConnectivity},
+      {"bipartite", AlgTag::kBipartite,
+       "bipartiteness via the double cover", true, false, MakeBipartite,
+       DeserializeBipartite},
+      {"mincut", AlgTag::kMinCut, "(1+eps) minimum cut (eps = 0.5)", true,
+       false, MakeMinCut, DeserializeMinCut},
+      {"sparsify", AlgTag::kSparsify,
+       "decode a cut sparsifier, print its edges", true, false, MakeSparsify,
+       DeserializeSparsify},
+      {"triangles", AlgTag::kTriangles, "order-3 pattern fractions",
+       /*endpoint_sharded=*/false, false, MakeTriangles,
+       DeserializeTriangles},
+      {"kconnect", AlgTag::kKConnectivity,
+       "k-edge-connectivity test (--k, default 3)", true, /*uses_k=*/true,
+       MakeKConnect, DeserializeKConnect},
+      {"kedge", AlgTag::kKEdgeConnect,
+       "k-EDGECONNECT witness edges (--k, default 3)", true, true, MakeKEdge,
+       DeserializeKEdge},
+      {"forest", AlgTag::kSpanningForest,
+       "spanning forest edges and components", true, false, MakeForest,
+       DeserializeForest},
+      {"mst", AlgTag::kApproxMst,
+       "approximate spanning-forest weight (unweighted: edge count)", true,
+       false, MakeMst, DeserializeMst},
+  };
+  return kRegistry;
+}
+
+const AlgInfo* FindAlg(const std::string& name) {
+  for (const auto& info : Registry()) {
+    if (name == info.name) return &info;
+  }
+  return nullptr;
+}
+
+const AlgInfo* FindAlg(AlgTag tag) {
+  for (const auto& info : Registry()) {
+    if (tag == info.tag) return &info;
+  }
+  return nullptr;
+}
+
+const char* AlgTagName(AlgTag tag) {
+  const AlgInfo* info = FindAlg(tag);
+  return info != nullptr ? info->name : "unknown";
+}
+
+namespace {
+
+template <typename Pred>
+std::string JoinNames(const char* sep, Pred pred) {
+  std::string out;
+  for (const auto& info : Registry()) {
+    if (!pred(info)) continue;
+    if (!out.empty()) out += sep;
+    out += info.name;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RegistryNameList(const char* sep) {
+  return JoinNames(sep, [](const AlgInfo&) { return true; });
+}
+
+std::string ShardedAlgNameList(const char* sep) {
+  return JoinNames(sep, [](const AlgInfo& i) { return i.endpoint_sharded; });
+}
+
+std::string KAlgNameList(const char* sep) {
+  return JoinNames(sep, [](const AlgInfo& i) { return i.uses_k; });
+}
+
+}  // namespace gsketch

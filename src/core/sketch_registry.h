@@ -1,0 +1,165 @@
+// The unified linear-sketch algorithm layer (Sec 1.1 made operational).
+//
+// AGM12's central structural property is that every sketch is a LINEAR
+// measurement of the stream: sketches of partial streams merge by addition
+// into the sketch of the whole stream. That one property powers parallel
+// ingestion (src/driver/sketch_driver.h), mid-stream checkpointing
+// (src/driver/checkpoint.h), and distributed shard-merge (gsketch shard /
+// merge) — so instead of wiring each algorithm family into each consumer
+// by hand, every family implements ONE contract here and every consumer is
+// written once against it. Registering an algorithm in Registry() buys it
+// CLI ingestion, checkpoint/resume, and shard-merge for free.
+//
+// The contract (LinearSketch):
+//   * UpdateEndpoint — the endpoint half-update the sharded driver feeds;
+//     the two halves of a token compose to the full update.
+//   * Merge         — sketch addition (requires identical construction:
+//     same n, options, and seed; structural mismatches are rejected).
+//   * AppendTo      — full-state serialization, byte-compatible with the
+//     concrete sketch's own AppendTo (GSKC payloads are unchanged).
+//   * Tag/Describe/PrintAnswer — identity, parameter summary, and the
+//     decoded answer, for generic tooling (CLI dispatch, `inspect`).
+//
+// Adapters are thin: they hold the concrete sketch by value and forward.
+#ifndef GRAPHSKETCH_SRC_CORE_SKETCH_REGISTRY_H_
+#define GRAPHSKETCH_SRC_CORE_SKETCH_REGISTRY_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/spanning_forest.h"
+#include "src/graph/graph.h"
+#include "src/sketch/serde.h"
+
+namespace gsketch {
+
+/// Algorithm identity. The numeric values are the GSKC checkpoint wire
+/// tags — stable forever; append, never renumber. Values 1-3 predate the
+/// registry (GSKC format v1) and must keep reading old checkpoint files.
+enum class AlgTag : uint32_t {
+  kConnectivity = 1,
+  kKConnectivity = 2,
+  kMinCut = 3,
+  kBipartite = 4,
+  kApproxMst = 5,
+  kKEdgeConnect = 6,
+  kSpanningForest = 7,
+  kSparsify = 8,
+  kTriangles = 9,
+};
+
+/// The uniform linear-sketch contract (see file comment).
+class LinearSketch {
+ public:
+  virtual ~LinearSketch() = default;
+
+  LinearSketch() = default;
+  LinearSketch(const LinearSketch&) = delete;
+  LinearSketch& operator=(const LinearSketch&) = delete;
+
+  /// Wire tag of the wrapped algorithm.
+  virtual AlgTag Tag() const = 0;
+
+  /// Node universe size the sketch was built for.
+  virtual NodeId num_nodes() const = 0;
+
+  /// Total 1-sparse cells (space proxy).
+  virtual size_t CellCount() const = 0;
+
+  /// Endpoint half of one stream token (the SketchDriver Alg concept):
+  /// UpdateEndpoint(u,u,v,d); UpdateEndpoint(v,v,u,d) composes to the full
+  /// token (u,v,d).
+  virtual void UpdateEndpoint(NodeId endpoint, NodeId u, NodeId v,
+                              int64_t delta) = 0;
+
+  /// Applies one full stream token via its two endpoint halves.
+  void Update(NodeId u, NodeId v, int64_t delta) {
+    UpdateEndpoint(u, u, v, delta);
+    UpdateEndpoint(v, v, u, delta);
+  }
+
+  /// Adds `other` (sketch addition). False with `*error` set when `other`
+  /// is a different algorithm or structurally incompatible (different n or
+  /// cell layout). Seeds are trusted: merging same-shaped sketches built
+  /// from different seeds silently produces garbage, exactly as for the
+  /// concrete Merge methods — construct shards identically.
+  virtual bool Merge(const LinearSketch& other, std::string* error) = 0;
+
+  /// Serializes the full sketch state; byte-identical to the concrete
+  /// sketch's AppendTo (this is the GSKC checkpoint payload).
+  virtual void AppendTo(std::string* out) const = 0;
+
+  /// One-line parameter summary, e.g. "kconnect: n=64, k=3, 24576 cells".
+  virtual std::string Describe() const = 0;
+
+  /// Decodes the sketch and prints the algorithm's answer (the exact
+  /// output the dedicated CLI command historically printed).
+  virtual void PrintAnswer(std::FILE* out) const = 0;
+
+  /// True when distinct endpoints touch disjoint sketch state, making
+  /// multi-worker endpoint-sharded ingestion safe. False (SubgraphSketch)
+  /// restricts the driver to one worker.
+  virtual bool EndpointSharded() const { return true; }
+};
+
+/// Construction knobs the registry factories understand. Defaults match
+/// the historical CLI construction of each family, so registered runs are
+/// byte-compatible with pre-registry runs at the same seed. The non-CLI
+/// knobs below exist for benchmarks and embedders that tune space.
+struct AlgOptions {
+  uint32_t k = 3;         ///< witness strength (kconnect, kedge)
+  double epsilon = 0.5;   ///< target error (mincut, sparsify, mst)
+  ForestOptions forest;   ///< forest parameters for every forest-based alg
+  uint32_t max_level = 0;      ///< subsampling depth (mincut, sparsify);
+                               ///< 0 = auto
+  uint32_t k_override = 0;     ///< sparsify: exact k instead of the formula
+  uint32_t triangle_samplers = 200;  ///< triangles: ℓ₀-sampler count
+  uint32_t triangle_reps = 6;        ///< triangles: repetitions per sampler
+};
+
+/// One registered algorithm family: identity, capabilities, and factories.
+struct AlgInfo {
+  const char* name;     ///< CLI command / checkpoint-alg name
+  AlgTag tag;           ///< GSKC wire tag
+  const char* summary;  ///< one-line answer description (usage text)
+  bool endpoint_sharded;  ///< safe for multi-worker sharded ingestion
+  bool uses_k;            ///< factory consumes AlgOptions::k
+
+  /// Builds a fresh sketch; equal (n, opt, seed) build identically
+  /// measuring (hence mergeable) sketches.
+  std::unique_ptr<LinearSketch> (*make)(NodeId n, const AlgOptions& opt,
+                                        uint64_t seed);
+
+  /// Parses a serialized sketch of this family; nullptr on malformed
+  /// input. Inverse of LinearSketch::AppendTo.
+  std::unique_ptr<LinearSketch> (*deserialize)(ByteReader* r);
+};
+
+/// All registered algorithms, in stable presentation order.
+const std::vector<AlgInfo>& Registry();
+
+/// Lookup by CLI name; nullptr when unknown.
+const AlgInfo* FindAlg(const std::string& name);
+
+/// Lookup by wire tag; nullptr when unknown.
+const AlgInfo* FindAlg(AlgTag tag);
+
+/// Name of a tag ("connectivity", ...); "unknown" for unrecognized tags.
+const char* AlgTagName(AlgTag tag);
+
+/// All registered names joined by `sep` ("connectivity bipartite ...").
+std::string RegistryNameList(const char* sep = " ");
+
+/// Names of endpoint-sharded algorithms joined by `sep` (the ones that
+/// accept multi-worker ingestion).
+std::string ShardedAlgNameList(const char* sep = ", ");
+
+/// Names of algorithms whose factory consumes AlgOptions::k.
+std::string KAlgNameList(const char* sep = "/");
+
+}  // namespace gsketch
+
+#endif  // GRAPHSKETCH_SRC_CORE_SKETCH_REGISTRY_H_

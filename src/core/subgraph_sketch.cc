@@ -125,6 +125,45 @@ std::map<uint32_t, double> SubgraphSketch::EstimateDistribution() const {
   return dist;
 }
 
+namespace {
+constexpr uint32_t kSubgMagic = 0x53554247u;  // "GBUS"
+}
+
+void SubgraphSketch::AppendTo(std::string* out) const {
+  ByteWriter w(out);
+  w.U32(kSubgMagic);
+  w.U32(n_);
+  w.U32(order_);
+  w.U32(static_cast<uint32_t>(samplers_.size()));
+  for (const auto& s : samplers_) s.AppendTo(out);
+  support_.AppendTo(out);
+}
+
+std::optional<SubgraphSketch> SubgraphSketch::Deserialize(ByteReader* r) {
+  auto magic = r->U32();
+  if (!magic || *magic != kSubgMagic) return std::nullopt;
+  auto n = r->U32();
+  auto order = r->U32();
+  auto count = r->U32();
+  if (!n || !order || !count || (*order != 3 && *order != 4) ||
+      *n < *order || *count == 0) {
+    return std::nullopt;
+  }
+  uint64_t columns = Binomial(*n, *order);
+  std::vector<L0Sampler> samplers;
+  samplers.reserve(*count);
+  for (uint32_t i = 0; i < *count; ++i) {
+    auto s = L0Sampler::Deserialize(r);
+    if (!s || s->domain() != columns) return std::nullopt;
+    samplers.push_back(std::move(*s));
+  }
+  auto support = SupportEstimator::Deserialize(r);
+  if (!support || support->domain() != columns) return std::nullopt;
+  SubgraphSketch sk(*n, *order, columns, std::move(*support));
+  sk.samplers_ = std::move(samplers);
+  return sk;
+}
+
 size_t SubgraphSketch::CellCount() const {
   size_t total = 0;
   for (const auto& s : samplers_) total += s.CellCount();

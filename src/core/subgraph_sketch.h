@@ -43,6 +43,16 @@ class SubgraphSketch {
   /// Applies one stream token (simple graphs: multiplicities in {0,1}).
   void Update(NodeId u, NodeId v, int64_t delta);
 
+  /// Endpoint half of one token, driver-compatible: the half owned by
+  /// min(u, v) applies the whole token, the other half is a no-op, so the
+  /// two halves still compose to Update. Unlike the node-incidence
+  /// sketches, columns are k-subsets shared across endpoints — the halves
+  /// do NOT touch disjoint state, so this sketch is not safe for
+  /// multi-worker endpoint-sharded ingestion (drive it with one worker).
+  void UpdateEndpoint(NodeId endpoint, NodeId u, NodeId v, int64_t delta) {
+    if (endpoint == (u < v ? u : v)) Update(u, v, delta);
+  }
+
   /// Adds another sketch with identical parameterization.
   void Merge(const SubgraphSketch& other);
 
@@ -73,9 +83,25 @@ class SubgraphSketch {
 
   uint32_t order() const { return order_; }
   uint64_t num_columns() const { return columns_; }
+  uint32_t num_samplers() const {
+    return static_cast<uint32_t>(samplers_.size());
+  }
   size_t CellCount() const;
 
+  /// Serializes the full sketch state (checkpoint payload format).
+  void AppendTo(std::string* out) const;
+
+  /// Parses a sketch back; nullopt on malformed input.
+  static std::optional<SubgraphSketch> Deserialize(ByteReader* r);
+
+  NodeId num_nodes() const { return n_; }
+
  private:
+  SubgraphSketch(NodeId n, uint32_t order, uint64_t columns,
+                 SupportEstimator support)
+      : n_(n), order_(order), columns_(columns),
+        support_(std::move(support)) {}
+
   NodeId n_;
   uint32_t order_;
   uint64_t columns_;

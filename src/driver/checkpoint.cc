@@ -27,23 +27,10 @@ uint64_t ChecksumOf(const std::string& bytes, size_t from, size_t to) {
 }
 
 bool ValidAlg(uint32_t tag) {
-  return tag >= static_cast<uint32_t>(CheckpointAlg::kConnectivity) &&
-         tag <= static_cast<uint32_t>(CheckpointAlg::kMinCut);
+  return FindAlg(static_cast<AlgTag>(tag)) != nullptr;
 }
 
 }  // namespace
-
-const char* CheckpointAlgName(CheckpointAlg alg) {
-  switch (alg) {
-    case CheckpointAlg::kConnectivity:
-      return "connectivity";
-    case CheckpointAlg::kKConnectivity:
-      return "kconnect";
-    case CheckpointAlg::kMinCut:
-      return "mincut";
-  }
-  return "unknown";
-}
 
 bool WriteCheckpointFile(const std::string& path, const Checkpoint& c,
                          std::string* error) {
@@ -52,7 +39,7 @@ bool WriteCheckpointFile(const std::string& path, const Checkpoint& c,
   w.U32(kCheckpointMagic);
   w.U32(kCheckpointVersion);
   w.U32(static_cast<uint32_t>(c.alg));
-  w.U32(0);  // reserved
+  w.U32(c.flags);
   w.U64(c.stream_pos);
   w.U64(c.payload.size());
   bytes += c.payload;
@@ -112,10 +99,10 @@ std::optional<Checkpoint> ReadCheckpointFile(const std::string& path,
     return std::nullopt;
   }
   auto alg = r.U32();
-  auto reserved = r.U32();
+  auto flags = r.U32();
   auto stream_pos = r.U64();
   auto payload_size = r.U64();
-  if (!alg || !reserved || !stream_pos || !payload_size) {
+  if (!alg || !flags || !stream_pos || !payload_size) {
     if (error) *error = path + ": truncated checkpoint header";
     return std::nullopt;
   }
@@ -142,6 +129,7 @@ std::optional<Checkpoint> ReadCheckpointFile(const std::string& path,
 
   Checkpoint c;
   c.alg = static_cast<CheckpointAlg>(*alg);
+  c.flags = *flags;
   c.stream_pos = *stream_pos;
   c.payload = bytes.substr(32, *payload_size);
   return c;
@@ -161,57 +149,35 @@ bool LooksLikeCheckpoint(const std::string& path) {
   return magic == kCheckpointMagic;
 }
 
-namespace {
-
-template <typename Sketch>
-bool SaveTyped(const std::string& path, const Sketch& sk, CheckpointAlg alg,
-               uint64_t stream_pos, std::string* error) {
+bool SaveCheckpoint(const std::string& path, const LinearSketch& sk,
+                    uint64_t stream_pos, std::string* error,
+                    uint32_t flags) {
   Checkpoint c;
-  c.alg = alg;
+  c.alg = sk.Tag();
+  c.flags = flags;
   c.stream_pos = stream_pos;
   sk.AppendTo(&c.payload);
   return WriteCheckpointFile(path, c, error);
 }
 
-}  // namespace
-
-bool SaveCheckpoint(const std::string& path, const ConnectivitySketch& sk,
-                    uint64_t stream_pos, std::string* error) {
-  return SaveTyped(path, sk, CheckpointAlg::kConnectivity, stream_pos, error);
-}
-
-bool SaveCheckpoint(const std::string& path, const KConnectivityTester& sk,
-                    uint64_t stream_pos, std::string* error) {
-  return SaveTyped(path, sk, CheckpointAlg::kKConnectivity, stream_pos,
-                   error);
-}
-
-bool SaveCheckpoint(const std::string& path, const MinCutSketch& sk,
-                    uint64_t stream_pos, std::string* error) {
-  return SaveTyped(path, sk, CheckpointAlg::kMinCut, stream_pos, error);
-}
-
-std::optional<ConnectivitySketch> RestoreConnectivity(const Checkpoint& c) {
-  if (c.alg != CheckpointAlg::kConnectivity) return std::nullopt;
+std::unique_ptr<LinearSketch> RestoreSketch(const Checkpoint& c,
+                                            std::string* error) {
+  const AlgInfo* info = FindAlg(c.alg);
+  if (info == nullptr) {
+    if (error) {
+      *error = "unknown algorithm tag " +
+               std::to_string(static_cast<uint32_t>(c.alg));
+    }
+    return nullptr;
+  }
   ByteReader r(c.payload);
-  auto sk = ConnectivitySketch::Deserialize(&r);
-  if (!sk || !r.AtEnd()) return std::nullopt;
-  return sk;
-}
-
-std::optional<KConnectivityTester> RestoreKConnectivity(const Checkpoint& c) {
-  if (c.alg != CheckpointAlg::kKConnectivity) return std::nullopt;
-  ByteReader r(c.payload);
-  auto sk = KConnectivityTester::Deserialize(&r);
-  if (!sk || !r.AtEnd()) return std::nullopt;
-  return sk;
-}
-
-std::optional<MinCutSketch> RestoreMinCut(const Checkpoint& c) {
-  if (c.alg != CheckpointAlg::kMinCut) return std::nullopt;
-  ByteReader r(c.payload);
-  auto sk = MinCutSketch::Deserialize(&r);
-  if (!sk || !r.AtEnd()) return std::nullopt;
+  auto sk = info->deserialize(&r);
+  if (sk == nullptr || !r.AtEnd()) {
+    if (error) {
+      *error = std::string("corrupt ") + info->name + " payload";
+    }
+    return nullptr;
+  }
   return sk;
 }
 

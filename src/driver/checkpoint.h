@@ -14,7 +14,7 @@
 //   0       4     magic  "GSKC" (0x434b5347)
 //   4       4     format version (currently 1)
 //   8       4     algorithm tag (CheckpointAlg)
-//   12      4     reserved (0)
+//   12      4     flags (was reserved-zero; bit 0 = shard, see below)
 //   16      8     stream position — updates already applied
 //   24      8     payload size p
 //   32      p     payload: the sketch's AppendTo bytes
@@ -27,33 +27,44 @@
 #define GRAPHSKETCH_SRC_DRIVER_CHECKPOINT_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 
-#include "src/core/connectivity_suite.h"
-#include "src/core/min_cut.h"
+#include "src/core/sketch_registry.h"
 
 namespace gsketch {
 
 inline constexpr uint32_t kCheckpointMagic = 0x434b5347u;  // "GSKC"
 inline constexpr uint32_t kCheckpointVersion = 1;
 
-/// Which sketch type a checkpoint carries.
-enum class CheckpointAlg : uint32_t {
-  kConnectivity = 1,
-  kKConnectivity = 2,
-  kMinCut = 3,
-};
+/// Which sketch type a checkpoint carries: the registry's wire tag
+/// (src/core/sketch_registry.h). The historical name survives because the
+/// tag values predate the registry and are pinned by committed fixtures.
+using CheckpointAlg = AlgTag;
 
 /// Human-readable algorithm name ("connectivity", ...); "unknown" for
 /// unrecognized tags.
-const char* CheckpointAlgName(CheckpointAlg alg);
+inline const char* CheckpointAlgName(CheckpointAlg alg) {
+  return AlgTagName(alg);
+}
+
+/// Flag bit: the sketch covers a NON-PREFIX subset of the stream (a
+/// round-robin shard, or a merge that includes one). `stream_pos` is then
+/// a covered-update COUNT, not a resume offset: resuming mid-stream would
+/// double-apply some updates and skip others, so readers must refuse to
+/// replay a suffix unless the checkpoint already covers the whole stream.
+/// Writers that snapshot true prefixes leave the bit clear (the field was
+/// reserved-zero before flags existed, so all older files read as
+/// prefix checkpoints — which they are).
+inline constexpr uint32_t kCheckpointFlagShard = 1u << 0;
 
 /// A parsed checkpoint envelope: what was snapshotted and where in the
 /// stream it was taken.
 struct Checkpoint {
   CheckpointAlg alg = CheckpointAlg::kConnectivity;
-  uint64_t stream_pos = 0;  ///< stream updates already applied
+  uint32_t flags = 0;       ///< kCheckpointFlag* bits
+  uint64_t stream_pos = 0;  ///< stream updates covered (see flags)
   std::string payload;      ///< sketch serialization (AppendTo bytes)
 };
 
@@ -70,20 +81,22 @@ std::optional<Checkpoint> ReadCheckpointFile(const std::string& path,
 /// True iff `path` starts with the GSKC magic (false also on I/O error).
 bool LooksLikeCheckpoint(const std::string& path);
 
-// Typed save/restore wrappers. Save serializes the sketch and writes the
-// envelope; Restore validates the tag and parses the payload, returning
-// nullopt (with untouched inputs) on any mismatch.
+// Generic save/restore over the LinearSketch contract: one pair of
+// functions serves every registered algorithm family (the historical
+// per-algorithm overloads collapsed into these when the registry landed).
 
-bool SaveCheckpoint(const std::string& path, const ConnectivitySketch& sk,
-                    uint64_t stream_pos, std::string* error);
-bool SaveCheckpoint(const std::string& path, const KConnectivityTester& sk,
-                    uint64_t stream_pos, std::string* error);
-bool SaveCheckpoint(const std::string& path, const MinCutSketch& sk,
-                    uint64_t stream_pos, std::string* error);
+/// Serializes `sk` and writes the GSKC envelope with its registry tag;
+/// false on I/O failure with `*error` set. `flags` defaults to a plain
+/// prefix checkpoint; pass kCheckpointFlagShard for shard outputs.
+bool SaveCheckpoint(const std::string& path, const LinearSketch& sk,
+                    uint64_t stream_pos, std::string* error,
+                    uint32_t flags = 0);
 
-std::optional<ConnectivitySketch> RestoreConnectivity(const Checkpoint& c);
-std::optional<KConnectivityTester> RestoreKConnectivity(const Checkpoint& c);
-std::optional<MinCutSketch> RestoreMinCut(const Checkpoint& c);
+/// Rebuilds the sketch a checkpoint carries, via the registry's
+/// deserializer for `c.alg`. nullptr with `*error` set on unknown tags or
+/// corrupt/truncated payloads.
+std::unique_ptr<LinearSketch> RestoreSketch(const Checkpoint& c,
+                                            std::string* error);
 
 }  // namespace gsketch
 

@@ -46,6 +46,7 @@
 #include "src/core/recurse_connect.h"
 #include "src/core/sampling_levels.h"
 #include "src/core/simple_sparsifier.h"
+#include "src/core/sketch_registry.h"
 #include "src/core/spanning_forest.h"
 #include "src/core/sparsifier.h"
 #include "src/core/subgraph_patterns.h"

@@ -65,4 +65,33 @@ uint64_t SupportEstimator::Estimate() const {
   return per_rep[per_rep.size() / 2];
 }
 
+namespace {
+constexpr uint32_t kSupportMagic = 0x53455354u;  // "TSES"
+}
+
+void SupportEstimator::AppendTo(std::string* out) const {
+  ByteWriter w(out);
+  w.U32(kSupportMagic);
+  w.U64(domain_);
+  w.U32(reps_);
+  w.U64(seed_);
+  AppendCells(&w, cells_.data(), cells_.size());
+}
+
+std::optional<SupportEstimator> SupportEstimator::Deserialize(ByteReader* r) {
+  auto magic = r->U32();
+  if (!magic || *magic != kSupportMagic) return std::nullopt;
+  auto domain = r->U64();
+  auto reps = r->U32();
+  auto seed = r->U64();
+  if (!domain || !reps || !seed || *domain == 0 || *reps == 0) {
+    return std::nullopt;
+  }
+  SupportEstimator est(*domain, *reps, *seed);
+  if (!ParseCells(r, est.cells_.data(), est.cells_.size())) {
+    return std::nullopt;
+  }
+  return est;
+}
+
 }  // namespace gsketch

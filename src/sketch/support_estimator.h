@@ -7,6 +7,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "src/sketch/one_sparse.h"
@@ -27,6 +28,16 @@ class SupportEstimator {
 
   /// Median-of-repetitions estimate of |support(x)|; 0 for a zero vector.
   uint64_t Estimate() const;
+
+  /// Serializes parameters, seed, and cells (Sec 1.1 wire format).
+  void AppendTo(std::string* out) const;
+
+  /// Parses an estimator back; nullopt on malformed input.
+  static std::optional<SupportEstimator> Deserialize(ByteReader* r);
+
+  uint64_t domain() const { return domain_; }
+  uint32_t repetitions() const { return reps_; }
+  uint64_t seed() const { return seed_; }
 
  private:
   size_t CellAt(uint32_t rep, uint32_t level) const {

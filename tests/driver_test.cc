@@ -270,6 +270,79 @@ TEST(SketchDriver, SparsifierParityAcrossThreadCounts) {
   }
 }
 
+TEST(SketchDriver, DestructionWithoutDrainAppliesEverything) {
+  // Callers may Push and then simply destroy the driver: the destructor
+  // drains, so no queued update is lost and the sketch is complete.
+  constexpr NodeId kN = 32;
+  constexpr uint64_t kSeed = 47;
+  DynamicGraphStream s = TestStream(kN, 0.2, 37);
+
+  ConnectivitySketch sequential(kN, ForestOptions{}, kSeed);
+  s.Replay([&](NodeId u, NodeId v, int32_t d) { sequential.Update(u, v, d); });
+
+  ConnectivitySketch abandoned(kN, ForestOptions{}, kSeed);
+  {
+    DriverOptions opt;
+    opt.num_workers = 3;
+    opt.batch_size = 16;
+    SketchDriver<ConnectivitySketch> driver(&abandoned, opt);
+    for (const auto& e : s.Updates()) driver.Push(e.u, e.v, e.delta);
+    // No Drain(): destruction must flush partial batches and wait.
+  }
+  std::string a, b;
+  sequential.AppendTo(&a);
+  abandoned.AppendTo(&b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(SketchDriver, ZeroUpdateStreamIsWellDefined) {
+  constexpr NodeId kN = 8;
+  ConnectivitySketch sk(kN, ForestOptions{}, 3);
+  std::string before;
+  sk.AppendTo(&before);
+  {
+    DriverOptions opt;
+    opt.num_workers = 2;
+    SketchDriver<ConnectivitySketch> driver(&sk, opt);
+    driver.Drain();  // drain with nothing enqueued
+    DynamicGraphStream empty(kN);
+    driver.ProcessStream(empty);  // and an explicitly empty stream
+    EXPECT_EQ(driver.StreamUpdates(), 0u);
+    EXPECT_EQ(driver.TotalUpdates(), 0u);
+  }
+  std::string after;
+  sk.AppendTo(&after);
+  EXPECT_EQ(after, before);  // the zero sketch is untouched
+  EXPECT_EQ(sk.NumComponents(), kN);  // n isolated nodes
+}
+
+TEST(SketchDriver, BackpressureWithSingleSlotQueuesKeepsParity) {
+  // max_pending_batches=1 forces the producer to block on every dispatch
+  // until the worker catches up — the tightest legal flow-control setting.
+  // Parity must survive the constant producer/worker handoff.
+  constexpr NodeId kN = 48;
+  constexpr uint64_t kSeed = 53;
+  DynamicGraphStream s = TestStream(kN, 0.15, 41);
+
+  ConnectivitySketch sequential(kN, ForestOptions{}, kSeed);
+  s.Replay([&](NodeId u, NodeId v, int32_t d) { sequential.Update(u, v, d); });
+
+  ConnectivitySketch throttled(kN, ForestOptions{}, kSeed);
+  {
+    DriverOptions opt;
+    opt.num_workers = 4;
+    opt.batch_size = 8;           // many small batches
+    opt.max_pending_batches = 1;  // single-slot queues: maximal contention
+    SketchDriver<ConnectivitySketch> driver(&throttled, opt);
+    driver.ProcessStream(s);
+    EXPECT_EQ(driver.TotalUpdates(), 2 * s.Size());
+  }
+  std::string a, b;
+  sequential.AppendTo(&a);
+  throttled.AppendTo(&b);
+  EXPECT_EQ(a, b);
+}
+
 TEST(SketchDriver, ProcessFileMatchesInMemoryIngestion) {
   constexpr NodeId kN = 50;
   constexpr uint64_t kSeed = 41;

@@ -6,6 +6,7 @@
 // fixtures to paper over it.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <string>
 
 #include "src/driver/binary_stream.h"
@@ -59,9 +60,13 @@ TEST(GoldenSerde, CheckpointFixtureParsesAndResumes) {
   ASSERT_TRUE(ckpt.has_value()) << error;
   EXPECT_EQ(ckpt->alg, CheckpointAlg::kConnectivity);
   EXPECT_EQ(ckpt->stream_pos, kGoldenCheckpointPos);
+  // The v1 fixture predates header flags; its reserved-zero field must
+  // read back as "plain prefix checkpoint".
+  EXPECT_EQ(ckpt->flags, 0u);
 
-  auto sk = RestoreConnectivity(*ckpt);
-  ASSERT_TRUE(sk.has_value());
+  auto sk = RestoreSketch(*ckpt, &error);
+  ASSERT_NE(sk, nullptr) << error;
+  EXPECT_EQ(sk->Tag(), CheckpointAlg::kConnectivity);
   EXPECT_EQ(sk->num_nodes(), kGoldenN);
 
   // Restoration is lossless: re-serializing reproduces the payload bytes.
@@ -70,15 +75,58 @@ TEST(GoldenSerde, CheckpointFixtureParsesAndResumes) {
   EXPECT_EQ(reserialized, ckpt->payload);
 
   // Resume against the committed stream: final answer matches the
-  // uninterrupted run recorded when the fixture was made.
+  // uninterrupted run recorded when the fixture was made (one connected
+  // component).
   auto s = ReadBinaryStream(DataPath("golden_stream.gskb"));
   ASSERT_TRUE(s.has_value());
   for (size_t i = ckpt->stream_pos; i < s->Size(); ++i) {
     const auto& e = s->Updates()[i];
     sk->Update(e.u, e.v, e.delta);
   }
-  EXPECT_EQ(sk->NumComponents(), 1u);
-  EXPECT_TRUE(sk->IsConnected());
+  char buf[256] = {0};
+  std::FILE* mem = fmemopen(buf, sizeof(buf) - 1, "w");
+  ASSERT_NE(mem, nullptr);
+  sk->PrintAnswer(mem);
+  std::fclose(mem);
+  EXPECT_STREQ(buf, "components: 1\nconnected:  yes\n");
+}
+
+TEST(GoldenSerde, MergedFixtureEqualsShardMergeOfTheGoldenStream) {
+  // tests/data/golden_merged.gskc is the `gsketch shard --shards 2` +
+  // `merge` product over the golden stream at seed 42 — the exact bytes
+  // the CLI must keep reproducing (the CI smoke job diffs against it).
+  // Its payload equals the full-stream connectivity sketch (linearity);
+  // its envelope carries the shard flag with full-stream coverage, so
+  // `resume` accepts it and replays nothing. Rebuild it here from shards
+  // through the library API.
+  std::string error;
+  auto fixture = ReadCheckpointFile(DataPath("golden_merged.gskc"), &error);
+  ASSERT_TRUE(fixture.has_value()) << error;
+  EXPECT_EQ(fixture->alg, CheckpointAlg::kConnectivity);
+  EXPECT_EQ(fixture->stream_pos, kGoldenUpdates);
+  EXPECT_EQ(fixture->flags, kCheckpointFlagShard);
+
+  auto s = ReadBinaryStream(DataPath("golden_stream.gskb"));
+  ASSERT_TRUE(s.has_value());
+  const AlgInfo* info = FindAlg(CheckpointAlg::kConnectivity);
+  ASSERT_NE(info, nullptr);
+  std::unique_ptr<LinearSketch> merged;
+  constexpr size_t kShards = 2;
+  for (size_t j = 0; j < kShards; ++j) {
+    auto site = info->make(kGoldenN, AlgOptions{}, /*seed=*/42);
+    for (size_t i = j; i < s->Size(); i += kShards) {
+      const auto& e = s->Updates()[i];
+      site->Update(e.u, e.v, e.delta);
+    }
+    if (merged == nullptr) {
+      merged = std::move(site);
+    } else {
+      ASSERT_TRUE(merged->Merge(*site, &error)) << error;
+    }
+  }
+  std::string bytes;
+  merged->AppendTo(&bytes);
+  EXPECT_EQ(bytes, fixture->payload);
 }
 
 TEST(GoldenSerde, FixtureFormatSniffersAgree) {

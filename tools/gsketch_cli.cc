@@ -2,52 +2,38 @@
 // files. See docs/CLI.md for the full manual.
 //
 // Usage:
-//   gsketch <command> [options] <n> <stream-file> [seed]
+//   gsketch <algorithm> [options] <n> <stream-file> [seed]
 //   gsketch convert <n> <input> <output>
-//   gsketch checkpoint <alg> <n> <stream-file> <out.gskc> [seed]
-//   gsketch resume <stream-file> <in.gskc>
+//   gsketch checkpoint <alg> [options] <n> <stream-file> <out.gskc> [seed]
+//   gsketch resume [options] <stream-file> <in.gskc>
+//   gsketch shard <alg> --shards S [options] <n> <stream-file> <out-prefix> [seed]
+//   gsketch merge <out.gskc> <in1.gskc> <in2.gskc> [...]
+//   gsketch inspect <in.gskc>
 //
-// Commands:
-//   connectivity   components / connected?
-//   bipartite      bipartiteness via the double cover
-//   mincut         (1+eps) minimum cut (eps = 0.5)
-//   sparsify       decode a cut sparsifier, print its edges
-//   triangles      order-3 pattern fractions
-//   spanner        3-pass Baswana-Sen spanner, print stretch-checked edges
-//   stats          stream statistics only
-//   convert        text stream -> GSKB binary (or binary -> text)
-//   checkpoint     ingest a stream prefix, snapshot the sketch to a GSKC
-//                  file (alg: connectivity | kconnect | mincut)
-//   resume         restore a GSKC snapshot, ingest the rest of the
-//                  stream, print the algorithm's answer
+// Every sketch algorithm is a registry entry (src/core/sketch_registry.h):
+// the CLI resolves the command name to an AlgInfo and drives the uniform
+// LinearSketch contract, so a newly registered algorithm automatically
+// gains run, checkpoint, resume, shard, and merge with no CLI changes.
+// `shard` + `merge` realize Sec 1.1's distributed sketching: S sites
+// sketch disjoint stream shards independently, and merging the GSKC files
+// by sketch addition reproduces the single-stream sketch byte-for-byte.
 //
-// Options:
-//   --threads N    ingestion worker threads (connectivity, bipartite,
-//                  mincut, sparsify, checkpoint, resume; default 1)
-//   --batch N      updates per dispatched batch (default 4096)
-//   --progress     live insertion-rate reporting on stderr
-//   --at N         checkpoint after N stream updates (default: half)
-//   --k K          witness strength for `checkpoint kconnect` (default 3)
+// Stream commands outside the registry: `spanner` (multi-pass), `stats`,
+// and `convert` (text stream <-> GSKB binary).
 //
-// Stream files are either GSKB binary (see src/driver/binary_stream.h;
-// produce them with `convert`) or text: one update per line, "u v delta"
-// with delta = +1 or -1 (or any integer multiplicity); '#' starts a
-// comment. A text file "demo.stream" for n=5:
-//     0 1 1
-//     1 2 1
-//     0 1 -1
-//
-// Exit status: 0 success, 1 runtime failure (unreadable/malformed stream),
-// 2 usage error (unknown command, malformed numbers, bad flags).
+// Exit status: 0 success, 1 runtime failure (unreadable/malformed stream
+// or checkpoint), 2 usage error (unknown command, malformed numbers, bad
+// flags).
 #include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
-#include <type_traits>
+#include <thread>
 #include <vector>
 
 #include "src/graphsketch.h"
@@ -62,26 +48,45 @@ constexpr int kExitUsage = 2;
 void PrintUsage(std::FILE* out, const char* argv0) {
   std::fprintf(
       out,
-      "usage: %s <command> [options] <n> <stream-file> [seed]\n"
+      "usage: %s <algorithm> [options] <n> <stream-file> [seed]\n"
       "       %s convert <n> <input> <output>\n"
-      "       %s checkpoint <alg> <n> <stream-file> <out.gskc> [seed]\n"
-      "       %s resume <stream-file> <in.gskc>\n"
+      "       %s checkpoint <alg> [options] <n> <stream-file> <out.gskc> "
+      "[seed]\n"
+      "       %s resume [options] <stream-file> <in.gskc>\n"
+      "       %s shard <alg> --shards S [options] <n> <stream-file> "
+      "<out-prefix> [seed]\n"
+      "       %s merge <out.gskc> <in1.gskc> <in2.gskc> [...]\n"
+      "       %s inspect <in.gskc>\n"
       "\n"
-      "commands: connectivity bipartite mincut sparsify triangles spanner\n"
-      "          stats convert checkpoint resume\n"
-      "options:  --threads N   worker threads (connectivity, bipartite,\n"
-      "                        mincut, sparsify, checkpoint, resume;\n"
-      "                        default 1)\n"
+      "sketch algorithms (each also works as the <alg> of checkpoint, "
+      "resume,\nshard, and merge):\n",
+      argv0, argv0, argv0, argv0, argv0, argv0, argv0);
+  for (const AlgInfo& info : Registry()) {
+    std::fprintf(out, "  %-12s %s\n", info.name, info.summary);
+  }
+  std::fprintf(
+      out,
+      "stream commands:\n"
+      "  spanner      3-pass Baswana-Sen spanner, print stretch-checked "
+      "edges\n"
+      "  stats        stream statistics only\n"
+      "  convert      text stream -> GSKB binary (or binary -> text)\n"
+      "  checkpoint   ingest a stream prefix, snapshot the sketch to GSKC\n"
+      "  resume       restore a GSKC snapshot, finish the stream, answer\n"
+      "  shard        sketch S stream shards independently, one GSKC each\n"
+      "  merge        add GSKC sketches (distributed shards -> one sketch)\n"
+      "  inspect      describe a GSKC checkpoint file\n"
+      "options:  --threads N   worker threads (%s;\n"
+      "                        checkpoint, resume; default 1)\n"
       "          --batch N     updates per dispatched batch (default 4096)\n"
       "          --progress    live insertion-rate reporting on stderr\n"
       "          --at N        checkpoint after N updates (default: half)\n"
-      "          --k K         witness strength for checkpoint kconnect\n"
-      "                        (default 3)\n"
+      "          --k K         witness strength for %s (default 3)\n"
+      "          --shards S    shard count for `shard` (in [2, 256])\n"
       "\n"
-      "checkpoint algs: connectivity kconnect mincut\n"
       "Stream files are GSKB binary (make one with `convert`) or text\n"
       "\"u v delta\" lines. See docs/CLI.md.\n",
-      argv0, argv0, argv0, argv0);
+      ShardedAlgNameList().c_str(), KAlgNameList().c_str());
 }
 
 /// Strict unsigned decimal parse: the whole token must be digits.
@@ -158,102 +163,8 @@ struct IngestOptions {
 // thread counts exhausting the process's thread limit.
 constexpr uint64_t kMaxThreads = 256;
 
-/// Feeds the stream at `path` into `*alg` through the batched parallel
-/// driver, streaming binary files from disk without materializing them.
-template <typename Alg>
-bool Ingest(Alg* alg, const char* path, NodeId n, const IngestOptions& opt) {
-  DriverOptions dopt;
-  dopt.num_workers = opt.threads;
-  dopt.batch_size = opt.batch;
-
-  if (LooksLikeBinaryStream(path)) {
-    BinaryStreamReader reader(path);
-    if (!reader.ok()) {
-      std::fprintf(stderr, "error: %s: %s\n", path, reader.error().c_str());
-      return false;
-    }
-    if (reader.nodes() != n) {
-      std::fprintf(stderr, "error: %s: stream declares n=%u but n=%u given\n",
-                   path, reader.nodes(), n);
-      return false;
-    }
-    SketchDriver<Alg> driver(alg, dopt);
-    bool ok;
-    if (opt.progress) {
-      // The driver counts endpoint halves: 2 per stream update.
-      InsertionTracker tracker(
-          reader.num_updates() * 2,
-          [&driver] { return driver.TotalUpdates(); });
-      ok = driver.ProcessFile(&reader);
-      tracker.Stop();
-    } else {
-      ok = driver.ProcessFile(&reader);
-    }
-    if (!ok) {
-      std::fprintf(stderr, "error: %s: %s\n", path, reader.error().c_str());
-    }
-    return ok;
-  }
-
-  DynamicGraphStream stream(n);
-  if (!LoadTextStream(path, n, &stream)) return false;
-  SketchDriver<Alg> driver(alg, dopt);
-  if (opt.progress) {
-    InsertionTracker tracker(stream.Size() * 2,
-                             [&driver] { return driver.TotalUpdates(); });
-    driver.ProcessStream(stream);
-    tracker.Stop();
-  } else {
-    driver.ProcessStream(stream);
-  }
-  return true;
-}
-
-void PrintConnectivityAnswer(const ConnectivitySketch& sk) {
-  std::printf("components: %zu\nconnected:  %s\n", sk.NumComponents(),
-              sk.IsConnected() ? "yes" : "no");
-}
-
-void PrintKConnectAnswer(const KConnectivityTester& sk) {
-  std::printf("witness min cut: %.0f\n%u-connected: %s\n", sk.WitnessMinCut(),
-              sk.k(), sk.IsKConnected() ? "yes" : "no");
-}
-
-void PrintMinCutAnswer(const MinCutSketch& sk) {
-  auto est = sk.Estimate();
-  std::printf("min cut: %.0f (level %u%s)\n", est.value, est.level,
-              est.resolved ? "" : ", UNRESOLVED");
-  std::printf("one side (%zu nodes):", est.side.size());
-  for (NodeId v : est.side) std::printf(" %u", v);
-  std::printf("\n");
-}
-
-int RunConnectivity(NodeId n, const char* path, uint64_t seed,
-                    const IngestOptions& opt) {
-  ConnectivitySketch sk(n, ForestOptions{}, seed);
-  if (!Ingest(&sk, path, n, opt)) return kExitRuntime;
-  PrintConnectivityAnswer(sk);
-  return 0;
-}
-
-int RunBipartite(NodeId n, const char* path, uint64_t seed,
-                 const IngestOptions& opt) {
-  BipartitenessSketch sk(n, ForestOptions{}, seed);
-  if (!Ingest(&sk, path, n, opt)) return kExitRuntime;
-  std::printf("bipartite: %s\n", sk.IsBipartite() ? "yes" : "no");
-  return 0;
-}
-
-int RunMinCut(NodeId n, const char* path, uint64_t seed,
-              const IngestOptions& opt) {
-  MinCutOptions mopt;
-  mopt.epsilon = 0.5;
-  mopt.k_scale = 2.0;
-  MinCutSketch sk(n, mopt, seed);
-  if (!Ingest(&sk, path, n, opt)) return kExitRuntime;
-  PrintMinCutAnswer(sk);
-  return 0;
-}
+// Shard counts share the thread ceiling (each shard gets a thread).
+constexpr uint64_t kMaxShards = 256;
 
 /// Counts the updates in a stream file without materializing it: the GSKB
 /// header carries the count; text files are scanned into memory (they are
@@ -281,19 +192,21 @@ bool CountStreamUpdates(const char* path, NodeId n, uint64_t* total,
   return true;
 }
 
-/// Feeds updates [from, to) of the stream at `path` through the batched
-/// parallel driver (checkpoint prefix / resume suffix ingestion). GSKB
-/// files are streamed from disk in constant memory — the records before
-/// `from` are read and discarded (the format has no index); text streams
-/// arrive preloaded from CountStreamUpdates.
-template <typename Alg>
-bool IngestStreamRange(Alg* alg, const char* path, NodeId n,
+/// THE driver-setup path: feeds updates [from, to) of the stream at `path`
+/// into `*alg` through the batched parallel driver. Every command (run,
+/// checkpoint, resume) funnels through here — the historical per-command
+/// copies collapsed into this one function. GSKB files are streamed from
+/// disk in constant memory (records before `from` are read and discarded;
+/// the format has no index); text streams arrive preloaded from
+/// CountStreamUpdates. Algorithms that are not endpoint-sharded ingest on
+/// one worker regardless of --threads.
+bool IngestStreamRange(LinearSketch* alg, const char* path, NodeId n,
                        const std::optional<DynamicGraphStream>& preloaded,
                        uint64_t from, uint64_t to, const IngestOptions& opt) {
   DriverOptions dopt;
-  dopt.num_workers = opt.threads;
+  dopt.num_workers = alg->EndpointSharded() ? opt.threads : 1;
   dopt.batch_size = opt.batch;
-  SketchDriver<Alg> driver(alg, dopt);
+  SketchDriver<LinearSketch> driver(alg, dopt);
   std::optional<InsertionTracker> tracker;
   if (opt.progress) {
     // The driver counts endpoint halves: 2 per stream update.
@@ -332,29 +245,30 @@ bool IngestStreamRange(Alg* alg, const char* path, NodeId n,
   return ok;
 }
 
+/// One registered algorithm over one whole stream: make, ingest, answer.
+int RunRegistered(const AlgInfo& info, NodeId n, const char* path,
+                  uint64_t seed, const IngestOptions& opt,
+                  const AlgOptions& aopt) {
+  uint64_t total = 0;
+  std::optional<DynamicGraphStream> preloaded;
+  if (!CountStreamUpdates(path, n, &total, &preloaded)) return kExitRuntime;
+  auto sk = info.make(n, aopt, seed);
+  if (!IngestStreamRange(sk.get(), path, n, preloaded, 0, total, opt)) {
+    return kExitRuntime;
+  }
+  sk->PrintAnswer(stdout);
+  return 0;
+}
+
 struct CheckpointCmdOptions {
   uint64_t at = UINT64_MAX;  ///< updates before the snapshot; MAX = half
-  uint32_t k = 3;            ///< witness strength for kconnect
-  bool k_given = false;      ///< --k passed explicitly
+  uint32_t shards = 0;       ///< --shards value (shard command)
 };
 
-int RunCheckpoint(const char* alg, NodeId n, const char* stream_path,
+int RunCheckpoint(const AlgInfo& info, NodeId n, const char* stream_path,
                   const char* out_path, uint64_t seed,
-                  const IngestOptions& opt, const CheckpointCmdOptions& copt) {
-  const std::string alg_name = alg;
-  if (alg_name != "connectivity" && alg_name != "kconnect" &&
-      alg_name != "mincut") {
-    std::fprintf(stderr,
-                 "error: unknown checkpoint alg '%s' (want connectivity, "
-                 "kconnect, or mincut)\n",
-                 alg);
-    return kExitUsage;
-  }
-  if (copt.k_given && alg_name != "kconnect") {
-    std::fprintf(stderr, "error: --k applies only to checkpoint kconnect\n");
-    return kExitUsage;
-  }
-
+                  const IngestOptions& opt, const CheckpointCmdOptions& copt,
+                  const AlgOptions& aopt) {
   uint64_t total = 0;
   std::optional<DynamicGraphStream> preloaded;
   if (!CountStreamUpdates(stream_path, n, &total, &preloaded)) {
@@ -370,29 +284,14 @@ int RunCheckpoint(const char* alg, NodeId n, const char* stream_path,
   }
 
   std::string error;
-  bool ok = false;
-  if (alg_name == "connectivity") {
-    ConnectivitySketch sk(n, ForestOptions{}, seed);
-    ok = IngestStreamRange(&sk, stream_path, n, preloaded, 0, at, opt) &&
-         SaveCheckpoint(out_path, sk, at, &error);
-  } else if (alg_name == "kconnect") {
-    KConnectivityTester sk(n, copt.k, ForestOptions{}, seed);
-    ok = IngestStreamRange(&sk, stream_path, n, preloaded, 0, at, opt) &&
-         SaveCheckpoint(out_path, sk, at, &error);
-  } else {
-    MinCutOptions mopt;
-    mopt.epsilon = 0.5;
-    mopt.k_scale = 2.0;
-    MinCutSketch sk(n, mopt, seed);
-    ok = IngestStreamRange(&sk, stream_path, n, preloaded, 0, at, opt) &&
-         SaveCheckpoint(out_path, sk, at, &error);
-  }
-  if (!ok) {
+  auto sk = info.make(n, aopt, seed);
+  if (!IngestStreamRange(sk.get(), stream_path, n, preloaded, 0, at, opt) ||
+      !SaveCheckpoint(out_path, *sk, at, &error)) {
     if (!error.empty()) std::fprintf(stderr, "error: %s\n", error.c_str());
     return kExitRuntime;
   }
   std::fprintf(stderr, "checkpointed %s after %llu/%llu updates to %s\n",
-               alg, static_cast<unsigned long long>(at),
+               info.name, static_cast<unsigned long long>(at),
                static_cast<unsigned long long>(total), out_path);
   return 0;
 }
@@ -405,84 +304,193 @@ int RunResume(const char* stream_path, const char* ckpt_path,
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return kExitRuntime;
   }
+  auto sk = RestoreSketch(*ckpt, &error);
+  if (sk == nullptr) {
+    std::fprintf(stderr, "error: %s: %s\n", ckpt_path, error.c_str());
+    return kExitRuntime;
+  }
 
-  // Restore first: the sketch payload carries n, which the stream load
-  // validates against.
-  auto finish = [&](auto sketch) -> int {
-    if (!sketch.has_value()) {
-      std::fprintf(stderr, "error: %s: corrupt %s payload\n", ckpt_path,
-                   CheckpointAlgName(ckpt->alg));
-      return kExitRuntime;
-    }
-    NodeId n = sketch->num_nodes();
-    uint64_t total = 0;
-    std::optional<DynamicGraphStream> preloaded;
-    if (!CountStreamUpdates(stream_path, n, &total, &preloaded)) {
-      return kExitRuntime;
-    }
-    if (ckpt->stream_pos > total) {
-      std::fprintf(stderr,
-                   "error: checkpoint taken at update %llu but %s has only "
-                   "%llu updates\n",
-                   static_cast<unsigned long long>(ckpt->stream_pos),
-                   stream_path, static_cast<unsigned long long>(total));
-      return kExitRuntime;
-    }
-    std::fprintf(stderr, "resuming %s at update %llu/%llu\n",
-                 CheckpointAlgName(ckpt->alg),
+  // The restored sketch carries n, which the stream load validates
+  // against.
+  NodeId n = sk->num_nodes();
+  uint64_t total = 0;
+  std::optional<DynamicGraphStream> preloaded;
+  if (!CountStreamUpdates(stream_path, n, &total, &preloaded)) {
+    return kExitRuntime;
+  }
+  if (ckpt->stream_pos > total) {
+    std::fprintf(stderr,
+                 "error: checkpoint taken at update %llu but %s has only "
+                 "%llu updates\n",
+                 static_cast<unsigned long long>(ckpt->stream_pos),
+                 stream_path, static_cast<unsigned long long>(total));
+    return kExitRuntime;
+  }
+  // Shard checkpoints cover a round-robin subset, not a prefix: replaying
+  // the "suffix" would double-apply some updates and skip others. They
+  // are resumable only once they cover the whole stream (nothing left to
+  // replay) — i.e. after merging ALL shards.
+  if ((ckpt->flags & kCheckpointFlagShard) != 0 &&
+      ckpt->stream_pos != total) {
+    std::fprintf(stderr,
+                 "error: %s covers %llu of %llu updates as a non-prefix "
+                 "shard subset; merge all shards before resuming\n",
+                 ckpt_path,
                  static_cast<unsigned long long>(ckpt->stream_pos),
                  static_cast<unsigned long long>(total));
-    if (!IngestStreamRange(&*sketch, stream_path, n, preloaded,
-                           ckpt->stream_pos, total, opt)) {
-      return kExitRuntime;
-    }
-    if constexpr (std::is_same_v<std::decay_t<decltype(*sketch)>,
-                                 ConnectivitySketch>) {
-      PrintConnectivityAnswer(*sketch);
-    } else if constexpr (std::is_same_v<std::decay_t<decltype(*sketch)>,
-                                        KConnectivityTester>) {
-      PrintKConnectAnswer(*sketch);
-    } else {
-      PrintMinCutAnswer(*sketch);
-    }
-    return 0;
-  };
-
-  switch (ckpt->alg) {
-    case CheckpointAlg::kConnectivity:
-      return finish(RestoreConnectivity(*ckpt));
-    case CheckpointAlg::kKConnectivity:
-      return finish(RestoreKConnectivity(*ckpt));
-    case CheckpointAlg::kMinCut:
-      return finish(RestoreMinCut(*ckpt));
+    return kExitRuntime;
   }
-  std::fprintf(stderr, "error: %s: unknown algorithm tag\n", ckpt_path);
-  return kExitRuntime;
-}
-
-int RunSparsify(NodeId n, const char* path, uint64_t seed,
-                const IngestOptions& opt) {
-  SimpleSparsifierOptions sopt;
-  sopt.epsilon = 0.5;
-  SimpleSparsifier sk(n, sopt, seed);
-  if (!Ingest(&sk, path, n, opt)) return kExitRuntime;
-  Graph h = sk.Extract();
-  std::printf("# sparsifier: %zu edges (k=%u)\n", h.NumEdges(), sk.k());
-  for (const auto& e : h.Edges()) {
-    std::printf("%u %u %.0f\n", e.u, e.v, e.weight);
+  std::fprintf(stderr, "resuming %s at update %llu/%llu\n",
+               CheckpointAlgName(ckpt->alg),
+               static_cast<unsigned long long>(ckpt->stream_pos),
+               static_cast<unsigned long long>(total));
+  if (!IngestStreamRange(sk.get(), stream_path, n, preloaded,
+                         ckpt->stream_pos, total, opt)) {
+    return kExitRuntime;
   }
+  sk->PrintAnswer(stdout);
   return 0;
 }
 
-int RunTriangles(NodeId n, const DynamicGraphStream& stream, uint64_t seed) {
-  SubgraphSketch sk(n, 3, 200, 6, seed);
-  stream.Replay([&sk](NodeId u, NodeId v, int32_t d) { sk.Update(u, v, d); });
-  for (const auto& p : Order3Patterns()) {
-    auto est = sk.EstimateGamma(p.canonical_code);
-    std::printf("gamma[%-11s] = %.4f   (count estimate ~%.0f)\n",
-                p.name.c_str(), est.gamma,
-                sk.EstimateCount(p.canonical_code));
+/// shard: sketch S disjoint stream shards independently (update i goes to
+/// shard i mod S), one thread per shard, and write one GSKC per shard.
+/// `merge` over the outputs reproduces the single-stream sketch exactly.
+int RunShard(const AlgInfo& info, NodeId n, const char* stream_path,
+             const char* out_prefix, uint64_t seed, uint32_t shards,
+             const AlgOptions& aopt) {
+  uint64_t total = 0;
+  std::optional<DynamicGraphStream> preloaded;
+  if (!CountStreamUpdates(stream_path, n, &total, &preloaded)) {
+    return kExitRuntime;
   }
+
+  std::vector<std::unique_ptr<LinearSketch>> sketches(shards);
+  std::vector<uint64_t> counts(shards, 0);
+  std::vector<std::string> errors(shards);
+  std::vector<std::thread> workers;
+  workers.reserve(shards);
+  for (uint32_t j = 0; j < shards; ++j) {
+    workers.emplace_back([&, j] {
+      // Each site owns a private, identically constructed sketch and its
+      // own pass over the stream — no shared mutable state between sites.
+      auto sk = info.make(n, aopt, seed);
+      if (preloaded.has_value()) {
+        const auto& updates = preloaded->Updates();
+        for (uint64_t i = j; i < updates.size(); i += shards) {
+          sk->Update(updates[i].u, updates[i].v, updates[i].delta);
+          ++counts[j];
+        }
+      } else {
+        BinaryStreamReader reader(stream_path);
+        if (!reader.ok() || reader.nodes() != n) {
+          errors[j] = reader.ok() ? "node-count mismatch" : reader.error();
+          return;
+        }
+        std::vector<EdgeUpdate> batch;
+        uint64_t index = 0;
+        while (!reader.Done() && reader.ok()) {
+          batch.clear();
+          if (reader.ReadBatch(4096, &batch) == 0) break;
+          for (const auto& e : batch) {
+            if (index % shards == j) {
+              sk->Update(e.u, e.v, e.delta);
+              ++counts[j];
+            }
+            ++index;
+          }
+        }
+        if (!reader.ok()) {
+          errors[j] = reader.error();
+          return;
+        }
+      }
+      sketches[j] = std::move(sk);
+    });
+  }
+  for (auto& t : workers) t.join();
+
+  for (uint32_t j = 0; j < shards; ++j) {
+    if (!errors[j].empty()) {
+      std::fprintf(stderr, "error: shard %u: %s\n", j, errors[j].c_str());
+      return kExitRuntime;
+    }
+    std::string path =
+        std::string(out_prefix) + ".shard" + std::to_string(j) + ".gskc";
+    std::string error;
+    // A shard covers a round-robin SUBSET of the stream, not a prefix:
+    // flag it so `resume` refuses to replay a suffix on top of it.
+    if (!SaveCheckpoint(path, *sketches[j], counts[j], &error,
+                        kCheckpointFlagShard)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return kExitRuntime;
+    }
+  }
+  std::fprintf(stderr,
+               "sharded %s across %u sites (%llu updates) -> %s.shard*.gskc\n",
+               info.name, shards, static_cast<unsigned long long>(total),
+               out_prefix);
+  return 0;
+}
+
+/// merge: add GSKC sketches (all the same algorithm, identically
+/// constructed) into one checkpoint whose stream position is the total.
+int RunMerge(const char* out_path, const std::vector<const char*>& inputs) {
+  std::string error;
+  std::unique_ptr<LinearSketch> acc;
+  uint64_t stream_pos = 0;
+  uint32_t flags = 0;
+  for (const char* in_path : inputs) {
+    auto ckpt = ReadCheckpointFile(in_path, &error);
+    if (!ckpt.has_value()) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return kExitRuntime;
+    }
+    auto sk = RestoreSketch(*ckpt, &error);
+    if (sk == nullptr) {
+      std::fprintf(stderr, "error: %s: %s\n", in_path, error.c_str());
+      return kExitRuntime;
+    }
+    if (acc == nullptr) {
+      acc = std::move(sk);
+    } else if (!acc->Merge(*sk, &error)) {
+      std::fprintf(stderr, "error: %s: %s\n", in_path, error.c_str());
+      return kExitRuntime;
+    }
+    stream_pos += ckpt->stream_pos;
+    // Any shard input keeps the merge a non-prefix subset (until it
+    // happens to cover the whole stream, which `resume` verifies).
+    flags |= ckpt->flags;
+  }
+  if (!SaveCheckpoint(out_path, *acc, stream_pos, &error, flags)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return kExitRuntime;
+  }
+  std::fprintf(stderr, "merged %zu sketches (%s, %llu updates) into %s\n",
+               inputs.size(), AlgTagName(acc->Tag()),
+               static_cast<unsigned long long>(stream_pos), out_path);
+  return 0;
+}
+
+int RunInspect(const char* path) {
+  std::string error;
+  auto ckpt = ReadCheckpointFile(path, &error);
+  if (!ckpt.has_value()) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return kExitRuntime;
+  }
+  auto sk = RestoreSketch(*ckpt, &error);
+  if (sk == nullptr) {
+    std::fprintf(stderr, "error: %s: %s\n", path, error.c_str());
+    return kExitRuntime;
+  }
+  std::printf("algorithm:  %s\nstream pos: %llu%s\npayload:    %zu bytes\n"
+              "sketch:     %s\n",
+              CheckpointAlgName(ckpt->alg),
+              static_cast<unsigned long long>(ckpt->stream_pos),
+              (ckpt->flags & kCheckpointFlagShard) != 0
+                  ? " (shard subset, not a prefix)"
+                  : "",
+              ckpt->payload.size(), sk->Describe().c_str());
   return 0;
 }
 
@@ -550,6 +558,27 @@ int RunConvert(NodeId n, const char* in_path, const char* out_path) {
   return 0;
 }
 
+/// Parses positional <n>; exit-code semantics shared by every command.
+bool ParseNodeCount(const char* arg, NodeId* n) {
+  uint64_t n_arg = 0;
+  if (!ParseU64(arg, &n_arg) || n_arg < 2 || n_arg > (1 << 24)) {
+    std::fprintf(stderr, "error: n must be an integer in [2, 2^24]\n");
+    return false;
+  }
+  *n = static_cast<NodeId>(n_arg);
+  return true;
+}
+
+bool ParseSeed(const std::vector<const char*>& pos, size_t index,
+               uint64_t* seed) {
+  *seed = 1;
+  if (pos.size() > index && !ParseU64(pos[index], seed)) {
+    std::fprintf(stderr, "error: seed must be a non-negative integer\n");
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -566,29 +595,40 @@ int main(int argc, char** argv) {
   // Split the remaining arguments into flags and positionals.
   IngestOptions opt;
   CheckpointCmdOptions copt;
+  AlgOptions aopt;
   bool ingest_flags_given = false;
-  bool ckpt_flags_given = false;
+  bool at_given = false;
+  bool k_given = false;
+  bool shards_given = false;
   std::vector<const char*> pos;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     uint64_t value = 0;
-    if (arg == "--at" || arg == "--k") {
+    if (arg == "--at" || arg == "--k" || arg == "--shards") {
       if (i + 1 >= argc || !ParseU64(argv[i + 1], &value)) {
         std::fprintf(stderr, "error: %s needs a non-negative integer\n",
                      arg.c_str());
         return kExitUsage;
       }
       ++i;
-      ckpt_flags_given = true;
       if (arg == "--at") {
         copt.at = value;
-      } else {
+        at_given = true;
+      } else if (arg == "--k") {
         if (value == 0 || value > 1024) {
           std::fprintf(stderr, "error: --k must be in [1, 1024]\n");
           return kExitUsage;
         }
-        copt.k = static_cast<uint32_t>(value);
-        copt.k_given = true;
+        aopt.k = static_cast<uint32_t>(value);
+        k_given = true;
+      } else {
+        if (value < 2 || value > kMaxShards) {
+          std::fprintf(stderr, "error: --shards must be in [2, %llu]\n",
+                       static_cast<unsigned long long>(kMaxShards));
+          return kExitUsage;
+        }
+        copt.shards = static_cast<uint32_t>(value);
+        shards_given = true;
       }
     } else if (arg == "--threads" || arg == "--batch") {
       if (i + 1 >= argc || !ParseU64(argv[i + 1], &value) || value == 0) {
@@ -619,27 +659,60 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Flag scoping, uniform across commands: each flag names the commands
+  // (or registry capability) it belongs to; anything else is exit 2.
+  auto reject_at = [&]() -> bool {
+    if (!at_given) return false;
+    std::fprintf(stderr, "error: --at applies only to checkpoint\n");
+    return true;
+  };
+  auto reject_shards = [&]() -> bool {
+    if (!shards_given) return false;
+    std::fprintf(stderr, "error: --shards applies only to shard\n");
+    return true;
+  };
+  auto reject_k = [&](const AlgInfo* info) -> bool {
+    if (!k_given || (info != nullptr && info->uses_k)) return false;
+    std::fprintf(stderr, "error: --k applies only to %s\n",
+                 KAlgNameList().c_str());
+    return true;
+  };
+  auto reject_ingest = [&](const char* why) -> bool {
+    if (!ingest_flags_given) return false;
+    std::fprintf(stderr,
+                 "error: --threads/--batch/--progress apply only to %s\n",
+                 why);
+    return true;
+  };
+  const std::string sharded_cmds =
+      ShardedAlgNameList() + ", checkpoint, and resume";
+
   if (cmd == "checkpoint") {
     if (pos.size() < 4 || pos.size() > 5) {
       PrintUsage(stderr, argv[0]);
       return kExitUsage;
     }
-    uint64_t n_arg = 0;
-    if (!ParseU64(pos[1], &n_arg) || n_arg < 2 || n_arg > (1 << 24)) {
-      std::fprintf(stderr, "error: n must be an integer in [2, 2^24]\n");
+    const AlgInfo* info = FindAlg(pos[0]);
+    if (info == nullptr) {
+      std::fprintf(stderr, "error: unknown checkpoint alg '%s' (want %s)\n",
+                   pos[0], RegistryNameList(", ").c_str());
       return kExitUsage;
     }
+    if (reject_k(info) || reject_shards()) return kExitUsage;
+    if (!info->endpoint_sharded &&
+        reject_ingest(sharded_cmds.c_str())) {
+      return kExitUsage;
+    }
+    NodeId n = 0;
     uint64_t seed = 1;
-    if (pos.size() > 4 && !ParseU64(pos[4], &seed)) {
-      std::fprintf(stderr, "error: seed must be a non-negative integer\n");
+    if (!ParseNodeCount(pos[1], &n) || !ParseSeed(pos, 4, &seed)) {
       return kExitUsage;
     }
-    return RunCheckpoint(pos[0], static_cast<NodeId>(n_arg), pos[2], pos[3],
-                         seed, opt, copt);
+    return RunCheckpoint(*info, n, pos[2], pos[3], seed, opt, copt, aopt);
   }
+
   if (cmd == "resume") {
-    if (ckpt_flags_given) {
-      std::fprintf(stderr, "error: --at/--k apply only to checkpoint\n");
+    if (reject_at() || reject_k(nullptr) || reject_shards()) {
       return kExitUsage;
     }
     if (pos.size() != 2) {
@@ -648,58 +721,115 @@ int main(int argc, char** argv) {
     }
     return RunResume(pos[0], pos[1], opt);
   }
-  if (ckpt_flags_given) {
-    std::fprintf(stderr, "error: --at/--k apply only to checkpoint\n");
-    return kExitUsage;
+
+  if (cmd == "shard") {
+    if (reject_at()) return kExitUsage;
+    if (!shards_given) {
+      std::fprintf(stderr, "error: shard requires --shards S\n");
+      return kExitUsage;
+    }
+    if (reject_ingest("per-stream ingestion; shard parallelism comes from "
+                      "--shards")) {
+      return kExitUsage;
+    }
+    if (pos.size() < 4 || pos.size() > 5) {
+      PrintUsage(stderr, argv[0]);
+      return kExitUsage;
+    }
+    const AlgInfo* info = FindAlg(pos[0]);
+    if (info == nullptr) {
+      std::fprintf(stderr, "error: unknown shard alg '%s' (want %s)\n",
+                   pos[0], RegistryNameList(", ").c_str());
+      return kExitUsage;
+    }
+    if (reject_k(info)) return kExitUsage;
+    NodeId n = 0;
+    uint64_t seed = 1;
+    if (!ParseNodeCount(pos[1], &n) || !ParseSeed(pos, 4, &seed)) {
+      return kExitUsage;
+    }
+    return RunShard(*info, n, pos[2], pos[3], seed, copt.shards, aopt);
   }
 
-  const bool is_convert = cmd == "convert";
-  const size_t min_pos = is_convert ? 3 : 2;
-  const size_t max_pos = 3;
-  if (pos.size() < min_pos || pos.size() > max_pos) {
-    PrintUsage(stderr, argv[0]);
-    return kExitUsage;
+  if (cmd == "merge") {
+    if (reject_at() || reject_k(nullptr) || reject_shards() ||
+        reject_ingest(sharded_cmds.c_str())) {
+      return kExitUsage;
+    }
+    if (pos.size() < 3) {
+      std::fprintf(stderr,
+                   "error: merge needs <out.gskc> and at least two "
+                   "inputs\n");
+      return kExitUsage;
+    }
+    std::vector<const char*> inputs(pos.begin() + 1, pos.end());
+    return RunMerge(pos[0], inputs);
   }
 
-  uint64_t n_arg = 0;
-  if (!ParseU64(pos[0], &n_arg) || n_arg < 2 || n_arg > (1 << 24)) {
-    std::fprintf(stderr, "error: n must be an integer in [2, 2^24]\n");
-    return kExitUsage;
+  if (cmd == "inspect") {
+    if (reject_at() || reject_k(nullptr) || reject_shards() ||
+        reject_ingest(sharded_cmds.c_str())) {
+      return kExitUsage;
+    }
+    if (pos.size() != 1) {
+      PrintUsage(stderr, argv[0]);
+      return kExitUsage;
+    }
+    return RunInspect(pos[0]);
   }
-  NodeId n = static_cast<NodeId>(n_arg);
 
-  if (is_convert) {
+  if (reject_at() || reject_shards()) return kExitUsage;
+
+  if (cmd == "convert") {
+    if (reject_k(nullptr)) return kExitUsage;
     if (ingest_flags_given) {
       std::fprintf(stderr, "error: convert takes no options\n");
       return kExitUsage;
     }
+    if (pos.size() != 3) {
+      PrintUsage(stderr, argv[0]);
+      return kExitUsage;
+    }
+    NodeId n = 0;
+    if (!ParseNodeCount(pos[0], &n)) return kExitUsage;
     return RunConvert(n, pos[1], pos[2]);
   }
 
-  const char* path = pos[1];
-  uint64_t seed = 1;
-  if (pos.size() > 2 && !ParseU64(pos[2], &seed)) {
-    std::fprintf(stderr, "error: seed must be a non-negative integer\n");
-    return kExitUsage;
+  if (const AlgInfo* info = FindAlg(cmd)) {
+    if (reject_k(info)) return kExitUsage;
+    if (!info->endpoint_sharded &&
+        reject_ingest(sharded_cmds.c_str())) {
+      return kExitUsage;
+    }
+    if (pos.size() < 2 || pos.size() > 3) {
+      PrintUsage(stderr, argv[0]);
+      return kExitUsage;
+    }
+    NodeId n = 0;
+    uint64_t seed = 1;
+    if (!ParseNodeCount(pos[0], &n) || !ParseSeed(pos, 2, &seed)) {
+      return kExitUsage;
+    }
+    return RunRegistered(*info, n, pos[1], seed, opt, aopt);
   }
-
-  if (cmd == "connectivity") return RunConnectivity(n, path, seed, opt);
-  if (cmd == "bipartite") return RunBipartite(n, path, seed, opt);
-  if (cmd == "mincut") return RunMinCut(n, path, seed, opt);
-  if (cmd == "sparsify") return RunSparsify(n, path, seed, opt);
 
   // The remaining commands replay an in-memory stream (multi-pass or
   // whole-stream algorithms); parallel ingestion does not apply.
-  if (cmd == "triangles" || cmd == "spanner" || cmd == "stats") {
-    if (ingest_flags_given) {
-      std::fprintf(stderr,
-                   "error: --threads/--batch/--progress apply only to "
-                   "connectivity, bipartite, mincut, and sparsify\n");
+  if (cmd == "spanner" || cmd == "stats") {
+    if (reject_k(nullptr) || reject_ingest(sharded_cmds.c_str())) {
+      return kExitUsage;
+    }
+    if (pos.size() < 2 || pos.size() > 3) {
+      PrintUsage(stderr, argv[0]);
+      return kExitUsage;
+    }
+    NodeId n = 0;
+    uint64_t seed = 1;
+    if (!ParseNodeCount(pos[0], &n) || !ParseSeed(pos, 2, &seed)) {
       return kExitUsage;
     }
     DynamicGraphStream stream(n);
-    if (!LoadAnyStream(path, n, &stream)) return kExitRuntime;
-    if (cmd == "triangles") return RunTriangles(n, stream, seed);
+    if (!LoadAnyStream(pos[1], n, &stream)) return kExitRuntime;
     if (cmd == "spanner") return RunSpanner(n, stream, seed);
     return RunStats(n, stream);
   }
