@@ -1,0 +1,170 @@
+// E14: gutter-buffered ingestion throughput.
+//
+// Generates a multigraph update stream (inserts + churn deletions) and
+// ingests it into a ConnectivitySketch through SketchDriver on ONE worker
+// at a sweep of gutter sizes — off (ungated half-update batching), tiny
+// (64 B/node ≈ 5 updates), and production-sized (4 KiB/node ≈ 341
+// updates) — so the measured delta is purely the gutter layer: per-node
+// coalescing plus the ApplyBatch fast path that hashes an endpoint's
+// sampler slices once per flush instead of once per update. A skewed
+// (hot-spot) stream shows the coalescing win separately from the
+// batching win. Linearity keeps every answer identical across settings
+// (ctest -L parity proves byte equality).
+//
+// Usage: bench_gutter [n] [num_updates]
+//   defaults: n=1024, num_updates=1000000
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/connectivity_suite.h"
+#include "src/driver/sketch_driver.h"
+#include "src/graph/stream.h"
+#include "src/hash/random.h"
+
+namespace gsketch {
+namespace {
+
+// Uniform multigraph stream with ~10% churn deletions (same generator
+// shape as bench_ingest_driver, so E13/E14 numbers compare directly).
+DynamicGraphStream UniformStream(NodeId n, size_t updates, uint64_t seed) {
+  Rng rng(seed);
+  DynamicGraphStream s(n);
+  std::vector<std::pair<NodeId, NodeId>> inserted;
+  while (s.Size() < updates) {
+    if (!inserted.empty() && rng.Below(10) == 0) {
+      size_t pick = rng.Below(inserted.size());
+      auto [u, v] = inserted[pick];
+      inserted[pick] = inserted.back();
+      inserted.pop_back();
+      s.Push(u, v, -1);
+      continue;
+    }
+    NodeId u = static_cast<NodeId>(rng.Below(n));
+    NodeId v = static_cast<NodeId>(rng.Below(n));
+    if (u == v) continue;
+    s.Push(u, v, +1);
+    inserted.emplace_back(u, v);
+  }
+  return s;
+}
+
+// Zipf-ish hot-spot stream: most updates touch a few hub nodes, with
+// frequent same-edge repetition — the shape gutters coalesce best.
+DynamicGraphStream SkewedStream(NodeId n, size_t updates, uint64_t seed) {
+  Rng rng(seed);
+  DynamicGraphStream s(n);
+  const NodeId hubs = n < 16 ? 1 : n / 16;
+  while (s.Size() < updates) {
+    NodeId u = static_cast<NodeId>(rng.Below(hubs));
+    NodeId v = static_cast<NodeId>(rng.Below(n));
+    if (u == v) continue;
+    // Emit a small run of the same edge (bursty multigraph traffic).
+    size_t run = 1 + rng.Below(4);
+    for (size_t r = 0; r < run && s.Size() < updates; ++r) s.Push(u, v, +1);
+  }
+  return s;
+}
+
+struct Sample {
+  double seconds = 0;
+  double rate = 0;
+  uint64_t flushes = 0;
+  uint64_t coalesced = 0;
+  size_t components = 0;
+};
+
+Sample RunOnce(const DynamicGraphStream& stream, NodeId n,
+               size_t gutter_bytes) {
+  ConnectivitySketch sketch(n, ForestOptions{}, /*seed=*/1);
+  DriverOptions opt;
+  opt.num_workers = 1;
+  opt.gutter_bytes = gutter_bytes;
+  Sample out;
+  bench::Timer timer;
+  {
+    SketchDriver<ConnectivitySketch> driver(&sketch, opt);
+    driver.ProcessStream(stream);
+    if (driver.gutters() != nullptr) {
+      out.flushes = driver.gutters()->flushes();
+      out.coalesced = driver.gutters()->coalesced_halves();
+    }
+  }
+  out.seconds = timer.Seconds();
+  out.rate = static_cast<double>(stream.Size()) / out.seconds;
+  out.components = sketch.NumComponents();
+  return out;
+}
+
+int Run(NodeId n, size_t updates) {
+  bench::Banner("E14", "gutter-buffered ingestion",
+                "per-node gutters coalesce updates and flush dense "
+                "batches through the ApplyBatch fast path; linearity "
+                "keeps answers identical at every setting");
+
+  const size_t kSweep[] = {0, 64, 4096};
+  bench::BenchJson json("E14", "gutter-buffered ingestion");
+  json.Metric("n", static_cast<double>(n));
+  json.Metric("stream_updates", static_cast<double>(updates));
+
+  struct Workload {
+    const char* name;
+    DynamicGraphStream stream;
+  } workloads[] = {
+      {"uniform", UniformStream(n, updates, /*seed=*/12345)},
+      {"hotspot", SkewedStream(n, updates, /*seed=*/54321)},
+  };
+
+  for (const auto& w : workloads) {
+    std::printf("%s stream: n=%u, %zu updates\n", w.name, n,
+                w.stream.Size());
+    bench::Row("%-12s %14s %14s %10s %12s %12s %12s", "gutter", "seconds",
+               "updates/s", "speedup", "flushes", "coalesced",
+               "components");
+    double base_rate = 0;
+    for (size_t gutter : kSweep) {
+      Sample s = RunOnce(w.stream, n, gutter);
+      if (gutter == 0) base_rate = s.rate;
+      std::string label =
+          gutter == 0 ? "off" : std::to_string(gutter) + "B";
+      bench::Row("%-12s %14.3f %14.0f %9.2fx %12llu %12llu %12zu",
+                 label.c_str(), s.seconds, s.rate, s.rate / base_rate,
+                 static_cast<unsigned long long>(s.flushes),
+                 static_cast<unsigned long long>(s.coalesced),
+                 s.components);
+      std::string key = std::string("updates_per_sec_") + w.name + "_" +
+                        (gutter == 0 ? "off" : std::to_string(gutter) + "B");
+      json.Metric(key.c_str(), s.rate);
+    }
+    std::printf("\n");
+  }
+  json.Write();
+  return 0;
+}
+
+}  // namespace
+}  // namespace gsketch
+
+int main(int argc, char** argv) {
+  auto parse = [](const char* s, long long lo, long long hi,
+                  long long* out) {
+    char* end = nullptr;
+    long long v = std::strtoll(s, &end, 10);
+    if (end == s || *end != '\0' || v < lo || v > hi) return false;
+    *out = v;
+    return true;
+  };
+  long long n = 1024, updates = 1000000;
+  bool ok = true;
+  if (argc > 1) ok = ok && parse(argv[1], 2, 1 << 24, &n);
+  if (argc > 2) ok = ok && parse(argv[2], 1, 1LL << 40, &updates);
+  if (!ok) {
+    std::fprintf(stderr, "usage: %s [n in 2..2^24] [num_updates>0]\n",
+                 argv[0]);
+    return 2;
+  }
+  return gsketch::Run(static_cast<gsketch::NodeId>(n),
+                      static_cast<size_t>(updates));
+}

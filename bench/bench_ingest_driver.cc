@@ -110,6 +110,34 @@ int Run(NodeId n, size_t updates, uint32_t max_threads) {
                rate, rate / base_rate, bytes_per_node,
                sketch.NumComponents());
   }
+  // One extra single-thread run with 4 KiB/node gutters: the same stream
+  // through the guttered ApplyBatch path, directly comparable with the
+  // plain 1-thread row (bench_gutter sweeps gutter sizes in depth).
+  {
+    ConnectivitySketch sketch(n, ForestOptions{}, /*seed=*/1);
+    DriverOptions opt;
+    opt.num_workers = 1;
+    opt.gutter_bytes = 4096;
+    BinaryStreamReader reader(path);
+    if (!reader.ok()) {
+      std::fprintf(stderr, "error: %s\n", reader.error().c_str());
+      return 1;
+    }
+    bench::Timer timer;
+    {
+      SketchDriver<ConnectivitySketch> driver(&sketch, opt);
+      std::string err;
+      if (!driver.ProcessFile(&reader, &err)) {
+        std::fprintf(stderr, "error: ingestion failed: %s\n", err.c_str());
+        return 1;
+      }
+    }
+    double seconds = timer.Seconds();
+    double rate = static_cast<double>(stream.Size()) / seconds;
+    bench::Row("%-8s %14.3f %14.0f %9.2fx %14s %12zu", "1+gutter", seconds,
+               rate, rate / base_rate, "-", sketch.NumComponents());
+    json.Metric("updates_per_sec_1thread_gutter4k", rate);
+  }
   json.Metric("updates_per_sec_best", best_rate);
   json.Metric("speedup_best", base_rate > 0 ? best_rate / base_rate : 0.0);
   json.Write();

@@ -67,6 +67,21 @@ void BipartitenessSketch::UpdateEndpoint(NodeId endpoint, NodeId u, NodeId v,
   cover_.UpdateEndpoint(endpoint + n_, other, endpoint + n_, delta);
 }
 
+void BipartitenessSketch::ApplyBatch(NodeId endpoint,
+                                     Span<const NodeId> others,
+                                     Span<const int64_t> deltas) {
+  assert(others.size() == deltas.size());
+  base_.ApplyBatch(endpoint, others, deltas);
+  // Cover edges (endpoint, other+n) and (other, endpoint+n): the endpoint
+  // owns cover nodes `endpoint` and `endpoint+n`, one half of each edge.
+  std::vector<NodeId> others_in_cover(others.size());
+  for (size_t i = 0; i < others.size(); ++i) {
+    others_in_cover[i] = others[i] + n_;
+  }
+  cover_.ApplyBatch(endpoint, others_in_cover, deltas);
+  cover_.ApplyBatch(endpoint + n_, others, deltas);
+}
+
 void BipartitenessSketch::Merge(const BipartitenessSketch& other) {
   base_.Merge(other.base_);
   cover_.Merge(other.cover_);
@@ -145,6 +160,18 @@ void ApproxMstSketch::UpdateEndpoint(NodeId endpoint, NodeId u, NodeId v,
     if (weight <= thresholds_[i]) {
       forests_[i].UpdateEndpoint(endpoint, u, v, delta);
     }
+  }
+}
+
+void ApproxMstSketch::ApplyBatch(NodeId endpoint, Span<const NodeId> others,
+                                 Span<const int64_t> deltas) {
+  // Weight-1 batches belong to every threshold subgraph G_{<= t}.
+  std::vector<uint64_t> ids;
+  std::vector<int64_t> signed_deltas;
+  BatchEdgeIds(endpoint, others, deltas, &ids, &signed_deltas);
+  for (auto& forest : forests_) {
+    forest.ApplyBatchIds(endpoint, ids.data(), signed_deltas.data(),
+                         ids.size());
   }
 }
 

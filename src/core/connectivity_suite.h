@@ -37,6 +37,13 @@ class ConnectivitySketch {
   /// see src/driver/sketch_driver.h).
   void UpdateEndpoint(NodeId endpoint, NodeId u, NodeId v, int64_t delta);
 
+  /// Dense same-endpoint batch (gutter flush): edge {endpoint, others[i]}
+  /// += deltas[i]. Bit-identical to per-update UpdateEndpoint calls.
+  void ApplyBatch(NodeId endpoint, Span<const NodeId> others,
+                  Span<const int64_t> deltas) {
+    forest_.ApplyBatch(endpoint, others, deltas);
+  }
+
   /// Adds another sketch with identical parameterization.
   void Merge(const ConnectivitySketch& other);
 
@@ -82,6 +89,11 @@ class BipartitenessSketch {
   /// Endpoint half of one token. Stream node e owns base sampler e plus
   /// cover samplers e and e+n, so distinct endpoints stay disjoint.
   void UpdateEndpoint(NodeId endpoint, NodeId u, NodeId v, int64_t delta);
+
+  /// Dense same-endpoint batch: one base-bank batch plus the two cover
+  /// halves the endpoint owns (cover nodes `endpoint` and `endpoint+n`).
+  void ApplyBatch(NodeId endpoint, Span<const NodeId> others,
+                  Span<const int64_t> deltas);
 
   /// Adds another sketch with identical parameterization.
   void Merge(const BipartitenessSketch& other);
@@ -131,6 +143,12 @@ class ApproxMstSketch {
   void UpdateEndpoint(NodeId endpoint, NodeId u, NodeId v, int64_t delta,
                       int64_t weight = 1);
 
+  /// Dense same-endpoint batch of weight-1 (unweighted-stream) updates:
+  /// every threshold forest absorbs the batch; the edge ids are hashed
+  /// once for all thresholds.
+  void ApplyBatch(NodeId endpoint, Span<const NodeId> others,
+                  Span<const int64_t> deltas);
+
   /// Adds another sketch with identical parameterization.
   void Merge(const ApproxMstSketch& other);
 
@@ -174,6 +192,12 @@ class KConnectivityTester {
 
   /// Endpoint half of one token (see ConnectivitySketch::UpdateEndpoint).
   void UpdateEndpoint(NodeId endpoint, NodeId u, NodeId v, int64_t delta);
+
+  /// Dense same-endpoint batch (see ConnectivitySketch::ApplyBatch).
+  void ApplyBatch(NodeId endpoint, Span<const NodeId> others,
+                  Span<const int64_t> deltas) {
+    witness_.ApplyBatch(endpoint, others, deltas);
+  }
 
   /// Adds another sketch with identical parameterization.
   void Merge(const KConnectivityTester& other);

@@ -24,6 +24,23 @@ void KEdgeConnectSketch::UpdateEndpoint(NodeId endpoint, NodeId u, NodeId v,
   for (auto& layer : layers_) layer.UpdateEndpoint(endpoint, u, v, delta);
 }
 
+void KEdgeConnectSketch::ApplyBatch(NodeId endpoint, Span<const NodeId> others,
+                                    Span<const int64_t> deltas) {
+  assert(others.size() == deltas.size());
+  std::vector<uint64_t> ids;
+  std::vector<int64_t> signed_deltas;
+  BatchEdgeIds(endpoint, others, deltas, &ids, &signed_deltas);
+  ApplyBatchIds(endpoint, ids.data(), signed_deltas.data(), ids.size());
+}
+
+void KEdgeConnectSketch::ApplyBatchIds(NodeId endpoint, const uint64_t* ids,
+                                       const int64_t* signed_deltas,
+                                       size_t count) {
+  for (auto& layer : layers_) {
+    layer.ApplyBatchIds(endpoint, ids, signed_deltas, count);
+  }
+}
+
 void KEdgeConnectSketch::Merge(const KEdgeConnectSketch& other) {
   assert(layers_.size() == other.layers_.size());
   for (size_t i = 0; i < layers_.size(); ++i) layers_[i].Merge(other.layers_[i]);

@@ -34,6 +34,15 @@ class KEdgeConnectSketch {
   /// SpanningForestSketch::UpdateEndpoint).
   void UpdateEndpoint(NodeId endpoint, NodeId u, NodeId v, int64_t delta);
 
+  /// Dense same-endpoint batch across all k layers; the edge ids are
+  /// hashed once for the whole sketch (see SpanningForestSketch).
+  void ApplyBatch(NodeId endpoint, Span<const NodeId> others,
+                  Span<const int64_t> deltas);
+
+  /// ApplyBatch with precomputed edge ids / signed deltas (BatchEdgeIds).
+  void ApplyBatchIds(NodeId endpoint, const uint64_t* ids,
+                     const int64_t* signed_deltas, size_t count);
+
   /// Adds another sketch with identical parameterization.
   void Merge(const KEdgeConnectSketch& other);
 

@@ -28,6 +28,15 @@ void NodeL0Bank::UpdateEndpoint(NodeId endpoint, NodeId u, NodeId v,
                 delta * IncidenceSign(endpoint, u, v));
 }
 
+void NodeL0Bank::ApplyBatch(NodeId endpoint, Span<const NodeId> others,
+                            Span<const int64_t> deltas) {
+  assert(others.size() == deltas.size());
+  std::vector<uint64_t> ids;
+  std::vector<int64_t> signed_deltas;
+  BatchEdgeIds(endpoint, others, deltas, &ids, &signed_deltas);
+  ApplyBatchIds(endpoint, ids.data(), signed_deltas.data(), ids.size());
+}
+
 L0Sampler NodeL0Bank::SumOver(const std::vector<NodeId>& nodes) const {
   assert(!nodes.empty());
   L0Sampler acc = Of(nodes[0]).Materialize();
@@ -95,6 +104,15 @@ void NodeRecoveryBank::UpdateEndpoint(NodeId endpoint, NodeId u, NodeId v,
   assert(u != v && (endpoint == u || endpoint == v));
   RecoveryCellsUpdate(params_, arena_.data() + endpoint * stride_,
                       EdgeId(u, v), delta * IncidenceSign(endpoint, u, v));
+}
+
+void NodeRecoveryBank::ApplyBatch(NodeId endpoint, Span<const NodeId> others,
+                                  Span<const int64_t> deltas) {
+  assert(others.size() == deltas.size());
+  std::vector<uint64_t> ids;
+  std::vector<int64_t> signed_deltas;
+  BatchEdgeIds(endpoint, others, deltas, &ids, &signed_deltas);
+  ApplyBatchIds(endpoint, ids.data(), signed_deltas.data(), ids.size());
 }
 
 SparseRecovery NodeRecoveryBank::SumOver(

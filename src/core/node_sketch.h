@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/core/span.h"
 #include "src/graph/edge_id.h"
 #include "src/sketch/l0_sampler.h"
 #include "src/sketch/sparse_recovery.h"
@@ -33,6 +34,23 @@ namespace gsketch {
 inline int64_t IncidenceSign(NodeId node, NodeId u, NodeId v) {
   NodeId lo = u < v ? u : v;
   return node == lo ? +1 : -1;
+}
+
+/// Precomputes the edge ids and incidence-signed deltas of a dense
+/// same-endpoint batch — the shared front half of every bank ApplyBatch.
+/// Composite sketches (forest rounds, k-EDGECONNECT layers) compute this
+/// once and fan the arrays out to many banks via ApplyBatchIds.
+inline void BatchEdgeIds(NodeId endpoint, Span<const NodeId> others,
+                         Span<const int64_t> deltas,
+                         std::vector<uint64_t>* ids,
+                         std::vector<int64_t>* signed_deltas) {
+  ids->resize(others.size());
+  signed_deltas->resize(others.size());
+  for (size_t i = 0; i < others.size(); ++i) {
+    (*ids)[i] = EdgeId(endpoint, others[i]);
+    (*signed_deltas)[i] =
+        deltas[i] * IncidenceSign(endpoint, endpoint, others[i]);
+  }
 }
 
 /// A bank of n ℓ₀-samplers, one per node, over the edge-slot domain, all
@@ -53,6 +71,23 @@ class NodeL0Bank {
   /// shard a stream by endpoint: workers owning disjoint node sets touch
   /// disjoint arena slices and may run concurrently without locks.
   void UpdateEndpoint(NodeId endpoint, NodeId u, NodeId v, int64_t delta);
+
+  /// Applies a dense batch of half-updates all owned by `endpoint` (the
+  /// gutter-flush fast path): edge {endpoint, others[i]} += deltas[i].
+  /// The endpoint's arena slice is resolved once and the batch streams
+  /// through it via L0CellsUpdateBatch; bit-identical to per-update
+  /// UpdateEndpoint calls (cell sums commute).
+  void ApplyBatch(NodeId endpoint, Span<const NodeId> others,
+                  Span<const int64_t> deltas);
+
+  /// ApplyBatch with the edge ids and incidence-signed deltas already
+  /// computed (BatchEdgeIds), so composite sketches amortize that work
+  /// across every bank sharing the endpoint.
+  void ApplyBatchIds(NodeId endpoint, const uint64_t* ids,
+                     const int64_t* signed_deltas, size_t count) {
+    L0CellsUpdateBatch(params_, arena_.data() + endpoint * stride_, ids,
+                       signed_deltas, count);
+  }
 
   /// View of a single node's sampler (valid while the bank lives).
   L0SamplerView Of(NodeId u) const {
@@ -106,6 +141,17 @@ class NodeRecoveryBank {
 
   /// Endpoint half of one token (see NodeL0Bank::UpdateEndpoint).
   void UpdateEndpoint(NodeId endpoint, NodeId u, NodeId v, int64_t delta);
+
+  /// Dense same-endpoint batch (see NodeL0Bank::ApplyBatch).
+  void ApplyBatch(NodeId endpoint, Span<const NodeId> others,
+                  Span<const int64_t> deltas);
+
+  /// ApplyBatch with precomputed edge ids / signed deltas (BatchEdgeIds).
+  void ApplyBatchIds(NodeId endpoint, const uint64_t* ids,
+                     const int64_t* signed_deltas, size_t count) {
+    RecoveryCellsUpdateBatch(params_, arena_.data() + endpoint * stride_,
+                             ids, signed_deltas, count);
+  }
 
   /// View of a single node's sketch (valid while the bank lives).
   SparseRecoveryView Of(NodeId u) const {

@@ -24,7 +24,13 @@ class SamplingLevels {
 
   /// Deepest level i such that e ∈ G_i (0 = always).
   uint32_t LevelOf(NodeId u, NodeId v) const {
-    return GeometricLevel(Mix64(seed_, 0x16f1u, EdgeId(u, v)), max_level_);
+    return LevelOfId(EdgeId(u, v));
+  }
+
+  /// LevelOf with the edge id already ranked (batch paths compute edge
+  /// ids once and reuse them for level routing and cell updates).
+  uint32_t LevelOfId(uint64_t edge_id) const {
+    return GeometricLevel(Mix64(seed_, 0x16f1u, edge_id), max_level_);
   }
 
   /// True iff edge {u,v} survives to level i.

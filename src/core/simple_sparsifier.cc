@@ -64,6 +64,35 @@ void SimpleSparsifier::UpdateEndpoint(NodeId endpoint, NodeId u, NodeId v,
   }
 }
 
+void SimpleSparsifier::ApplyBatch(NodeId endpoint, Span<const NodeId> others,
+                                  Span<const int64_t> deltas) {
+  assert(others.size() == deltas.size());
+  std::vector<uint64_t> ids;
+  std::vector<int64_t> signed_deltas;
+  BatchEdgeIds(endpoint, others, deltas, &ids, &signed_deltas);
+  std::vector<uint32_t> deepest(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    deepest[i] = sampler_.LevelOfId(ids[i]);
+  }
+  // Level i's sub-batch is {updates with deepest >= i}; the survivor sets
+  // are nested, so the first empty level ends the routing.
+  std::vector<uint64_t> level_ids;
+  std::vector<int64_t> level_deltas;
+  for (uint32_t i = 0; i < levels_.size(); ++i) {
+    level_ids.clear();
+    level_deltas.clear();
+    for (size_t j = 0; j < ids.size(); ++j) {
+      if (deepest[j] >= i) {
+        level_ids.push_back(ids[j]);
+        level_deltas.push_back(signed_deltas[j]);
+      }
+    }
+    if (level_ids.empty()) break;
+    levels_[i].ApplyBatchIds(endpoint, level_ids.data(), level_deltas.data(),
+                             level_ids.size());
+  }
+}
+
 void SimpleSparsifier::Merge(const SimpleSparsifier& other) {
   assert(levels_.size() == other.levels_.size() && k_ == other.k_);
   for (size_t i = 0; i < levels_.size(); ++i) {

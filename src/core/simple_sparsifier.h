@@ -46,6 +46,12 @@ class SimpleSparsifier {
   /// endpoint, so both halves land on the same levels.
   void UpdateEndpoint(NodeId endpoint, NodeId u, NodeId v, int64_t delta);
 
+  /// Dense same-endpoint batch: each update is routed to the levels its
+  /// edge survives to (edge-hashed, so both halves agree), then each
+  /// level absorbs its sub-batch in one pass.
+  void ApplyBatch(NodeId endpoint, Span<const NodeId> others,
+                  Span<const int64_t> deltas);
+
   /// Adds another sketch with identical parameterization.
   void Merge(const SimpleSparsifier& other);
 

@@ -1,5 +1,8 @@
 #include "src/core/sketch_registry.h"
 
+#include <type_traits>
+#include <utility>
+
 #include "src/core/connectivity_suite.h"
 #include "src/core/k_edge_connect.h"
 #include "src/core/min_cut.h"
@@ -27,6 +30,15 @@ class Adapter : public LinearSketch {
   void UpdateEndpoint(NodeId endpoint, NodeId u, NodeId v,
                       int64_t delta) override {
     sk_.UpdateEndpoint(endpoint, u, v, delta);
+  }
+
+  void ApplyBatch(NodeId endpoint, Span<const NodeId> others,
+                  Span<const int64_t> deltas) override {
+    if constexpr (AlgHasApplyBatch<Sketch>::value) {
+      sk_.ApplyBatch(endpoint, others, deltas);
+    } else {
+      LinearSketch::ApplyBatch(endpoint, others, deltas);
+    }
   }
 
   bool Merge(const LinearSketch& other, std::string* error) override {

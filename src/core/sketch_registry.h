@@ -28,8 +28,11 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "src/core/span.h"
 #include "src/core/spanning_forest.h"
 #include "src/graph/graph.h"
 #include "src/sketch/serde.h"
@@ -81,6 +84,20 @@ class LinearSketch {
     UpdateEndpoint(v, v, u, delta);
   }
 
+  /// Applies a dense batch of half-updates all owned by `endpoint`: edge
+  /// {endpoint, others[i]} += deltas[i] for every i. This is the gutter
+  /// flush path (src/driver/gutter.h): node-incidence sketches override it
+  /// to hash the endpoint's sampler slices once per batch and stream the
+  /// cell updates in a tight loop. The default simply loops UpdateEndpoint,
+  /// so adapters without a batch fast path stay correct. Must be
+  /// bit-identical to the per-update loop (linearity: cell sums commute).
+  virtual void ApplyBatch(NodeId endpoint, Span<const NodeId> others,
+                          Span<const int64_t> deltas) {
+    for (size_t i = 0; i < others.size(); ++i) {
+      UpdateEndpoint(endpoint, endpoint, others[i], deltas[i]);
+    }
+  }
+
   /// Adds `other` (sketch addition). False with `*error` set when `other`
   /// is a different algorithm or structurally incompatible (different n or
   /// cell layout). Seeds are trusted: merging same-shaped sketches built
@@ -104,6 +121,21 @@ class LinearSketch {
   /// restricts the driver to one worker.
   virtual bool EndpointSharded() const { return true; }
 };
+
+/// Detects whether an algorithm type implements the dense same-endpoint
+/// batch fast path of the contract above —
+///   ApplyBatch(NodeId, Span<const NodeId>, Span<const int64_t>)
+/// — so generic callers (the registry adapters, the driver's gutter
+/// flush) can fall back to a per-update UpdateEndpoint loop when it is
+/// absent. One definition serves both sites; keep it in sync with the
+/// LinearSketch::ApplyBatch signature.
+template <typename Alg, typename = void>
+struct AlgHasApplyBatch : std::false_type {};
+template <typename Alg>
+struct AlgHasApplyBatch<
+    Alg, std::void_t<decltype(std::declval<Alg&>().ApplyBatch(
+             NodeId{}, std::declval<Span<const NodeId>>(),
+             std::declval<Span<const int64_t>>()))>> : std::true_type {};
 
 /// Construction knobs the registry factories understand. Defaults match
 /// the historical CLI construction of each family, so registered runs are

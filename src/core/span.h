@@ -1,0 +1,38 @@
+// Minimal std::span stand-in (the library targets C++17). A Span is a
+// non-owning (pointer, count) view over a contiguous array — the currency
+// of the batch ingestion contract (LinearSketch::ApplyBatch and the bank
+// ApplyBatch fast paths), where per-node gutters hand dense same-endpoint
+// update arrays down through the sketch layers without copies.
+#ifndef GRAPHSKETCH_SRC_CORE_SPAN_H_
+#define GRAPHSKETCH_SRC_CORE_SPAN_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace gsketch {
+
+template <typename T>
+class Span {
+ public:
+  constexpr Span() = default;
+  constexpr Span(T* data, size_t size) : data_(data), size_(size) {}
+
+  /// Views a whole vector (const element type only; Spans never own).
+  template <typename U>
+  Span(const std::vector<U>& v) : data_(v.data()), size_(v.size()) {}
+
+  constexpr T* data() const { return data_; }
+  constexpr size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+  constexpr T& operator[](size_t i) const { return data_[i]; }
+  constexpr T* begin() const { return data_; }
+  constexpr T* end() const { return data_ + size_; }
+
+ private:
+  T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace gsketch
+
+#endif  // GRAPHSKETCH_SRC_CORE_SPAN_H_

@@ -36,6 +36,24 @@ void SpanningForestSketch::UpdateEndpoint(NodeId endpoint, NodeId u, NodeId v,
   for (auto& bank : banks_) bank.UpdateEndpoint(endpoint, u, v, delta);
 }
 
+void SpanningForestSketch::ApplyBatch(NodeId endpoint,
+                                      Span<const NodeId> others,
+                                      Span<const int64_t> deltas) {
+  assert(others.size() == deltas.size());
+  std::vector<uint64_t> ids;
+  std::vector<int64_t> signed_deltas;
+  BatchEdgeIds(endpoint, others, deltas, &ids, &signed_deltas);
+  ApplyBatchIds(endpoint, ids.data(), signed_deltas.data(), ids.size());
+}
+
+void SpanningForestSketch::ApplyBatchIds(NodeId endpoint, const uint64_t* ids,
+                                         const int64_t* signed_deltas,
+                                         size_t count) {
+  for (auto& bank : banks_) {
+    bank.ApplyBatchIds(endpoint, ids, signed_deltas, count);
+  }
+}
+
 void SpanningForestSketch::Merge(const SpanningForestSketch& other) {
   assert(banks_.size() == other.banks_.size());
   for (size_t i = 0; i < banks_.size(); ++i) banks_[i].Merge(other.banks_[i]);

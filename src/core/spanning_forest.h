@@ -40,6 +40,18 @@ class SpanningForestSketch {
   /// ingestion (src/driver/sketch_driver.h).
   void UpdateEndpoint(NodeId endpoint, NodeId u, NodeId v, int64_t delta);
 
+  /// Applies a dense batch of half-updates all owned by `endpoint` —
+  /// edge {endpoint, others[i]} += deltas[i] — hashing the edge ids once
+  /// and streaming each round bank's endpoint slice in a tight loop.
+  /// Bit-identical to per-update UpdateEndpoint calls.
+  void ApplyBatch(NodeId endpoint, Span<const NodeId> others,
+                  Span<const int64_t> deltas);
+
+  /// ApplyBatch with precomputed edge ids / incidence-signed deltas
+  /// (BatchEdgeIds), shared across composite sketches' many forests.
+  void ApplyBatchIds(NodeId endpoint, const uint64_t* ids,
+                     const int64_t* signed_deltas, size_t count);
+
   /// Adds another sketch with identical parameterization.
   void Merge(const SpanningForestSketch& other);
 

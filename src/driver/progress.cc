@@ -1,9 +1,21 @@
 #include "src/driver/progress.h"
 
-#include <chrono>
 #include <string>
 
 namespace gsketch {
+
+namespace {
+constexpr int kBarWidth = 20;
+
+// Bar fill and percentage for `count` of `total`, both clamped to full:
+// a counter polled in different units than `total` (or one that counts
+// past it) must never draw an over-full bar or report >100%.
+int PercentOf(uint64_t count, uint64_t total) {
+  if (total == 0) return 0;
+  if (count >= total) return 100;
+  return static_cast<int>(100 * count / total);
+}
+}  // namespace
 
 InsertionTracker::InsertionTracker(uint64_t total,
                                    std::function<uint64_t()> counter,
@@ -12,11 +24,11 @@ InsertionTracker::InsertionTracker(uint64_t total,
       counter_(std::move(counter)),
       out_(out),
       interval_seconds_(interval_seconds > 0.01 ? interval_seconds : 0.01),
+      start_(std::chrono::steady_clock::now()),
       thread_([this] { Loop(); }) {}
 
 void InsertionTracker::Loop() {
-  constexpr int kBarWidth = 20;
-  auto prev_time = std::chrono::steady_clock::now();
+  auto prev_time = start_;
   uint64_t prev_count = 0;
   for (;;) {
     {
@@ -34,10 +46,8 @@ void InsertionTracker::Loop() {
     prev_count = count;
     if (total_ > 0 && count >= total_) return;
 
-    int filled = total_ > 0 ? static_cast<int>(kBarWidth * count / total_)
-                            : 0;
-    if (filled > kBarWidth) filled = kBarWidth;
-    int percent = total_ > 0 ? static_cast<int>(100 * count / total_) : 0;
+    int percent = PercentOf(count, total_);
+    int filled = kBarWidth * percent / 100;
     std::fprintf(out_, "progress: %s%s| %3d%% -- %.0f updates/sec\r",
                  std::string(filled, '=').c_str(),
                  std::string(kBarWidth - filled, ' ').c_str(), percent,
@@ -55,7 +65,22 @@ void InsertionTracker::Stop() {
     wake_.notify_all();
   }
   thread_.join();
-  std::fprintf(out_, "progress: ====================| done%*s\n", 24, "");
+  // Closing line: final count and average rate (instead of a blank "done"
+  // that wiped the last readout), terminated so the next line starts
+  // clean after the \r redraws.
+  uint64_t count = counter_();
+  double elapsed = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start_)
+                       .count();
+  double avg = elapsed > 0 ? static_cast<double>(count) / elapsed : 0;
+  int percent = PercentOf(count, total_);
+  int filled = kBarWidth * percent / 100;
+  std::fprintf(out_,
+               "progress: %s%s| %3d%% -- %llu updates in %.1fs "
+               "(avg %.0f/sec)\n",
+               std::string(filled, '=').c_str(),
+               std::string(kBarWidth - filled, ' ').c_str(), percent,
+               static_cast<unsigned long long>(count), elapsed, avg);
   std::fflush(out_);
 }
 

@@ -5,6 +5,7 @@
 #ifndef GRAPHSKETCH_SRC_DRIVER_PROGRESS_H_
 #define GRAPHSKETCH_SRC_DRIVER_PROGRESS_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <cstdio>
@@ -16,14 +17,19 @@ namespace gsketch {
 
 /// Polls `counter()` until it reaches `total` (or Stop()), printing a
 /// progress bar + rate line to `out` each interval. Counter units are
-/// whatever the caller supplies (the SketchDriver reports endpoint
-/// half-updates; divide by 2 for stream tokens — pass a lambda that does).
+/// whatever the caller supplies — but `total` MUST be in the same units
+/// (the SketchDriver counts endpoint half-updates, 2 per stream token; to
+/// report stream tokens, pass total in tokens and a lambda that halves the
+/// driver counter). The bar and percentage clamp at 100%, so a counter
+/// that overshoots `total` cannot draw an over-full bar.
 class InsertionTracker {
  public:
   InsertionTracker(uint64_t total, std::function<uint64_t()> counter,
                    std::FILE* out = stderr, double interval_seconds = 1.0);
 
-  /// Stops the sampler thread and prints the closing line; idempotent.
+  /// Stops the sampler thread and prints the closing line — the final
+  /// count and the run's average rate, so the last readout survives on
+  /// screen; idempotent.
   void Stop();
 
   ~InsertionTracker();
@@ -38,6 +44,7 @@ class InsertionTracker {
   const std::function<uint64_t()> counter_;
   std::FILE* const out_;
   const double interval_seconds_;
+  const std::chrono::steady_clock::time_point start_;
   std::mutex mu_;
   std::condition_variable wake_;
   bool stopping_ = false;

@@ -14,12 +14,26 @@
 // where the call touches only state owned by stream node `endpoint`
 // (ConnectivitySketch, BipartitenessSketch, MinCutSketch, SimpleSparsifier,
 // KEdgeConnectSketch, SpanningForestSketch, and KConnectivityTester all
-// satisfy this).
+// satisfy this). Deltas are int64_t end to end in memory — the GSKB wire
+// format stays int32 per record, but repeated pushes may accumulate any
+// int64 aggregate per edge. Algs may additionally implement
+//   void ApplyBatch(NodeId endpoint, Span<const NodeId> others,
+//                   Span<const int64_t> deltas);
+// the dense same-endpoint fast path that gutter-buffered ingestion
+// (below) flushes into; without it, batches fall back to UpdateEndpoint.
 //
 // Flow control: the producer (the thread calling Push/ProcessStream)
 // accumulates per-worker batches and hands them to bounded queues;
 // `max_pending_batches` bounds memory and provides backpressure when
 // workers fall behind the reader.
+//
+// Gutter mode (opt-in via DriverOptions::gutter_bytes): the producer
+// buffers half-updates in per-node gutters (src/driver/gutter.h) instead
+// of per-worker batches; full gutters flush dense per-node batches to the
+// owning worker, which applies them through the Alg's ApplyBatch fast
+// path. Ordering changes, results don't (linearity): gutter-on ingestion
+// is byte-identical to gutter-off (tests/gutter_test.cc proves it for
+// every registered family).
 #ifndef GRAPHSKETCH_SRC_DRIVER_SKETCH_DRIVER_H_
 #define GRAPHSKETCH_SRC_DRIVER_SKETCH_DRIVER_H_
 
@@ -29,10 +43,14 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <string>
 #include <thread>
+#include <variant>
 #include <vector>
 
 #include "src/driver/binary_stream.h"
+#include "src/driver/gutter.h"
 #include "src/graph/stream.h"
 
 namespace gsketch {
@@ -42,6 +60,8 @@ struct DriverOptions {
   uint32_t num_workers = 1;  ///< worker threads; 0 = hardware concurrency
   size_t batch_size = 4096;  ///< endpoint updates per dispatched batch
   size_t max_pending_batches = 8;  ///< per-worker queue bound (backpressure)
+  size_t gutter_bytes = 0;  ///< per-node gutter bytes; 0 = gutters off
+  size_t gutter_total_bytes = 0;  ///< global gutter cap; 0 = uncapped
 };
 
 template <typename Alg>
@@ -64,6 +84,15 @@ class SketchDriver {
       shards_.push_back(std::make_unique<Shard>());
     }
     pending_.resize(workers);
+    if (opt.gutter_bytes > 0) {
+      GutterOptions gopt;
+      gopt.bytes_per_gutter = opt.gutter_bytes;
+      gopt.max_total_bytes = opt.gutter_total_bytes;
+      gutter_.emplace(gopt,
+                      [this](NodeBatch&& batch) {
+                        DispatchNode(std::move(batch));
+                      });
+    }
     for (uint32_t w = 0; w < workers; ++w) {
       threads_.emplace_back([this, w] { WorkerLoop(w); });
     }
@@ -82,18 +111,25 @@ class SketchDriver {
   SketchDriver(const SketchDriver&) = delete;
   SketchDriver& operator=(const SketchDriver&) = delete;
 
-  /// Routes one stream token to its two endpoint shards. Producer-side
-  /// only; not safe to call from multiple threads at once.
-  void Push(NodeId u, NodeId v, int32_t delta) {
+  /// Routes one stream token to its two endpoint shards (through the
+  /// gutters when enabled). Producer-side only; not safe to call from
+  /// multiple threads at once.
+  void Push(NodeId u, NodeId v, int64_t delta) {
     ++stream_updates_;
+    if (gutter_.has_value()) {
+      gutter_->Push(u, v, delta);
+      return;
+    }
     EnqueueHalf(u, v, delta);
     EnqueueHalf(v, u, delta);
   }
 
-  /// Flushes partial batches and blocks until every queued update has been
-  /// applied. After Drain() returns, `*alg` reflects the whole stream
-  /// pushed so far and may be queried safely from the calling thread.
+  /// Flushes partial batches (and all gutters) and blocks until every
+  /// queued update has been applied. After Drain() returns, `*alg`
+  /// reflects the whole stream pushed so far and may be queried safely
+  /// from the calling thread.
   void Drain() {
+    if (gutter_.has_value()) gutter_->FlushAll();
     for (uint32_t w = 0; w < pending_.size(); ++w) {
       if (!pending_[w].empty()) Dispatch(w);
     }
@@ -111,8 +147,10 @@ class SketchDriver {
   }
 
   /// Ingests a whole binary stream file and drains. Returns false if the
-  /// reader failed (the driver still drains whatever was read).
-  bool ProcessFile(BinaryStreamReader* reader) {
+  /// reader failed or the stream was not fully consumed (the driver still
+  /// drains whatever was read); `*error`, when given, then carries the
+  /// reader's diagnostic.
+  bool ProcessFile(BinaryStreamReader* reader, std::string* error = nullptr) {
     std::vector<EdgeUpdate> batch;
     batch.reserve(batch_size_);
     while (!reader->Done() && reader->ok()) {
@@ -121,11 +159,18 @@ class SketchDriver {
       for (const auto& e : batch) Push(e.u, e.v, e.delta);
     }
     Drain();
-    return reader->ok() && reader->Done();
+    if (reader->ok() && reader->Done()) return true;
+    if (error != nullptr) {
+      *error = !reader->error().empty()
+                   ? reader->error()
+                   : "stream ended before the declared update count";
+    }
+    return false;
   }
 
   /// Endpoint half-updates applied so far (2 per stream token). Safe to
-  /// read from any thread; progress reporters poll this.
+  /// read from any thread; progress reporters poll this. Half-updates
+  /// still buffered in gutters count only once flushed and applied.
   uint64_t TotalUpdates() const {
     return applied_halves_.load(std::memory_order_relaxed);
   }
@@ -137,25 +182,33 @@ class SketchDriver {
     return static_cast<uint32_t>(threads_.size());
   }
 
+  /// The gutter layer's stats, when enabled (nullptr otherwise).
+  const GutterSystem* gutters() const {
+    return gutter_.has_value() ? &*gutter_ : nullptr;
+  }
+
  private:
   // One endpoint half of a stream token: apply to `endpoint`'s state the
   // update for edge {endpoint, other}.
   struct HalfUpdate {
     NodeId endpoint;
     NodeId other;
-    int32_t delta;
+    int64_t delta;
   };
   using Batch = std::vector<HalfUpdate>;
+  // Workers consume either per-worker half-update batches (gutters off)
+  // or dense per-node batches (gutter flushes).
+  using WorkItem = std::variant<Batch, NodeBatch>;
 
   struct Shard {
     std::mutex mu;
     std::condition_variable not_empty;
     std::condition_variable not_full;
-    std::deque<Batch> queue;
+    std::deque<WorkItem> queue;
     bool stopping = false;
   };
 
-  void EnqueueHalf(NodeId endpoint, NodeId other, int32_t delta) {
+  void EnqueueHalf(NodeId endpoint, NodeId other, int64_t delta) {
     uint32_t w = endpoint % num_workers();
     Batch& pending = pending_[w];
     pending.push_back(HalfUpdate{endpoint, other, delta});
@@ -166,31 +219,49 @@ class SketchDriver {
     Batch batch;
     batch.swap(pending_[w]);
     enqueued_halves_ += batch.size();
+    Enqueue(w, WorkItem(std::move(batch)));
+  }
+
+  void DispatchNode(NodeBatch&& batch) {
+    uint32_t w = batch.endpoint % num_workers();
+    enqueued_halves_ += batch.halves;
+    Enqueue(w, WorkItem(std::move(batch)));
+  }
+
+  void Enqueue(uint32_t w, WorkItem&& item) {
     Shard& shard = *shards_[w];
     std::unique_lock<std::mutex> lock(shard.mu);
     shard.not_full.wait(
         lock, [&] { return shard.queue.size() < max_pending_; });
-    shard.queue.push_back(std::move(batch));
+    shard.queue.push_back(std::move(item));
     shard.not_empty.notify_one();
   }
 
   void WorkerLoop(uint32_t w) {
     Shard& shard = *shards_[w];
     for (;;) {
-      Batch batch;
+      WorkItem item;
       {
         std::unique_lock<std::mutex> lock(shard.mu);
         shard.not_empty.wait(
             lock, [&] { return shard.stopping || !shard.queue.empty(); });
         if (shard.queue.empty()) return;  // stopping and fully drained
-        batch = std::move(shard.queue.front());
+        item = std::move(shard.queue.front());
         shard.queue.pop_front();
         shard.not_full.notify_one();
       }
-      for (const auto& h : batch) {
-        alg_->UpdateEndpoint(h.endpoint, h.endpoint, h.other, h.delta);
+      uint64_t applied = 0;
+      if (const Batch* batch = std::get_if<Batch>(&item)) {
+        for (const auto& h : *batch) {
+          alg_->UpdateEndpoint(h.endpoint, h.endpoint, h.other, h.delta);
+        }
+        applied = batch->size();
+      } else {
+        const NodeBatch& node = std::get<NodeBatch>(item);
+        ApplyNodeBatch(alg_, node);
+        applied = node.halves;
       }
-      applied_halves_.fetch_add(batch.size(), std::memory_order_acq_rel);
+      applied_halves_.fetch_add(applied, std::memory_order_acq_rel);
       std::lock_guard<std::mutex> lock(drained_mu_);
       drained_.notify_all();
     }
@@ -201,6 +272,7 @@ class SketchDriver {
   const size_t max_pending_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<Batch> pending_;  // producer-side, one building batch/worker
+  std::optional<GutterSystem> gutter_;  // producer-side (gutter mode)
   std::vector<std::thread> threads_;
   uint64_t stream_updates_ = 0;
   uint64_t enqueued_halves_ = 0;  // producer-side

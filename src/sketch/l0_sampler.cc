@@ -59,6 +59,25 @@ void L0CellsUpdateTwo(const L0Params& p, OneSparseCell* cells_a,
   }
 }
 
+void L0CellsUpdateBatch(const L0Params& p, OneSparseCell* cells,
+                        const uint64_t* ids, const int64_t* deltas,
+                        size_t count) {
+  const uint32_t per_rep = p.levels + 1;
+  for (uint32_t r = 0; r < p.repetitions; ++r) {
+    const uint64_t rep_seed = DeriveSeed(p.seed, r);
+    OneSparseCell* rep_cells = cells + static_cast<size_t>(r) * per_rep;
+    for (size_t i = 0; i < count; ++i) {
+      const uint64_t index = ids[i];
+      assert(index < p.domain);
+      uint32_t z = GeometricLevel(Mix64(rep_seed, 0x5e7eu, index), p.levels);
+      uint64_t finger = OneSparseCell::FingerOf(rep_seed, index);
+      for (uint32_t l = 0; l <= z; ++l) {
+        rep_cells[l].Update(index, deltas[i], finger);
+      }
+    }
+  }
+}
+
 std::optional<L0Sample> L0CellsSample(const L0Params& p,
                                       const OneSparseCell* cells) {
   const uint32_t per_rep = p.levels + 1;

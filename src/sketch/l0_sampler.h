@@ -74,6 +74,16 @@ void L0CellsUpdateTwo(const L0Params& p, OneSparseCell* cells_a,
                       OneSparseCell* cells_b, uint64_t index, int64_t delta_a,
                       int64_t delta_b);
 
+/// Applies x[ids[i]] += deltas[i] for i in [0, count) to ONE sampler's
+/// cells — the gutter-flush fast path. Iterates repetition-major so each
+/// repetition's seed is derived once per batch (not once per update) and
+/// the repetition's level cells stay hot while the batch streams through
+/// them. Cell updates are commutative sums, so the resulting cells are
+/// bit-identical to `count` L0CellsUpdate calls in stream order.
+void L0CellsUpdateBatch(const L0Params& p, OneSparseCell* cells,
+                        const uint64_t* ids, const int64_t* deltas,
+                        size_t count);
+
 /// Draws a sample from one sampler's cells (nullopt if all reps fail).
 std::optional<L0Sample> L0CellsSample(const L0Params& p,
                                       const OneSparseCell* cells);

@@ -58,6 +58,25 @@ void RecoveryCellsUpdateTwo(const RecoveryParams& p, OneSparseCell* cells_a,
   }
 }
 
+void RecoveryCellsUpdateBatch(const RecoveryParams& p, OneSparseCell* cells,
+                              const uint64_t* ids, const int64_t* deltas,
+                              size_t count) {
+  for (uint32_t r = 0; r < p.rows; ++r) {
+    const uint64_t row_seed = RowSeed(p, r);
+    const uint64_t hash_seed = DeriveSeed(p.seed, 0x7002u + r);
+    OneSparseCell* row_cells = cells + static_cast<size_t>(r) * p.buckets;
+    for (size_t i = 0; i < count; ++i) {
+      const uint64_t index = ids[i];
+      assert(index < p.domain);
+      uint64_t h = Mix64(hash_seed, index);
+      uint64_t b = static_cast<uint64_t>(
+          (static_cast<__uint128_t>(h) * p.buckets) >> 64);
+      row_cells[b].Update(index, deltas[i],
+                          OneSparseCell::FingerOf(row_seed, index));
+    }
+  }
+}
+
 RecoveryResult RecoveryCellsDecode(const RecoveryParams& p,
                                    const OneSparseCell* cells) {
   // Peel on a scratch copy of the cells.

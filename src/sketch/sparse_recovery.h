@@ -70,6 +70,14 @@ void RecoveryCellsUpdateTwo(const RecoveryParams& p, OneSparseCell* cells_a,
                             OneSparseCell* cells_b, uint64_t index,
                             int64_t delta_a, int64_t delta_b);
 
+/// Applies x[ids[i]] += deltas[i] for i in [0, count) to ONE sketch's
+/// cells — the gutter-flush fast path. Row-major iteration derives each
+/// row's seeds once per batch; cell updates commute, so the cells are
+/// bit-identical to `count` RecoveryCellsUpdate calls in stream order.
+void RecoveryCellsUpdateBatch(const RecoveryParams& p, OneSparseCell* cells,
+                              const uint64_t* ids, const int64_t* deltas,
+                              size_t count);
+
 /// Attempts full recovery from one sketch's cells (peels a scratch copy).
 RecoveryResult RecoveryCellsDecode(const RecoveryParams& p,
                                    const OneSparseCell* cells);

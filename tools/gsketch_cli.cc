@@ -79,6 +79,9 @@ void PrintUsage(std::FILE* out, const char* argv0) {
       "options:  --threads N   worker threads (%s;\n"
       "                        checkpoint, resume; default 1)\n"
       "          --batch N     updates per dispatched batch (default 4096)\n"
+      "          --gutter B    per-node gutter buffers of B bytes; flushes\n"
+      "                        coalesce into dense per-node batches\n"
+      "                        (default 0 = off; try 4096)\n"
       "          --progress    live insertion-rate reporting on stderr\n"
       "          --at N        checkpoint after N updates (default: half)\n"
       "          --k K         witness strength for %s (default 3)\n"
@@ -136,26 +139,41 @@ bool LoadTextStream(const char* path, NodeId n, DynamicGraphStream* out) {
 }
 
 /// Loads a whole stream (binary or text) into memory, for the commands
-/// that need random access to it.
+/// that need random access to it. Binary failures report the reader's
+/// diagnostic (truncation, bad records), not just "malformed".
 bool LoadAnyStream(const char* path, NodeId n, DynamicGraphStream* out) {
   if (!LooksLikeBinaryStream(path)) return LoadTextStream(path, n, out);
-  auto s = ReadBinaryStream(path);
-  if (!s.has_value()) {
-    std::fprintf(stderr, "error: %s: malformed binary stream\n", path);
+  BinaryStreamReader reader(path);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "error: %s: %s\n", path, reader.error().c_str());
     return false;
   }
-  if (s->NumNodes() != n) {
+  if (reader.nodes() != n) {
     std::fprintf(stderr, "error: %s: stream declares n=%u but n=%u given\n",
-                 path, s->NumNodes(), n);
+                 path, reader.nodes(), n);
     return false;
   }
-  *out = std::move(*s);
+  DynamicGraphStream stream(n);
+  std::vector<EdgeUpdate> batch;
+  while (!reader.Done() && reader.ok()) {
+    batch.clear();
+    if (reader.ReadBatch(1 << 14, &batch) == 0) break;
+    for (const auto& e : batch) stream.Push(e.u, e.v, e.delta);
+  }
+  if (!reader.ok() || !reader.Done()) {
+    std::fprintf(stderr, "error: %s: %s\n", path,
+                 reader.error().empty() ? "stream ended early"
+                                        : reader.error().c_str());
+    return false;
+  }
+  *out = std::move(stream);
   return true;
 }
 
 struct IngestOptions {
   uint32_t threads = 1;
   size_t batch = 4096;
+  size_t gutter = 0;  ///< per-node gutter bytes; 0 = gutters off
   bool progress = false;
 };
 
@@ -206,12 +224,14 @@ bool IngestStreamRange(LinearSketch* alg, const char* path, NodeId n,
   DriverOptions dopt;
   dopt.num_workers = alg->EndpointSharded() ? opt.threads : 1;
   dopt.batch_size = opt.batch;
+  dopt.gutter_bytes = opt.gutter;
   SketchDriver<LinearSketch> driver(alg, dopt);
   std::optional<InsertionTracker> tracker;
   if (opt.progress) {
-    // The driver counts endpoint halves: 2 per stream update.
-    tracker.emplace((to - from) * 2,
-                    [&driver] { return driver.TotalUpdates(); });
+    // Report in stream tokens: the driver counts endpoint halves (2 per
+    // token), so the counter halves it to match the token total.
+    tracker.emplace(to - from,
+                    [&driver] { return driver.TotalUpdates() / 2; });
   }
 
   bool ok = true;
@@ -223,6 +243,10 @@ bool IngestStreamRange(LinearSketch* alg, const char* path, NodeId n,
   } else {
     BinaryStreamReader reader(path);
     ok = reader.ok() && reader.nodes() == n;
+    if (!ok && reader.ok()) {
+      std::fprintf(stderr, "error: %s: stream declares n=%u but n=%u given\n",
+                   path, reader.nodes(), n);
+    }
     std::vector<EdgeUpdate> batch;
     batch.reserve(opt.batch);
     uint64_t index = 0;
@@ -237,6 +261,12 @@ bool IngestStreamRange(LinearSketch* alg, const char* path, NodeId n,
     }
     if (!reader.ok()) {
       std::fprintf(stderr, "error: %s: %s\n", path, reader.error().c_str());
+      ok = false;
+    } else if (ok && index < to) {
+      std::fprintf(stderr,
+                   "error: %s: stream ended after %llu of %llu updates\n",
+                   path, static_cast<unsigned long long>(index),
+                   static_cast<unsigned long long>(to));
       ok = false;
     }
   }
@@ -648,6 +678,17 @@ int main(int argc, char** argv) {
       } else {
         opt.batch = value;
       }
+    } else if (arg == "--gutter") {
+      // 0 is a valid value (gutters explicitly off); cap at 1 GiB/node.
+      if (i + 1 >= argc || !ParseU64(argv[i + 1], &value) ||
+          value > (uint64_t{1} << 30)) {
+        std::fprintf(stderr,
+                     "error: --gutter needs a byte count in [0, 2^30]\n");
+        return kExitUsage;
+      }
+      ++i;
+      ingest_flags_given = true;
+      opt.gutter = value;
     } else if (arg == "--progress") {
       opt.progress = true;
       ingest_flags_given = true;
@@ -680,7 +721,8 @@ int main(int argc, char** argv) {
   auto reject_ingest = [&](const char* why) -> bool {
     if (!ingest_flags_given) return false;
     std::fprintf(stderr,
-                 "error: --threads/--batch/--progress apply only to %s\n",
+                 "error: --threads/--batch/--gutter/--progress apply only "
+                 "to %s\n",
                  why);
     return true;
   };
