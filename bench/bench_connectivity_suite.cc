@@ -46,7 +46,7 @@ int main() {
     stream = stream.WithChurn(c.g.NumEdges() / 3, &rng).Shuffled(&rng);
     ConnectivitySketch conn(c.g.NumNodes(), opt, 11);
     BipartitenessSketch bip(c.g.NumNodes(), opt, 13);
-    stream.Replay([&](NodeId u, NodeId v, int32_t d) {
+    stream.Replay([&](NodeId u, NodeId v, int64_t d) {
       conn.Update(u, v, d);
       bip.Update(u, v, d);
     });

@@ -73,7 +73,7 @@ int main() {
     for (const AlgInfo& info : Registry()) {
       auto single = info.make(kN, opt, kSeed);
       churned.Replay(
-          [&](NodeId u, NodeId v, int32_t d) { single->Update(u, v, d); });
+          [&](NodeId u, NodeId v, int64_t d) { single->Update(u, v, d); });
 
       // Sketch each shard independently (round-robin split) and fold it
       // into the accumulator immediately — at most two site sketches are

@@ -41,7 +41,7 @@ void RunSweep(const Workload& w, double epsilon, uint64_t seed) {
   MinCutSketch sk(w.graph.NumNodes(), opt, seed);
   Timer feed;
   stream.Replay(
-      [&sk](NodeId u, NodeId v, int32_t d) { sk.Update(u, v, d); });
+      [&sk](NodeId u, NodeId v, int64_t d) { sk.Update(u, v, d); });
   double feed_s = feed.Seconds();
   Timer dec;
   auto est = sk.Estimate();

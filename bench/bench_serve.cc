@@ -1,0 +1,179 @@
+// E15: query-while-ingest serving — snapshot latency and the ingest
+// throughput penalty of periodic snapshots.
+//
+// Ingests a uniform multigraph stream (same generator shape as E13/E14,
+// so the numbers compare directly) into a ConnectivitySketch through the
+// gutter-buffered driver while taking drain-barrier snapshots
+// (SketchDriver::SnapshotNow + Clone + SnapshotStore::Publish) at a sweep
+// of wall-clock intervals — off, 1 s, and 100 ms — and answering one
+// "components" query per snapshot on the QueryEngine thread. The cost of
+// a snapshot is the drain barrier (flush gutters, wait for workers) plus
+// an arena deep copy, so the penalty should stay small at 1 s intervals
+// (the acceptance bar is within 10% of snapshot-off) and visible but
+// bounded at 100 ms.
+//
+// Usage: bench_serve [n] [num_updates]
+//   defaults: n=1024, num_updates=1000000
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/sketch_registry.h"
+#include "src/driver/sketch_driver.h"
+#include "src/driver/snapshot.h"
+#include "src/graph/stream.h"
+#include "src/hash/random.h"
+
+namespace gsketch {
+namespace {
+
+// Uniform multigraph stream with ~10% churn deletions (the E13/E14
+// generator shape).
+DynamicGraphStream UniformStream(NodeId n, size_t updates, uint64_t seed) {
+  Rng rng(seed);
+  DynamicGraphStream s(n);
+  std::vector<std::pair<NodeId, NodeId>> inserted;
+  while (s.Size() < updates) {
+    if (!inserted.empty() && rng.Below(10) == 0) {
+      size_t pick = rng.Below(inserted.size());
+      auto [u, v] = inserted[pick];
+      inserted[pick] = inserted.back();
+      inserted.pop_back();
+      s.Push(u, v, -1);
+      continue;
+    }
+    NodeId u = static_cast<NodeId>(rng.Below(n));
+    NodeId v = static_cast<NodeId>(rng.Below(n));
+    if (u == v) continue;
+    s.Push(u, v, +1);
+    inserted.emplace_back(u, v);
+  }
+  return s;
+}
+
+struct Sample {
+  double seconds = 0;
+  double rate = 0;
+  uint64_t snapshots = 0;
+  double snap_ms_mean = 0;
+  double snap_ms_max = 0;
+  uint64_t answered = 0;
+};
+
+Sample RunOnce(const DynamicGraphStream& stream, NodeId n,
+               double interval_seconds) {
+  auto sk = FindAlg("connectivity")->make(n, AlgOptions{}, /*seed=*/1);
+  DriverOptions opt;
+  opt.num_workers = 1;
+  opt.gutter_bytes = 4096;
+  Sample out;
+  double snap_ms_total = 0;
+  std::FILE* devnull = std::fopen("/dev/null", "w");
+  {
+    SketchDriver<LinearSketch> driver(sk.get(), opt);
+    SnapshotStore store;
+    QueryEngine engine(&store, devnull != nullptr ? devnull : stderr);
+    bench::Timer timer;
+    double next_snapshot = interval_seconds;
+    for (const auto& e : stream.Updates()) {
+      if (interval_seconds > 0 && timer.Seconds() >= next_snapshot) {
+        bench::Timer snap_timer;
+        PublishSnapshot(&driver, &store);
+        double ms = snap_timer.Seconds() * 1000.0;
+        snap_ms_total += ms;
+        if (ms > out.snap_ms_max) out.snap_ms_max = ms;
+        ++out.snapshots;
+        engine.Submit("components");
+        next_snapshot = timer.Seconds() + interval_seconds;
+      }
+      driver.Push(e.u, e.v, e.delta);
+    }
+    driver.Drain();
+    out.seconds = timer.Seconds();
+    engine.Finish();
+    out.answered = engine.answered();
+  }
+  if (devnull != nullptr) std::fclose(devnull);
+  out.rate = static_cast<double>(stream.Size()) / out.seconds;
+  out.snap_ms_mean =
+      out.snapshots > 0 ? snap_ms_total / static_cast<double>(out.snapshots)
+                        : 0;
+  return out;
+}
+
+int Run(NodeId n, size_t updates) {
+  bench::Banner("E15", "query-while-ingest serving",
+                "snapshots are a drain barrier plus an arena deep copy, "
+                "so serving queries mid-stream costs little ingest "
+                "throughput (target: within 10% of snapshot-off at 1s "
+                "intervals)");
+
+  DynamicGraphStream stream = UniformStream(n, updates, /*seed=*/12345);
+  std::printf("uniform stream: n=%u, %zu updates\n", n, stream.Size());
+
+  struct Setting {
+    const char* label;
+    const char* key;
+    double interval_seconds;
+  } settings[] = {
+      {"off", "off", 0},
+      {"1s", "1s", 1.0},
+      {"100ms", "100ms", 0.1},
+  };
+
+  bench::BenchJson json("E15", "query-while-ingest serving");
+  json.Metric("n", static_cast<double>(n));
+  json.Metric("stream_updates", static_cast<double>(updates));
+
+  bench::Row("%-10s %12s %14s %10s %10s %12s %12s %10s", "interval",
+             "seconds", "updates/s", "penalty", "snapshots", "snap ms avg",
+             "snap ms max", "answers");
+  double base_rate = 0;
+  for (const auto& s : settings) {
+    Sample r = RunOnce(stream, n, s.interval_seconds);
+    if (s.interval_seconds == 0) base_rate = r.rate;
+    double penalty_pct =
+        base_rate > 0 ? 100.0 * (1.0 - r.rate / base_rate) : 0;
+    bench::Row("%-10s %12.3f %14.0f %9.1f%% %10llu %12.2f %12.2f %10llu",
+               s.label, r.seconds, r.rate, penalty_pct,
+               static_cast<unsigned long long>(r.snapshots), r.snap_ms_mean,
+               r.snap_ms_max, static_cast<unsigned long long>(r.answered));
+    json.Metric((std::string("updates_per_sec_") + s.key).c_str(), r.rate);
+    json.Metric((std::string("penalty_pct_") + s.key).c_str(), penalty_pct);
+    json.Metric((std::string("snapshots_") + s.key).c_str(),
+                static_cast<double>(r.snapshots));
+    json.Metric((std::string("snapshot_ms_mean_") + s.key).c_str(),
+                r.snap_ms_mean);
+    json.Metric((std::string("snapshot_ms_max_") + s.key).c_str(),
+                r.snap_ms_max);
+  }
+  json.Write();
+  return 0;
+}
+
+}  // namespace
+}  // namespace gsketch
+
+int main(int argc, char** argv) {
+  auto parse = [](const char* s, long long lo, long long hi,
+                  long long* out) {
+    char* end = nullptr;
+    long long v = std::strtoll(s, &end, 10);
+    if (end == s || *end != '\0' || v < lo || v > hi) return false;
+    *out = v;
+    return true;
+  };
+  long long n = 1024, updates = 1000000;
+  bool ok = true;
+  if (argc > 1) ok = ok && parse(argv[1], 2, 1 << 24, &n);
+  if (argc > 2) ok = ok && parse(argv[2], 1, 1LL << 40, &updates);
+  if (!ok) {
+    std::fprintf(stderr, "usage: %s [n in 2..2^24] [num_updates>0]\n",
+                 argv[0]);
+    return 2;
+  }
+  return gsketch::Run(static_cast<gsketch::NodeId>(n),
+                      static_cast<size_t>(updates));
+}

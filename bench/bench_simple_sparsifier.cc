@@ -28,7 +28,7 @@ void RunCase(const char* name, const Graph& g, uint32_t k, uint64_t seed) {
   stream = stream.WithChurn(g.NumEdges() / 3, &rng).Shuffled(&rng);
 
   SimpleSparsifier sk(g.NumNodes(), opt, seed);
-  stream.Replay([&sk](NodeId u, NodeId v, int32_t d) { sk.Update(u, v, d); });
+  stream.Replay([&sk](NodeId u, NodeId v, int64_t d) { sk.Update(u, v, d); });
   Timer dec;
   Graph h = sk.Extract();
   double dec_s = dec.Seconds();

@@ -46,7 +46,7 @@ void RunCase(const char* name, const Graph& g, uint32_t k, uint64_t seed) {
   stream = stream.WithChurn(g.NumEdges() / 3, &rng).Shuffled(&rng);
 
   Sparsifier sk(g.NumNodes(), opt, seed);
-  stream.Replay([&sk](NodeId u, NodeId v, int32_t d) { sk.Update(u, v, d); });
+  stream.Replay([&sk](NodeId u, NodeId v, int64_t d) { sk.Update(u, v, d); });
   Timer dec;
   SparsifierStats stats;
   Graph h = sk.Extract(&stats);
@@ -92,7 +92,7 @@ int main() {
     so.forest.repetitions = 5;
     SimpleSparsifier simple(64, so, seed);
     stream.Replay(
-        [&simple](NodeId u, NodeId v, int32_t d) { simple.Update(u, v, d); });
+        [&simple](NodeId u, NodeId v, int64_t d) { simple.Update(u, v, d); });
     Graph hs = simple.Extract();
     auto es = Evaluate(er, hs, 9001);
     Row("%-22s %-10.3f %-12zu %-10zu", "Fig2-simple (k=16)", es.max_rel_error,
@@ -109,7 +109,7 @@ int main() {
     bo.rough.forest.repetitions = 5;
     Sparsifier better(64, bo, seed);
     stream.Replay(
-        [&better](NodeId u, NodeId v, int32_t d) { better.Update(u, v, d); });
+        [&better](NodeId u, NodeId v, int64_t d) { better.Update(u, v, d); });
     Graph hb = better.Extract();
     auto eb = Evaluate(er, hb, 9001);
     Row("%-22s %-10.3f %-12zu %-10zu", "Fig3-better (k=48)", eb.max_rel_error,

@@ -76,7 +76,7 @@ int main() {
     stream = stream.WithChurn(g.NumEdges() / 2, &rng).Shuffled(&rng);
     SubgraphSketch sk(40, 3, 300, 6, 31);
     stream.Replay(
-        [&sk](NodeId u, NodeId v, int32_t d) { sk.Update(u, v, d); });
+        [&sk](NodeId u, NodeId v, int64_t d) { sk.Update(u, v, d); });
     Row("%-14s %-10s %-10s %-10s", "pattern", "exact", "estimate", "|err|");
     for (const auto& p : Order3Patterns()) {
       double truth = census.Gamma(p.canonical_code);

@@ -40,7 +40,7 @@ int main() {
   std::vector<SimpleSparsifier> sites;
   for (size_t s = 0; s < kSites; ++s) {
     sites.emplace_back(n, opt, kSharedSeed);
-    parts[s].Replay([&](NodeId u, NodeId v, int32_t d) {
+    parts[s].Replay([&](NodeId u, NodeId v, int64_t d) {
       sites.back().Update(u, v, d);
     });
     std::printf("site %zu processed %zu updates (%zu sketch cells)\n", s,
@@ -55,7 +55,7 @@ int main() {
   // Reference: one sketch over the whole stream.
   SimpleSparsifier central(n, opt, kSharedSeed);
   stream.Replay(
-      [&central](NodeId u, NodeId v, int32_t d) { central.Update(u, v, d); });
+      [&central](NodeId u, NodeId v, int64_t d) { central.Update(u, v, d); });
   Graph h_central = central.Extract();
 
   bool identical = h_merged.NumEdges() == h_central.NumEdges();

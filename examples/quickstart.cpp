@@ -45,7 +45,7 @@ int main() {
   SubgraphSketch triangles(n, /*order=*/3, /*samplers=*/120, /*reps=*/6,
                            /*seed=*/3);
 
-  stream.Replay([&](NodeId u, NodeId v, int32_t delta) {
+  stream.Replay([&](NodeId u, NodeId v, int64_t delta) {
     connectivity.Update(u, v, delta);
     mincut.Update(u, v, delta);
     triangles.Update(u, v, delta);

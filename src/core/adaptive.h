@@ -34,7 +34,7 @@ class AdaptiveSketchScheme {
   void Run(const DynamicGraphStream& stream) {
     for (uint32_t p = 0; p < NumPasses(); ++p) {
       BeginPass(p);
-      stream.Replay([this](NodeId u, NodeId v, int32_t delta) {
+      stream.Replay([this](NodeId u, NodeId v, int64_t delta) {
         Update(u, v, delta);
       });
       EndPass(p);

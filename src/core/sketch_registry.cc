@@ -1,5 +1,8 @@
 #include "src/core/sketch_registry.h"
 
+#include <cerrno>
+#include <cstdlib>
+#include <sstream>
 #include <type_traits>
 #include <utility>
 
@@ -10,15 +13,59 @@
 #include "src/core/spanning_forest.h"
 #include "src/core/subgraph_patterns.h"
 #include "src/core/subgraph_sketch.h"
+#include "src/graph/union_find.h"
 
 namespace gsketch {
 
 namespace {
 
+// ------------------------------------------------- query plumbing --
+
+std::vector<std::string> QueryTokens(const std::string& q) {
+  std::istringstream ss(q);
+  std::vector<std::string> out;
+  std::string tok;
+  while (ss >> tok) out.push_back(tok);
+  return out;
+}
+
+bool ParseQueryNode(const std::string& tok, NodeId n, NodeId* out,
+                    std::string* error) {
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+  if (errno != 0 || end == tok.c_str() || *end != '\0' || v >= n) {
+    if (error != nullptr) {
+      *error = "bad node '" + tok + "' (want an integer < " +
+               std::to_string(n) + ")";
+    }
+    return false;
+  }
+  *out = static_cast<NodeId>(v);
+  return true;
+}
+
+std::string FormatDouble(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+// Connectivity between two nodes, decoded from a spanning-forest witness:
+// u and v are connected in the streamed graph iff the forest joins them.
+bool ForestConnected(const Graph& forest, NodeId u, NodeId v) {
+  UnionFind uf(forest.NumNodes());
+  for (const auto& e : forest.Edges()) uf.Union(e.u, e.v);
+  return uf.Connected(u, v);
+}
+
 // Shared forwarding shell: holds the concrete sketch by value and routes
 // the uniform contract to it. Derived adapters add only what genuinely
-// differs per family (parameter summary and answer decoding).
-template <typename Sketch, AlgTag TagV>
+// differs per family (parameter summary, answer decoding, and the query
+// vocabulary). CRTP: `Derived` is the final adapter class, which lets
+// this shell implement Clone generically — a by-value copy of the
+// concrete sketch rewrapped in a fresh adapter.
+template <typename Derived, typename Sketch, AlgTag TagV>
 class Adapter : public LinearSketch {
  public:
   explicit Adapter(Sketch sk) : sk_(std::move(sk)) {}
@@ -70,6 +117,10 @@ class Adapter : public LinearSketch {
 
   void AppendTo(std::string* out) const override { sk_.AppendTo(out); }
 
+  std::unique_ptr<LinearSketch> Clone() const override {
+    return std::make_unique<Derived>(Sketch(sk_));
+  }
+
   const Sketch& sketch() const { return sk_; }
 
  protected:
@@ -85,7 +136,8 @@ void PrintWeightedEdges(std::FILE* out, const Graph& g) {
 // ----------------------------------------------------------- adapters --
 
 class ConnectivityAdapter final
-    : public Adapter<ConnectivitySketch, AlgTag::kConnectivity> {
+    : public Adapter<ConnectivityAdapter, ConnectivitySketch,
+                     AlgTag::kConnectivity> {
  public:
   using Adapter::Adapter;
   std::string Describe() const override {
@@ -96,10 +148,42 @@ class ConnectivityAdapter final
     std::fprintf(out, "components: %zu\nconnected:  %s\n",
                  sk_.NumComponents(), sk_.IsConnected() ? "yes" : "no");
   }
+  bool Query(const std::string& q, std::string* out,
+             std::string* error) const override {
+    const auto t = QueryTokens(q);
+    if (!t.empty() && t[0] == "components") {
+      *out = std::to_string(sk_.NumComponents());
+      return true;
+    }
+    if (!t.empty() && t[0] == "connected") {
+      if (t.size() == 1) {
+        *out = sk_.IsConnected() ? "yes" : "no";
+        return true;
+      }
+      if (t.size() != 3) {
+        if (error != nullptr) {
+          *error = "connected takes zero or two node arguments";
+        }
+        return false;
+      }
+      NodeId u = 0, v = 0;
+      if (!ParseQueryNode(t[1], sk_.num_nodes(), &u, error) ||
+          !ParseQueryNode(t[2], sk_.num_nodes(), &v, error)) {
+        return false;
+      }
+      *out = ForestConnected(sk_.Forest(), u, v) ? "yes" : "no";
+      return true;
+    }
+    return LinearSketch::Query(q, out, error);
+  }
+  std::string QueryVerbs() const override {
+    return LinearSketch::QueryVerbs() + ", components, connected [u v]";
+  }
 };
 
 class BipartiteAdapter final
-    : public Adapter<BipartitenessSketch, AlgTag::kBipartite> {
+    : public Adapter<BipartiteAdapter, BipartitenessSketch,
+                     AlgTag::kBipartite> {
  public:
   using Adapter::Adapter;
   std::string Describe() const override {
@@ -110,9 +194,21 @@ class BipartiteAdapter final
   void PrintAnswer(std::FILE* out) const override {
     std::fprintf(out, "bipartite: %s\n", sk_.IsBipartite() ? "yes" : "no");
   }
+  bool Query(const std::string& q, std::string* out,
+             std::string* error) const override {
+    if (q == "bipartite") {
+      *out = sk_.IsBipartite() ? "yes" : "no";
+      return true;
+    }
+    return LinearSketch::Query(q, out, error);
+  }
+  std::string QueryVerbs() const override {
+    return LinearSketch::QueryVerbs() + ", bipartite";
+  }
 };
 
-class MstAdapter final : public Adapter<ApproxMstSketch, AlgTag::kApproxMst> {
+class MstAdapter final
+    : public Adapter<MstAdapter, ApproxMstSketch, AlgTag::kApproxMst> {
  public:
   using Adapter::Adapter;
   std::string Describe() const override {
@@ -125,10 +221,22 @@ class MstAdapter final : public Adapter<ApproxMstSketch, AlgTag::kApproxMst> {
     // (weight-1 Kruskal), i.e. n - #components.
     std::fprintf(out, "mst weight: %.0f\n", sk_.EstimateWeight());
   }
+  bool Query(const std::string& q, std::string* out,
+             std::string* error) const override {
+    if (q == "mstweight") {
+      *out = FormatDouble("%.0f", sk_.EstimateWeight());
+      return true;
+    }
+    return LinearSketch::Query(q, out, error);
+  }
+  std::string QueryVerbs() const override {
+    return LinearSketch::QueryVerbs() + ", mstweight";
+  }
 };
 
 class KConnectAdapter final
-    : public Adapter<KConnectivityTester, AlgTag::kKConnectivity> {
+    : public Adapter<KConnectAdapter, KConnectivityTester,
+                     AlgTag::kKConnectivity> {
  public:
   using Adapter::Adapter;
   std::string Describe() const override {
@@ -141,10 +249,26 @@ class KConnectAdapter final
                  sk_.WitnessMinCut(), sk_.k(),
                  sk_.IsKConnected() ? "yes" : "no");
   }
+  bool Query(const std::string& q, std::string* out,
+             std::string* error) const override {
+    if (q == "kconnected") {
+      *out = sk_.IsKConnected() ? "yes" : "no";
+      return true;
+    }
+    if (q == "witnesscut") {
+      *out = FormatDouble("%.0f", sk_.WitnessMinCut());
+      return true;
+    }
+    return LinearSketch::Query(q, out, error);
+  }
+  std::string QueryVerbs() const override {
+    return LinearSketch::QueryVerbs() + ", kconnected, witnesscut";
+  }
 };
 
 class KEdgeAdapter final
-    : public Adapter<KEdgeConnectSketch, AlgTag::kKEdgeConnect> {
+    : public Adapter<KEdgeAdapter, KEdgeConnectSketch,
+                     AlgTag::kKEdgeConnect> {
  public:
   using Adapter::Adapter;
   std::string Describe() const override {
@@ -158,10 +282,22 @@ class KEdgeAdapter final
                  sk_.k());
     PrintWeightedEdges(out, h);
   }
+  bool Query(const std::string& q, std::string* out,
+             std::string* error) const override {
+    if (q == "witness") {
+      *out = AnswerString(*this);
+      return true;
+    }
+    return LinearSketch::Query(q, out, error);
+  }
+  std::string QueryVerbs() const override {
+    return LinearSketch::QueryVerbs() + ", witness";
+  }
 };
 
 class ForestAdapter final
-    : public Adapter<SpanningForestSketch, AlgTag::kSpanningForest> {
+    : public Adapter<ForestAdapter, SpanningForestSketch,
+                     AlgTag::kSpanningForest> {
  public:
   using Adapter::Adapter;
   std::string Describe() const override {
@@ -175,9 +311,36 @@ class ForestAdapter final
                  f.NumComponents());
     PrintWeightedEdges(out, f);
   }
+  bool Query(const std::string& q, std::string* out,
+             std::string* error) const override {
+    const auto t = QueryTokens(q);
+    if (!t.empty() && t[0] == "forest") {
+      *out = AnswerString(*this);
+      return true;
+    }
+    if (!t.empty() && t[0] == "components") {
+      *out = std::to_string(sk_.ExtractForest().NumComponents());
+      return true;
+    }
+    if (!t.empty() && t[0] == "connected" && t.size() == 3) {
+      NodeId u = 0, v = 0;
+      if (!ParseQueryNode(t[1], sk_.num_nodes(), &u, error) ||
+          !ParseQueryNode(t[2], sk_.num_nodes(), &v, error)) {
+        return false;
+      }
+      *out = ForestConnected(sk_.ExtractForest(), u, v) ? "yes" : "no";
+      return true;
+    }
+    return LinearSketch::Query(q, out, error);
+  }
+  std::string QueryVerbs() const override {
+    return LinearSketch::QueryVerbs() +
+           ", forest, components, connected u v";
+  }
 };
 
-class MinCutAdapter final : public Adapter<MinCutSketch, AlgTag::kMinCut> {
+class MinCutAdapter final
+    : public Adapter<MinCutAdapter, MinCutSketch, AlgTag::kMinCut> {
  public:
   using Adapter::Adapter;
   std::string Describe() const override {
@@ -194,10 +357,23 @@ class MinCutAdapter final : public Adapter<MinCutSketch, AlgTag::kMinCut> {
     for (NodeId v : est.side) std::fprintf(out, " %u", v);
     std::fprintf(out, "\n");
   }
+  bool Query(const std::string& q, std::string* out,
+             std::string* error) const override {
+    if (q == "mincut") {
+      auto est = sk_.Estimate();
+      *out = FormatDouble("%.0f", est.value) +
+             (est.resolved ? "" : " (unresolved)");
+      return true;
+    }
+    return LinearSketch::Query(q, out, error);
+  }
+  std::string QueryVerbs() const override {
+    return LinearSketch::QueryVerbs() + ", mincut";
+  }
 };
 
 class SparsifyAdapter final
-    : public Adapter<SimpleSparsifier, AlgTag::kSparsify> {
+    : public Adapter<SparsifyAdapter, SimpleSparsifier, AlgTag::kSparsify> {
  public:
   using Adapter::Adapter;
   std::string Describe() const override {
@@ -212,10 +388,21 @@ class SparsifyAdapter final
                  sk_.k());
     PrintWeightedEdges(out, h);
   }
+  bool Query(const std::string& q, std::string* out,
+             std::string* error) const override {
+    if (q == "sparsifier") {
+      *out = AnswerString(*this);
+      return true;
+    }
+    return LinearSketch::Query(q, out, error);
+  }
+  std::string QueryVerbs() const override {
+    return LinearSketch::QueryVerbs() + ", sparsifier";
+  }
 };
 
 class TrianglesAdapter final
-    : public Adapter<SubgraphSketch, AlgTag::kTriangles> {
+    : public Adapter<TrianglesAdapter, SubgraphSketch, AlgTag::kTriangles> {
  public:
   using Adapter::Adapter;
   std::string Describe() const override {
@@ -233,6 +420,36 @@ class TrianglesAdapter final
     }
   }
   bool EndpointSharded() const override { return false; }
+  bool Query(const std::string& q, std::string* out,
+             std::string* error) const override {
+    const auto t = QueryTokens(q);
+    if (t.size() == 2 && (t[0] == "gamma" || t[0] == "count")) {
+      for (const auto& p : Order3Patterns()) {
+        if (p.name != t[1]) continue;
+        if (t[0] == "gamma") {
+          *out = FormatDouble("%.4f",
+                              sk_.EstimateGamma(p.canonical_code).gamma);
+        } else {
+          *out = FormatDouble("%.0f", sk_.EstimateCount(p.canonical_code));
+        }
+        return true;
+      }
+      if (error != nullptr) {
+        std::string names;
+        for (const auto& p : Order3Patterns()) {
+          if (!names.empty()) names += ", ";
+          names += p.name;
+        }
+        *error =
+            "unknown order-3 pattern '" + t[1] + "' (want " + names + ")";
+      }
+      return false;
+    }
+    return LinearSketch::Query(q, out, error);
+  }
+  std::string QueryVerbs() const override {
+    return LinearSketch::QueryVerbs() + ", gamma <pattern>, count <pattern>";
+  }
 };
 
 // ---------------------------------------------------------- factories --
@@ -343,6 +560,50 @@ std::unique_ptr<LinearSketch> DeserializeTriangles(ByteReader* r) {
 }
 
 }  // namespace
+
+// ----------------------------------------- base query vocabulary --
+
+bool LinearSketch::Query(const std::string& query, std::string* out,
+                         std::string* error) const {
+  const auto t = QueryTokens(query);
+  if (t.size() == 1 && t[0] == "answer") {
+    *out = AnswerString(*this);
+    return true;
+  }
+  if (t.size() == 1 && t[0] == "describe") {
+    *out = Describe();
+    return true;
+  }
+  if (t.size() == 1 && t[0] == "cells") {
+    *out = std::to_string(CellCount());
+    return true;
+  }
+  if (error != nullptr) {
+    *error = (t.empty() ? std::string("empty query")
+                        : "unknown query '" + query + "'") +
+             "; supported: " + QueryVerbs();
+  }
+  return false;
+}
+
+std::string LinearSketch::QueryVerbs() const {
+  return "answer, describe, cells";
+}
+
+std::string AnswerString(const LinearSketch& sk) {
+  // open_memstream: PrintAnswer writes through the one FILE* surface every
+  // adapter already implements, and the bytes land in memory — the printed
+  // answer and the served answer cannot drift apart.
+  char* buf = nullptr;
+  size_t len = 0;
+  std::FILE* f = open_memstream(&buf, &len);
+  if (f == nullptr) return std::string();
+  sk.PrintAnswer(f);
+  std::fclose(f);
+  std::string out(buf, len);
+  std::free(buf);
+  return out;
+}
 
 const std::vector<AlgInfo>& Registry() {
   // Presentation order: the historical CLI commands first, then the

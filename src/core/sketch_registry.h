@@ -8,7 +8,8 @@
 // merge) — so instead of wiring each algorithm family into each consumer
 // by hand, every family implements ONE contract here and every consumer is
 // written once against it. Registering an algorithm in Registry() buys it
-// CLI ingestion, checkpoint/resume, and shard-merge for free.
+// CLI ingestion, checkpoint/resume, shard-merge, and query-while-ingest
+// serving for free.
 //
 // The contract (LinearSketch):
 //   * UpdateEndpoint — the endpoint half-update the sharded driver feeds;
@@ -17,6 +18,9 @@
 //     same n, options, and seed; structural mismatches are rejected).
 //   * AppendTo      — full-state serialization, byte-compatible with the
 //     concrete sketch's own AppendTo (GSKC payloads are unchanged).
+//   * Clone/Query   — the serving surface (src/driver/snapshot.h): a deep
+//     copy pinned at a stream position, and text queries ("components",
+//     "connected 3 7", …) decoded from it without mutating anything.
 //   * Tag/Describe/PrintAnswer — identity, parameter summary, and the
 //     decoded answer, for generic tooling (CLI dispatch, `inspect`).
 //
@@ -109,6 +113,26 @@ class LinearSketch {
   /// sketch's AppendTo (this is the GSKC checkpoint payload).
   virtual void AppendTo(std::string* out) const = 0;
 
+  /// Deep copy of the whole sketch (the query-while-ingest snapshot path,
+  /// src/driver/snapshot.h). The arena storage makes this a handful of
+  /// contiguous buffer copies, far cheaper than AppendTo + Deserialize.
+  /// The clone is fully independent: updates to either side never touch
+  /// the other, and both serialize to identical bytes at the moment of
+  /// the copy.
+  virtual std::unique_ptr<LinearSketch> Clone() const = 0;
+
+  /// Answers one text query ("components", "connected 3 7", "mincut", …)
+  /// against the current sketch state into `*out`; false with `*error`
+  /// set for unknown verbs or malformed arguments. Every family answers
+  /// the common verbs ("answer" — the PrintAnswer text, "describe",
+  /// "cells"); adapters extend the vocabulary per family. Pure decode:
+  /// never mutates the sketch, so it is safe on an immutable snapshot.
+  virtual bool Query(const std::string& query, std::string* out,
+                     std::string* error) const;
+
+  /// Comma-separated query verbs this sketch answers (usage/error text).
+  virtual std::string QueryVerbs() const;
+
   /// One-line parameter summary, e.g. "kconnect: n=64, k=3, 24576 cells".
   virtual std::string Describe() const = 0;
 
@@ -169,6 +193,10 @@ struct AlgInfo {
   /// input. Inverse of LinearSketch::AppendTo.
   std::unique_ptr<LinearSketch> (*deserialize)(ByteReader* r);
 };
+
+/// The exact text LinearSketch::PrintAnswer would write, as a string (the
+/// "answer" query and the serve path both funnel through this).
+std::string AnswerString(const LinearSketch& sk);
 
 /// All registered algorithms, in stable presentation order.
 const std::vector<AlgInfo>& Registry();

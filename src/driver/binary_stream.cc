@@ -51,14 +51,29 @@ BinaryStreamWriter::BinaryStreamWriter(const std::string& path, NodeId n,
 
 BinaryStreamWriter::~BinaryStreamWriter() { Close(); }
 
-void BinaryStreamWriter::Append(NodeId u, NodeId v, int32_t delta) {
+void BinaryStreamWriter::Append(NodeId u, NodeId v, int64_t delta) {
   assert(u != v && u < n_ && v < n_);
   if (!ok_) return;
-  PutU32(&buffer_, u);
-  PutU32(&buffer_, v);
-  PutU32(&buffer_, static_cast<uint32_t>(delta));
-  ++count_;
-  if (buffer_.size() >= buffer_limit_) FlushBuffer();
+  if (delta > kMaxDeltaChunks * INT32_MAX ||
+      delta < kMaxDeltaChunks * int64_t{INT32_MIN}) {
+    ok_ = false;  // would split into > kMaxDeltaChunks records
+    return;
+  }
+  // Chunk the int64 delta into maximal i32 wire records (usually exactly
+  // one). A zero delta still writes one record: the update happened, and
+  // sketches apply zero deltas as (no-op) cell updates.
+  for (;;) {
+    int64_t chunk = delta;
+    if (chunk > INT32_MAX) chunk = INT32_MAX;
+    if (chunk < INT32_MIN) chunk = INT32_MIN;
+    PutU32(&buffer_, u);
+    PutU32(&buffer_, v);
+    PutU32(&buffer_, static_cast<uint32_t>(static_cast<int32_t>(chunk)));
+    ++count_;
+    if (buffer_.size() >= buffer_limit_) FlushBuffer();
+    delta -= chunk;
+    if (delta == 0) break;
+  }
 }
 
 void BinaryStreamWriter::FlushBuffer() {

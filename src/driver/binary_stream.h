@@ -14,6 +14,13 @@
 // The writer patches the update count into the header on Close(), so
 // streams can be produced without knowing t up front. Readers validate the
 // header, endpoint bounds, and that exactly t records are present.
+//
+// Deltas are int64 everywhere in memory; the wire record keeps its i32
+// delta for format-v1 compatibility, so Append SPLITS a wide delta into
+// several maximal i32 records for the same edge — linearity makes the
+// record sequence exactly equivalent, and readers need no change. (Before
+// the split existed, a wide delta was silently truncated to its low 32
+// bits on the way to disk.)
 #ifndef GRAPHSKETCH_SRC_DRIVER_BINARY_STREAM_H_
 #define GRAPHSKETCH_SRC_DRIVER_BINARY_STREAM_H_
 
@@ -32,6 +39,13 @@ inline constexpr uint32_t kBinaryStreamVersion = 1;
 inline constexpr size_t kBinaryStreamHeaderBytes = 20;
 inline constexpr size_t kBinaryStreamRecordBytes = 12;
 
+/// Most i32 wire records one Append will split a wide delta into, i.e. a
+/// per-record delta magnitude cap of ~2.2e12 (1024 · (2³¹−1)). Far past
+/// any real multigraph multiplicity; without the cap a single absurd
+/// delta (think INT64_MAX from a typo) would silently balloon the file
+/// by ~4.3e9 records. Exceeding it fails the writer (ok() goes false).
+inline constexpr int64_t kMaxDeltaChunks = 1024;
+
 /// Buffered writer for the GSKB format. Append updates, then Close() (or
 /// destroy) to flush and patch the final update count into the header.
 class BinaryStreamWriter {
@@ -47,8 +61,11 @@ class BinaryStreamWriter {
   /// False once the file failed to open or a write failed.
   bool ok() const { return ok_; }
 
-  /// Appends one update. Endpoints must be distinct and < n.
-  void Append(NodeId u, NodeId v, int32_t delta);
+  /// Appends one update. Endpoints must be distinct and < n. A delta
+  /// outside i32 range is split into several wire records whose deltas
+  /// sum to it (see file comment); updates_written() counts wire records.
+  /// A delta needing more than kMaxDeltaChunks records fails the writer.
+  void Append(NodeId u, NodeId v, int64_t delta);
   void Append(const EdgeUpdate& e) { Append(e.u, e.v, e.delta); }
 
   /// Flushes, patches the header count, and closes. Returns success;

@@ -19,9 +19,11 @@ int PercentOf(uint64_t count, uint64_t total) {
 
 InsertionTracker::InsertionTracker(uint64_t total,
                                    std::function<uint64_t()> counter,
-                                   std::FILE* out, double interval_seconds)
+                                   uint64_t initial, std::FILE* out,
+                                   double interval_seconds)
     : total_(total),
       counter_(std::move(counter)),
+      initial_(initial),
       out_(out),
       interval_seconds_(interval_seconds > 0.01 ? interval_seconds : 0.01),
       start_(std::chrono::steady_clock::now()),
@@ -29,7 +31,10 @@ InsertionTracker::InsertionTracker(uint64_t total,
 
 void InsertionTracker::Loop() {
   auto prev_time = start_;
-  uint64_t prev_count = 0;
+  // Rates are deltas against the previous poll, so they cover only work
+  // this run did — a resumed counter starting at `initial_` must not
+  // count the checkpointed prefix as instantaneous progress.
+  uint64_t prev_count = initial_;
   for (;;) {
     {
       std::unique_lock<std::mutex> lock(mu_);
@@ -69,18 +74,24 @@ void InsertionTracker::Stop() {
   // that wiped the last readout), terminated so the next line starts
   // clean after the \r redraws.
   uint64_t count = counter_();
+  uint64_t done = count >= initial_ ? count - initial_ : 0;
   double elapsed = std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - start_)
                        .count();
-  double avg = elapsed > 0 ? static_cast<double>(count) / elapsed : 0;
+  double avg = elapsed > 0 ? static_cast<double>(done) / elapsed : 0;
   int percent = PercentOf(count, total_);
   int filled = kBarWidth * percent / 100;
+  std::string resumed =
+      initial_ > 0
+          ? ", resumed at " + std::to_string(initial_)
+          : "";
   std::fprintf(out_,
                "progress: %s%s| %3d%% -- %llu updates in %.1fs "
-               "(avg %.0f/sec)\n",
+               "(avg %.0f/sec%s)\n",
                std::string(filled, '=').c_str(),
                std::string(kBarWidth - filled, ' ').c_str(), percent,
-               static_cast<unsigned long long>(count), elapsed, avg);
+               static_cast<unsigned long long>(done), elapsed, avg,
+               resumed.c_str());
   std::fflush(out_);
 }
 

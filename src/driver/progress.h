@@ -22,10 +22,18 @@ namespace gsketch {
 /// report stream tokens, pass total in tokens and a lambda that halves the
 /// driver counter). The bar and percentage clamp at 100%, so a counter
 /// that overshoots `total` cannot draw an over-full bar.
+///
+/// Resumed runs: pass `initial` = the position the counter starts from
+/// (the checkpoint's stream_pos) and a counter that ADDS it, with `total`
+/// the FULL stream length. Percent then reflects true stream position
+/// instead of restarting at 0% of the remainder, rates cover only the
+/// work this run actually did, and the closing line says where the run
+/// resumed.
 class InsertionTracker {
  public:
   InsertionTracker(uint64_t total, std::function<uint64_t()> counter,
-                   std::FILE* out = stderr, double interval_seconds = 1.0);
+                   uint64_t initial = 0, std::FILE* out = stderr,
+                   double interval_seconds = 1.0);
 
   /// Stops the sampler thread and prints the closing line — the final
   /// count and the run's average rate, so the last readout survives on
@@ -42,6 +50,7 @@ class InsertionTracker {
 
   const uint64_t total_;
   const std::function<uint64_t()> counter_;
+  const uint64_t initial_;  // counter value at start (resume seed)
   std::FILE* const out_;
   const double interval_seconds_;
   const std::chrono::steady_clock::time_point start_;

@@ -146,6 +146,21 @@ class SketchDriver {
     Drain();
   }
 
+  /// The query-while-ingest barrier: drains gutters and every queued
+  /// half-update, then invokes `fn(alg, stream_pos)` with all workers
+  /// idle — `alg` reflects EXACTLY the stream_pos tokens pushed so far, a
+  /// consistent cut of the stream. Returns fn's result. Producer-side
+  /// only (the thread that calls Push); ingestion resumes the moment fn
+  /// returns, so fn should capture (clone/serialize) and get out rather
+  /// than decode in place. See src/driver/snapshot.h for the capture +
+  /// publish layer built on this.
+  template <typename Fn>
+  auto SnapshotNow(Fn&& fn) {
+    Drain();
+    return std::forward<Fn>(fn)(
+        static_cast<const Alg&>(*alg_), stream_updates_);
+  }
+
   /// Ingests a whole binary stream file and drains. Returns false if the
   /// reader failed or the stream was not fully consumed (the driver still
   /// drains whatever was read); `*error`, when given, then carries the

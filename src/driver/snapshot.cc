@@ -1,0 +1,126 @@
+#include "src/driver/snapshot.h"
+
+namespace gsketch {
+
+std::shared_ptr<const SketchSnapshot> SnapshotStore::Publish(
+    uint64_t stream_pos, std::unique_ptr<const LinearSketch> sketch) {
+  auto snap = std::make_shared<SketchSnapshot>();
+  snap->stream_pos = stream_pos;
+  snap->sketch = std::move(sketch);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (latest_ != nullptr && stream_pos < latest_->stream_pos) {
+    return latest_;  // out-of-order publish: keep the newer capture
+  }
+  latest_ = std::move(snap);
+  ++published_;
+  return latest_;
+}
+
+std::shared_ptr<const SketchSnapshot> SnapshotStore::Latest() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return latest_;
+}
+
+uint64_t SnapshotStore::published() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return published_;
+}
+
+std::shared_ptr<const SketchSnapshot> PublishSnapshot(
+    SketchDriver<LinearSketch>* driver, SnapshotStore* store) {
+  return driver->SnapshotNow(
+      [store](const LinearSketch& alg, uint64_t stream_pos) {
+        return store->Publish(stream_pos, alg.Clone());
+      });
+}
+
+QueryEngine::QueryEngine(const SnapshotStore* store, std::FILE* out)
+    : store_(store), out_(out), thread_([this] { Loop(); }) {}
+
+QueryEngine::~QueryEngine() { Finish(); }
+
+void QueryEngine::Submit(std::string query) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (finished_) return;
+  queue_.push_back(Item{std::move(query), nullptr, /*pinned=*/false});
+  ++submitted_;
+  work_.notify_one();
+}
+
+void QueryEngine::Submit(std::string query,
+                         std::shared_ptr<const SketchSnapshot> snap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (finished_) return;
+  queue_.push_back(Item{std::move(query), std::move(snap), /*pinned=*/true});
+  ++submitted_;
+  work_.notify_one();
+}
+
+void QueryEngine::Finish() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (finished_) return;
+    finished_ = true;  // no further Submits land
+    idle_.wait(lock, [this] { return answered_ == submitted_; });
+    stopping_ = true;
+    work_.notify_all();
+  }
+  thread_.join();
+}
+
+uint64_t QueryEngine::answered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return answered_;
+}
+
+uint64_t QueryEngine::errors() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return errors_;
+}
+
+void QueryEngine::Loop() {
+  for (;;) {
+    Item item;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and fully drained
+      item = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    std::shared_ptr<const SketchSnapshot> snap =
+        item.pinned ? item.pin : store_->Latest();
+    bool failed = false;
+    if (snap == nullptr) {
+      std::fprintf(out_, "@- %s => error: no snapshot yet\n",
+                   item.query.c_str());
+      failed = true;
+    } else {
+      std::string answer, error;
+      if (!snap->sketch->Query(item.query, &answer, &error)) {
+        std::fprintf(out_, "@%llu %s => error: %s\n",
+                     static_cast<unsigned long long>(snap->stream_pos),
+                     item.query.c_str(), error.c_str());
+        failed = true;
+      } else {
+        // Single-line answers inline; multi-line answers start on the
+        // next line so the @pos header stays one grep-able record.
+        while (!answer.empty() && answer.back() == '\n') answer.pop_back();
+        std::fprintf(out_, "@%llu %s =>%s%s\n",
+                     static_cast<unsigned long long>(snap->stream_pos),
+                     item.query.c_str(),
+                     answer.find('\n') != std::string::npos ? "\n" : " ",
+                     answer.c_str());
+      }
+    }
+    std::fflush(out_);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++answered_;
+      if (failed) ++errors_;
+      idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace gsketch

@@ -1,0 +1,150 @@
+// Query-while-ingest serving: consistent sketch snapshots plus a query
+// thread that answers from them while ingestion keeps running.
+//
+// AGM12's headline property is that a linear sketch answers structural
+// queries at ANY point of the stream, not just at the end — but decoding
+// (forest extraction, cut search) takes orders of magnitude longer than
+// applying one update, so decoding in the ingest path would stall the
+// stream. The split here mirrors the buffered-ingest / queryable-state
+// architecture of production streaming-connectivity systems:
+//
+//   ingest thread                      query thread
+//   ─────────────                      ────────────
+//   Push Push Push ...                 Query("components")
+//   SnapshotNow() ──┐                    │ reads latest snapshot,
+//     drain barrier │ Clone()            │ decodes, answers with the
+//     (gutters +    ├───► SnapshotStore ─┘ stream_pos it reflects
+//      worker       │     (latest slot)
+//      queues)      │
+//   Push Push ... ◄─┘ resumes immediately
+//
+// A snapshot is a deep Clone of the sketch pinned to the stream position
+// the drain barrier reached — O(sketch bytes) of arena memcpy, no serde.
+// Clones are immutable and handed out as shared_ptr<const>, so a slow
+// query keeps its snapshot alive while newer ones supersede it, and every
+// answer states exactly which stream prefix it reflects. Linearity makes
+// each answer byte-identical to stopping ingestion at that position and
+// querying (tests/snapshot_test.cc proves it per registered family).
+#ifndef GRAPHSKETCH_SRC_DRIVER_SNAPSHOT_H_
+#define GRAPHSKETCH_SRC_DRIVER_SNAPSHOT_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "src/core/sketch_registry.h"
+#include "src/driver/sketch_driver.h"
+
+namespace gsketch {
+
+/// One immutable capture of sketch state: the clone plus the stream
+/// position (in stream tokens) it reflects.
+struct SketchSnapshot {
+  uint64_t stream_pos = 0;
+  std::unique_ptr<const LinearSketch> sketch;
+};
+
+/// Thread-safe latest-snapshot slot: the ingest thread publishes, any
+/// number of query threads read. Readers get a shared_ptr that stays
+/// valid (and immutable) however far ingestion advances past it.
+class SnapshotStore {
+ public:
+  /// Publishes a new snapshot and returns it. Positions at or past the
+  /// current latest replace it; an out-of-order (older) publish is
+  /// dropped and the existing newer snapshot is returned instead.
+  std::shared_ptr<const SketchSnapshot> Publish(
+      uint64_t stream_pos, std::unique_ptr<const LinearSketch> sketch);
+
+  /// The most recent snapshot, or nullptr before the first Publish.
+  std::shared_ptr<const SketchSnapshot> Latest() const;
+
+  /// Snapshots accepted by Publish so far.
+  uint64_t published() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const SketchSnapshot> latest_;
+  uint64_t published_ = 0;
+};
+
+/// Drain-barrier capture: flushes the driver's gutters and queues, deep-
+/// clones the quiesced sketch, publishes it pinned to the drained stream
+/// position, and returns the published snapshot (for callers that want to
+/// pin queries to exactly this capture). Producer-side only, like
+/// SketchDriver::Push. Ingestion may resume immediately after return.
+std::shared_ptr<const SketchSnapshot> PublishSnapshot(
+    SketchDriver<LinearSketch>* driver, SnapshotStore* store);
+
+/// Answers queries from snapshots on its own thread while the ingest
+/// thread keeps pushing. Submitted queries are answered in submission
+/// order; each answer is prefixed with the stream_pos it reflects:
+///
+///   @<stream_pos> <query> => <answer>          (single-line answers)
+///   @<stream_pos> <query> =>\n<answer lines>   (multi-line answers)
+///
+/// Queries submitted with an explicit snapshot are pinned to it
+/// (deterministic: the serve script path); queries submitted bare resolve
+/// the store's latest snapshot when they reach the front of the queue.
+class QueryEngine {
+ public:
+  /// Answers against `*store` (which must outlive the engine), writing
+  /// to `out`. The worker thread starts immediately.
+  QueryEngine(const SnapshotStore* store, std::FILE* out);
+
+  /// Drains the queue and joins the worker (idempotent).
+  ~QueryEngine();
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Enqueues a query answered against the latest snapshot at execution
+  /// time. Thread-safe.
+  void Submit(std::string query);
+
+  /// Enqueues a query pinned to `snap` (may be nullptr: answered as "no
+  /// snapshot yet"). Thread-safe.
+  void Submit(std::string query, std::shared_ptr<const SketchSnapshot> snap);
+
+  /// Blocks until every submitted query has been answered, then stops the
+  /// worker. Further Submits are dropped. Idempotent.
+  void Finish();
+
+  /// Queries answered (including error answers) so far.
+  uint64_t answered() const;
+
+  /// Queries whose sketch rejected the query (unknown verb, bad args) or
+  /// that arrived before any snapshot existed.
+  uint64_t errors() const;
+
+ private:
+  struct Item {
+    std::string query;
+    std::shared_ptr<const SketchSnapshot> pin;  // nullptr = use Latest()
+    bool pinned = false;
+  };
+
+  void Loop();
+
+  const SnapshotStore* const store_;
+  std::FILE* const out_;
+  mutable std::mutex mu_;
+  std::condition_variable work_;
+  std::condition_variable idle_;
+  std::deque<Item> queue_;
+  bool stopping_ = false;
+  bool finished_ = false;
+  uint64_t submitted_ = 0;
+  uint64_t answered_ = 0;
+  uint64_t errors_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace gsketch
+
+#endif  // GRAPHSKETCH_SRC_DRIVER_SNAPSHOT_H_

@@ -17,8 +17,10 @@ namespace gsketch {
 struct EdgeUpdate {
   NodeId u = 0;
   NodeId v = 0;
-  int32_t delta = 0;  ///< +1 insertion, -1 deletion (other values allowed
-                      ///< for multigraph batches).
+  int64_t delta = 0;  ///< +1 insertion, -1 deletion (other values allowed
+                      ///< for multigraph batches; int64 end to end, like
+                      ///< the whole in-memory pipeline — only the GSKB
+                      ///< wire record is i32, and the writer splits).
 };
 
 /// A dynamic graph stream over nodes [0, n).
@@ -34,7 +36,7 @@ class DynamicGraphStream {
   size_t Size() const { return updates_.size(); }
 
   /// Appends an update.
-  void Push(NodeId u, NodeId v, int32_t delta) {
+  void Push(NodeId u, NodeId v, int64_t delta) {
     updates_.push_back(EdgeUpdate{u, v, delta});
   }
 

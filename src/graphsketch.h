@@ -53,11 +53,13 @@
 #include "src/core/subgraph_sketch.h"
 #include "src/core/weighted_sparsifier.h"
 
-// High-throughput ingestion: binary stream files, the batched
-// multi-threaded driver, and mid-stream checkpointing.
+// High-throughput ingestion and serving: binary stream files, the
+// batched multi-threaded driver, mid-stream checkpointing, and
+// query-while-ingest snapshots.
 #include "src/driver/binary_stream.h"
 #include "src/driver/checkpoint.h"
 #include "src/driver/progress.h"
 #include "src/driver/sketch_driver.h"
+#include "src/driver/snapshot.h"
 
 #endif  // GRAPHSKETCH_SRC_GRAPHSKETCH_H_

@@ -190,15 +190,15 @@ TEST(Suite, DistributedMergeAllSketches) {
       bw(20, Opt(), 47);
   ApproxMstSketch ma(20, 1, 0.5, Opt(), 49), mb(20, 1, 0.5, Opt(), 49),
       mw(20, 1, 0.5, Opt(), 49);
-  parts[0].Replay([&](NodeId u, NodeId v, int32_t d) {
+  parts[0].Replay([&](NodeId u, NodeId v, int64_t d) {
     ba.Update(u, v, d);
     ma.Update(u, v, d, 1);
   });
-  parts[1].Replay([&](NodeId u, NodeId v, int32_t d) {
+  parts[1].Replay([&](NodeId u, NodeId v, int64_t d) {
     bb.Update(u, v, d);
     mb.Update(u, v, d, 1);
   });
-  stream.Replay([&](NodeId u, NodeId v, int32_t d) {
+  stream.Replay([&](NodeId u, NodeId v, int64_t d) {
     bw.Update(u, v, d);
     mw.Update(u, v, d, 1);
   });

@@ -8,14 +8,17 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <map>
 #include <string>
 #include <tuple>
+#include <utility>
 #include <vector>
 
 #include "src/core/connectivity_suite.h"
 #include "src/core/simple_sparsifier.h"
 #include "src/core/spanning_forest.h"
 #include "src/driver/binary_stream.h"
+#include "src/driver/progress.h"
 #include "src/driver/sketch_driver.h"
 #include "src/graph/generators.h"
 #include "src/graph/stream.h"
@@ -60,6 +63,69 @@ TEST(BinaryStream, RoundTripIsIdentity) {
   std::remove(path.c_str());
 }
 
+// Regression: BinaryStreamWriter::Append used to take an i32 delta, so a
+// wide in-memory delta was silently truncated to its low 32 bits on the
+// way to disk. Wide deltas now split into several maximal i32 wire
+// records whose sum is exact (linearity makes the sequence equivalent),
+// and a > 2^31 accumulated weight round-trips through convert.
+TEST(BinaryStream, WideDeltasSplitAcrossWireRecords) {
+  constexpr int64_t kWide = (int64_t{1} << 33) + 12345;     // 5 chunks
+  constexpr int64_t kNegWide = -((int64_t{1} << 31) + 7);   // 2 chunks
+  DynamicGraphStream s(8);
+  s.Push(0, 1, kWide);
+  s.Push(2, 3, kNegWide);
+  s.Push(4, 5, +1);
+  std::string path = TempPath("wide_delta.gskb");
+  ASSERT_TRUE(WriteBinaryStream(path, s));
+
+  auto back = ReadBinaryStream(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->Size(), 8u);  // 5 + 2 + 1 wire records
+  std::map<std::pair<NodeId, NodeId>, int64_t> sums;
+  for (const auto& e : back->Updates()) {
+    EXPECT_GE(e.delta, INT32_MIN);  // every wire record fits i32
+    EXPECT_LE(e.delta, INT32_MAX);
+    sums[{e.u, e.v}] += e.delta;
+  }
+  EXPECT_EQ((sums[{0, 1}]), kWide);
+  EXPECT_EQ((sums[{2, 3}]), kNegWide);
+  EXPECT_EQ((sums[{4, 5}]), 1);
+
+  // The split records build byte-identical sketch state and decode the
+  // exact accumulated weight — nothing was lost on the wire.
+  SpanningForestSketch direct(8, ForestOptions{}, 5);
+  s.Replay([&](NodeId u, NodeId v, int64_t d) { direct.Update(u, v, d); });
+  SpanningForestSketch wire(8, ForestOptions{}, 5);
+  back->Replay([&](NodeId u, NodeId v, int64_t d) { wire.Update(u, v, d); });
+  std::string a, b;
+  direct.AppendTo(&a);
+  wire.AppendTo(&b);
+  EXPECT_EQ(a, b);
+  double max_weight = 0;
+  for (const auto& e : wire.ExtractForest().Edges()) {
+    max_weight = std::max(max_weight, e.weight);
+  }
+  EXPECT_EQ(max_weight, static_cast<double>(kWide));
+  std::remove(path.c_str());
+}
+
+TEST(BinaryStream, AbsurdDeltaFailsTheWriterInsteadOfBallooning) {
+  // A delta needing more than kMaxDeltaChunks wire records (e.g. a typo'd
+  // INT64_MAX) must fail the writer, not silently write ~4e9 records.
+  std::string path = TempPath("absurd_delta.gskb");
+  {
+    BinaryStreamWriter w(path, 4);
+    ASSERT_TRUE(w.ok());
+    w.Append(0, 1, kMaxDeltaChunks * INT32_MAX);  // at the cap: fine
+    EXPECT_TRUE(w.ok());
+    EXPECT_EQ(w.updates_written(), static_cast<uint64_t>(kMaxDeltaChunks));
+    w.Append(2, 3, INT64_MAX);  // past the cap: writer fails
+    EXPECT_FALSE(w.ok());
+    EXPECT_FALSE(w.Close());
+  }
+  std::remove(path.c_str());
+}
+
 TEST(BinaryStream, HeaderCarriesCountAndNodes) {
   DynamicGraphStream s = TestStream(30, 0.2, 3);
   std::string path = TempPath("header.gskb");
@@ -91,6 +157,49 @@ TEST(BinaryStream, BatchedReadsReassembleTheStream) {
   ASSERT_TRUE(r.ok()) << r.error();
   ExpectSameUpdates(s, back);
   std::remove(path.c_str());
+}
+
+// Regression: after `resume`, the tracker used to start its counter at 0
+// against a total, so percent restarted and the run's closing line hid
+// where it resumed. A seeded tracker reports position in the FULL stream
+// and counts only this run's work in the rate.
+TEST(InsertionTracker, ResumeSeedReportsFullStreamPosition) {
+  char* buf = nullptr;
+  size_t len = 0;
+  std::FILE* out = open_memstream(&buf, &len);
+  ASSERT_NE(out, nullptr);
+  {
+    // A 100-token stream resumed from a checkpoint at 60; this run has
+    // pushed 15 more tokens when Stop() prints the closing line.
+    InsertionTracker tracker(
+        /*total=*/100, [] { return uint64_t{75}; }, /*initial=*/60, out,
+        /*interval_seconds=*/1000.0);
+    tracker.Stop();
+  }
+  std::fclose(out);
+  std::string text(buf, len);
+  std::free(buf);
+  EXPECT_NE(text.find(" 75%"), std::string::npos) << text;
+  EXPECT_NE(text.find("15 updates"), std::string::npos) << text;
+  EXPECT_NE(text.find("resumed at 60"), std::string::npos) << text;
+}
+
+TEST(InsertionTracker, FreshRunClosingLineHasNoResumeNote) {
+  char* buf = nullptr;
+  size_t len = 0;
+  std::FILE* out = open_memstream(&buf, &len);
+  ASSERT_NE(out, nullptr);
+  {
+    InsertionTracker tracker(
+        /*total=*/100, [] { return uint64_t{100}; }, /*initial=*/0, out,
+        /*interval_seconds=*/1000.0);
+    tracker.Stop();
+  }
+  std::fclose(out);
+  std::string text(buf, len);
+  std::free(buf);
+  EXPECT_NE(text.find("100%"), std::string::npos) << text;
+  EXPECT_EQ(text.find("resumed"), std::string::npos) << text;
 }
 
 TEST(BinaryStream, RejectsBadMagic) {
@@ -197,7 +306,7 @@ TEST(SketchDriver, ConnectivityParityAcrossThreadCounts) {
   DynamicGraphStream s = TestStream(kN, 0.1, 13);
 
   ConnectivitySketch sequential(kN, ForestOptions{}, kSeed);
-  s.Replay([&](NodeId u, NodeId v, int32_t d) { sequential.Update(u, v, d); });
+  s.Replay([&](NodeId u, NodeId v, int64_t d) { sequential.Update(u, v, d); });
 
   for (uint32_t threads : {1u, 4u}) {
     ConnectivitySketch parallel(kN, ForestOptions{}, kSeed);
@@ -230,7 +339,7 @@ TEST(SketchDriver, BipartitenessParityAcrossThreadCounts) {
         DynamicGraphStream::FromGraph(*g).WithChurn(10, &rng).Shuffled(&rng);
 
     BipartitenessSketch sequential(n, ForestOptions{}, kSeed);
-    s.Replay([&](NodeId u, NodeId v, int32_t d) {
+    s.Replay([&](NodeId u, NodeId v, int64_t d) {
       sequential.Update(u, v, d);
     });
 
@@ -255,7 +364,7 @@ TEST(SketchDriver, SparsifierParityAcrossThreadCounts) {
   SimpleSparsifierOptions sopt;
   sopt.epsilon = 0.5;
   SimpleSparsifier sequential(kN, sopt, kSeed);
-  s.Replay([&](NodeId u, NodeId v, int32_t d) { sequential.Update(u, v, d); });
+  s.Replay([&](NodeId u, NodeId v, int64_t d) { sequential.Update(u, v, d); });
   auto expected = SortedEdges(sequential.Extract());
 
   for (uint32_t threads : {1u, 4u}) {
@@ -278,7 +387,7 @@ TEST(SketchDriver, DestructionWithoutDrainAppliesEverything) {
   DynamicGraphStream s = TestStream(kN, 0.2, 37);
 
   ConnectivitySketch sequential(kN, ForestOptions{}, kSeed);
-  s.Replay([&](NodeId u, NodeId v, int32_t d) { sequential.Update(u, v, d); });
+  s.Replay([&](NodeId u, NodeId v, int64_t d) { sequential.Update(u, v, d); });
 
   ConnectivitySketch abandoned(kN, ForestOptions{}, kSeed);
   {
@@ -325,7 +434,7 @@ TEST(SketchDriver, BackpressureWithSingleSlotQueuesKeepsParity) {
   DynamicGraphStream s = TestStream(kN, 0.15, 41);
 
   ConnectivitySketch sequential(kN, ForestOptions{}, kSeed);
-  s.Replay([&](NodeId u, NodeId v, int32_t d) { sequential.Update(u, v, d); });
+  s.Replay([&](NodeId u, NodeId v, int64_t d) { sequential.Update(u, v, d); });
 
   ConnectivitySketch throttled(kN, ForestOptions{}, kSeed);
   {
@@ -351,7 +460,7 @@ TEST(SketchDriver, ProcessFileMatchesInMemoryIngestion) {
   ASSERT_TRUE(WriteBinaryStream(path, s));
 
   ConnectivitySketch sequential(kN, ForestOptions{}, kSeed);
-  s.Replay([&](NodeId u, NodeId v, int32_t d) { sequential.Update(u, v, d); });
+  s.Replay([&](NodeId u, NodeId v, int64_t d) { sequential.Update(u, v, d); });
 
   ConnectivitySketch parallel(kN, ForestOptions{}, kSeed);
   DriverOptions opt;

@@ -199,7 +199,7 @@ TEST(Stream, PartitionCoversAllUpdates) {
   Graph merged(12);
   for (const auto& p : parts) {
     total += p.Size();
-    p.Replay([&merged](NodeId u, NodeId v, int32_t d) {
+    p.Replay([&merged](NodeId u, NodeId v, int64_t d) {
       merged.AddEdge(u, v, d);
     });
   }

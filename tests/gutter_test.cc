@@ -9,10 +9,13 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/core/connectivity_suite.h"
@@ -124,7 +127,7 @@ TEST(GutterParity, EveryRegisteredFamilyAtSeveralGutterSizes) {
   for (const AlgInfo& info : Registry()) {
     SCOPED_TRACE(info.name);
     auto sequential = info.make(kN, AlgOptions{}, kSeed);
-    s.Replay([&](NodeId u, NodeId v, int32_t d) {
+    s.Replay([&](NodeId u, NodeId v, int64_t d) {
       sequential->Update(u, v, d);
     });
     const std::string expected = Bytes(*sequential);
@@ -146,10 +149,114 @@ TEST(GutterParity, EveryRegisteredFamilyAtSeveralGutterSizes) {
   }
 }
 
+// ---------------------------------------- min-endpoint gutter audit --
+//
+// SubgraphSketch (triangles) is not endpoint-sharded: its UpdateEndpoint
+// applies the WHOLE token when endpoint == min(u, v) and is a no-op for
+// the other half. Gutters buffer both halves in different per-node
+// gutters and may coalesce each side differently (coalescing only folds
+// into the newest entry), so the audit below checks the routing invariant
+// directly: across all flushed batches, the min-endpoint halves of each
+// edge carry exactly the edge's delta sum, and the max-endpoint halves
+// apply nothing — each token lands exactly once, never once per half.
+//
+// Mimics the gutter-flush shape of SubgraphSketch exactly: min-endpoint
+// semantics, no ApplyBatch override (the driver falls back to the
+// per-update UpdateEndpoint loop, like LinearSketch's default).
+struct MinEndpointRecorder {
+  std::map<std::pair<NodeId, NodeId>, int64_t> applied;
+  uint64_t noop_halves = 0;
+
+  void UpdateEndpoint(NodeId endpoint, NodeId u, NodeId v, int64_t delta) {
+    if (endpoint == (u < v ? u : v)) {
+      applied[{std::min(u, v), std::max(u, v)}] += delta;
+    } else {
+      ++noop_halves;
+    }
+  }
+};
+
+TEST(GutterMinEndpoint, EachEdgeAppliedExactlyOnceUnderCoalescing) {
+  // Hot-spot multigraph stream with long same-edge runs and deletions:
+  // the shape where per-gutter coalescing diverges most between the two
+  // endpoint gutters.
+  DynamicGraphStream s(kN);
+  for (int r = 0; r < 50; ++r) s.Push(2, 7, +1);
+  for (NodeId v = 1; v < kN; ++v) {
+    s.Push(0, v, +1);
+    s.Push(0, v, +1);
+    s.Push(v, 0, -1);  // reversed endpoint order, same edge
+  }
+  for (int r = 0; r < 20; ++r) s.Push(7, 2, -1);  // reversed hot edge
+
+  std::map<std::pair<NodeId, NodeId>, int64_t> expected;
+  for (const auto& e : s.Updates()) {
+    expected[{std::min(e.u, e.v), std::max(e.u, e.v)}] += e.delta;
+  }
+
+  for (size_t gutter_bytes : {size_t{64}, size_t{4096}}) {
+    MinEndpointRecorder rec;
+    DriverOptions opt;
+    opt.num_workers = 1;  // min-endpoint algs are not endpoint-sharded
+    opt.gutter_bytes = gutter_bytes;
+    {
+      SketchDriver<MinEndpointRecorder> driver(&rec, opt);
+      driver.ProcessStream(s);
+      ASSERT_NE(driver.gutters(), nullptr);
+      EXPECT_GT(driver.gutters()->coalesced_halves(), 0u);
+    }
+    EXPECT_EQ(rec.applied, expected) << "gutter=" << gutter_bytes;
+    // Every non-min half was a no-op; with coalescing there are at most
+    // as many of them as raw halves pushed.
+    EXPECT_GT(rec.noop_halves, 0u);
+    EXPECT_LE(rec.noop_halves, s.Size());
+  }
+}
+
+TEST(GutterMinEndpoint, TrianglesParityUnderCoalescingHeavyStream) {
+  // The registry triangles family (SubgraphSketch through the default
+  // ApplyBatch fallback) on the same coalescing-heavy shape: gutter-on
+  // ingestion must be byte-identical to plain sequential ingestion at
+  // both a tiny and a production gutter size.
+  DynamicGraphStream s(kN);
+  for (int r = 0; r < 30; ++r) s.Push(1, 2, +1);
+  for (NodeId v = 2; v < 10; ++v) {
+    s.Push(0, v, +1);
+    s.Push(v, 0, +1);
+    s.Push(0, v, -1);
+  }
+  s.Push(1, 3, +1);
+  s.Push(2, 3, +1);  // closes a triangle {1,2,3}
+
+  const AlgInfo* info = FindAlg("triangles");
+  ASSERT_NE(info, nullptr);
+  ASSERT_FALSE(info->endpoint_sharded);
+  auto sequential = info->make(kN, AlgOptions{}, kSeed);
+  s.Replay([&](NodeId u, NodeId v, int64_t d) {
+    sequential->Update(u, v, d);
+  });
+  const std::string expected = Bytes(*sequential);
+
+  for (size_t gutter_bytes : {size_t{64}, size_t{4096}}) {
+    auto guttered = info->make(kN, AlgOptions{}, kSeed);
+    DriverOptions opt;
+    opt.num_workers = 1;
+    opt.gutter_bytes = gutter_bytes;
+    {
+      SketchDriver<LinearSketch> driver(guttered.get(), opt);
+      driver.ProcessStream(s);
+      ASSERT_NE(driver.gutters(), nullptr);
+      EXPECT_GT(driver.gutters()->coalesced_halves(), 0u);
+      EXPECT_EQ(driver.TotalUpdates(), 2 * s.Size());
+    }
+    EXPECT_EQ(Bytes(*guttered), expected) << "gutter=" << gutter_bytes;
+  }
+}
+
 TEST(GutterParity, GlobalCapSweepKeepsParity) {
   DynamicGraphStream s = TestStream(11);
   ConnectivitySketch sequential(kN, ForestOptions{}, kSeed);
-  s.Replay([&](NodeId u, NodeId v, int32_t d) { sequential.Update(u, v, d); });
+  s.Replay([&](NodeId u, NodeId v, int64_t d) { sequential.Update(u, v, d); });
 
   ConnectivitySketch capped(kN, ForestOptions{}, kSeed);
   DriverOptions opt;
@@ -175,7 +282,7 @@ TEST(GutterDriver, FlushOnDrainDeliversBufferedUpdates) {
   // every update must reach the sketch via Drain's FlushAll.
   DynamicGraphStream s = TestStream(7);
   ConnectivitySketch sequential(kN, ForestOptions{}, kSeed);
-  s.Replay([&](NodeId u, NodeId v, int32_t d) { sequential.Update(u, v, d); });
+  s.Replay([&](NodeId u, NodeId v, int64_t d) { sequential.Update(u, v, d); });
 
   ConnectivitySketch buffered(kN, ForestOptions{}, kSeed);
   DriverOptions opt;
@@ -200,7 +307,7 @@ TEST(GutterDriver, FlushOnDrainDeliversBufferedUpdates) {
 TEST(GutterDriver, DestructionWithoutDrainFlushesGutters) {
   DynamicGraphStream s = TestStream(13);
   ConnectivitySketch sequential(kN, ForestOptions{}, kSeed);
-  s.Replay([&](NodeId u, NodeId v, int32_t d) { sequential.Update(u, v, d); });
+  s.Replay([&](NodeId u, NodeId v, int64_t d) { sequential.Update(u, v, d); });
 
   ConnectivitySketch abandoned(kN, ForestOptions{}, kSeed);
   {
@@ -232,7 +339,7 @@ TEST(GutterDriver, HotSpotSingleNodeStreamCoalesces) {
   }
 
   ConnectivitySketch sequential(kN, ForestOptions{}, kSeed);
-  s.Replay([&](NodeId u, NodeId v, int32_t d) { sequential.Update(u, v, d); });
+  s.Replay([&](NodeId u, NodeId v, int64_t d) { sequential.Update(u, v, d); });
 
   ConnectivitySketch hot(kN, ForestOptions{}, kSeed);
   DriverOptions opt;
@@ -260,7 +367,7 @@ TEST(GutterDriver, CheckpointResumeEquivalence) {
   const std::string ckpt_path = TempPath("gutter_resume.gskc");
 
   auto uninterrupted = FindAlg("connectivity")->make(kN, AlgOptions{}, kSeed);
-  s.Replay([&](NodeId u, NodeId v, int32_t d) {
+  s.Replay([&](NodeId u, NodeId v, int64_t d) {
     uninterrupted->Update(u, v, d);
   });
 

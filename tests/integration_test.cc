@@ -40,7 +40,7 @@ TEST(Integration, FullPipelineOnChurnedPlantedCut) {
 
   SubgraphSketch triangles(20, 3, 80, 6, 5);
 
-  churned.Replay([&](NodeId u, NodeId v, int32_t d) {
+  churned.Replay([&](NodeId u, NodeId v, int64_t d) {
     mincut.Update(u, v, d);
     sparsifier.Update(u, v, d);
     triangles.Update(u, v, d);
@@ -75,13 +75,13 @@ TEST(Integration, SixteenSiteDistributedMergeExactEquality) {
 
   SpanningForestSketch whole(24, f_opt, kSeed);
   stream.Replay(
-      [&whole](NodeId u, NodeId v, int32_t d) { whole.Update(u, v, d); });
+      [&whole](NodeId u, NodeId v, int64_t d) { whole.Update(u, v, d); });
 
   SpanningForestSketch merged(24, f_opt, kSeed);
   for (const auto& part : parts) {
     SpanningForestSketch site(24, f_opt, kSeed);
     part.Replay(
-        [&site](NodeId u, NodeId v, int32_t d) { site.Update(u, v, d); });
+        [&site](NodeId u, NodeId v, int64_t d) { site.Update(u, v, d); });
     merged.Merge(site);
   }
 
@@ -105,8 +105,8 @@ TEST(Integration, InsertDeleteEquivalentToNeverInserted) {
   opt.k_override = 6;
   opt.forest.repetitions = 5;
   SimpleSparsifier a(16, opt, 10), b(16, opt, 10);
-  clean.Replay([&a](NodeId u, NodeId v, int32_t d) { a.Update(u, v, d); });
-  churned.Replay([&b](NodeId u, NodeId v, int32_t d) { b.Update(u, v, d); });
+  clean.Replay([&a](NodeId u, NodeId v, int64_t d) { a.Update(u, v, d); });
+  churned.Replay([&b](NodeId u, NodeId v, int64_t d) { b.Update(u, v, d); });
 
   Graph ha = a.Extract(), hb = b.Extract();
   EXPECT_EQ(ha.NumEdges(), hb.NumEdges());

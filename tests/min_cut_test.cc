@@ -95,8 +95,8 @@ TEST(MinCut, StreamOrderInvariance) {
   Rng rng(31);
   auto shuffled = stream.Shuffled(&rng);
   MinCutSketch a(16, TestOptions(), 37), b(16, TestOptions(), 37);
-  stream.Replay([&a](NodeId u, NodeId v, int32_t d) { a.Update(u, v, d); });
-  shuffled.Replay([&b](NodeId u, NodeId v, int32_t d) { b.Update(u, v, d); });
+  stream.Replay([&a](NodeId u, NodeId v, int64_t d) { a.Update(u, v, d); });
+  shuffled.Replay([&b](NodeId u, NodeId v, int64_t d) { b.Update(u, v, d); });
   // Linear sketches: identical state => identical estimates.
   auto ea = a.Estimate(), eb = b.Estimate();
   EXPECT_DOUBLE_EQ(ea.value, eb.value);
@@ -111,11 +111,11 @@ TEST(MinCut, DistributedMergeMatchesSingleSketch) {
   MinCutSketch merged(16, TestOptions(), 47), site(16, TestOptions(), 47),
       whole(16, TestOptions(), 47);
   parts[0].Replay(
-      [&merged](NodeId u, NodeId v, int32_t d) { merged.Update(u, v, d); });
+      [&merged](NodeId u, NodeId v, int64_t d) { merged.Update(u, v, d); });
   parts[1].Replay(
-      [&site](NodeId u, NodeId v, int32_t d) { site.Update(u, v, d); });
+      [&site](NodeId u, NodeId v, int64_t d) { site.Update(u, v, d); });
   stream.Replay(
-      [&whole](NodeId u, NodeId v, int32_t d) { whole.Update(u, v, d); });
+      [&whole](NodeId u, NodeId v, int64_t d) { whole.Update(u, v, d); });
   merged.Merge(site);
   EXPECT_DOUBLE_EQ(merged.Estimate().value, whole.Estimate().value);
 }

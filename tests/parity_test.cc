@@ -220,7 +220,7 @@ TEST(ArenaParity, ConnectivityAnswersStayExactOverArena) {
       stream.Push(e.u, e.v, e.delta);
     }
     ConnectivitySketch sk(kN, ForestOptions{}, seed);
-    stream.Replay([&](NodeId u, NodeId v, int32_t d) { sk.Update(u, v, d); });
+    stream.Replay([&](NodeId u, NodeId v, int64_t d) { sk.Update(u, v, d); });
     EXPECT_EQ(sk.NumComponents(), stream.Materialize().NumComponents())
         << "seed " << seed;
   }

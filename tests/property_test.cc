@@ -66,8 +66,8 @@ TEST_P(ForestProperty, StreamOrderInvariance) {
   ForestOptions opt;
   opt.repetitions = 6;
   SpanningForestSketch a(n, opt, 99), b(n, opt, 99);
-  stream.Replay([&a](NodeId u, NodeId v, int32_t d) { a.Update(u, v, d); });
-  shuffled.Replay([&b](NodeId u, NodeId v, int32_t d) { b.Update(u, v, d); });
+  stream.Replay([&a](NodeId u, NodeId v, int64_t d) { a.Update(u, v, d); });
+  shuffled.Replay([&b](NodeId u, NodeId v, int64_t d) { b.Update(u, v, d); });
   // Linear sketches: same multiset of updates => identical state.
   Graph fa = a.ExtractForest(), fb = b.ExtractForest();
   EXPECT_EQ(fa.NumEdges(), fb.NumEdges());
@@ -173,8 +173,8 @@ TEST_P(SparsifierProperty, ChurnInvariance) {
   opt.max_level = 8;
   opt.forest.repetitions = 6;
   SimpleSparsifier a(n, opt, 777), b(n, opt, 777);
-  clean.Replay([&a](NodeId u, NodeId v, int32_t d) { a.Update(u, v, d); });
-  churned.Replay([&b](NodeId u, NodeId v, int32_t d) { b.Update(u, v, d); });
+  clean.Replay([&a](NodeId u, NodeId v, int64_t d) { a.Update(u, v, d); });
+  churned.Replay([&b](NodeId u, NodeId v, int64_t d) { b.Update(u, v, d); });
   Graph ha = a.Extract(), hb = b.Extract();
   EXPECT_EQ(ha.NumEdges(), hb.NumEdges());
   for (const auto& e : ha.Edges()) {

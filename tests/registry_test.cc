@@ -79,7 +79,7 @@ TEST(Registry, EveryAlgSerializationRoundTrips) {
   for (const AlgInfo& info : Registry()) {
     SCOPED_TRACE(info.name);
     auto sk = info.make(kN, AlgOptions{}, kSeed);
-    s.Replay([&](NodeId u, NodeId v, int32_t d) { sk->Update(u, v, d); });
+    s.Replay([&](NodeId u, NodeId v, int64_t d) { sk->Update(u, v, d); });
 
     std::string bytes = Bytes(*sk);
     ByteReader r(bytes);
@@ -109,7 +109,7 @@ TEST(Registry, EndpointHalvesComposeToFullUpdate) {
     SCOPED_TRACE(info.name);
     auto whole = info.make(kN, AlgOptions{}, kSeed);
     auto halves = info.make(kN, AlgOptions{}, kSeed);
-    s.Replay([&](NodeId u, NodeId v, int32_t d) {
+    s.Replay([&](NodeId u, NodeId v, int64_t d) {
       whole->Update(u, v, d);
       halves->UpdateEndpoint(u, u, v, d);
       halves->UpdateEndpoint(v, v, u, d);
@@ -130,7 +130,7 @@ TEST(Registry, ShardMergeParityForEveryAlg) {
                    std::to_string(shards) + " shards");
       auto single = info.make(kN, AlgOptions{}, kSeed);
       s.Replay(
-          [&](NodeId u, NodeId v, int32_t d) { single->Update(u, v, d); });
+          [&](NodeId u, NodeId v, int64_t d) { single->Update(u, v, d); });
 
       // Round-robin shard assignment, mirroring the CLI's `shard`.
       std::unique_ptr<LinearSketch> merged;

@@ -59,7 +59,7 @@ TEST(SpanningForest, SurvivesChurn) {
   Rng rng(3);
   auto churned = stream.WithChurn(80, &rng);
   SpanningForestSketch sk(25, TestForestOptions(), 19);
-  churned.Replay([&sk](NodeId u, NodeId v, int32_t d) { sk.Update(u, v, d); });
+  churned.Replay([&sk](NodeId u, NodeId v, int64_t d) { sk.Update(u, v, d); });
   Graph forest = sk.ExtractForest();
   EXPECT_EQ(forest.NumComponents(), 1u);
   EXPECT_TRUE(g.ContainsEdgesOf(forest)) << "sampled a deleted edge";
@@ -73,7 +73,7 @@ TEST(SpanningForest, DistributedMergeConnectivity) {
   std::vector<SpanningForestSketch> sketches;
   for (int i = 0; i < 3; ++i) {
     sketches.emplace_back(40, TestForestOptions(), 23);  // same seed!
-    parts[i].Replay([&](NodeId u, NodeId v, int32_t d) {
+    parts[i].Replay([&](NodeId u, NodeId v, int64_t d) {
       sketches.back().Update(u, v, d);
     });
   }

@@ -78,7 +78,7 @@ TEST(SimpleSparsifier, ChurnDoesNotPolluteSparsifier) {
   Rng rng(17);
   auto churned = stream.WithChurn(60, &rng);
   SimpleSparsifier sk(20, SimpleOptions(8), 19);
-  churned.Replay([&sk](NodeId u, NodeId v, int32_t d) { sk.Update(u, v, d); });
+  churned.Replay([&sk](NodeId u, NodeId v, int64_t d) { sk.Update(u, v, d); });
   Graph h = sk.Extract();
   EXPECT_TRUE(g.ContainsEdgesOf(h)) << "deleted edge leaked into sparsifier";
   EXPECT_EQ(h.NumEdges(), g.NumEdges());
@@ -91,11 +91,11 @@ TEST(SimpleSparsifier, DistributedMergeMatchesSingleSketch) {
   auto parts = stream.Partition(3, &rng);
   SimpleSparsifier s0(16, SimpleOptions(6), 25), s1(16, SimpleOptions(6), 25),
       s2(16, SimpleOptions(6), 25), whole(16, SimpleOptions(6), 25);
-  parts[0].Replay([&](NodeId u, NodeId v, int32_t d) { s0.Update(u, v, d); });
-  parts[1].Replay([&](NodeId u, NodeId v, int32_t d) { s1.Update(u, v, d); });
-  parts[2].Replay([&](NodeId u, NodeId v, int32_t d) { s2.Update(u, v, d); });
+  parts[0].Replay([&](NodeId u, NodeId v, int64_t d) { s0.Update(u, v, d); });
+  parts[1].Replay([&](NodeId u, NodeId v, int64_t d) { s1.Update(u, v, d); });
+  parts[2].Replay([&](NodeId u, NodeId v, int64_t d) { s2.Update(u, v, d); });
   stream.Replay(
-      [&](NodeId u, NodeId v, int32_t d) { whole.Update(u, v, d); });
+      [&](NodeId u, NodeId v, int64_t d) { whole.Update(u, v, d); });
   s0.Merge(s1);
   s0.Merge(s2);
   Graph hm = s0.Extract(), hw = whole.Extract();

@@ -111,10 +111,10 @@ TEST(SubgraphSketch, MergeMatchesSingleStream) {
   auto parts = stream.Partition(2, &rng);
   SubgraphSketch a(16, 3, 25, 6, 11), b(16, 3, 25, 6, 11),
       whole(16, 3, 25, 6, 11);
-  parts[0].Replay([&a](NodeId u, NodeId v, int32_t d) { a.Update(u, v, d); });
-  parts[1].Replay([&b](NodeId u, NodeId v, int32_t d) { b.Update(u, v, d); });
+  parts[0].Replay([&a](NodeId u, NodeId v, int64_t d) { a.Update(u, v, d); });
+  parts[1].Replay([&b](NodeId u, NodeId v, int64_t d) { b.Update(u, v, d); });
   stream.Replay(
-      [&whole](NodeId u, NodeId v, int32_t d) { whole.Update(u, v, d); });
+      [&whole](NodeId u, NodeId v, int64_t d) { whole.Update(u, v, d); });
   a.Merge(b);
   EXPECT_EQ(a.SampleCanonicalCodes(), whole.SampleCanonicalCodes());
 }

@@ -3,6 +3,7 @@
 //
 // Usage:
 //   gsketch <algorithm> [options] <n> <stream-file> [seed]
+//   gsketch serve <alg> [options] <n> <stream-file> [seed]
 //   gsketch convert <n> <input> <output>
 //   gsketch checkpoint <alg> [options] <n> <stream-file> <out.gskc> [seed]
 //   gsketch resume [options] <stream-file> <in.gskc>
@@ -24,12 +25,14 @@
 // Exit status: 0 success, 1 runtime failure (unreadable/malformed stream
 // or checkpoint), 2 usage error (unknown command, malformed numbers, bad
 // flags).
+#include <algorithm>
 #include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -49,6 +52,7 @@ void PrintUsage(std::FILE* out, const char* argv0) {
   std::fprintf(
       out,
       "usage: %s <algorithm> [options] <n> <stream-file> [seed]\n"
+      "       %s serve <alg> [options] <n> <stream-file> [seed]\n"
       "       %s convert <n> <input> <output>\n"
       "       %s checkpoint <alg> [options] <n> <stream-file> <out.gskc> "
       "[seed]\n"
@@ -58,15 +62,16 @@ void PrintUsage(std::FILE* out, const char* argv0) {
       "       %s merge <out.gskc> <in1.gskc> <in2.gskc> [...]\n"
       "       %s inspect <in.gskc>\n"
       "\n"
-      "sketch algorithms (each also works as the <alg> of checkpoint, "
-      "resume,\nshard, and merge):\n",
-      argv0, argv0, argv0, argv0, argv0, argv0, argv0);
+      "sketch algorithms (each also works as the <alg> of serve, "
+      "checkpoint,\nresume, shard, and merge):\n",
+      argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   for (const AlgInfo& info : Registry()) {
     std::fprintf(out, "  %-12s %s\n", info.name, info.summary);
   }
   std::fprintf(
       out,
       "stream commands:\n"
+      "  serve        ingest while answering queries from snapshots\n"
       "  spanner      3-pass Baswana-Sen spanner, print stretch-checked "
       "edges\n"
       "  stats        stream statistics only\n"
@@ -77,7 +82,7 @@ void PrintUsage(std::FILE* out, const char* argv0) {
       "  merge        add GSKC sketches (distributed shards -> one sketch)\n"
       "  inspect      describe a GSKC checkpoint file\n"
       "options:  --threads N   worker threads (%s;\n"
-      "                        checkpoint, resume; default 1)\n"
+      "                        serve, checkpoint, resume; default 1)\n"
       "          --batch N     updates per dispatched batch (default 4096)\n"
       "          --gutter B    per-node gutter buffers of B bytes; flushes\n"
       "                        coalesce into dense per-node batches\n"
@@ -86,6 +91,11 @@ void PrintUsage(std::FILE* out, const char* argv0) {
       "          --at N        checkpoint after N updates (default: half)\n"
       "          --k K         witness strength for %s (default 3)\n"
       "          --shards S    shard count for `shard` (in [2, 256])\n"
+      "          --queries F   serve: query script, '<pos> <query>' lines\n"
+      "                        (default: read the script from stdin)\n"
+      "          --snapshot-every N\n"
+      "                        serve: also snapshot every N updates\n"
+      "                        (default 0 = only at query positions)\n"
       "\n"
       "Stream files are GSKB binary (make one with `convert`) or text\n"
       "\"u v delta\" lines. See docs/CLI.md.\n",
@@ -127,22 +137,37 @@ bool LoadTextStream(const char* path, NodeId n, DynamicGraphStream* out) {
                    path, lineno, u, v, n);
       return false;
     }
-    if (delta < INT32_MIN || delta > INT32_MAX) {
-      std::fprintf(stderr, "error: %s:%zu: delta %lld out of int32 range\n",
-                   path, lineno, delta);
+    // Deltas are int64 end to end; a value past i32 is fine here and is
+    // split into several wire records by the GSKB writer — up to the
+    // writer's chunk cap, rejected here with the offending line so
+    // convert fails fast instead of ballooning the output file.
+    if (delta > kMaxDeltaChunks * INT32_MAX ||
+        delta < kMaxDeltaChunks * static_cast<long long>(INT32_MIN)) {
+      std::fprintf(stderr,
+                   "error: %s:%zu: delta %lld exceeds the GSKB per-update "
+                   "limit of %lld*2^31\n",
+                   path, lineno, delta,
+                   static_cast<long long>(kMaxDeltaChunks));
       return false;
     }
-    out->Push(static_cast<NodeId>(u), static_cast<NodeId>(v),
-              static_cast<int32_t>(delta));
+    out->Push(static_cast<NodeId>(u), static_cast<NodeId>(v), delta);
   }
   return true;
 }
 
-/// Loads a whole stream (binary or text) into memory, for the commands
-/// that need random access to it. Binary failures report the reader's
-/// diagnostic (truncation, bad records), not just "malformed".
-bool LoadAnyStream(const char* path, NodeId n, DynamicGraphStream* out) {
-  if (!LooksLikeBinaryStream(path)) return LoadTextStream(path, n, out);
+/// Sentinel for ForEachBinaryUpdate: read to the stream's declared end.
+constexpr uint64_t kWholeStream = UINT64_MAX;
+
+/// THE binary read loop: streams the first `limit` records (kWholeStream
+/// = all of them) of the GSKB file at `path` into `fn(const EdgeUpdate&)`
+/// in `batch_size` chunks. Every consumer (LoadAnyStream,
+/// IngestStreamRange, RunServe) funnels through here, so open failures,
+/// node-count mismatches, bad records, and early truncation print ONE
+/// uniform diagnostic instead of per-command drifting copies. Returns
+/// false after printing it.
+template <typename Fn>
+bool ForEachBinaryUpdate(const char* path, NodeId n, size_t batch_size,
+                         uint64_t limit, Fn&& fn) {
   BinaryStreamReader reader(path);
   if (!reader.ok()) {
     std::fprintf(stderr, "error: %s: %s\n", path, reader.error().c_str());
@@ -153,17 +178,43 @@ bool LoadAnyStream(const char* path, NodeId n, DynamicGraphStream* out) {
                  path, reader.nodes(), n);
     return false;
   }
-  DynamicGraphStream stream(n);
+  if (limit == kWholeStream) limit = reader.num_updates();
   std::vector<EdgeUpdate> batch;
-  while (!reader.Done() && reader.ok()) {
+  batch.reserve(batch_size);
+  uint64_t index = 0;
+  while (!reader.Done() && reader.ok() && index < limit) {
     batch.clear();
-    if (reader.ReadBatch(1 << 14, &batch) == 0) break;
-    for (const auto& e : batch) stream.Push(e.u, e.v, e.delta);
+    if (reader.ReadBatch(batch_size, &batch) == 0) break;
+    for (const auto& e : batch) {
+      if (index >= limit) break;
+      fn(e);
+      ++index;
+    }
   }
-  if (!reader.ok() || !reader.Done()) {
-    std::fprintf(stderr, "error: %s: %s\n", path,
-                 reader.error().empty() ? "stream ended early"
-                                        : reader.error().c_str());
+  if (!reader.ok()) {
+    std::fprintf(stderr, "error: %s: %s\n", path, reader.error().c_str());
+    return false;
+  }
+  if (index < limit) {
+    std::fprintf(stderr,
+                 "error: %s: stream ended after %llu of %llu updates\n",
+                 path, static_cast<unsigned long long>(index),
+                 static_cast<unsigned long long>(limit));
+    return false;
+  }
+  return true;
+}
+
+/// Loads a whole stream (binary or text) into memory, for the commands
+/// that need random access to it. Binary failures report the reader's
+/// diagnostic (truncation, bad records), not just "malformed".
+bool LoadAnyStream(const char* path, NodeId n, DynamicGraphStream* out) {
+  if (!LooksLikeBinaryStream(path)) return LoadTextStream(path, n, out);
+  DynamicGraphStream stream(n);
+  if (!ForEachBinaryUpdate(path, n, /*batch_size=*/1 << 14, kWholeStream,
+                           [&stream](const EdgeUpdate& e) {
+                             stream.Push(e.u, e.v, e.delta);
+                           })) {
     return false;
   }
   *out = std::move(stream);
@@ -228,10 +279,16 @@ bool IngestStreamRange(LinearSketch* alg, const char* path, NodeId n,
   SketchDriver<LinearSketch> driver(alg, dopt);
   std::optional<InsertionTracker> tracker;
   if (opt.progress) {
-    // Report in stream tokens: the driver counts endpoint halves (2 per
-    // token), so the counter halves it to match the token total.
-    tracker.emplace(to - from,
-                    [&driver] { return driver.TotalUpdates() / 2; });
+    // Report in stream tokens against the FULL stream length: the driver
+    // counts endpoint halves (2 per token), so the counter halves it, and
+    // a resumed range seeds the tracker at `from` (the checkpoint's
+    // stream_pos) — percent/rate/ETA reflect true stream position, not 0%
+    // of the remainder, and the closing line names the resume point.
+    tracker.emplace(to,
+                    [&driver, from] {
+                      return from + driver.TotalUpdates() / 2;
+                    },
+                    /*initial=*/from);
   }
 
   bool ok = true;
@@ -241,34 +298,16 @@ bool IngestStreamRange(LinearSketch* alg, const char* path, NodeId n,
       driver.Push(updates[i].u, updates[i].v, updates[i].delta);
     }
   } else {
-    BinaryStreamReader reader(path);
-    ok = reader.ok() && reader.nodes() == n;
-    if (!ok && reader.ok()) {
-      std::fprintf(stderr, "error: %s: stream declares n=%u but n=%u given\n",
-                   path, reader.nodes(), n);
-    }
-    std::vector<EdgeUpdate> batch;
-    batch.reserve(opt.batch);
+    // Records before `from` are read and discarded (the format has no
+    // index); records past `to` are never read.
     uint64_t index = 0;
-    while (ok && !reader.Done() && index < to) {
-      batch.clear();
-      if (reader.ReadBatch(opt.batch, &batch) == 0) break;
-      for (const auto& e : batch) {
-        if (index >= to) break;
-        if (index >= from) driver.Push(e.u, e.v, e.delta);
-        ++index;
-      }
-    }
-    if (!reader.ok()) {
-      std::fprintf(stderr, "error: %s: %s\n", path, reader.error().c_str());
-      ok = false;
-    } else if (ok && index < to) {
-      std::fprintf(stderr,
-                   "error: %s: stream ended after %llu of %llu updates\n",
-                   path, static_cast<unsigned long long>(index),
-                   static_cast<unsigned long long>(to));
-      ok = false;
-    }
+    ok = ForEachBinaryUpdate(path, n, opt.batch, to,
+                             [&](const EdgeUpdate& e) {
+                               if (index >= from) {
+                                 driver.Push(e.u, e.v, e.delta);
+                               }
+                               ++index;
+                             });
   }
   driver.Drain();
   if (tracker.has_value()) tracker->Stop();
@@ -294,6 +333,151 @@ struct CheckpointCmdOptions {
   uint64_t at = UINT64_MAX;  ///< updates before the snapshot; MAX = half
   uint32_t shards = 0;       ///< --shards value (shard command)
 };
+
+// --------------------------------------------------------------- serve --
+
+struct ServeCmdOptions {
+  const char* queries = nullptr;  ///< --queries script path; null = stdin
+  uint64_t snapshot_every = 0;    ///< --snapshot-every N updates; 0 = off
+};
+
+/// One scripted query: answer `text` against a snapshot that reflects
+/// exactly `pos` stream updates.
+struct ServeQuery {
+  uint64_t pos = 0;
+  std::string text;
+};
+
+/// Parses a serve query script: one "<pos> <query...>" per line ("end" as
+/// the position means end of stream), '#' comments and blank lines
+/// skipped. Positions past the stream clamp to its end. Queries are
+/// answered in position order (ties keep script order).
+bool ParseQueryScript(std::istream& in, const char* name, uint64_t total,
+                      std::vector<ServeQuery>* out) {
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    std::string pos_tok;
+    ss >> pos_tok;
+    uint64_t pos = 0;
+    if (pos_tok == "end") {
+      pos = total;
+    } else if (!ParseU64(pos_tok.c_str(), &pos)) {
+      std::fprintf(stderr,
+                   "error: %s:%zu: expected '<pos> <query>' (or 'end "
+                   "<query>'), got '%s'\n",
+                   name, lineno, line.c_str());
+      return false;
+    }
+    if (pos > total) pos = total;
+    std::string query;
+    std::getline(ss, query);
+    size_t start = query.find_first_not_of(" \t");
+    query = start == std::string::npos ? std::string() : query.substr(start);
+    if (query.empty()) {
+      std::fprintf(stderr, "error: %s:%zu: position %llu has no query\n",
+                   name, lineno, static_cast<unsigned long long>(pos));
+      return false;
+    }
+    out->push_back(ServeQuery{pos, std::move(query)});
+  }
+  std::stable_sort(out->begin(), out->end(),
+                   [](const ServeQuery& a, const ServeQuery& b) {
+                     return a.pos < b.pos;
+                   });
+  return true;
+}
+
+/// serve: query-while-ingest. Ingests the stream through the batched
+/// driver and, at every scripted position (and every --snapshot-every
+/// updates), takes a drain-barrier snapshot (SketchDriver::SnapshotNow +
+/// Clone) and publishes it; a QueryEngine thread answers the queries
+/// pinned to those snapshots WHILE ingestion continues. Every answer is
+/// prefixed with the stream position it reflects, and linearity makes it
+/// byte-identical to stopping ingestion there and querying.
+int RunServe(const AlgInfo& info, NodeId n, const char* path, uint64_t seed,
+             const IngestOptions& opt, const ServeCmdOptions& sopt,
+             const AlgOptions& aopt) {
+  uint64_t total = 0;
+  std::optional<DynamicGraphStream> preloaded;
+  if (!CountStreamUpdates(path, n, &total, &preloaded)) return kExitRuntime;
+
+  std::vector<ServeQuery> queries;
+  if (sopt.queries != nullptr) {
+    std::ifstream qin(sopt.queries);
+    if (!qin) {
+      std::fprintf(stderr, "error: cannot open %s\n", sopt.queries);
+      return kExitRuntime;
+    }
+    if (!ParseQueryScript(qin, sopt.queries, total, &queries)) {
+      return kExitRuntime;
+    }
+  } else if (!ParseQueryScript(std::cin, "<stdin>", total, &queries)) {
+    return kExitRuntime;
+  }
+
+  auto sk = info.make(n, aopt, seed);
+  DriverOptions dopt;
+  dopt.num_workers = sk->EndpointSharded() ? opt.threads : 1;
+  dopt.batch_size = opt.batch;
+  dopt.gutter_bytes = opt.gutter;
+  SketchDriver<LinearSketch> driver(sk.get(), dopt);
+  SnapshotStore store;
+  QueryEngine engine(&store, stdout);
+  std::optional<InsertionTracker> tracker;
+  if (opt.progress) {
+    tracker.emplace(total, [&driver] { return driver.TotalUpdates() / 2; });
+  }
+
+  size_t qi = 0;
+  uint64_t pushed = 0;
+  uint64_t snapshots = 0;
+  // Serves every boundary that falls at the current position: one
+  // snapshot per position, shared by all queries scripted there.
+  auto serve_boundary = [&] {
+    bool scripted = qi < queries.size() && queries[qi].pos == pushed;
+    bool periodic = sopt.snapshot_every > 0 && pushed > 0 &&
+                    pushed % sopt.snapshot_every == 0;
+    if (!scripted && !periodic) return;
+    auto snap = PublishSnapshot(&driver, &store);
+    ++snapshots;
+    while (qi < queries.size() && queries[qi].pos == pushed) {
+      engine.Submit(std::move(queries[qi].text), snap);
+      ++qi;
+    }
+  };
+
+  bool ok = true;
+  if (preloaded.has_value()) {
+    for (const auto& e : preloaded->Updates()) {
+      serve_boundary();
+      driver.Push(e.u, e.v, e.delta);
+      ++pushed;
+    }
+  } else {
+    ok = ForEachBinaryUpdate(path, n, opt.batch, total,
+                             [&](const EdgeUpdate& e) {
+                               serve_boundary();
+                               driver.Push(e.u, e.v, e.delta);
+                               ++pushed;
+                             });
+  }
+  driver.Drain();
+  if (ok) serve_boundary();  // end-of-stream queries (pos == total)
+  engine.Finish();
+  if (tracker.has_value()) tracker->Stop();
+  std::fprintf(stderr,
+               "served %llu queries (%llu errors) from %llu snapshots over "
+               "%llu updates\n",
+               static_cast<unsigned long long>(engine.answered()),
+               static_cast<unsigned long long>(engine.errors()),
+               static_cast<unsigned long long>(snapshots),
+               static_cast<unsigned long long>(pushed));
+  return ok ? 0 : kExitRuntime;
+}
 
 int RunCheckpoint(const AlgInfo& info, NodeId n, const char* stream_path,
                   const char* out_path, uint64_t seed,
@@ -573,18 +757,37 @@ int RunConvert(NodeId n, const char* in_path, const char* out_path) {
     std::fprintf(out, "# converted from %s (n=%u, %zu updates)\n", in_path,
                  n, stream.Size());
     for (const auto& e : stream.Updates()) {
-      std::fprintf(out, "%u %u %d\n", e.u, e.v, e.delta);
+      std::fprintf(out, "%u %u %lld\n", e.u, e.v,
+                   static_cast<long long>(e.delta));
     }
     if (std::fclose(out) != 0) {
       std::fprintf(stderr, "error: write to %s failed\n", out_path);
       return kExitRuntime;
     }
-  } else if (!WriteBinaryStream(out_path, stream)) {
-    std::fprintf(stderr, "error: write to %s failed\n", out_path);
-    return kExitRuntime;
+  } else {
+    BinaryStreamWriter w(out_path, n);
+    for (const auto& e : stream.Updates()) w.Append(e);
+    uint64_t records = w.updates_written();
+    if (!w.Close()) {
+      std::fprintf(stderr, "error: write to %s failed\n", out_path);
+      return kExitRuntime;
+    }
+    // Wide deltas split into several i32 wire records, so the file can
+    // legitimately hold more records than the input had updates.
+    if (records != stream.Size()) {
+      std::fprintf(stderr,
+                   "wrote %zu updates as %llu wire records (GSKB binary, "
+                   "wide deltas split) to %s\n",
+                   stream.Size(), static_cast<unsigned long long>(records),
+                   out_path);
+    } else {
+      std::fprintf(stderr, "wrote %zu updates (GSKB binary) to %s\n",
+                   stream.Size(), out_path);
+    }
+    return 0;
   }
-  std::fprintf(stderr, "wrote %zu updates (%s) to %s\n", stream.Size(),
-               to_text ? "text" : "GSKB binary", out_path);
+  std::fprintf(stderr, "wrote %zu updates (text) to %s\n", stream.Size(),
+               out_path);
   return 0;
 }
 
@@ -625,16 +828,34 @@ int main(int argc, char** argv) {
   // Split the remaining arguments into flags and positionals.
   IngestOptions opt;
   CheckpointCmdOptions copt;
+  ServeCmdOptions sopt;
   AlgOptions aopt;
   bool ingest_flags_given = false;
   bool at_given = false;
   bool k_given = false;
   bool shards_given = false;
+  bool serve_flags_given = false;
   std::vector<const char*> pos;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     uint64_t value = 0;
-    if (arg == "--at" || arg == "--k" || arg == "--shards") {
+    if (arg == "--queries") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --queries needs a file path\n");
+        return kExitUsage;
+      }
+      sopt.queries = argv[++i];
+      serve_flags_given = true;
+    } else if (arg == "--snapshot-every") {
+      if (i + 1 >= argc || !ParseU64(argv[i + 1], &value) || value == 0) {
+        std::fprintf(stderr,
+                     "error: --snapshot-every needs a positive integer\n");
+        return kExitUsage;
+      }
+      ++i;
+      sopt.snapshot_every = value;
+      serve_flags_given = true;
+    } else if (arg == "--at" || arg == "--k" || arg == "--shards") {
       if (i + 1 >= argc || !ParseU64(argv[i + 1], &value)) {
         std::fprintf(stderr, "error: %s needs a non-negative integer\n",
                      arg.c_str());
@@ -726,10 +947,42 @@ int main(int argc, char** argv) {
                  why);
     return true;
   };
+  auto reject_serve = [&]() -> bool {
+    if (!serve_flags_given) return false;
+    std::fprintf(stderr,
+                 "error: --queries/--snapshot-every apply only to serve\n");
+    return true;
+  };
   const std::string sharded_cmds =
-      ShardedAlgNameList() + ", checkpoint, and resume";
+      ShardedAlgNameList() + ", serve, checkpoint, and resume";
+
+  if (cmd == "serve") {
+    if (reject_at() || reject_shards()) return kExitUsage;
+    if (pos.size() < 3 || pos.size() > 4) {
+      PrintUsage(stderr, argv[0]);
+      return kExitUsage;
+    }
+    const AlgInfo* info = FindAlg(pos[0]);
+    if (info == nullptr) {
+      std::fprintf(stderr, "error: unknown serve alg '%s' (want %s)\n",
+                   pos[0], RegistryNameList(", ").c_str());
+      return kExitUsage;
+    }
+    if (reject_k(info)) return kExitUsage;
+    if (!info->endpoint_sharded &&
+        reject_ingest(sharded_cmds.c_str())) {
+      return kExitUsage;
+    }
+    NodeId n = 0;
+    uint64_t seed = 1;
+    if (!ParseNodeCount(pos[1], &n) || !ParseSeed(pos, 3, &seed)) {
+      return kExitUsage;
+    }
+    return RunServe(*info, n, pos[2], seed, opt, sopt, aopt);
+  }
 
   if (cmd == "checkpoint") {
+    if (reject_serve()) return kExitUsage;
     if (pos.size() < 4 || pos.size() > 5) {
       PrintUsage(stderr, argv[0]);
       return kExitUsage;
@@ -754,7 +1007,8 @@ int main(int argc, char** argv) {
   }
 
   if (cmd == "resume") {
-    if (reject_at() || reject_k(nullptr) || reject_shards()) {
+    if (reject_at() || reject_k(nullptr) || reject_shards() ||
+        reject_serve()) {
       return kExitUsage;
     }
     if (pos.size() != 2) {
@@ -765,7 +1019,7 @@ int main(int argc, char** argv) {
   }
 
   if (cmd == "shard") {
-    if (reject_at()) return kExitUsage;
+    if (reject_at() || reject_serve()) return kExitUsage;
     if (!shards_given) {
       std::fprintf(stderr, "error: shard requires --shards S\n");
       return kExitUsage;
@@ -795,7 +1049,7 @@ int main(int argc, char** argv) {
 
   if (cmd == "merge") {
     if (reject_at() || reject_k(nullptr) || reject_shards() ||
-        reject_ingest(sharded_cmds.c_str())) {
+        reject_serve() || reject_ingest(sharded_cmds.c_str())) {
       return kExitUsage;
     }
     if (pos.size() < 3) {
@@ -810,7 +1064,7 @@ int main(int argc, char** argv) {
 
   if (cmd == "inspect") {
     if (reject_at() || reject_k(nullptr) || reject_shards() ||
-        reject_ingest(sharded_cmds.c_str())) {
+        reject_serve() || reject_ingest(sharded_cmds.c_str())) {
       return kExitUsage;
     }
     if (pos.size() != 1) {
@@ -820,7 +1074,7 @@ int main(int argc, char** argv) {
     return RunInspect(pos[0]);
   }
 
-  if (reject_at() || reject_shards()) return kExitUsage;
+  if (reject_at() || reject_shards() || reject_serve()) return kExitUsage;
 
   if (cmd == "convert") {
     if (reject_k(nullptr)) return kExitUsage;
