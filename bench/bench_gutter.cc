@@ -22,51 +22,10 @@
 #include "src/core/connectivity_suite.h"
 #include "src/driver/sketch_driver.h"
 #include "src/graph/stream.h"
-#include "src/hash/random.h"
+#include "src/workload/stream_generator.h"
 
 namespace gsketch {
 namespace {
-
-// Uniform multigraph stream with ~10% churn deletions (same generator
-// shape as bench_ingest_driver, so E13/E14 numbers compare directly).
-DynamicGraphStream UniformStream(NodeId n, size_t updates, uint64_t seed) {
-  Rng rng(seed);
-  DynamicGraphStream s(n);
-  std::vector<std::pair<NodeId, NodeId>> inserted;
-  while (s.Size() < updates) {
-    if (!inserted.empty() && rng.Below(10) == 0) {
-      size_t pick = rng.Below(inserted.size());
-      auto [u, v] = inserted[pick];
-      inserted[pick] = inserted.back();
-      inserted.pop_back();
-      s.Push(u, v, -1);
-      continue;
-    }
-    NodeId u = static_cast<NodeId>(rng.Below(n));
-    NodeId v = static_cast<NodeId>(rng.Below(n));
-    if (u == v) continue;
-    s.Push(u, v, +1);
-    inserted.emplace_back(u, v);
-  }
-  return s;
-}
-
-// Zipf-ish hot-spot stream: most updates touch a few hub nodes, with
-// frequent same-edge repetition — the shape gutters coalesce best.
-DynamicGraphStream SkewedStream(NodeId n, size_t updates, uint64_t seed) {
-  Rng rng(seed);
-  DynamicGraphStream s(n);
-  const NodeId hubs = n < 16 ? 1 : n / 16;
-  while (s.Size() < updates) {
-    NodeId u = static_cast<NodeId>(rng.Below(hubs));
-    NodeId v = static_cast<NodeId>(rng.Below(n));
-    if (u == v) continue;
-    // Emit a small run of the same edge (bursty multigraph traffic).
-    size_t run = 1 + rng.Below(4);
-    for (size_t r = 0; r < run && s.Size() < updates; ++r) s.Push(u, v, +1);
-  }
-  return s;
-}
 
 struct Sample {
   double seconds = 0;
@@ -109,12 +68,17 @@ int Run(NodeId n, size_t updates) {
   json.Metric("n", static_cast<double>(n));
   json.Metric("stream_updates", static_cast<double>(updates));
 
+  // The workload library's "uniform" and "hotspot" profiles are this
+  // bench's historical generators (seed-for-seed identical), so committed
+  // baselines stay comparable.
   struct Workload {
     const char* name;
     DynamicGraphStream stream;
   } workloads[] = {
-      {"uniform", UniformStream(n, updates, /*seed=*/12345)},
-      {"hotspot", SkewedStream(n, updates, /*seed=*/54321)},
+      {"uniform",
+       FindWorkloadProfile("uniform")->generate(n, updates, /*seed=*/12345)},
+      {"hotspot",
+       FindWorkloadProfile("hotspot")->generate(n, updates, /*seed=*/54321)},
   };
 
   for (const auto& w : workloads) {

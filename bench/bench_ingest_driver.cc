@@ -20,35 +20,10 @@
 #include "src/driver/binary_stream.h"
 #include "src/driver/sketch_driver.h"
 #include "src/graph/stream.h"
-#include "src/hash/random.h"
+#include "src/workload/stream_generator.h"
 
 namespace gsketch {
 namespace {
-
-DynamicGraphStream MakeStream(NodeId n, size_t updates, uint64_t seed) {
-  Rng rng(seed);
-  DynamicGraphStream s(n);
-  // ~10% of inserted edge copies are later deleted, exercising the signed
-  // path. Each copy is deleted at most once (swap-pop on selection) so no
-  // multiplicity ever goes negative.
-  std::vector<std::pair<NodeId, NodeId>> inserted;
-  while (s.Size() < updates) {
-    if (!inserted.empty() && rng.Below(10) == 0) {
-      size_t pick = rng.Below(inserted.size());
-      auto [u, v] = inserted[pick];
-      inserted[pick] = inserted.back();
-      inserted.pop_back();
-      s.Push(u, v, -1);
-      continue;
-    }
-    NodeId u = static_cast<NodeId>(rng.Below(n));
-    NodeId v = static_cast<NodeId>(rng.Below(n));
-    if (u == v) continue;
-    s.Push(u, v, +1);
-    inserted.emplace_back(u, v);
-  }
-  return s;
-}
 
 int Run(NodeId n, size_t updates, uint32_t max_threads) {
   bench::Banner("E13", "parallel stream ingestion",
@@ -56,7 +31,10 @@ int Run(NodeId n, size_t updates, uint32_t max_threads) {
                 "linearity keeps answers identical at every thread count");
   std::printf("hardware threads: %u\n", std::thread::hardware_concurrency());
 
-  DynamicGraphStream stream = MakeStream(n, updates, /*seed=*/12345);
+  // The "uniform" workload profile is this bench's historical generator
+  // (seed-for-seed identical), so committed baselines stay comparable.
+  DynamicGraphStream stream =
+      FindWorkloadProfile("uniform")->generate(n, updates, /*seed=*/12345);
   std::string path = "/tmp/bench_ingest_driver.gskb";
   if (!WriteBinaryStream(path, stream)) {
     std::fprintf(stderr, "error: cannot write %s\n", path.c_str());

@@ -30,4 +30,28 @@ std::vector<std::vector<int64_t>> AllPairsDistances(const Graph& g) {
   return d;
 }
 
+bool IsBipartiteExact(const Graph& g) {
+  std::vector<int8_t> color(g.NumNodes(), -1);
+  std::queue<NodeId> q;
+  for (NodeId src = 0; src < g.NumNodes(); ++src) {
+    if (color[src] >= 0) continue;
+    color[src] = 0;
+    q.push(src);
+    while (!q.empty()) {
+      NodeId u = q.front();
+      q.pop();
+      for (const auto& [v, w] : g.Neighbors(u)) {
+        (void)w;
+        if (color[v] < 0) {
+          color[v] = static_cast<int8_t>(1 - color[u]);
+          q.push(v);
+        } else if (color[v] == color[u]) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
 }  // namespace gsketch

@@ -16,6 +16,11 @@ std::vector<int64_t> BfsDistances(const Graph& g, NodeId src);
 /// All-pairs hop distances (n x n); intended for n up to a few thousand.
 std::vector<std::vector<int64_t>> AllPairsDistances(const Graph& g);
 
+/// Exact bipartiteness via BFS 2-coloring of every component (ignoring
+/// edge weights). The exact reference the bipartite sketch's double-cover
+/// answer is differentially tested against.
+bool IsBipartiteExact(const Graph& g);
+
 }  // namespace gsketch
 
 #endif  // GRAPHSKETCH_SRC_GRAPH_BFS_H_

@@ -62,4 +62,8 @@
 #include "src/driver/sketch_driver.h"
 #include "src/driver/snapshot.h"
 
+// Seeded workload generation and the benchmark-trajectory gate.
+#include "src/workload/bench_baseline.h"
+#include "src/workload/stream_generator.h"
+
 #endif  // GRAPHSKETCH_SRC_GRAPHSKETCH_H_

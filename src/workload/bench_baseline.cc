@@ -1,0 +1,190 @@
+#include "src/workload/bench_baseline.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace gsketch {
+namespace {
+
+// Minimal cursor over the known BenchJson shape.
+struct Cursor {
+  const std::string& text;
+  size_t pos = 0;
+
+  void SkipWs() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+
+  bool Eat(char c) {
+    SkipWs();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool Peek(char c) {
+    SkipWs();
+    return pos < text.size() && text[pos] == c;
+  }
+
+  // Parses a double-quoted string (no escape handling: BenchJson never
+  // emits escapes, and keys/titles are ASCII identifiers/phrases).
+  bool String(std::string* out) {
+    if (!Eat('"')) return false;
+    size_t start = pos;
+    while (pos < text.size() && text[pos] != '"') ++pos;
+    if (pos >= text.size()) return false;
+    out->assign(text, start, pos - start);
+    ++pos;
+    return true;
+  }
+
+  bool Number(double* out) {
+    SkipWs();
+    const char* begin = text.c_str() + pos;
+    char* end = nullptr;
+    double v = std::strtod(begin, &end);
+    if (end == begin) return false;
+    pos += static_cast<size_t>(end - begin);
+    *out = v;
+    return true;
+  }
+};
+
+bool Fail(std::string* error, const char* msg) {
+  if (error != nullptr) *error = msg;
+  return false;
+}
+
+bool ParseInto(const std::string& text, BenchReport* report,
+               std::string* error) {
+  Cursor c{text};
+  if (!c.Eat('{')) return Fail(error, "expected '{'");
+  bool saw_metrics = false;
+  while (!c.Peek('}')) {
+    std::string key;
+    if (!c.String(&key)) return Fail(error, "expected a quoted key");
+    if (!c.Eat(':')) return Fail(error, "expected ':' after key");
+    if (key == "metrics") {
+      if (!c.Eat('{')) return Fail(error, "expected '{' after \"metrics\"");
+      while (!c.Peek('}')) {
+        std::string mkey;
+        double mval = 0;
+        if (!c.String(&mkey)) return Fail(error, "expected a metric key");
+        if (!c.Eat(':')) return Fail(error, "expected ':' after metric key");
+        if (!c.Number(&mval)) return Fail(error, "expected a metric value");
+        report->metrics.emplace_back(mkey, mval);
+        if (!c.Eat(',')) break;
+      }
+      if (!c.Eat('}')) return Fail(error, "unterminated metrics object");
+      saw_metrics = true;
+    } else {
+      std::string sval;
+      double nval = 0;
+      if (c.Peek('"')) {
+        if (!c.String(&sval)) return Fail(error, "bad string value");
+        if (key == "bench") report->bench = sval;
+        if (key == "title") report->title = sval;
+      } else if (!c.Number(&nval)) {
+        return Fail(error, "bad value");
+      }
+    }
+    if (!c.Eat(',')) break;
+  }
+  if (!c.Eat('}')) return Fail(error, "unterminated top-level object");
+  if (report->bench.empty()) return Fail(error, "missing \"bench\" field");
+  if (!saw_metrics) return Fail(error, "missing \"metrics\" object");
+  return true;
+}
+
+}  // namespace
+
+std::optional<double> BenchReport::Metric(const std::string& key) const {
+  for (const auto& [k, v] : metrics) {
+    if (k == key) return v;
+  }
+  return std::nullopt;
+}
+
+std::optional<BenchReport> ParseBenchReport(const std::string& text,
+                                            std::string* error) {
+  BenchReport report;
+  if (!ParseInto(text, &report, error)) return std::nullopt;
+  return report;
+}
+
+std::optional<BenchReport> ReadBenchReportFile(const std::string& path,
+                                               std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::string text;
+  char buf[4096];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, got);
+  }
+  std::fclose(f);
+  return ParseBenchReport(text, error);
+}
+
+BenchGateResult CompareBenchReports(const BenchReport& baseline,
+                                    const BenchReport& fresh,
+                                    double max_regress_pct,
+                                    const std::string& key_prefix) {
+  BenchGateResult result;
+  char line[256];
+  if (baseline.bench != fresh.bench) {
+    std::snprintf(line, sizeof(line),
+                  "MISMATCH  baseline is \"%s\" but fresh is \"%s\"",
+                  baseline.bench.c_str(), fresh.bench.c_str());
+    result.lines.emplace_back(line);
+    result.ok = false;
+    return result;
+  }
+  const double floor_factor = 1.0 - max_regress_pct / 100.0;
+  for (const auto& [key, base_val] : baseline.metrics) {
+    if (key.compare(0, key_prefix.size(), key_prefix) != 0) continue;
+    ++result.keys_compared;
+    auto fresh_val = fresh.Metric(key);
+    if (!fresh_val.has_value()) {
+      std::snprintf(line, sizeof(line),
+                    "MISSING   %-40s baseline %.0f, absent from fresh run",
+                    key.c_str(), base_val);
+      result.lines.emplace_back(line);
+      result.ok = false;
+      continue;
+    }
+    const double floor = base_val * floor_factor;
+    const double delta_pct =
+        base_val != 0.0 ? (*fresh_val - base_val) / base_val * 100.0 : 0.0;
+    if (*fresh_val < floor) {
+      std::snprintf(line, sizeof(line),
+                    "REGRESSION %-40s %.0f -> %.0f (%+.1f%%, floor %.0f)",
+                    key.c_str(), base_val, *fresh_val, delta_pct, floor);
+      result.lines.emplace_back(line);
+      result.ok = false;
+    } else {
+      std::snprintf(line, sizeof(line),
+                    "ok        %-40s %.0f -> %.0f (%+.1f%%)", key.c_str(),
+                    base_val, *fresh_val, delta_pct);
+      result.lines.emplace_back(line);
+    }
+  }
+  std::snprintf(line, sizeof(line),
+                "%s: %zu \"%s*\" key(s) compared, tolerance -%.0f%%",
+                result.ok ? "PASS" : "FAIL", result.keys_compared,
+                key_prefix.c_str(), max_regress_pct);
+  result.lines.emplace_back(line);
+  return result;
+}
+
+}  // namespace gsketch

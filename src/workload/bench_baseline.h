@@ -1,0 +1,60 @@
+// Benchmark-trajectory gate: parse the flat BENCH_<id>.json files the
+// bench harness emits (bench/bench_util.h BenchJson) and compare a fresh
+// run against a committed baseline, failing on throughput regressions.
+// Python-free on purpose — the CI gate is the same C++ the repo already
+// builds (tools/bench_compare is a thin main over this library).
+#ifndef GRAPHSKETCH_SRC_WORKLOAD_BENCH_BASELINE_H_
+#define GRAPHSKETCH_SRC_WORKLOAD_BENCH_BASELINE_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gsketch {
+
+/// One parsed BENCH_<id>.json: identity plus flat numeric metrics in file
+/// order.
+struct BenchReport {
+  std::string bench;  ///< e.g. "E13".
+  std::string title;
+  std::vector<std::pair<std::string, double>> metrics;
+
+  /// Metric lookup; nullopt if the key is absent.
+  std::optional<double> Metric(const std::string& key) const;
+};
+
+/// Parses the BenchJson output format. Tolerates whitespace variations but
+/// is intentionally NOT a general JSON parser: it reads exactly the flat
+/// {"bench","title","metrics":{k:v,...}} shape bench_util.h writes.
+/// Returns nullopt and sets `error` on malformed input.
+std::optional<BenchReport> ParseBenchReport(const std::string& text,
+                                            std::string* error);
+
+/// Reads and parses a BENCH_<id>.json file from disk.
+std::optional<BenchReport> ReadBenchReportFile(const std::string& path,
+                                               std::string* error);
+
+/// Result of gating `fresh` against `baseline`.
+struct BenchGateResult {
+  bool ok = true;
+  size_t keys_compared = 0;
+  /// Human-readable per-key lines ("ok"/"REGRESSION"/"MISSING"), plus a
+  /// summary; printed verbatim by tools/bench_compare.
+  std::vector<std::string> lines;
+};
+
+/// Compares every baseline metric whose key starts with `key_prefix`
+/// (throughput metrics — higher is better). Fails if `fresh` is missing
+/// such a key, or if fresh < baseline * (1 - max_regress_pct/100).
+/// Improvements and new keys in `fresh` never fail. Also fails if the two
+/// reports describe different benches.
+BenchGateResult CompareBenchReports(const BenchReport& baseline,
+                                    const BenchReport& fresh,
+                                    double max_regress_pct,
+                                    const std::string& key_prefix =
+                                        "updates_per_sec");
+
+}  // namespace gsketch
+
+#endif  // GRAPHSKETCH_SRC_WORKLOAD_BENCH_BASELINE_H_

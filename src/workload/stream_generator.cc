@@ -1,0 +1,276 @@
+#include "src/workload/stream_generator.h"
+
+#include <cstring>
+#include <map>
+#include <utility>
+
+#include "src/hash/random.h"
+
+namespace gsketch {
+namespace {
+
+// ------------------------------------------------------------- profiles --
+
+// Uniform multigraph stream with ~10% churn deletions. This is the exact
+// generator the E13/E14 benches have always used (seed-for-seed identical
+// Rng call order), so refactoring the benches onto this profile keeps the
+// committed BENCH_*.json baselines comparable.
+DynamicGraphStream GenUniform(NodeId n, size_t updates, uint64_t seed) {
+  Rng rng(seed);
+  DynamicGraphStream s(n);
+  // ~10% of inserted edge copies are later deleted, exercising the signed
+  // path. Each copy is deleted at most once (swap-pop on selection) so no
+  // multiplicity ever goes negative.
+  std::vector<std::pair<NodeId, NodeId>> inserted;
+  while (s.Size() < updates) {
+    if (!inserted.empty() && rng.Below(10) == 0) {
+      size_t pick = rng.Below(inserted.size());
+      auto [u, v] = inserted[pick];
+      inserted[pick] = inserted.back();
+      inserted.pop_back();
+      s.Push(u, v, -1);
+      continue;
+    }
+    NodeId u = static_cast<NodeId>(rng.Below(n));
+    NodeId v = static_cast<NodeId>(rng.Below(n));
+    if (u == v) continue;
+    s.Push(u, v, +1);
+    inserted.emplace_back(u, v);
+  }
+  return s;
+}
+
+// Power-law endpoint skew: node i is picked with probability proportional
+// to 17/((i+1)(i+17)) — harmonic-squared-tailed, so low-numbered nodes are
+// high-degree hubs while the tail stays sparse. ~10% churn deletions keep
+// the signed path exercised. Inverse-CDF sampling over a precomputed
+// cumulative table keeps the draw deterministic: the weights avoid
+// std::pow (libm results differ in the last ulp across platforms) and use
+// only IEEE +,*,/ on Rng output, so the table — and every draw — is
+// bit-identical everywhere.
+DynamicGraphStream GenPowerLaw(NodeId n, size_t updates, uint64_t seed) {
+  Rng rng(seed);
+  DynamicGraphStream s(n);
+  std::vector<double> cdf(n);
+  double total = 0.0;
+  for (NodeId i = 0; i < n; ++i) {
+    double w = 17.0 / (static_cast<double>(i + 1) *
+                       static_cast<double>(i + 17));
+    total += w;
+    cdf[i] = total;
+  }
+  auto draw = [&]() -> NodeId {
+    double x = rng.Unit() * total;
+    // Binary search the cumulative table.
+    size_t lo = 0, hi = cdf.size() - 1;
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (cdf[mid] <= x) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return static_cast<NodeId>(lo);
+  };
+  std::vector<std::pair<NodeId, NodeId>> inserted;
+  while (s.Size() < updates) {
+    if (!inserted.empty() && rng.Below(10) == 0) {
+      size_t pick = rng.Below(inserted.size());
+      auto [u, v] = inserted[pick];
+      inserted[pick] = inserted.back();
+      inserted.pop_back();
+      s.Push(u, v, -1);
+      continue;
+    }
+    NodeId u = draw();
+    NodeId v = draw();
+    if (u == v) continue;
+    s.Push(u, v, +1);
+    inserted.emplace_back(u, v);
+  }
+  return s;
+}
+
+// Adversarial hot-spot stream: most updates touch a few hub nodes, with
+// frequent same-edge repetition — the shape gutters coalesce best. This is
+// the exact E14 "skewed" generator (seed-for-seed identical Rng order).
+DynamicGraphStream GenHotspot(NodeId n, size_t updates, uint64_t seed) {
+  Rng rng(seed);
+  DynamicGraphStream s(n);
+  const NodeId hubs = n < 16 ? 1 : n / 16;
+  while (s.Size() < updates) {
+    NodeId u = static_cast<NodeId>(rng.Below(hubs));
+    NodeId v = static_cast<NodeId>(rng.Below(n));
+    if (u == v) continue;
+    // Emit a small run of the same edge (bursty multigraph traffic).
+    size_t run = 1 + rng.Below(4);
+    for (size_t r = 0; r < run && s.Size() < updates; ++r) s.Push(u, v, +1);
+  }
+  return s;
+}
+
+// Temporal sliding window: fresh edges arrive continuously and each
+// departure deletes the OLDEST live copy (FIFO), so the live graph is
+// always the most recent window of arrivals. Window size is
+// max(4, updates/8) copies. Deletes only ever target live copies, so
+// multiplicities stay nonnegative at every prefix.
+DynamicGraphStream GenSliding(NodeId n, size_t updates, uint64_t seed) {
+  Rng rng(seed);
+  DynamicGraphStream s(n);
+  const size_t window = updates / 8 < 4 ? 4 : updates / 8;
+  std::vector<std::pair<NodeId, NodeId>> live;  // FIFO, head at `head`.
+  size_t head = 0;
+  while (s.Size() < updates) {
+    if (live.size() - head >= window) {
+      auto [u, v] = live[head];
+      ++head;
+      s.Push(u, v, -1);
+      continue;
+    }
+    NodeId u = static_cast<NodeId>(rng.Below(n));
+    NodeId v = static_cast<NodeId>(rng.Below(n));
+    if (u == v) continue;
+    s.Push(u, v, +1);
+    live.emplace_back(u, v);
+  }
+  return s;
+}
+
+// Deletion-heavy churn with exact-zero cancellation: ~40% of tokens are
+// deletions, and every deletion removes an edge's ENTIRE multiplicity in
+// one signed token (delta = -m), driving that edge to exactly zero. This
+// exercises multi-copy deltas (|delta| > 1) end to end, plus the exact
+// cancellation path the sketches must treat as "edge absent".
+DynamicGraphStream GenChurn(NodeId n, size_t updates, uint64_t seed) {
+  Rng rng(seed);
+  DynamicGraphStream s(n);
+  // Live edges with multiplicity; vector gives O(1) uniform pick, the map
+  // (ordered, for determinism) finds the vector slot of a repeated insert.
+  std::vector<std::pair<std::pair<NodeId, NodeId>, int64_t>> live;
+  std::map<std::pair<NodeId, NodeId>, size_t> index;
+  while (s.Size() < updates) {
+    if (!live.empty() && rng.Below(5) < 2) {
+      size_t pick = rng.Below(live.size());
+      auto [edge, mult] = live[pick];
+      index.erase(edge);
+      if (pick != live.size() - 1) {
+        live[pick] = live.back();
+        index[live[pick].first] = pick;
+      }
+      live.pop_back();
+      s.Push(edge.first, edge.second, -mult);
+      continue;
+    }
+    NodeId u = static_cast<NodeId>(rng.Below(n));
+    NodeId v = static_cast<NodeId>(rng.Below(n));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    s.Push(u, v, +1);
+    auto key = std::make_pair(u, v);
+    auto it = index.find(key);
+    if (it == index.end()) {
+      index[key] = live.size();
+      live.emplace_back(key, 1);
+    } else {
+      ++live[it->second].second;
+    }
+  }
+  return s;
+}
+
+// Multi-phase mixture: four consecutive regimes (uniform churn, hot-spot
+// bursts, sliding window, exact-zero churn) with derived seeds. Each phase
+// only deletes its own inserts, so the concatenation keeps every prefix
+// multiplicity nonnegative.
+DynamicGraphStream GenMixed(NodeId n, size_t updates, uint64_t seed) {
+  const WorkloadGenerateFn phases[] = {GenUniform, GenHotspot, GenSliding,
+                                       GenChurn};
+  DynamicGraphStream s(n);
+  const size_t quarter = updates / 4;
+  for (size_t p = 0; p < 4; ++p) {
+    size_t len = p == 3 ? updates - 3 * quarter : quarter;
+    if (len == 0) continue;
+    // SplitMix64-style seed derivation: decorrelates phases while staying
+    // a pure function of (seed, phase).
+    uint64_t phase_seed = seed + (p + 1) * 0x9e3779b97f4a7c15ULL;
+    DynamicGraphStream part = phases[p](n, len, phase_seed);
+    for (const auto& e : part.Updates()) s.Push(e.u, e.v, e.delta);
+  }
+  return s;
+}
+
+const std::vector<WorkloadProfile>& ProfileTable() {
+  static const std::vector<WorkloadProfile> kProfiles = {
+      {"uniform",
+       "uniform endpoints, ~10% churn deletions (the E13/E14 bench stream)",
+       GenUniform},
+      {"powerlaw",
+       "heavy-tailed endpoint skew (low node IDs are hubs), ~10% churn",
+       GenPowerLaw},
+      {"hotspot",
+       "adversarial hub bursts with same-edge runs (the E14 skewed stream)",
+       GenHotspot},
+      {"sliding",
+       "temporal window: every arrival eventually FIFO-deleted (~50/50 mix)",
+       GenSliding},
+      {"churn",
+       "deletion-heavy; deletes cancel whole multiplicities to exactly 0",
+       GenChurn},
+      {"mixed",
+       "four consecutive phases: uniform, hotspot, sliding, churn",
+       GenMixed},
+  };
+  return kProfiles;
+}
+
+}  // namespace
+
+const std::vector<WorkloadProfile>& WorkloadProfiles() {
+  return ProfileTable();
+}
+
+const WorkloadProfile* FindWorkloadProfile(const char* name) {
+  for (const auto& p : ProfileTable()) {
+    if (std::strcmp(p.name, name) == 0) return &p;
+  }
+  return nullptr;
+}
+
+std::string WorkloadProfileNameList() {
+  std::string out;
+  for (const auto& p : ProfileTable()) {
+    if (!out.empty()) out += ", ";
+    out += p.name;
+  }
+  return out;
+}
+
+WorkloadStats ComputeWorkloadStats(const DynamicGraphStream& s) {
+  WorkloadStats stats;
+  std::map<std::pair<NodeId, NodeId>, int64_t> mult;
+  std::map<std::pair<NodeId, NodeId>, bool> touched_then_zeroed;
+  for (const auto& e : s.Updates()) {
+    if (e.delta > 0) {
+      ++stats.insert_tokens;
+    } else if (e.delta < 0) {
+      ++stats.delete_tokens;
+    }
+    stats.net_multiplicity += e.delta;
+    NodeId a = e.u < e.v ? e.u : e.v;
+    NodeId b = e.u < e.v ? e.v : e.u;
+    int64_t& m = mult[{a, b}];
+    m += e.delta;
+    if (m < 0) stats.nonnegative = false;
+    touched_then_zeroed[{a, b}] = (m == 0);
+  }
+  for (const auto& [edge, m] : mult) {
+    if (m != 0) ++stats.final_edges;
+  }
+  for (const auto& [edge, zeroed] : touched_then_zeroed) {
+    if (zeroed) ++stats.zeroed_edges;
+  }
+  return stats;
+}
+
+}  // namespace gsketch

@@ -1,0 +1,65 @@
+// Seeded, deterministic workload generators for dynamic graph streams.
+//
+// Every profile is a pure function of (n, updates, seed): the same triple
+// produces the same token sequence on every platform (the only entropy
+// source is the explicit xoshiro256** Rng, and sampling avoids any
+// platform-dependent library distribution). That makes any failing
+// randomized test reproducible as one CLI command:
+//
+//   gsketch_cli gen <profile> <n> <updates> <out.gskb> [seed]
+//
+// Profiles cover the stream shapes AGM linear sketches must survive:
+// uniform churn, power-law endpoint skew, adversarial hot-spot bursts,
+// temporal sliding windows, deletion-heavy churn with exact-zero final
+// multiplicities, and multi-phase mixtures. All profiles maintain the
+// Definition 1 invariant that no edge multiplicity ever goes negative.
+#ifndef GRAPHSKETCH_SRC_WORKLOAD_STREAM_GENERATOR_H_
+#define GRAPHSKETCH_SRC_WORKLOAD_STREAM_GENERATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/graph/stream.h"
+
+namespace gsketch {
+
+/// Generator signature: a pure function of (n, updates, seed).
+using WorkloadGenerateFn = DynamicGraphStream (*)(NodeId n, size_t updates,
+                                                  uint64_t seed);
+
+/// One registered workload profile (mirrors the AlgInfo registry idiom).
+struct WorkloadProfile {
+  const char* name;     ///< CLI name, e.g. "powerlaw".
+  const char* summary;  ///< One-line description for `gen` usage text.
+  WorkloadGenerateFn generate;
+};
+
+/// All registered profiles, in stable listing order.
+const std::vector<WorkloadProfile>& WorkloadProfiles();
+
+/// Finds a profile by name; nullptr if unknown.
+const WorkloadProfile* FindWorkloadProfile(const char* name);
+
+/// Comma-separated profile names for usage/error text.
+std::string WorkloadProfileNameList();
+
+/// Aggregate shape statistics of a generated stream, for `gen` reporting
+/// and for tests asserting profile invariants.
+struct WorkloadStats {
+  size_t insert_tokens = 0;    ///< Tokens with delta > 0.
+  size_t delete_tokens = 0;    ///< Tokens with delta < 0.
+  int64_t net_multiplicity = 0;  ///< Sum of all deltas.
+  size_t final_edges = 0;      ///< Distinct edges with nonzero final weight.
+  size_t zeroed_edges = 0;     ///< Edges touched but cancelled to exactly 0.
+  bool nonnegative = true;     ///< No prefix drives any multiplicity < 0.
+};
+
+/// Replays the stream and computes its shape statistics (O(t) memory in
+/// distinct touched edges). `nonnegative` is checked across every prefix.
+WorkloadStats ComputeWorkloadStats(const DynamicGraphStream& s);
+
+}  // namespace gsketch
+
+#endif  // GRAPHSKETCH_SRC_WORKLOAD_STREAM_GENERATOR_H_

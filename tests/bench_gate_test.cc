@@ -1,0 +1,179 @@
+// Unit tests for the CI perf-regression gate (src/workload/bench_baseline,
+// surfaced as tools/bench_compare): the BenchJson parser round-trips the
+// exact format bench/bench_util.h writes, and the comparator provably
+// FAILS on an injected >15% throughput regression while passing noise
+// within tolerance — the property the CI gate's value rests on.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "src/workload/bench_baseline.h"
+
+namespace gsketch {
+namespace {
+
+// A miniature but format-exact BENCH_E13.json (bench_util.h layout).
+const char kBaselineJson[] =
+    "{\n"
+    "  \"bench\": \"E13\",\n"
+    "  \"title\": \"parallel stream ingestion\",\n"
+    "  \"metrics\": {\n"
+    "    \"n\": 1024,\n"
+    "    \"stream_updates\": 1e+06,\n"
+    "    \"updates_per_sec_1thread\": 2.5e+06,\n"
+    "    \"updates_per_sec_best\": 5e+06,\n"
+    "    \"speedup_best\": 2\n"
+    "  }\n"
+    "}\n";
+
+BenchReport MustParse(const std::string& text) {
+  std::string error;
+  auto report = ParseBenchReport(text, &error);
+  EXPECT_TRUE(report.has_value()) << error;
+  return report.value_or(BenchReport{});
+}
+
+// Clones the baseline with one throughput key scaled by `factor`.
+BenchReport WithScaledKey(const BenchReport& base, const std::string& key,
+                          double factor) {
+  BenchReport out = base;
+  for (auto& [k, v] : out.metrics) {
+    if (k == key) v *= factor;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- parse --
+
+TEST(BenchReportParse, ReadsTheBenchJsonFormatExactly) {
+  BenchReport r = MustParse(kBaselineJson);
+  EXPECT_EQ(r.bench, "E13");
+  EXPECT_EQ(r.title, "parallel stream ingestion");
+  ASSERT_EQ(r.metrics.size(), 5u);
+  EXPECT_EQ(r.metrics[0].first, "n");  // file order preserved
+  EXPECT_EQ(r.Metric("updates_per_sec_1thread").value_or(0), 2.5e6);
+  EXPECT_EQ(r.Metric("speedup_best").value_or(0), 2.0);
+  EXPECT_FALSE(r.Metric("no_such_key").has_value());
+}
+
+TEST(BenchReportParse, RejectsMalformedInputWithDiagnostics) {
+  const char* bad[] = {
+      "",
+      "{",
+      "{\"bench\": \"E13\"}",                      // no metrics object
+      "{\"bench\": \"E13\", \"metrics\": {\"k\": }}",  // missing number
+      "{\"bench\": \"E13\", \"metrics\": {\"k\": 1} ",  // unterminated
+      "not json at all",
+  };
+  for (const char* text : bad) {
+    std::string error;
+    auto r = ParseBenchReport(text, &error);
+    EXPECT_FALSE(r.has_value()) << text;
+    EXPECT_FALSE(error.empty()) << text;
+  }
+}
+
+TEST(BenchReportParse, ReadsFromDiskAndReportsMissingFiles) {
+  std::string path = testing::TempDir() + "bench_gate_fixture.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs(kBaselineJson, f);
+  std::fclose(f);
+  std::string error;
+  auto r = ReadBenchReportFile(path, &error);
+  ASSERT_TRUE(r.has_value()) << error;
+  EXPECT_EQ(r->bench, "E13");
+  std::remove(path.c_str());
+
+  auto missing = ReadBenchReportFile(path + ".nope", &error);
+  EXPECT_FALSE(missing.has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+// ----------------------------------------------------------------- gate --
+
+TEST(BenchGate, FailsOnInjectedRegressionBeyondTolerance) {
+  BenchReport base = MustParse(kBaselineJson);
+  // 20% drop on one throughput key: beyond the 15% tolerance, must FAIL.
+  BenchReport fresh =
+      WithScaledKey(base, "updates_per_sec_best", 0.80);
+  BenchGateResult res = CompareBenchReports(base, fresh, 15.0);
+  EXPECT_FALSE(res.ok);
+  EXPECT_EQ(res.keys_compared, 2u);  // both updates_per_sec_* keys
+  bool flagged = false;
+  for (const auto& line : res.lines) {
+    if (line.find("REGRESSION") != std::string::npos &&
+        line.find("updates_per_sec_best") != std::string::npos) {
+      flagged = true;
+    }
+  }
+  EXPECT_TRUE(flagged) << "the regressed key must be named";
+}
+
+TEST(BenchGate, PassesWithinToleranceAndOnImprovements) {
+  BenchReport base = MustParse(kBaselineJson);
+  // 10% drop on one key, 3x improvement on the other: both inside the
+  // 15% gate. Non-throughput metrics (n, speedup) are never compared.
+  BenchReport fresh = WithScaledKey(
+      WithScaledKey(base, "updates_per_sec_best", 0.90),
+      "updates_per_sec_1thread", 3.0);
+  BenchGateResult res = CompareBenchReports(base, fresh, 15.0);
+  EXPECT_TRUE(res.ok);
+  EXPECT_EQ(res.keys_compared, 2u);
+}
+
+TEST(BenchGate, BoundaryIsExactlyTheToleranceFraction) {
+  BenchReport base = MustParse(kBaselineJson);
+  // Exactly at baseline * (1 - 15%) passes; epsilon below fails.
+  EXPECT_TRUE(CompareBenchReports(
+                  base, WithScaledKey(base, "updates_per_sec_best", 0.85),
+                  15.0)
+                  .ok);
+  EXPECT_FALSE(CompareBenchReports(
+                   base, WithScaledKey(base, "updates_per_sec_best", 0.849),
+                   15.0)
+                   .ok);
+}
+
+TEST(BenchGate, MissingThroughputKeyInFreshRunFails) {
+  BenchReport base = MustParse(kBaselineJson);
+  BenchReport fresh = base;
+  fresh.metrics.erase(fresh.metrics.begin() + 3);  // updates_per_sec_best
+  BenchGateResult res = CompareBenchReports(base, fresh, 15.0);
+  EXPECT_FALSE(res.ok);
+  bool missing_line = false;
+  for (const auto& line : res.lines) {
+    if (line.find("MISSING") != std::string::npos) missing_line = true;
+  }
+  EXPECT_TRUE(missing_line);
+}
+
+TEST(BenchGate, ExtraKeysInFreshRunAreIgnored) {
+  BenchReport base = MustParse(kBaselineJson);
+  BenchReport fresh = base;
+  fresh.metrics.emplace_back("updates_per_sec_new_path", 1.0);
+  EXPECT_TRUE(CompareBenchReports(base, fresh, 15.0).ok);
+}
+
+TEST(BenchGate, BenchIdentityMismatchFails) {
+  BenchReport base = MustParse(kBaselineJson);
+  BenchReport fresh = base;
+  fresh.bench = "E14";
+  EXPECT_FALSE(CompareBenchReports(base, fresh, 15.0).ok);
+}
+
+TEST(BenchGate, CustomPrefixSelectsWhichMetricsAreGated) {
+  BenchReport base = MustParse(kBaselineJson);
+  BenchReport fresh = WithScaledKey(base, "speedup_best", 0.5);
+  // Default prefix ignores speedup_best entirely...
+  EXPECT_TRUE(CompareBenchReports(base, fresh, 15.0).ok);
+  // ...gating on the "speedup" prefix catches the same drop.
+  BenchGateResult res =
+      CompareBenchReports(base, fresh, 15.0, "speedup");
+  EXPECT_FALSE(res.ok);
+  EXPECT_EQ(res.keys_compared, 1u);
+}
+
+}  // namespace
+}  // namespace gsketch

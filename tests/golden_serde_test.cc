@@ -6,11 +6,13 @@
 // fixtures to paper over it.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 
 #include "src/driver/binary_stream.h"
 #include "src/driver/checkpoint.h"
+#include "src/workload/stream_generator.h"
 
 #ifndef GSKETCH_TEST_DATA_DIR
 #error "GSKETCH_TEST_DATA_DIR must be defined (see CMakeLists.txt)"
@@ -127,6 +129,78 @@ TEST(GoldenSerde, MergedFixtureEqualsShardMergeOfTheGoldenStream) {
   std::string bytes;
   merged->AppendTo(&bytes);
   EXPECT_EQ(bytes, fixture->payload);
+}
+
+TEST(GoldenSerde, WideDeltaFixtureKeepsItsSplitRecords) {
+  // tests/data/golden_wide_delta.gskb: four text updates whose deltas
+  // exceed the i32 wire range, written by `gsketch_cli convert` as 8
+  // records — each wide delta split into maximal i32 chunks. The split
+  // layout is part of the wire format: these exact chunk values must keep
+  // parsing (and re-summing) forever.
+  const char* path_name = "golden_wide_delta.gskb";
+  BinaryStreamReader r(DataPath(path_name));
+  ASSERT_TRUE(r.ok()) << r.error();
+  EXPECT_EQ(r.nodes(), 4u);
+  EXPECT_EQ(r.num_updates(), 8u);
+
+  auto s = ReadBinaryStream(DataPath(path_name));
+  ASSERT_TRUE(s.has_value());
+  ASSERT_EQ(s->Size(), 8u);
+  // Pinned chunks: +5000000000 on (0,1) and +4000000000 - 3000000000 on
+  // (0,2), i32-clamped greedily, then one plain record.
+  const int64_t want[8][3] = {
+      {0, 1, 2147483647}, {0, 1, 2147483647}, {0, 1, 705032706},
+      {0, 2, 2147483647}, {0, 2, 1852516353}, {0, 2, -2147483648LL},
+      {0, 2, -852516352}, {1, 2, 1},
+  };
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(s->Updates()[i].u, static_cast<NodeId>(want[i][0])) << i;
+    EXPECT_EQ(s->Updates()[i].v, static_cast<NodeId>(want[i][1])) << i;
+    EXPECT_EQ(s->Updates()[i].delta, want[i][2]) << i;
+  }
+  // The chunks re-sum to the exact original wide multiplicities.
+  Graph g = s->Materialize();
+  ASSERT_EQ(g.NumEdges(), 3u);
+  double w01 = 0, w02 = 0;
+  for (const auto& e : g.Edges()) {
+    if (e.u == 0 && e.v == 1) w01 = e.weight;
+    if (e.u == 0 && e.v == 2) w02 = e.weight;
+  }
+  EXPECT_EQ(w01, 5000000000.0);
+  EXPECT_EQ(w02, 1000000000.0);
+}
+
+TEST(GoldenSerde, GeneratorFixtureLocksWorkloadDeterminism) {
+  // tests/data/golden_gen_churn.gskb is `gsketch_cli gen churn 24 600
+  // <path> 505`. Regenerating the same profile through the library must
+  // reproduce the committed bytes exactly — this pins the generator's
+  // output across platforms and refactors, and is what lets a failing
+  // differential seed be re-created from its printed repro command years
+  // later. (CI additionally re-runs the CLI and cmp's against this file.)
+  const WorkloadProfile* p = FindWorkloadProfile("churn");
+  ASSERT_NE(p, nullptr);
+  DynamicGraphStream s = p->generate(/*n=*/24, /*updates=*/600,
+                                     /*seed=*/505);
+  std::string fresh_path = testing::TempDir() + "golden_gen_churn_fresh.gskb";
+  ASSERT_TRUE(WriteBinaryStream(fresh_path, s));
+
+  auto slurp = [](const std::string& path) {
+    std::string bytes;
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(f, nullptr) << path;
+    if (f == nullptr) return bytes;
+    char buf[4096];
+    size_t got = 0;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      bytes.append(buf, got);
+    }
+    std::fclose(f);
+    return bytes;
+  };
+  std::string golden = slurp(DataPath("golden_gen_churn.gskb"));
+  EXPECT_EQ(golden.size(), 20u + 12u * 600u);
+  EXPECT_EQ(slurp(fresh_path), golden);
+  std::remove(fresh_path.c_str());
 }
 
 TEST(GoldenSerde, FixtureFormatSniffersAgree) {

@@ -253,6 +253,53 @@ TEST(GutterMinEndpoint, TrianglesParityUnderCoalescingHeavyStream) {
   }
 }
 
+TEST(GutterParity, InsertDeleteCancellationInsideOneGutter) {
+  // Every spoke edge is inserted and deleted back-to-back, so per-gutter
+  // coalescing folds the pair into a single ZERO-delta entry before any
+  // flush happens (the gutter is larger than the whole stream — nothing
+  // flushes until Drain). The flushed batches therefore carry delta-0
+  // entries, and applying them must be a no-op for every family: byte
+  // parity against plain sequential ingestion of the same stream.
+  DynamicGraphStream s(kN);
+  for (NodeId v = 1; v < kN; ++v) {
+    s.Push(0, v, +1);
+    s.Push(0, v, -1);  // cancels inside the same gutter entry
+  }
+  // A multi-copy cancellation (|delta| > 1) through the same fold.
+  s.Push(3, 4, +2);
+  s.Push(3, 4, -2);
+  // A few surviving edges so the final sketch is not the empty graph and
+  // a wrong zero-handling would visibly corrupt decoded state.
+  s.Push(1, 2, +1);
+  s.Push(2, 5, +1);
+  s.Push(5, 6, +1);
+
+  for (const AlgInfo& info : Registry()) {
+    SCOPED_TRACE(info.name);
+    auto sequential = info.make(kN, AlgOptions{}, kSeed);
+    s.Replay([&](NodeId u, NodeId v, int64_t d) {
+      sequential->Update(u, v, d);
+    });
+    const std::string expected = Bytes(*sequential);
+
+    for (uint32_t threads : {1u, 2u}) {
+      if (threads > 1 && !info.endpoint_sharded) continue;
+      auto guttered = info.make(kN, AlgOptions{}, kSeed);
+      DriverOptions opt;
+      opt.num_workers = threads;
+      opt.gutter_bytes = 1 << 20;  // whole stream fits: drain-only flush
+      {
+        SketchDriver<LinearSketch> driver(guttered.get(), opt);
+        driver.ProcessStream(s);
+        ASSERT_NE(driver.gutters(), nullptr);
+        // The cancelled pairs really did coalesce before flushing.
+        EXPECT_GE(driver.gutters()->coalesced_halves(), 2u * (kN - 1));
+      }
+      EXPECT_EQ(Bytes(*guttered), expected) << "threads=" << threads;
+    }
+  }
+}
+
 TEST(GutterParity, GlobalCapSweepKeepsParity) {
   DynamicGraphStream s = TestStream(11);
   ConnectivitySketch sequential(kN, ForestOptions{}, kSeed);

@@ -1,0 +1,80 @@
+// bench_compare: CI perf-regression gate over BENCH_<id>.json files.
+//
+// Usage: bench_compare [--max-regress-pct P] <baseline.json> <fresh.json>
+//
+// Compares every throughput metric (keys starting with "updates_per_sec")
+// in the committed baseline against a freshly regenerated report and exits
+// nonzero if any regressed by more than P percent (default 15) or went
+// missing. Exit codes: 0 pass, 1 regression/mismatch, 2 usage/parse error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/workload/bench_baseline.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--max-regress-pct P] <baseline.json> "
+               "<fresh.json>\n"
+               "  Gates throughput keys (updates_per_sec*) of a fresh\n"
+               "  BENCH_<id>.json against the committed baseline; exits 1\n"
+               "  if any key regressed more than P%% (default 15) or is\n"
+               "  missing from the fresh run.\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double max_regress_pct = 15.0;
+  const char* paths[2] = {nullptr, nullptr};
+  int npaths = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--max-regress-pct") == 0) {
+      if (i + 1 >= argc) return Usage(argv[0]);
+      char* end = nullptr;
+      max_regress_pct = std::strtod(argv[++i], &end);
+      if (end == argv[i] || *end != '\0' || max_regress_pct < 0 ||
+          max_regress_pct >= 100) {
+        std::fprintf(stderr, "error: --max-regress-pct wants [0, 100)\n");
+        return 2;
+      }
+    } else if (argv[i][0] == '-') {
+      return Usage(argv[0]);
+    } else if (npaths < 2) {
+      paths[npaths++] = argv[i];
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (npaths != 2) return Usage(argv[0]);
+
+  std::string error;
+  auto baseline = gsketch::ReadBenchReportFile(paths[0], &error);
+  if (!baseline.has_value()) {
+    std::fprintf(stderr, "error: baseline %s: %s\n", paths[0],
+                 error.c_str());
+    return 2;
+  }
+  auto fresh = gsketch::ReadBenchReportFile(paths[1], &error);
+  if (!fresh.has_value()) {
+    std::fprintf(stderr, "error: fresh %s: %s\n", paths[1], error.c_str());
+    return 2;
+  }
+
+  std::printf("bench %s: \"%s\"\n", baseline->bench.c_str(),
+              baseline->title.c_str());
+  auto result = gsketch::CompareBenchReports(*baseline, *fresh,
+                                             max_regress_pct);
+  for (const auto& line : result.lines) std::printf("%s\n", line.c_str());
+  if (result.keys_compared == 0) {
+    std::fprintf(stderr,
+                 "error: baseline has no updates_per_sec* keys to gate\n");
+    return 2;
+  }
+  return result.ok ? 0 : 1;
+}

@@ -4,6 +4,7 @@
 // Usage:
 //   gsketch <algorithm> [options] <n> <stream-file> [seed]
 //   gsketch serve <alg> [options] <n> <stream-file> [seed]
+//   gsketch gen <profile> <n> <updates> <out.gskb> [seed]
 //   gsketch convert <n> <input> <output>
 //   gsketch checkpoint <alg> [options] <n> <stream-file> <out.gskc> [seed]
 //   gsketch resume [options] <stream-file> <in.gskc>
@@ -53,6 +54,7 @@ void PrintUsage(std::FILE* out, const char* argv0) {
       out,
       "usage: %s <algorithm> [options] <n> <stream-file> [seed]\n"
       "       %s serve <alg> [options] <n> <stream-file> [seed]\n"
+      "       %s gen <profile> <n> <updates> <out.gskb> [seed]\n"
       "       %s convert <n> <input> <output>\n"
       "       %s checkpoint <alg> [options] <n> <stream-file> <out.gskc> "
       "[seed]\n"
@@ -64,14 +66,22 @@ void PrintUsage(std::FILE* out, const char* argv0) {
       "\n"
       "sketch algorithms (each also works as the <alg> of serve, "
       "checkpoint,\nresume, shard, and merge):\n",
-      argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
+      argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   for (const AlgInfo& info : Registry()) {
     std::fprintf(out, "  %-12s %s\n", info.name, info.summary);
+  }
+  std::fprintf(out,
+               "workload profiles for `gen` (deterministic in the seed; "
+               "default seed 1):\n");
+  for (const WorkloadProfile& p : WorkloadProfiles()) {
+    std::fprintf(out, "  %-12s %s\n", p.name, p.summary);
   }
   std::fprintf(
       out,
       "stream commands:\n"
       "  serve        ingest while answering queries from snapshots\n"
+      "  gen          generate a seeded workload stream as GSKB binary\n"
+      "               ('-' writes to stdout: gen ... - | gsketch <alg>)\n"
       "  spanner      3-pass Baswana-Sen spanner, print stretch-checked "
       "edges\n"
       "  stats        stream statistics only\n"
@@ -97,8 +107,9 @@ void PrintUsage(std::FILE* out, const char* argv0) {
       "                        serve: also snapshot every N updates\n"
       "                        (default 0 = only at query positions)\n"
       "\n"
-      "Stream files are GSKB binary (make one with `convert`) or text\n"
-      "\"u v delta\" lines. See docs/CLI.md.\n",
+      "Stream files are GSKB binary (make one with `gen` or `convert`) or\n"
+      "text \"u v delta\" lines; '-' reads the stream from stdin. See\n"
+      "docs/CLI.md.\n",
       ShardedAlgNameList().c_str(), KAlgNameList().c_str());
 }
 
@@ -205,10 +216,102 @@ bool ForEachBinaryUpdate(const char* path, NodeId n, size_t batch_size,
   return true;
 }
 
+/// Reads stdin to exhaustion and parses it as a stream: GSKB binary when
+/// it starts with the magic, text "u v delta" lines otherwise. Pipelines
+/// (`gen ... - | gsketch <alg> <n> -`) have no seekable file to sniff, so
+/// the whole stream is slurped into memory first — stdin is the
+/// small-stream convenience path; huge streams should go through a file.
+bool LoadStdinStream(NodeId n, DynamicGraphStream* out) {
+  std::string data;
+  char buf[1 << 16];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), stdin)) > 0) {
+    data.append(buf, got);
+  }
+  if (std::ferror(stdin)) {
+    std::fprintf(stderr, "error: <stdin>: read failed\n");
+    return false;
+  }
+  uint32_t magic = 0;
+  if (data.size() >= sizeof(magic)) std::memcpy(&magic, data.data(), 4);
+  if (magic != kBinaryStreamMagic) {
+    // Text path: same validation rules as LoadTextStream.
+    std::istringstream in(data);
+    std::string line;
+    size_t lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      if (line.empty() || line[0] == '#') continue;
+      std::istringstream ss(line);
+      long long u, v, delta;
+      if (!(ss >> u >> v >> delta)) {
+        std::fprintf(stderr, "error: <stdin>:%zu: expected 'u v delta'\n",
+                     lineno);
+        return false;
+      }
+      if (u < 0 || v < 0 || u >= static_cast<long long>(n) ||
+          v >= static_cast<long long>(n) || u == v) {
+        std::fprintf(stderr,
+                     "error: <stdin>:%zu: bad endpoints %lld %lld (n=%u)\n",
+                     lineno, u, v, n);
+        return false;
+      }
+      out->Push(static_cast<NodeId>(u), static_cast<NodeId>(v), delta);
+    }
+    return true;
+  }
+  // GSKB path: validate the in-memory header and records with the same
+  // rules as BinaryStreamReader.
+  if (data.size() < kBinaryStreamHeaderBytes) {
+    std::fprintf(stderr, "error: <stdin>: truncated GSKB header\n");
+    return false;
+  }
+  uint32_t version = 0, stream_n = 0;
+  uint64_t count = 0;
+  std::memcpy(&version, data.data() + 4, 4);
+  std::memcpy(&stream_n, data.data() + 8, 4);
+  std::memcpy(&count, data.data() + 12, 8);
+  if (version != kBinaryStreamVersion) {
+    std::fprintf(stderr, "error: <stdin>: unsupported GSKB version %u\n",
+                 version);
+    return false;
+  }
+  if (stream_n != n) {
+    std::fprintf(stderr,
+                 "error: <stdin>: stream declares n=%u but n=%u given\n",
+                 stream_n, n);
+    return false;
+  }
+  if (data.size() <
+      kBinaryStreamHeaderBytes + count * kBinaryStreamRecordBytes) {
+    std::fprintf(stderr, "error: <stdin>: GSKB stream truncated\n");
+    return false;
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    const char* rec =
+        data.data() + kBinaryStreamHeaderBytes + i * kBinaryStreamRecordBytes;
+    uint32_t u = 0, v = 0;
+    int32_t delta = 0;
+    std::memcpy(&u, rec, 4);
+    std::memcpy(&v, rec + 4, 4);
+    std::memcpy(&delta, rec + 8, 4);
+    if (u >= n || v >= n || u == v) {
+      std::fprintf(stderr,
+                   "error: <stdin>: record %llu has bad endpoints %u %u "
+                   "(n=%u)\n",
+                   static_cast<unsigned long long>(i), u, v, n);
+      return false;
+    }
+    out->Push(u, v, delta);
+  }
+  return true;
+}
+
 /// Loads a whole stream (binary or text) into memory, for the commands
 /// that need random access to it. Binary failures report the reader's
 /// diagnostic (truncation, bad records), not just "malformed".
 bool LoadAnyStream(const char* path, NodeId n, DynamicGraphStream* out) {
+  if (std::strcmp(path, "-") == 0) return LoadStdinStream(n, out);
   if (!LooksLikeBinaryStream(path)) return LoadTextStream(path, n, out);
   DynamicGraphStream stream(n);
   if (!ForEachBinaryUpdate(path, n, /*batch_size=*/1 << 14, kWholeStream,
@@ -240,6 +343,13 @@ constexpr uint64_t kMaxShards = 256;
 /// the small-stream path) and the stream is handed back via *preloaded.
 bool CountStreamUpdates(const char* path, NodeId n, uint64_t* total,
                         std::optional<DynamicGraphStream>* preloaded) {
+  if (std::strcmp(path, "-") == 0) {
+    DynamicGraphStream stream(n);
+    if (!LoadStdinStream(n, &stream)) return false;
+    *total = stream.Size();
+    *preloaded = std::move(stream);
+    return true;
+  }
   if (LooksLikeBinaryStream(path)) {
     BinaryStreamReader reader(path);
     if (!reader.ok()) {
@@ -791,6 +901,72 @@ int RunConvert(NodeId n, const char* in_path, const char* out_path) {
   return 0;
 }
 
+/// gen: deterministic workload generation to GSKB binary. `out_path` "-"
+/// streams the bytes to stdout so a differential repro is one pipeline:
+///   gsketch gen churn 64 2000 - 7 | gsketch connectivity 64 -
+int RunGen(const WorkloadProfile& profile, NodeId n, uint64_t updates,
+           const char* out_path, uint64_t seed) {
+  DynamicGraphStream stream =
+      profile.generate(n, static_cast<size_t>(updates), seed);
+  uint64_t records = 0;
+  if (std::strcmp(out_path, "-") == 0) {
+    // Stdout is not seekable, so the header count cannot be patched after
+    // the fact like BinaryStreamWriter does; count wire records first
+    // (wide deltas split into maximal i32 chunks, same as the writer).
+    for (const auto& e : stream.Updates()) {
+      int64_t rest = e.delta;
+      do {
+        int64_t chunk = rest > INT32_MAX
+                            ? INT32_MAX
+                            : (rest < INT32_MIN ? INT32_MIN : rest);
+        rest -= chunk;
+        ++records;
+      } while (rest != 0);
+    }
+    const uint32_t magic = kBinaryStreamMagic;
+    const uint32_t version = kBinaryStreamVersion;
+    const uint32_t n32 = n;
+    std::fwrite(&magic, 4, 1, stdout);
+    std::fwrite(&version, 4, 1, stdout);
+    std::fwrite(&n32, 4, 1, stdout);
+    std::fwrite(&records, 8, 1, stdout);
+    for (const auto& e : stream.Updates()) {
+      int64_t rest = e.delta;
+      do {
+        int64_t chunk = rest > INT32_MAX
+                            ? INT32_MAX
+                            : (rest < INT32_MIN ? INT32_MIN : rest);
+        rest -= chunk;
+        int32_t delta32 = static_cast<int32_t>(chunk);
+        std::fwrite(&e.u, 4, 1, stdout);
+        std::fwrite(&e.v, 4, 1, stdout);
+        std::fwrite(&delta32, 4, 1, stdout);
+      } while (rest != 0);
+    }
+    if (std::fflush(stdout) != 0) {
+      std::fprintf(stderr, "error: write to stdout failed\n");
+      return kExitRuntime;
+    }
+  } else {
+    BinaryStreamWriter w(out_path, n);
+    for (const auto& e : stream.Updates()) w.Append(e);
+    records = w.updates_written();
+    if (!w.Close()) {
+      std::fprintf(stderr, "error: write to %s failed\n", out_path);
+      return kExitRuntime;
+    }
+  }
+  WorkloadStats stats = ComputeWorkloadStats(stream);
+  std::fprintf(stderr,
+               "gen %s: n=%u seed=%llu, %zu updates (%zu ins, %zu del) -> "
+               "%llu wire records, %zu final edges, %zu cancelled to 0\n",
+               profile.name, n, static_cast<unsigned long long>(seed),
+               stream.Size(), stats.insert_tokens, stats.delete_tokens,
+               static_cast<unsigned long long>(records), stats.final_edges,
+               stats.zeroed_edges);
+  return 0;
+}
+
 /// Parses positional <n>; exit-code semantics shared by every command.
 bool ParseNodeCount(const char* arg, NodeId* n) {
   uint64_t n_arg = 0;
@@ -1075,6 +1251,37 @@ int main(int argc, char** argv) {
   }
 
   if (reject_at() || reject_shards() || reject_serve()) return kExitUsage;
+
+  if (cmd == "gen") {
+    if (reject_k(nullptr)) return kExitUsage;
+    if (ingest_flags_given) {
+      std::fprintf(stderr, "error: gen takes no options\n");
+      return kExitUsage;
+    }
+    if (pos.size() < 4 || pos.size() > 5) {
+      PrintUsage(stderr, argv[0]);
+      return kExitUsage;
+    }
+    const WorkloadProfile* profile = FindWorkloadProfile(pos[0]);
+    if (profile == nullptr) {
+      std::fprintf(stderr, "error: unknown gen profile '%s' (want %s)\n",
+                   pos[0], WorkloadProfileNameList().c_str());
+      return kExitUsage;
+    }
+    NodeId n = 0;
+    uint64_t updates = 0;
+    uint64_t seed = 1;
+    if (!ParseNodeCount(pos[1], &n) || !ParseSeed(pos, 4, &seed)) {
+      return kExitUsage;
+    }
+    if (!ParseU64(pos[2], &updates) || updates == 0 ||
+        updates > (uint64_t{1} << 40)) {
+      std::fprintf(stderr,
+                   "error: updates must be an integer in [1, 2^40]\n");
+      return kExitUsage;
+    }
+    return RunGen(*profile, n, updates, pos[3], seed);
+  }
 
   if (cmd == "convert") {
     if (reject_k(nullptr)) return kExitUsage;
