@@ -36,11 +36,12 @@ struct Sample {
 };
 
 Sample RunOnce(const DynamicGraphStream& stream, NodeId n,
-               size_t gutter_bytes) {
+               size_t gutter_bytes, bool delta_mode = false) {
   ConnectivitySketch sketch(n, ForestOptions{}, /*seed=*/1);
   DriverOptions opt;
   opt.num_workers = 1;
   opt.gutter_bytes = gutter_bytes;
+  opt.delta_mode = delta_mode;
   Sample out;
   bench::Timer timer;
   {
@@ -99,6 +100,26 @@ int Run(NodeId n, size_t updates) {
                  static_cast<unsigned long long>(s.coalesced),
                  s.components);
       std::string key = std::string("updates_per_sec_") + w.name + "_" +
+                        (gutter == 0 ? "off" : std::to_string(gutter) + "B");
+      json.Metric(key.c_str(), s.rate);
+    }
+    // Delta-merge rows on the same single worker: gutters off exercises
+    // the producer-side endpoint grouping, 4 KiB the gutter-fed arena
+    // path. The hot-spot stream is where delta mode exists (shared queue
+    // instead of one overloaded shard), and even single-worker it shows
+    // the vectorized batch cores.
+    for (size_t gutter : {size_t{0}, size_t{4096}}) {
+      Sample s = RunOnce(w.stream, n, gutter, /*delta_mode=*/true);
+      std::string label =
+          std::string("delta-") +
+          (gutter == 0 ? "off" : std::to_string(gutter) + "B");
+      bench::Row("%-12s %14.3f %14.0f %9.2fx %12llu %12llu %12zu",
+                 label.c_str(), s.seconds, s.rate, s.rate / base_rate,
+                 static_cast<unsigned long long>(s.flushes),
+                 static_cast<unsigned long long>(s.coalesced),
+                 s.components);
+      std::string key = std::string("updates_per_sec_") + w.name +
+                        "_delta_" +
                         (gutter == 0 ? "off" : std::to_string(gutter) + "B");
       json.Metric(key.c_str(), s.rate);
     }

@@ -34,9 +34,29 @@
 // path. Ordering changes, results don't (linearity): gutter-on ingestion
 // is byte-identical to gutter-off (tests/gutter_test.cc proves it for
 // every registered family).
+//
+// Delta-merge mode (opt-in via DriverOptions::delta_mode): instead of
+// pinning each node to the worker `node % num_workers`, ALL workers pop
+// dense per-node batches from ONE shared queue (work stealing). A worker
+// builds the batch into a small thread-local delta arena via the Alg's
+//   size_t AccumulateDelta(NodeId endpoint, Span<const NodeId> others,
+//                          Span<const int64_t> deltas,
+//                          std::vector<OneSparseCell>* scratch) const;
+//   void MergeDelta(NodeId endpoint, const OneSparseCell* scratch,
+//                   size_t cells);
+// pair (src/core/sketch_registry.h) — hashing happens lock-free, then the
+// cell-wise merge runs under a lock striped by endpoint. Hot nodes
+// therefore parallelize across every worker instead of serializing on one
+// shard; linearity keeps the result byte-identical to every other mode
+// (tests/delta_parity_test.cc). Algs without the delta pair (or batches
+// below delta_min_batch, where merging a whole per-node delta would cost
+// more than it saves) apply in place under the same striped lock. Note
+// delta mode still requires an endpoint-sharded Alg for num_workers > 1:
+// the striped lock serializes per-endpoint state, not global state.
 #ifndef GRAPHSKETCH_SRC_DRIVER_SKETCH_DRIVER_H_
 #define GRAPHSKETCH_SRC_DRIVER_SKETCH_DRIVER_H_
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -62,6 +82,12 @@ struct DriverOptions {
   size_t max_pending_batches = 8;  ///< per-worker queue bound (backpressure)
   size_t gutter_bytes = 0;  ///< per-node gutter bytes; 0 = gutters off
   size_t gutter_total_bytes = 0;  ///< global gutter cap; 0 = uncapped
+  bool delta_mode = false;  ///< work-stealing delta-merge ingestion
+  /// Delta mode: node batches with fewer entries than this skip the delta
+  /// arena and apply in place under the striped lock (merging a full
+  /// per-node delta costs ~DeltaCellsPerNode cell adds, which dwarfs a
+  /// tiny batch's hashing work). Either path is byte-identical.
+  size_t delta_min_batch = 32;
 };
 
 template <typename Alg>
@@ -73,17 +99,31 @@ class SketchDriver {
       : alg_(alg),
         batch_size_(opt.batch_size < 1 ? 1 : opt.batch_size),
         max_pending_(opt.max_pending_batches < 1 ? 1
-                                                 : opt.max_pending_batches) {
+                                                 : opt.max_pending_batches),
+        delta_mode_(opt.delta_mode),
+        delta_min_batch_(opt.delta_min_batch) {
     uint32_t workers = opt.num_workers;
     if (workers == 0) {
       workers = std::thread::hardware_concurrency();
       if (workers == 0) workers = 1;
     }
-    shards_.reserve(workers);
-    for (uint32_t w = 0; w < workers; ++w) {
+    // Delta mode: one shared MPMC queue every worker steals from, with the
+    // aggregate capacity the per-worker queues would have had. Sharded
+    // mode: one queue per worker, routed by endpoint.
+    const uint32_t num_queues = delta_mode_ ? 1 : workers;
+    queue_capacity_ = delta_mode_ ? max_pending_ * workers : max_pending_;
+    shards_.reserve(num_queues);
+    for (uint32_t q = 0; q < num_queues; ++q) {
       shards_.push_back(std::make_unique<Shard>());
     }
-    pending_.resize(workers);
+    pending_.resize(num_queues);
+    if (delta_mode_) {
+      // Lock striping: endpoint e merges under stripes_[e % size]. Sized
+      // well past the worker count so distinct hot nodes rarely collide.
+      stripes_ = std::make_unique<std::mutex[]>(kLockStripes);
+    }
+    worker_applied_ = std::make_unique<std::atomic<uint64_t>[]>(workers);
+    for (uint32_t w = 0; w < workers; ++w) worker_applied_[w] = 0;
     if (opt.gutter_bytes > 0) {
       GutterOptions gopt;
       gopt.bytes_per_gutter = opt.gutter_bytes;
@@ -133,11 +173,21 @@ class SketchDriver {
     for (uint32_t w = 0; w < pending_.size(); ++w) {
       if (!pending_[w].empty()) Dispatch(w);
     }
+    // `enqueued_halves_` is written only by this (producer) thread, so the
+    // predicate's load always sees the final enqueue total; the atomic
+    // exists for the workers' cross-thread peek in WorkerLoop.
+    const uint64_t target = enqueued_halves_.load(std::memory_order_relaxed);
     std::unique_lock<std::mutex> lock(drained_mu_);
-    drained_.wait(lock, [this] {
-      return applied_halves_.load(std::memory_order_acquire) ==
-             enqueued_halves_;
+    // Announce the drain BEFORE the first predicate check. Workers check
+    // drain_pending_ after bumping applied_halves_; both sides use seq_cst,
+    // so a worker that read drain_pending_ == false made its bump visible
+    // to a predicate check that runs after this store (Dekker-style: no
+    // lost wakeup, see WorkerLoop).
+    drain_pending_.store(true, std::memory_order_seq_cst);
+    drained_.wait(lock, [this, target] {
+      return applied_halves_.load(std::memory_order_seq_cst) == target;
     });
+    drain_pending_.store(false, std::memory_order_seq_cst);
   }
 
   /// Ingests a whole in-memory stream and drains.
@@ -197,6 +247,16 @@ class SketchDriver {
     return static_cast<uint32_t>(threads_.size());
   }
 
+  /// True when the driver runs the work-stealing delta-merge mode.
+  bool delta_mode() const { return delta_mode_; }
+
+  /// Half-updates applied by worker `w` so far. Safe from any thread.
+  /// In delta mode this shows how evenly the shared queue spread the
+  /// stream (tests assert a hot-spot stream reaches every worker).
+  uint64_t WorkerAppliedHalves(uint32_t w) const {
+    return worker_applied_[w].load(std::memory_order_relaxed);
+  }
+
   /// The gutter layer's stats, when enabled (nullptr otherwise).
   const GutterSystem* gutters() const {
     return gutter_.has_value() ? &*gutter_ : nullptr;
@@ -224,7 +284,7 @@ class SketchDriver {
   };
 
   void EnqueueHalf(NodeId endpoint, NodeId other, int64_t delta) {
-    uint32_t w = endpoint % num_workers();
+    uint32_t w = delta_mode_ ? 0 : endpoint % num_workers();
     Batch& pending = pending_[w];
     pending.push_back(HalfUpdate{endpoint, other, delta});
     if (pending.size() >= batch_size_) Dispatch(w);
@@ -233,13 +293,44 @@ class SketchDriver {
   void Dispatch(uint32_t w) {
     Batch batch;
     batch.swap(pending_[w]);
-    enqueued_halves_ += batch.size();
+    if (delta_mode_) {
+      DispatchDeltaBatch(std::move(batch));
+      return;
+    }
+    enqueued_halves_.fetch_add(batch.size(), std::memory_order_relaxed);
     Enqueue(w, WorkItem(std::move(batch)));
   }
 
+  // Delta mode, gutters off: group the mixed-endpoint batch into dense
+  // per-node batches for the shared queue, the same NodeBatch currency the
+  // gutter sink emits. stable_sort keeps per-endpoint stream order (not
+  // needed for correctness — linearity — but it keeps runs deterministic).
+  void DispatchDeltaBatch(Batch&& batch) {
+    std::stable_sort(batch.begin(), batch.end(),
+                     [](const HalfUpdate& a, const HalfUpdate& b) {
+                       return a.endpoint < b.endpoint;
+                     });
+    size_t i = 0;
+    while (i < batch.size()) {
+      NodeBatch node;
+      node.endpoint = batch[i].endpoint;
+      size_t j = i;
+      while (j < batch.size() && batch[j].endpoint == node.endpoint) ++j;
+      node.others.reserve(j - i);
+      node.deltas.reserve(j - i);
+      for (size_t k = i; k < j; ++k) {
+        node.others.push_back(batch[k].other);
+        node.deltas.push_back(batch[k].delta);
+      }
+      node.halves = j - i;
+      DispatchNode(std::move(node));
+      i = j;
+    }
+  }
+
   void DispatchNode(NodeBatch&& batch) {
-    uint32_t w = batch.endpoint % num_workers();
-    enqueued_halves_ += batch.halves;
+    uint32_t w = delta_mode_ ? 0 : batch.endpoint % num_workers();
+    enqueued_halves_.fetch_add(batch.halves, std::memory_order_relaxed);
     Enqueue(w, WorkItem(std::move(batch)));
   }
 
@@ -247,13 +338,42 @@ class SketchDriver {
     Shard& shard = *shards_[w];
     std::unique_lock<std::mutex> lock(shard.mu);
     shard.not_full.wait(
-        lock, [&] { return shard.queue.size() < max_pending_; });
+        lock, [&] { return shard.queue.size() < queue_capacity_; });
     shard.queue.push_back(std::move(item));
     shard.not_empty.notify_one();
   }
 
+  // Delta-mode apply: accumulate the batch into this worker's scratch
+  // arena lock-free, then add it into the endpoint's live cells under the
+  // endpoint's lock stripe. Batches too small to amortize the merge — and
+  // algs without delta support (AccumulateDelta returns 0) — apply in
+  // place under the same stripe. Both paths are byte-identical (cell sums
+  // commute).
+  void ApplyDeltaItem(const NodeBatch& node,
+                      std::vector<OneSparseCell>* scratch) {
+    (void)scratch;  // unused when Alg has no delta pair
+    size_t cells = 0;
+    if constexpr (AlgHasDeltaMerge<Alg>::value) {
+      if (node.others.size() >= delta_min_batch_) {
+        cells = alg_->AccumulateDelta(
+            node.endpoint, Span<const NodeId>(node.others),
+            Span<const int64_t>(node.deltas), scratch);
+      }
+    }
+    std::lock_guard<std::mutex> lock(
+        stripes_[node.endpoint % kLockStripes]);
+    if constexpr (AlgHasDeltaMerge<Alg>::value) {
+      if (cells > 0) {
+        alg_->MergeDelta(node.endpoint, scratch->data(), cells);
+        return;
+      }
+    }
+    ApplyNodeBatch(alg_, node);
+  }
+
   void WorkerLoop(uint32_t w) {
-    Shard& shard = *shards_[w];
+    Shard& shard = *shards_[delta_mode_ ? 0 : w];
+    std::vector<OneSparseCell> scratch;  // this worker's delta arena
     for (;;) {
       WorkItem item;
       {
@@ -273,25 +393,57 @@ class SketchDriver {
         applied = batch->size();
       } else {
         const NodeBatch& node = std::get<NodeBatch>(item);
-        ApplyNodeBatch(alg_, node);
+        if (delta_mode_) {
+          ApplyDeltaItem(node, &scratch);
+        } else {
+          ApplyNodeBatch(alg_, node);
+        }
         applied = node.halves;
       }
-      applied_halves_.fetch_add(applied, std::memory_order_acq_rel);
-      std::lock_guard<std::mutex> lock(drained_mu_);
-      drained_.notify_all();
+      worker_applied_[w].fetch_add(applied, std::memory_order_relaxed);
+      const uint64_t now_applied =
+          applied_halves_.fetch_add(applied, std::memory_order_seq_cst) +
+          applied;
+      // Only touch the drain mutex when someone can be waiting: a drain is
+      // pending, or this bump reached the producer's enqueue total (the
+      // worker-side peek is advisory; the producer may be mid-dispatch).
+      // Taking drained_mu_ after EVERY item serialized all workers on one
+      // mutex that only matters at drain time. No lost wakeup: Drain sets
+      // drain_pending_ (seq_cst) before its first predicate check, so if
+      // the load below reads false, this fetch_add is ordered before that
+      // check and the predicate already sees the final count.
+      if (drain_pending_.load(std::memory_order_seq_cst) ||
+          now_applied == enqueued_halves_.load(std::memory_order_seq_cst)) {
+        std::lock_guard<std::mutex> lock(drained_mu_);
+        drained_.notify_all();
+      }
     }
   }
+
+  // Stripe count for the delta-mode per-node merge locks: comfortably
+  // above any sane worker count so two hot nodes rarely share a stripe,
+  // small enough that the mutex array stays cache-resident.
+  static constexpr size_t kLockStripes = 64;
 
   Alg* alg_;
   const size_t batch_size_;
   const size_t max_pending_;
+  const bool delta_mode_;
+  const size_t delta_min_batch_;
+  size_t queue_capacity_ = 0;  // per-queue bound (aggregate in delta mode)
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::vector<Batch> pending_;  // producer-side, one building batch/worker
+  std::vector<Batch> pending_;  // producer-side building batches
+  std::unique_ptr<std::mutex[]> stripes_;  // delta mode: per-node stripes
   std::optional<GutterSystem> gutter_;  // producer-side (gutter mode)
   std::vector<std::thread> threads_;
   uint64_t stream_updates_ = 0;
-  uint64_t enqueued_halves_ = 0;  // producer-side
+  // Producer-writes-only (Push/Dispatch and Drain run on one thread, a
+  // documented contract); atomic because workers peek at it for the
+  // drain-signal fast path and TSan-audited readers poll progress.
+  std::atomic<uint64_t> enqueued_halves_{0};
   std::atomic<uint64_t> applied_halves_{0};
+  std::unique_ptr<std::atomic<uint64_t>[]> worker_applied_;  // per worker
+  std::atomic<bool> drain_pending_{false};
   std::mutex drained_mu_;
   std::condition_variable drained_;
 };

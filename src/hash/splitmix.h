@@ -20,9 +20,17 @@ inline constexpr uint64_t SplitMix64(uint64_t x) {
   return x ^ (x >> 31);
 }
 
+/// Base of the Mix64 chain: Mix64(seed, a, ..., z) == SplitMix64(C + z)
+/// where C hoists every coordinate but the last. Batched kernels
+/// (src/sketch/cell_kernels.h) use this to precompute C once per
+/// repetition/row and hash whole update batches with one SplitMix64 each.
+inline constexpr uint64_t Mix64Base(uint64_t seed) {
+  return SplitMix64(seed ^ 0x3c6ef372fe94f82aULL);
+}
+
 /// Mixes a seed with one coordinate into a pseudorandom 64-bit word.
 inline constexpr uint64_t Mix64(uint64_t seed, uint64_t a) {
-  return SplitMix64(SplitMix64(seed ^ 0x3c6ef372fe94f82aULL) + a);
+  return SplitMix64(Mix64Base(seed) + a);
 }
 
 /// Mixes a seed with two coordinates.

@@ -1,0 +1,141 @@
+#include "src/sketch/cell_kernels.h"
+
+#include "src/hash/kwise_hash.h"
+#include "src/hash/splitmix.h"
+
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+#define GSKETCH_CELL_KERNELS_X86 1
+#include <immintrin.h>
+#endif
+
+namespace gsketch {
+namespace {
+
+// Exact x % (2^61 - 1) for any 64-bit x: since 2^61 ≡ 1 (mod M), folding
+// the top 3 bits onto the low 61 gives y = (x >> 61) + (x & M) ≤ M + 7,
+// so one conditional subtract finishes the reduction (y == M maps to 0,
+// exactly as division would).
+inline uint64_t FoldMersenne61(uint64_t x) {
+  uint64_t y = (x >> 61) + (x & kMersenne61);
+  return y >= kMersenne61 ? y - kMersenne61 : y;
+}
+
+}  // namespace
+
+void SplitMix64BatchScalar(uint64_t base, const uint64_t* ids, size_t count,
+                           uint64_t* out) {
+  for (size_t i = 0; i < count; ++i) out[i] = SplitMix64(base + ids[i]);
+}
+
+void FingerBatchScalar(uint64_t base, const uint64_t* ids, size_t count,
+                       uint64_t* out) {
+  for (size_t i = 0; i < count; ++i) {
+    out[i] = FoldMersenne61(SplitMix64(base + ids[i]));
+  }
+}
+
+#ifdef GSKETCH_CELL_KERNELS_X86
+namespace {
+
+// 64-bit lane-wise multiply from 32-bit partial products (AVX2 has no
+// vpmullq): lo(a*b) = lo32(a)*lo32(b) + ((hi32(a)*lo32(b) +
+// lo32(a)*hi32(b)) << 32).
+__attribute__((target("avx2"))) inline __m256i Mul64(__m256i a, __m256i b) {
+  __m256i lo = _mm256_mul_epu32(a, b);
+  __m256i cross = _mm256_add_epi64(
+      _mm256_mul_epu32(_mm256_srli_epi64(a, 32), b),
+      _mm256_mul_epu32(a, _mm256_srli_epi64(b, 32)));
+  return _mm256_add_epi64(lo, _mm256_slli_epi64(cross, 32));
+}
+
+__attribute__((target("avx2"))) inline __m256i SplitMix64Vec(__m256i x) {
+  x = _mm256_add_epi64(x, _mm256_set1_epi64x(0x9e3779b97f4a7c15ULL));
+  x = _mm256_xor_si256(x, _mm256_srli_epi64(x, 30));
+  x = Mul64(x, _mm256_set1_epi64x(0xbf58476d1ce4e5b9ULL));
+  x = _mm256_xor_si256(x, _mm256_srli_epi64(x, 27));
+  x = Mul64(x, _mm256_set1_epi64x(0x94d049bb133111ebULL));
+  return _mm256_xor_si256(x, _mm256_srli_epi64(x, 31));
+}
+
+__attribute__((target("avx2"))) void SplitMix64BatchAvx2(uint64_t base,
+                                                         const uint64_t* ids,
+                                                         size_t count,
+                                                         uint64_t* out) {
+  const __m256i vbase = _mm256_set1_epi64x(static_cast<int64_t>(base));
+  size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    __m256i v = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(ids + i));
+    v = SplitMix64Vec(_mm256_add_epi64(vbase, v));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), v);
+  }
+  for (; i < count; ++i) out[i] = SplitMix64(base + ids[i]);
+}
+
+__attribute__((target("avx2"))) void FingerBatchAvx2(uint64_t base,
+                                                     const uint64_t* ids,
+                                                     size_t count,
+                                                     uint64_t* out) {
+  const __m256i vbase = _mm256_set1_epi64x(static_cast<int64_t>(base));
+  const __m256i m = _mm256_set1_epi64x(
+      static_cast<int64_t>(kMersenne61));
+  size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    __m256i v = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(ids + i));
+    v = SplitMix64Vec(_mm256_add_epi64(vbase, v));
+    // FoldMersenne61, lane-wise. y ≤ M + 7 < 2^62 stays positive as a
+    // signed lane, so the signed compare y > M-1 tests y >= M exactly.
+    __m256i y = _mm256_add_epi64(_mm256_srli_epi64(v, 61),
+                                 _mm256_and_si256(v, m));
+    __m256i ge = _mm256_cmpgt_epi64(
+        y, _mm256_sub_epi64(m, _mm256_set1_epi64x(1)));
+    y = _mm256_sub_epi64(y, _mm256_and_si256(ge, m));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), y);
+  }
+  for (; i < count; ++i) out[i] = FoldMersenne61(SplitMix64(base + ids[i]));
+}
+
+}  // namespace
+#endif  // GSKETCH_CELL_KERNELS_X86
+
+namespace {
+
+using BatchHashFn = void (*)(uint64_t, const uint64_t*, size_t, uint64_t*);
+
+struct KernelTable {
+  BatchHashFn splitmix;
+  BatchHashFn finger;
+  const char* backend;
+};
+
+KernelTable PickKernels() {
+#ifdef GSKETCH_CELL_KERNELS_X86
+  if (__builtin_cpu_supports("avx2")) {
+    return {&SplitMix64BatchAvx2, &FingerBatchAvx2, "avx2"};
+  }
+#endif
+  return {&SplitMix64BatchScalar, &FingerBatchScalar, "scalar"};
+}
+
+// Thread-safe one-time dispatch (C++11 static-local initialization).
+const KernelTable& Kernels() {
+  static const KernelTable table = PickKernels();
+  return table;
+}
+
+}  // namespace
+
+void SplitMix64Batch(uint64_t base, const uint64_t* ids, size_t count,
+                     uint64_t* out) {
+  Kernels().splitmix(base, ids, count, out);
+}
+
+void FingerBatch(uint64_t base, const uint64_t* ids, size_t count,
+                 uint64_t* out) {
+  Kernels().finger(base, ids, count, out);
+}
+
+const char* CellKernelBackend() { return Kernels().backend; }
+
+}  // namespace gsketch

@@ -1,0 +1,49 @@
+// Batched hash kernels for the cell-update hot loops.
+//
+// Every per-update hash in the library reduces to one SplitMix64 round over
+// `base + id`, where `base` hoists the seed and all structural coordinates
+// (Mix64Base / Mix64 chains, src/hash/splitmix.h). These kernels evaluate
+// that round — and the Mersenne-61 fingerprint reduction — over whole update
+// batches at once, so `L0CellsUpdateBatch` / `RecoveryCellsUpdateBatch` can
+// separate hashing (data-parallel, vectorizable) from cell accumulation
+// (scatter, scalar).
+//
+// Two backends sit behind a one-time runtime dispatch:
+//   - scalar: portable reference, written so the compiler's auto-vectorizer
+//     can also take it (verify with -fopt-info-vec);
+//   - avx2: explicit 4-lane AVX2 path (64-bit multiplies emulated with
+//     32-bit partial products), selected iff the CPU reports AVX2.
+// Both produce bit-identical output; tests/cell_kernel_test.cc proves the
+// dispatched backend against the scalar reference and the direct formulas.
+#ifndef GRAPHSKETCH_SRC_SKETCH_CELL_KERNELS_H_
+#define GRAPHSKETCH_SRC_SKETCH_CELL_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gsketch {
+
+/// out[i] = SplitMix64(base + ids[i]).
+void SplitMix64Batch(uint64_t base, const uint64_t* ids, size_t count,
+                     uint64_t* out);
+
+/// out[i] = SplitMix64(base + ids[i]) % (2^61 - 1). With
+/// base == Mix64(seed, 0xf17e) this is OneSparseCell::FingerOf(seed, id)
+/// for the whole batch.
+void FingerBatch(uint64_t base, const uint64_t* ids, size_t count,
+                 uint64_t* out);
+
+/// Portable reference implementations (always available; the dispatch
+/// targets on non-AVX2 hosts). Exposed so the CPU-dispatch parity test can
+/// compare the selected backend against them.
+void SplitMix64BatchScalar(uint64_t base, const uint64_t* ids, size_t count,
+                           uint64_t* out);
+void FingerBatchScalar(uint64_t base, const uint64_t* ids, size_t count,
+                       uint64_t* out);
+
+/// Name of the backend the dispatcher selected: "avx2" or "scalar".
+const char* CellKernelBackend();
+
+}  // namespace gsketch
+
+#endif  // GRAPHSKETCH_SRC_SKETCH_CELL_KERNELS_H_

@@ -56,6 +56,16 @@ class OneSparseCell {
     print_ = AddMod61(print_, MulMod61(ResidueOf(delta), finger));
   }
 
+  /// Applies x[index] += delta with the fingerprint term already reduced:
+  /// term == MulMod61(ResidueOf(delta), FingerOf(seed, index)). Batched
+  /// cores compute the term once per (update, repetition) and reuse it
+  /// across every level the update survives to.
+  void ApplyTerm(uint64_t index, int64_t delta, uint64_t term) {
+    count_ += delta;
+    index_weight_ += static_cast<int64_t>(index) * delta;
+    print_ = AddMod61(print_, term);
+  }
+
   /// Adds another cell with the same owner seed (linearity).
   void Merge(const OneSparseCell& other) {
     count_ += other.count_;

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "src/hash/splitmix.h"
+#include "src/sketch/cell_kernels.h"
 
 namespace gsketch {
 
@@ -61,18 +62,41 @@ void RecoveryCellsUpdateTwo(const RecoveryParams& p, OneSparseCell* cells_a,
 void RecoveryCellsUpdateBatch(const RecoveryParams& p, OneSparseCell* cells,
                               const uint64_t* ids, const int64_t* deltas,
                               size_t count) {
-  for (uint32_t r = 0; r < p.rows; ++r) {
-    const uint64_t row_seed = RowSeed(p, r);
-    const uint64_t hash_seed = DeriveSeed(p.seed, 0x7002u + r);
-    OneSparseCell* row_cells = cells + static_cast<size_t>(r) * p.buckets;
-    for (size_t i = 0; i < count; ++i) {
-      const uint64_t index = ids[i];
-      assert(index < p.domain);
-      uint64_t h = Mix64(hash_seed, index);
-      uint64_t b = static_cast<uint64_t>(
-          (static_cast<__uint128_t>(h) * p.buckets) >> 64);
-      row_cells[b].Update(index, deltas[i],
-                          OneSparseCell::FingerOf(row_seed, index));
+  // Same hash/accumulate split as L0CellsUpdateBatch: residues once per
+  // chunk, per-row bucket words and fingerprints from the batched kernels
+  // over hoisted bases (Mix64(hash_seed, id) == SplitMix64(Mix64Base(
+  // hash_seed) + id)); only the bucket scatter stays scalar.
+  constexpr size_t kChunk = 256;
+  uint64_t residues[kChunk];
+  uint64_t words[kChunk];
+  uint64_t fingers[kChunk];
+  for (size_t start = 0; start < count; start += kChunk) {
+    const size_t chunk = std::min(kChunk, count - start);
+    const uint64_t* cids = ids + start;
+    const int64_t* cdeltas = deltas + start;
+    for (size_t i = 0; i < chunk; ++i) {
+      assert(cids[i] < p.domain);
+      residues[i] = OneSparseCell::ResidueOf(cdeltas[i]);
+    }
+    for (uint32_t r = 0; r < p.rows; ++r) {
+      const uint64_t row_seed = RowSeed(p, r);
+      SplitMix64Batch(Mix64Base(DeriveSeed(p.seed, 0x7002u + r)), cids, chunk,
+                      words);
+      FingerBatch(Mix64(row_seed, 0xf17eu), cids, chunk, fingers);
+      OneSparseCell* row_cells = cells + static_cast<size_t>(r) * p.buckets;
+      for (size_t i = 0; i < chunk; ++i) {
+        // Fair reduction into [0, buckets), as in CellOf.
+        const uint64_t b = static_cast<uint64_t>(
+            (static_cast<__uint128_t>(words[i]) * p.buckets) >> 64);
+        const int64_t d = cdeltas[i];
+        // ±1 deltas collapse the Mersenne product to the fingerprint (or
+        // its negation), same as the L0 core's fast path.
+        const uint64_t term =
+            d == 1 ? fingers[i]
+                   : (d == -1 ? SubMod61(0, fingers[i])
+                              : MulMod61(residues[i], fingers[i]));
+        row_cells[b].ApplyTerm(cids[i], d, term);
+      }
     }
   }
 }

@@ -1,0 +1,109 @@
+// CPU-dispatch parity for the batched hash kernels (src/sketch/cell_kernels).
+//
+// Three-way agreement, for every batch length across the vector-width
+// boundaries: the DISPATCHED backend (avx2 on capable hosts, scalar
+// elsewhere) == the scalar reference == the direct one-at-a-time formulas
+// the rest of the library uses (SplitMix64 / OneSparseCell::FingerOf).
+// This doubles as the CI vectorization check: BackendMatchesCpu fails if a
+// host that reports AVX2 silently fell back to scalar.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/hash/kwise_hash.h"
+#include "src/hash/splitmix.h"
+#include "src/sketch/cell_kernels.h"
+#include "src/sketch/one_sparse.h"
+
+namespace gsketch {
+namespace {
+
+// Deterministic "random" ids without <random>: SplitMix64 walk, with some
+// extreme values spliced in so base + id wraps around 2^64 and the
+// fingerprint fold sees inputs above the Mersenne prime.
+std::vector<uint64_t> TestIds(size_t count, uint64_t seed) {
+  std::vector<uint64_t> ids(count);
+  uint64_t x = seed;
+  for (size_t i = 0; i < count; ++i) {
+    x += 0x9e3779b97f4a7c15ULL;
+    ids[i] = SplitMix64(x);
+  }
+  if (count > 0) ids[0] = 0;
+  if (count > 1) ids[1] = ~0ULL;
+  if (count > 2) ids[2] = kMersenne61;
+  if (count > 3) ids[3] = kMersenne61 + 1;
+  return ids;
+}
+
+// Lengths straddling the 4-lane AVX2 width and the kChunk=256 tile used by
+// the cell cores, plus 0 and 1.
+const size_t kLengths[] = {0, 1, 2, 3, 4, 5, 7, 8, 9, 31, 255, 256, 257};
+
+TEST(CellKernels, DispatchedMatchesScalarAndDirectFormula) {
+  for (uint64_t base : {uint64_t{0}, uint64_t{0x243f6a8885a308d3ULL},
+                        Mix64(/*seed=*/9, 0xf17eu), ~uint64_t{0} - 2}) {
+    for (size_t count : kLengths) {
+      SCOPED_TRACE("base=" + std::to_string(base) +
+                   " count=" + std::to_string(count));
+      std::vector<uint64_t> ids = TestIds(count, base ^ count);
+      std::vector<uint64_t> dispatched(count + 1, 0xabababababababABULL);
+      std::vector<uint64_t> scalar(count + 1, 0xabababababababABULL);
+
+      SplitMix64Batch(base, ids.data(), count, dispatched.data());
+      SplitMix64BatchScalar(base, ids.data(), count, scalar.data());
+      for (size_t i = 0; i < count; ++i) {
+        ASSERT_EQ(dispatched[i], scalar[i]) << "i=" << i;
+        ASSERT_EQ(dispatched[i], SplitMix64(base + ids[i])) << "i=" << i;
+      }
+      // Neither backend may write past count.
+      EXPECT_EQ(dispatched[count], 0xabababababababABULL);
+      EXPECT_EQ(scalar[count], 0xabababababababABULL);
+
+      FingerBatch(base, ids.data(), count, dispatched.data());
+      FingerBatchScalar(base, ids.data(), count, scalar.data());
+      for (size_t i = 0; i < count; ++i) {
+        ASSERT_EQ(dispatched[i], scalar[i]) << "i=" << i;
+        ASSERT_EQ(dispatched[i], SplitMix64(base + ids[i]) % kMersenne61)
+            << "i=" << i;
+        ASSERT_LT(dispatched[i], kMersenne61);
+      }
+      EXPECT_EQ(dispatched[count], 0xabababababababABULL);
+      EXPECT_EQ(scalar[count], 0xabababababababABULL);
+    }
+  }
+}
+
+// FingerBatch with the 0xf17e-chained base reproduces the library's
+// canonical per-index fingerprint.
+TEST(CellKernels, FingerBatchMatchesOneSparseFingerOf) {
+  constexpr uint64_t kSeed = 1234567;
+  const uint64_t base = Mix64(kSeed, 0xf17eu);
+  std::vector<uint64_t> ids = TestIds(257, 42);
+  std::vector<uint64_t> out(ids.size());
+  FingerBatch(base, ids.data(), ids.size(), out.data());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    ASSERT_EQ(out[i], OneSparseCell::FingerOf(kSeed, ids[i])) << "i=" << i;
+  }
+}
+
+// The dispatcher must pick the widest backend the CPU supports — a host
+// that reports AVX2 but runs "scalar" means the vector path got dropped
+// from the build (this is the CI regression tripwire for vectorization).
+TEST(CellKernels, BackendMatchesCpu) {
+  const std::string backend = CellKernelBackend();
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+  if (__builtin_cpu_supports("avx2")) {
+    EXPECT_EQ(backend, "avx2");
+  } else {
+    EXPECT_EQ(backend, "scalar");
+  }
+#else
+  EXPECT_EQ(backend, "scalar");
+#endif
+}
+
+}  // namespace
+}  // namespace gsketch

@@ -1,0 +1,197 @@
+// Tests for work-stealing delta-merge ingestion (DriverOptions::delta_mode,
+// src/driver/sketch_driver.h) and the drain-barrier fixes that rode along.
+//
+// The load-bearing property is BYTE parity: delta mode reorders updates,
+// groups them into per-node batches claimed by arbitrary workers, and
+// applies them either through the AccumulateDelta/MergeDelta arena path or
+// in place under a striped lock — and because the sketches are linear
+// measurements, none of that may change a single sketch byte. The parity
+// loop pins delta_min_batch at both extremes so BOTH worker paths (delta
+// arena and locked in-place apply) are proven against plain sequential
+// ingestion for every registered family.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/sketch_registry.h"
+#include "src/driver/sketch_driver.h"
+#include "src/graph/generators.h"
+#include "src/graph/stream.h"
+#include "src/hash/random.h"
+
+namespace gsketch {
+namespace {
+
+constexpr NodeId kN = 16;
+constexpr uint64_t kSeed = 9;
+
+// A stream with deletions, shuffled into adversarial order.
+DynamicGraphStream TestStream(uint64_t seed) {
+  Rng rng(seed);
+  Graph g = ErdosRenyi(kN, 0.35, seed);
+  DynamicGraphStream s = DynamicGraphStream::FromGraph(g);
+  return s.WithChurn(/*extra=*/s.Size() / 3 + 4, &rng).Shuffled(&rng);
+}
+
+std::string Bytes(const LinearSketch& sk) {
+  std::string out;
+  sk.AppendTo(&out);
+  return out;
+}
+
+// --------------------------------------------------- parity per family --
+
+// Delta-mode ingestion must be byte-identical to plain sequential
+// ingestion for every registered family, with and without gutters, at
+// multiple worker counts for the endpoint-sharded families, and on both
+// worker apply paths: delta_min_batch=1 forces every batch through the
+// accumulate-then-merge arena (for families with delta support),
+// delta_min_batch=SIZE_MAX forces the locked in-place fallback.
+TEST(DeltaParity, EveryRegisteredFamilyBothPathsThreadsAndGutters) {
+  DynamicGraphStream s = TestStream(5);
+  for (const AlgInfo& info : Registry()) {
+    SCOPED_TRACE(info.name);
+    auto sequential = info.make(kN, AlgOptions{}, kSeed);
+    s.Replay([&](NodeId u, NodeId v, int64_t d) {
+      sequential->Update(u, v, d);
+    });
+    const std::string expected = Bytes(*sequential);
+
+    for (size_t gutter_bytes : {size_t{0}, size_t{4096}}) {
+      for (uint32_t threads : {1u, 3u}) {
+        if (threads > 1 && !info.endpoint_sharded) continue;
+        for (size_t min_batch :
+             {size_t{1}, std::numeric_limits<size_t>::max()}) {
+          auto delta = info.make(kN, AlgOptions{}, kSeed);
+          DriverOptions opt;
+          opt.num_workers = threads;
+          opt.gutter_bytes = gutter_bytes;
+          opt.delta_mode = true;
+          opt.delta_min_batch = min_batch;
+          SketchDriver<LinearSketch> driver(delta.get(), opt);
+          driver.ProcessStream(s);
+          EXPECT_EQ(driver.TotalUpdates(), 2 * s.Size());
+          EXPECT_EQ(Bytes(*delta), expected)
+              << "gutter=" << gutter_bytes << "B, threads=" << threads
+              << ", delta_min_batch=" << min_batch;
+        }
+      }
+    }
+  }
+}
+
+// ------------------------------------------------ hot-spot distribution --
+
+// A hot-spot stream (every token incident to node 0) pins half the stream
+// to ONE worker under endpoint sharding. Delta mode's shared queue must
+// spread it: every worker applies work, and no worker applies everything.
+TEST(DeltaWorkStealing, HotSpotStreamReachesEveryWorker) {
+  constexpr NodeId n = 64;
+  constexpr uint32_t kWorkers = 3;
+  DynamicGraphStream s(n);
+  Rng rng(11);
+  for (int i = 0; i < 20000; ++i) {
+    s.Push(0, 1 + rng.Below(n - 1), +1);
+  }
+
+  auto sequential = FindAlg("connectivity")->make(n, AlgOptions{}, kSeed);
+  s.Replay([&](NodeId u, NodeId v, int64_t d) {
+    sequential->Update(u, v, d);
+  });
+  const std::string expected = Bytes(*sequential);
+
+  auto delta = FindAlg("connectivity")->make(n, AlgOptions{}, kSeed);
+  DriverOptions opt;
+  opt.num_workers = kWorkers;
+  opt.delta_mode = true;
+  // Small producer batches -> many NodeBatches, so the shared queue has
+  // real work to distribute. Node 0's slice of each dispatch exceeds
+  // delta_min_batch (delta path); the cold endpoints' singletons fall
+  // back to the locked in-place path — both run concurrently here.
+  opt.batch_size = 512;
+  uint64_t per_worker[kWorkers];
+  {
+    SketchDriver<LinearSketch> driver(delta.get(), opt);
+    driver.ProcessStream(s);
+    ASSERT_EQ(driver.num_workers(), kWorkers);
+    uint64_t total = 0;
+    for (uint32_t w = 0; w < kWorkers; ++w) {
+      per_worker[w] = driver.WorkerAppliedHalves(w);
+      total += per_worker[w];
+    }
+    EXPECT_EQ(total, 2 * s.Size());
+  }
+  EXPECT_EQ(Bytes(*delta), expected);
+  for (uint32_t w = 0; w < kWorkers; ++w) {
+    EXPECT_GT(per_worker[w], 0u) << "worker " << w << " never applied work "
+                                 << "(hot spot pinned to one worker?)";
+    EXPECT_LT(per_worker[w], 2 * s.Size())
+        << "worker " << w << " applied the whole stream alone";
+  }
+}
+
+// ----------------------------------------------- drain interleavings --
+
+// Repeated mid-stream drains while gutters are flushing into busy worker
+// queues: the exact interleaving where Drain's condvar predicate races
+// worker-side applied_halves_ bumps and the workers' advisory peek at
+// enqueued_halves_. Run under TSan in CI; the assertions also prove every
+// drain is a consistent cut (all pushed halves applied, bytes reproducible).
+TEST(DeltaDrain, DrainUnderGutterFlushInterleaving) {
+  constexpr NodeId n = 32;
+  DynamicGraphStream s(n);
+  Rng rng(23);
+  for (int i = 0; i < 6000; ++i) {
+    NodeId u = rng.Below(n), v = rng.Below(n);
+    if (u == v) v = (v + 1) % n;
+    s.Push(u, v, rng.Below(4) == 0 ? -1 : +1);
+  }
+
+  for (bool delta_mode : {false, true}) {
+    SCOPED_TRACE(delta_mode ? "delta" : "sharded");
+    auto sk = FindAlg("connectivity")->make(n, AlgOptions{}, kSeed);
+    DriverOptions opt;
+    opt.num_workers = 3;
+    opt.gutter_bytes = 256;      // tiny gutters: flush storms mid-push
+    opt.max_pending_batches = 2; // tight queues: producer blocks often
+    opt.delta_mode = delta_mode;
+    opt.delta_min_batch = 1;
+    SketchDriver<LinearSketch> driver(sk.get(), opt);
+    uint64_t pushed = 0;
+    for (const auto& e : s.Updates()) {
+      driver.Push(e.u, e.v, e.delta);
+      if (++pushed % 512 == 0) {
+        driver.Drain();
+        EXPECT_EQ(driver.TotalUpdates(), 2 * pushed);
+      }
+    }
+    driver.Drain();
+    EXPECT_EQ(driver.TotalUpdates(), 2 * s.Size());
+  }
+}
+
+// ------------------------------------------------- resolved workers --
+
+// DriverOptions::num_workers == 0 resolves to hardware_concurrency; the
+// driver must REPORT the resolved count (benches and the CLI print it).
+TEST(DeltaDriver, ZeroWorkersReportResolvedCount) {
+  uint32_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  for (bool delta_mode : {false, true}) {
+    auto sk = FindAlg("connectivity")->make(kN, AlgOptions{}, kSeed);
+    DriverOptions opt;
+    opt.num_workers = 0;
+    opt.delta_mode = delta_mode;
+    SketchDriver<LinearSketch> driver(sk.get(), opt);
+    EXPECT_EQ(driver.num_workers(), hw);
+    EXPECT_EQ(driver.delta_mode(), delta_mode);
+  }
+}
+
+}  // namespace
+}  // namespace gsketch

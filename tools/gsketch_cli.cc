@@ -97,6 +97,9 @@ void PrintUsage(std::FILE* out, const char* argv0) {
       "          --gutter B    per-node gutter buffers of B bytes; flushes\n"
       "                        coalesce into dense per-node batches\n"
       "                        (default 0 = off; try 4096)\n"
+      "          --delta       work-stealing ingestion: any worker claims\n"
+      "                        any batch, merges via sketch addition (same\n"
+      "                        bytes; helps hot-spot streams)\n"
       "          --progress    live insertion-rate reporting on stderr\n"
       "          --at N        checkpoint after N updates (default: half)\n"
       "          --k K         witness strength for %s (default 3)\n"
@@ -328,6 +331,7 @@ struct IngestOptions {
   uint32_t threads = 1;
   size_t batch = 4096;
   size_t gutter = 0;  ///< per-node gutter bytes; 0 = gutters off
+  bool delta = false;  ///< work-stealing delta-merge ingestion (--delta)
   bool progress = false;
 };
 
@@ -386,9 +390,16 @@ bool IngestStreamRange(LinearSketch* alg, const char* path, NodeId n,
   dopt.num_workers = alg->EndpointSharded() ? opt.threads : 1;
   dopt.batch_size = opt.batch;
   dopt.gutter_bytes = opt.gutter;
+  dopt.delta_mode = opt.delta;
   SketchDriver<LinearSketch> driver(alg, dopt);
   std::optional<InsertionTracker> tracker;
   if (opt.progress) {
+    // Name the RESOLVED worker count (0 means hardware concurrency, and
+    // non-sharded algorithms clamp to 1), so the header states what the
+    // run actually uses rather than echoing the flag.
+    std::fprintf(stderr, "progress: %u worker%s, %s ingestion\n",
+                 driver.num_workers(), driver.num_workers() == 1 ? "" : "s",
+                 driver.delta_mode() ? "delta-merge" : "sharded");
     // Report in stream tokens against the FULL stream length: the driver
     // counts endpoint halves (2 per token), so the counter halves it, and
     // a resumed range seeds the tracker at `from` (the checkpoint's
@@ -534,11 +545,15 @@ int RunServe(const AlgInfo& info, NodeId n, const char* path, uint64_t seed,
   dopt.num_workers = sk->EndpointSharded() ? opt.threads : 1;
   dopt.batch_size = opt.batch;
   dopt.gutter_bytes = opt.gutter;
+  dopt.delta_mode = opt.delta;
   SketchDriver<LinearSketch> driver(sk.get(), dopt);
   SnapshotStore store;
   QueryEngine engine(&store, stdout);
   std::optional<InsertionTracker> tracker;
   if (opt.progress) {
+    std::fprintf(stderr, "progress: %u worker%s, %s ingestion\n",
+                 driver.num_workers(), driver.num_workers() == 1 ? "" : "s",
+                 driver.delta_mode() ? "delta-merge" : "sharded");
     tracker.emplace(total, [&driver] { return driver.TotalUpdates() / 2; });
   }
 
@@ -1086,6 +1101,9 @@ int main(int argc, char** argv) {
       ++i;
       ingest_flags_given = true;
       opt.gutter = value;
+    } else if (arg == "--delta") {
+      opt.delta = true;
+      ingest_flags_given = true;
     } else if (arg == "--progress") {
       opt.progress = true;
       ingest_flags_given = true;
@@ -1118,8 +1136,8 @@ int main(int argc, char** argv) {
   auto reject_ingest = [&](const char* why) -> bool {
     if (!ingest_flags_given) return false;
     std::fprintf(stderr,
-                 "error: --threads/--batch/--gutter/--progress apply only "
-                 "to %s\n",
+                 "error: --threads/--batch/--gutter/--delta/--progress "
+                 "apply only to %s\n",
                  why);
     return true;
   };
