@@ -1,19 +1,28 @@
-// E15: query-while-ingest serving — snapshot latency and the ingest
-// throughput penalty of periodic snapshots.
+// E15: query-while-ingest serving — snapshot publish latency and the
+// ingest throughput penalty of periodic snapshots.
 //
 // Ingests a uniform multigraph stream (same generator shape as E13/E14,
 // so the numbers compare directly) into a ConnectivitySketch through the
-// gutter-buffered driver while taking drain-barrier snapshots
-// (SketchDriver::SnapshotNow + Clone + SnapshotStore::Publish) at a sweep
-// of wall-clock intervals — off, 1 s, and 100 ms — and answering one
-// "components" query per snapshot on the QueryEngine thread. The cost of
-// a snapshot is the drain barrier (flush gutters, wait for workers) plus
-// an arena deep copy, so the penalty should stay small at 1 s intervals
-// (the acceptance bar is within 10% of snapshot-off) and visible but
-// bounded at 100 ms.
+// gutter-buffered driver while taking drain-barrier snapshots at a sweep
+// of wall-clock intervals — off, 1 s, 100 ms, and 10 ms — and answering
+// one "components" query per snapshot on the QueryEngine thread. With the
+// COW-paged arenas a snapshot is a drain barrier plus an O(pages) fork,
+// not a deep clone, so the split matters and is reported separately:
+// drain_ms is relocated ingest work (the gutters flush either way),
+// publish_ms is the real marginal cost of the capture. Per-run the bench
+// records the full publish-latency distribution (p50/p99/max) — the
+// headline target is p99 publish < 10 ms at a 100 ms cadence — and
+// bench_compare gates every snapshot_publish_ms* key lower-is-better.
+//
+// A second mini-run measures the eager exact-connectivity fast path: an
+// insert-only stream with DriverOptions::eager_connectivity keeps a DSU
+// beside the sketch, snapshots carry its exact partition, and a
+// "connected u v" answered from it (EagerAnswer) touches no sketch
+// decode. Target: p99 well under 1 ms.
 //
 // Usage: bench_serve [n] [num_updates]
 //   defaults: n=1024, num_updates=1000000
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -30,13 +39,15 @@ namespace gsketch {
 namespace {
 
 // Uniform multigraph stream with ~10% churn deletions (the E13/E14
-// generator shape).
-DynamicGraphStream UniformStream(NodeId n, size_t updates, uint64_t seed) {
+// generator shape). `churn=false` yields the insert-only variant the
+// eager fast path stays valid on.
+DynamicGraphStream UniformStream(NodeId n, size_t updates, uint64_t seed,
+                                 bool churn = true) {
   Rng rng(seed);
   DynamicGraphStream s(n);
   std::vector<std::pair<NodeId, NodeId>> inserted;
   while (s.Size() < updates) {
-    if (!inserted.empty() && rng.Below(10) == 0) {
+    if (churn && !inserted.empty() && rng.Below(10) == 0) {
       size_t pick = rng.Below(inserted.size());
       auto [u, v] = inserted[pick];
       inserted[pick] = inserted.back();
@@ -48,17 +59,29 @@ DynamicGraphStream UniformStream(NodeId n, size_t updates, uint64_t seed) {
     NodeId v = static_cast<NodeId>(rng.Below(n));
     if (u == v) continue;
     s.Push(u, v, +1);
-    inserted.emplace_back(u, v);
+    if (churn) inserted.emplace_back(u, v);
   }
   return s;
+}
+
+// Percentile of an unsorted sample set (nearest-rank on a sorted copy).
+double Percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0;
+  std::sort(xs.begin(), xs.end());
+  size_t idx = static_cast<size_t>(p * static_cast<double>(xs.size() - 1) +
+                                   0.5);
+  return xs[std::min(idx, xs.size() - 1)];
 }
 
 struct Sample {
   double seconds = 0;
   double rate = 0;
   uint64_t snapshots = 0;
-  double snap_ms_mean = 0;
-  double snap_ms_max = 0;
+  uint64_t coalesced = 0;
+  double drain_ms_mean = 0;
+  double publish_ms_p50 = 0;
+  double publish_ms_p99 = 0;
+  double publish_ms_max = 0;
   uint64_t answered = 0;
 };
 
@@ -69,46 +92,102 @@ Sample RunOnce(const DynamicGraphStream& stream, NodeId n,
   opt.num_workers = 1;
   opt.gutter_bytes = 4096;
   Sample out;
-  double snap_ms_total = 0;
+  std::vector<double> drain_ms;
+  std::vector<double> publish_ms;
   std::FILE* devnull = std::fopen("/dev/null", "w");
   {
     SketchDriver<LinearSketch> driver(sk.get(), opt);
     SnapshotStore store;
     QueryEngine engine(&store, devnull != nullptr ? devnull : stderr);
     bench::Timer timer;
-    double next_snapshot = interval_seconds;
+    SnapshotScheduler scheduler(interval_seconds);
     for (const auto& e : stream.Updates()) {
-      if (interval_seconds > 0 && timer.Seconds() >= next_snapshot) {
-        bench::Timer snap_timer;
-        PublishSnapshot(&driver, &store);
-        double ms = snap_timer.Seconds() * 1000.0;
-        snap_ms_total += ms;
-        if (ms > out.snap_ms_max) out.snap_ms_max = ms;
-        ++out.snapshots;
-        engine.Submit("components");
-        next_snapshot = timer.Seconds() + interval_seconds;
+      if (interval_seconds > 0) {
+        double now = timer.Seconds();
+        if (scheduler.Due(now)) {
+          SnapshotTiming timing;
+          PublishSnapshot(&driver, &store, &timing);
+          scheduler.Taken(timer.Seconds());
+          drain_ms.push_back(timing.drain_ms);
+          publish_ms.push_back(timing.publish_ms);
+          ++out.snapshots;
+          engine.Submit("components");
+        }
       }
       driver.Push(e.u, e.v, e.delta);
     }
     driver.Drain();
     out.seconds = timer.Seconds();
+    out.coalesced = scheduler.coalesced();
     engine.Finish();
     out.answered = engine.answered();
   }
   if (devnull != nullptr) std::fclose(devnull);
   out.rate = static_cast<double>(stream.Size()) / out.seconds;
-  out.snap_ms_mean =
-      out.snapshots > 0 ? snap_ms_total / static_cast<double>(out.snapshots)
-                        : 0;
+  double drain_total = 0;
+  for (double ms : drain_ms) drain_total += ms;
+  out.drain_ms_mean =
+      drain_ms.empty() ? 0
+                       : drain_total / static_cast<double>(drain_ms.size());
+  out.publish_ms_p50 = Percentile(publish_ms, 0.50);
+  out.publish_ms_p99 = Percentile(publish_ms, 0.99);
+  out.publish_ms_max = Percentile(publish_ms, 1.0);
+  return out;
+}
+
+// Eager fast path: per-query latency of "connected u v" answered from a
+// snapshot's exact DSU cut, insert-only stream. Reported in
+// milliseconds to share the axis with publish latency.
+struct EagerSample {
+  double connected_ms_p50 = 0;
+  double connected_ms_p99 = 0;
+  double connected_ms_max = 0;
+  uint64_t queries = 0;
+};
+
+EagerSample RunEager(NodeId n, size_t updates) {
+  DynamicGraphStream stream =
+      UniformStream(n, updates, /*seed=*/54321, /*churn=*/false);
+  auto sk = FindAlg("connectivity")->make(n, AlgOptions{}, /*seed=*/1);
+  DriverOptions opt;
+  opt.num_workers = 1;
+  opt.gutter_bytes = 4096;
+  opt.eager_connectivity = true;
+  SketchDriver<LinearSketch> driver(sk.get(), opt);
+  SnapshotStore store;
+  for (const auto& e : stream.Updates()) driver.Push(e.u, e.v, e.delta);
+  auto snap = PublishSnapshot(&driver, &store);
+
+  EagerSample out;
+  if (snap == nullptr || snap->eager == nullptr) return out;
+  constexpr size_t kQueries = 4096;
+  std::vector<double> ms;
+  ms.reserve(kQueries);
+  Rng rng(7);
+  const AlgTag tag = snap->sketch->Tag();
+  for (size_t i = 0; i < kQueries; ++i) {
+    NodeId u = static_cast<NodeId>(rng.Below(n));
+    NodeId v = static_cast<NodeId>(rng.Below(n));
+    std::string q = "connected " + std::to_string(u) + " " +
+                    std::to_string(v);
+    bench::Timer t;
+    auto answer = EagerAnswer(*snap->eager, tag, q);
+    ms.push_back(t.Seconds() * 1000.0);
+    if (!answer.has_value()) return EagerSample{};  // must never decode
+  }
+  out.queries = kQueries;
+  out.connected_ms_p50 = Percentile(ms, 0.50);
+  out.connected_ms_p99 = Percentile(ms, 0.99);
+  out.connected_ms_max = Percentile(ms, 1.0);
   return out;
 }
 
 int Run(NodeId n, size_t updates) {
   bench::Banner("E15", "query-while-ingest serving",
-                "snapshots are a drain barrier plus an arena deep copy, "
-                "so serving queries mid-stream costs little ingest "
-                "throughput (target: within 10% of snapshot-off at 1s "
-                "intervals)");
+                "a snapshot is a drain barrier plus an O(pages) COW fork, "
+                "so p99 publish stays under 10 ms even at a 100 ms "
+                "cadence and the ingest penalty at 1 s intervals stays "
+                "within 10% of snapshot-off");
 
   DynamicGraphStream stream = UniformStream(n, updates, /*seed=*/12345);
   std::printf("uniform stream: n=%u, %zu updates\n", n, stream.Size());
@@ -121,34 +200,56 @@ int Run(NodeId n, size_t updates) {
       {"off", "off", 0},
       {"1s", "1s", 1.0},
       {"100ms", "100ms", 0.1},
+      {"10ms", "10ms", 0.01},
   };
 
   bench::BenchJson json("E15", "query-while-ingest serving");
   json.Metric("n", static_cast<double>(n));
   json.Metric("stream_updates", static_cast<double>(updates));
 
-  bench::Row("%-10s %12s %14s %10s %10s %12s %12s %10s", "interval",
-             "seconds", "updates/s", "penalty", "snapshots", "snap ms avg",
-             "snap ms max", "answers");
+  bench::Row("%-8s %10s %12s %9s %6s %6s %11s %8s %8s %8s %8s", "interval",
+             "seconds", "updates/s", "penalty", "snaps", "coal",
+             "drain avg", "pub p50", "pub p99", "pub max", "answers");
   double base_rate = 0;
   for (const auto& s : settings) {
     Sample r = RunOnce(stream, n, s.interval_seconds);
     if (s.interval_seconds == 0) base_rate = r.rate;
     double penalty_pct =
         base_rate > 0 ? 100.0 * (1.0 - r.rate / base_rate) : 0;
-    bench::Row("%-10s %12.3f %14.0f %9.1f%% %10llu %12.2f %12.2f %10llu",
+    bench::Row("%-8s %10.3f %12.0f %8.1f%% %6llu %6llu %11.3f %8.3f %8.3f "
+               "%8.3f %8llu",
                s.label, r.seconds, r.rate, penalty_pct,
-               static_cast<unsigned long long>(r.snapshots), r.snap_ms_mean,
-               r.snap_ms_max, static_cast<unsigned long long>(r.answered));
+               static_cast<unsigned long long>(r.snapshots),
+               static_cast<unsigned long long>(r.coalesced), r.drain_ms_mean,
+               r.publish_ms_p50, r.publish_ms_p99, r.publish_ms_max,
+               static_cast<unsigned long long>(r.answered));
     json.Metric((std::string("updates_per_sec_") + s.key).c_str(), r.rate);
     json.Metric((std::string("penalty_pct_") + s.key).c_str(), penalty_pct);
     json.Metric((std::string("snapshots_") + s.key).c_str(),
                 static_cast<double>(r.snapshots));
-    json.Metric((std::string("snapshot_ms_mean_") + s.key).c_str(),
-                r.snap_ms_mean);
-    json.Metric((std::string("snapshot_ms_max_") + s.key).c_str(),
-                r.snap_ms_max);
+    json.Metric((std::string("snapshots_coalesced_") + s.key).c_str(),
+                static_cast<double>(r.coalesced));
+    if (s.interval_seconds > 0) {
+      json.Metric((std::string("snapshot_drain_ms_mean_") + s.key).c_str(),
+                  r.drain_ms_mean);
+      json.Metric((std::string("snapshot_publish_ms_p50_") + s.key).c_str(),
+                  r.publish_ms_p50);
+      json.Metric((std::string("snapshot_publish_ms_p99_") + s.key).c_str(),
+                  r.publish_ms_p99);
+      json.Metric((std::string("snapshot_publish_ms_max_") + s.key).c_str(),
+                  r.publish_ms_max);
+    }
   }
+
+  EagerSample e = RunEager(n, updates / 4);
+  std::printf("eager connected (insert-only, %llu queries): "
+              "p50 %.4f ms, p99 %.4f ms, max %.4f ms\n",
+              static_cast<unsigned long long>(e.queries),
+              e.connected_ms_p50, e.connected_ms_p99, e.connected_ms_max);
+  json.Metric("eager_connected_queries", static_cast<double>(e.queries));
+  json.Metric("eager_connected_ms_p50", e.connected_ms_p50);
+  json.Metric("eager_connected_ms_p99", e.connected_ms_p99);
+  json.Metric("eager_connected_ms_max", e.connected_ms_max);
   json.Write();
   return 0;
 }

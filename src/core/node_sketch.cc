@@ -8,23 +8,21 @@ NodeL0Bank::NodeL0Bank(NodeId n, uint32_t repetitions, uint64_t seed)
     : n_(n),
       // Same seed for every node: one shared linear measurement matrix.
       params_(L0Params::Make(EdgeDomain(n), repetitions, seed)),
-      stride_(params_.CellsPerSampler()) {
-  arena_.resize(static_cast<size_t>(n_) * stride_);
-}
+      stride_(params_.CellsPerSampler()),
+      arena_(static_cast<size_t>(n), params_.CellsPerSampler()) {}
 
 void NodeL0Bank::Update(NodeId u, NodeId v, int64_t delta) {
   assert(u != v);
   uint64_t id = EdgeId(u, v);
-  L0CellsUpdateTwo(params_, arena_.data() + u * stride_,
-                   arena_.data() + v * stride_, id,
-                   delta * IncidenceSign(u, u, v),
+  L0CellsUpdateTwo(params_, arena_.MutableSlice(u), arena_.MutableSlice(v),
+                   id, delta * IncidenceSign(u, u, v),
                    delta * IncidenceSign(v, u, v));
 }
 
 void NodeL0Bank::UpdateEndpoint(NodeId endpoint, NodeId u, NodeId v,
                                 int64_t delta) {
   assert(u != v && (endpoint == u || endpoint == v));
-  L0CellsUpdate(params_, arena_.data() + endpoint * stride_, EdgeId(u, v),
+  L0CellsUpdate(params_, arena_.MutableSlice(endpoint), EdgeId(u, v),
                 delta * IncidenceSign(endpoint, u, v));
 }
 
@@ -41,7 +39,7 @@ L0Sampler NodeL0Bank::SumOver(const std::vector<NodeId>& nodes) const {
   assert(!nodes.empty());
   L0Sampler acc = Of(nodes[0]).Materialize();
   for (size_t i = 1; i < nodes.size(); ++i) {
-    const OneSparseCell* slice = arena_.data() + nodes[i] * stride_;
+    const OneSparseCell* slice = arena_.Slice(nodes[i]);
     for (size_t c = 0; c < stride_; ++c) acc.cells_[c].Merge(slice[c]);
   }
   return acc;
@@ -49,14 +47,18 @@ L0Sampler NodeL0Bank::SumOver(const std::vector<NodeId>& nodes) const {
 
 void NodeL0Bank::Merge(const NodeL0Bank& other) {
   assert(n_ == other.n_ && params_ == other.params_);
-  for (size_t i = 0; i < arena_.size(); ++i) arena_[i].Merge(other.arena_[i]);
+  for (NodeId u = 0; u < n_; ++u) {
+    OneSparseCell* dst = arena_.MutableSlice(u);
+    const OneSparseCell* src = other.arena_.Slice(u);
+    for (size_t c = 0; c < stride_; ++c) dst[c].Merge(src[c]);
+  }
 }
 
 void NodeL0Bank::AppendTo(std::string* out) const {
   ByteWriter w(out);
   w.U32(n_);
   for (NodeId u = 0; u < n_; ++u) {
-    L0CellsAppendTo(params_, arena_.data() + u * stride_, out);
+    L0CellsAppendTo(params_, arena_.Slice(u), out);
   }
 }
 
@@ -71,11 +73,11 @@ std::optional<NodeL0Bank> NodeL0Bank::Deserialize(ByteReader* r) {
     if (u == 0) {
       bank.params_ = p;
       bank.stride_ = p.CellsPerSampler();
-      bank.arena_.resize(static_cast<size_t>(bank.n_) * bank.stride_);
+      bank.arena_ = CowCellArena(static_cast<size_t>(bank.n_), bank.stride_);
     } else if (p != bank.params_) {
       return std::nullopt;
     }
-    if (!ParseCells(r, bank.arena_.data() + u * bank.stride_, bank.stride_)) {
+    if (!ParseCells(r, bank.arena_.MutableSlice(u), bank.stride_)) {
       return std::nullopt;
     }
   }
@@ -86,15 +88,14 @@ NodeRecoveryBank::NodeRecoveryBank(NodeId n, uint32_t capacity, uint32_t rows,
                                    uint64_t seed)
     : n_(n),
       params_(RecoveryParams::Make(EdgeDomain(n), capacity, rows, seed)),
-      stride_(params_.CellsPerSketch()) {
-  arena_.resize(static_cast<size_t>(n_) * stride_);
-}
+      stride_(params_.CellsPerSketch()),
+      arena_(static_cast<size_t>(n), params_.CellsPerSketch()) {}
 
 void NodeRecoveryBank::Update(NodeId u, NodeId v, int64_t delta) {
   assert(u != v);
   uint64_t id = EdgeId(u, v);
-  RecoveryCellsUpdateTwo(params_, arena_.data() + u * stride_,
-                         arena_.data() + v * stride_, id,
+  RecoveryCellsUpdateTwo(params_, arena_.MutableSlice(u),
+                         arena_.MutableSlice(v), id,
                          delta * IncidenceSign(u, u, v),
                          delta * IncidenceSign(v, u, v));
 }
@@ -102,8 +103,8 @@ void NodeRecoveryBank::Update(NodeId u, NodeId v, int64_t delta) {
 void NodeRecoveryBank::UpdateEndpoint(NodeId endpoint, NodeId u, NodeId v,
                                       int64_t delta) {
   assert(u != v && (endpoint == u || endpoint == v));
-  RecoveryCellsUpdate(params_, arena_.data() + endpoint * stride_,
-                      EdgeId(u, v), delta * IncidenceSign(endpoint, u, v));
+  RecoveryCellsUpdate(params_, arena_.MutableSlice(endpoint), EdgeId(u, v),
+                      delta * IncidenceSign(endpoint, u, v));
 }
 
 void NodeRecoveryBank::ApplyBatch(NodeId endpoint, Span<const NodeId> others,
@@ -120,7 +121,7 @@ SparseRecovery NodeRecoveryBank::SumOver(
   assert(!nodes.empty());
   SparseRecovery acc = Of(nodes[0]).Materialize();
   for (size_t i = 1; i < nodes.size(); ++i) {
-    const OneSparseCell* slice = arena_.data() + nodes[i] * stride_;
+    const OneSparseCell* slice = arena_.Slice(nodes[i]);
     for (size_t c = 0; c < stride_; ++c) acc.cells_[c].Merge(slice[c]);
   }
   return acc;
@@ -128,7 +129,11 @@ SparseRecovery NodeRecoveryBank::SumOver(
 
 void NodeRecoveryBank::Merge(const NodeRecoveryBank& other) {
   assert(n_ == other.n_ && params_ == other.params_);
-  for (size_t i = 0; i < arena_.size(); ++i) arena_[i].Merge(other.arena_[i]);
+  for (NodeId u = 0; u < n_; ++u) {
+    OneSparseCell* dst = arena_.MutableSlice(u);
+    const OneSparseCell* src = other.arena_.Slice(u);
+    for (size_t c = 0; c < stride_; ++c) dst[c].Merge(src[c]);
+  }
 }
 
 }  // namespace gsketch

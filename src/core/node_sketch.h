@@ -6,16 +6,19 @@
 // *same* linear measurement (same seed) to every node, which is what makes
 // the component-sum trick work.
 //
-// Storage: each bank owns ONE contiguous OneSparseCell arena holding every
-// node's cells back to back (node u's sampler occupies the stride-sized
-// slice starting at u * stride). The hot path `Update` therefore touches
-// two arena slices computed by pointer arithmetic instead of chasing
-// per-node heap vectors, and checkpointing snapshots the whole bank with a
-// single bulk copy of the arena (src/driver/checkpoint.h). Per-node access
-// hands out lightweight views (L0SamplerView / SparseRecoveryView) over
-// arena slices; the cells are bit-identical to the historical per-node
-// layout (tests/parity_test.cc proves this against a reference
-// implementation).
+// Storage: each bank owns ONE logically contiguous OneSparseCell arena
+// holding every node's cells back to back (node u's sampler occupies the
+// stride-sized slice starting at u * stride), physically held as
+// copy-on-write pages (src/sketch/cow_arena.h). The hot path `Update`
+// touches two arena slices resolved by pointer arithmetic plus one epoch
+// compare; copying a bank — which is how snapshots are published — shares
+// every page and costs O(pages) instead of a deep clone, with the first
+// post-snapshot write to a page paying a single ~64 KiB first-touch copy.
+// Per-node access hands out lightweight views (L0SamplerView /
+// SparseRecoveryView) over arena slices; the cells and the serialized
+// bytes are bit-identical to the historical flat-arena and per-node
+// layouts (tests/parity_test.cc proves this against a reference
+// implementation; tests/golden_serde_test.cc locks the wire format).
 #ifndef GRAPHSKETCH_SRC_CORE_NODE_SKETCH_H_
 #define GRAPHSKETCH_SRC_CORE_NODE_SKETCH_H_
 
@@ -25,6 +28,7 @@
 
 #include "src/core/span.h"
 #include "src/graph/edge_id.h"
+#include "src/sketch/cow_arena.h"
 #include "src/sketch/l0_sampler.h"
 #include "src/sketch/sparse_recovery.h"
 
@@ -85,7 +89,7 @@ class NodeL0Bank {
   /// across every bank sharing the endpoint.
   void ApplyBatchIds(NodeId endpoint, const uint64_t* ids,
                      const int64_t* signed_deltas, size_t count) {
-    L0CellsUpdateBatch(params_, arena_.data() + endpoint * stride_, ids,
+    L0CellsUpdateBatch(params_, arena_.MutableSlice(endpoint), ids,
                        signed_deltas, count);
   }
 
@@ -106,13 +110,15 @@ class NodeL0Bank {
   /// Adds a delta slice into `endpoint`'s live cells. The caller
   /// serializes per-endpoint calls (striped per-node lock in the driver).
   void MergeDeltaAt(NodeId endpoint, const OneSparseCell* scratch) {
-    OneSparseCell* slice = arena_.data() + endpoint * stride_;
+    OneSparseCell* slice = arena_.MutableSlice(endpoint);
     for (size_t i = 0; i < stride_; ++i) slice[i].Merge(scratch[i]);
   }
 
-  /// View of a single node's sampler (valid while the bank lives).
+  /// View of a single node's sampler. On a quiescent bank (snapshots,
+  /// drained drivers) the view is stable; on a live bank a concurrent
+  /// writer's first-touch page clone invalidates it.
   L0SamplerView Of(NodeId u) const {
-    return L0SamplerView(&params_, arena_.data() + u * stride_);
+    return L0SamplerView(&params_, arena_.Slice(u));
   }
 
   /// Sketch of Σ_{u∈nodes} x^u: supported on the edges leaving `nodes`.
@@ -124,8 +130,11 @@ class NodeL0Bank {
   /// Total 1-sparse cells (space proxy).
   size_t CellCount() const { return arena_.size(); }
 
-  /// Heap bytes held by the bank (one arena allocation).
-  size_t ArenaBytes() const { return arena_.size() * sizeof(OneSparseCell); }
+  /// Heap bytes reachable from the bank (shared COW pages counted once).
+  size_t ArenaBytes() const { return arena_.ResidentBytes(); }
+
+  /// The underlying COW page store (snapshot-sharing stats).
+  const CowCellArena& arena() const { return arena_; }
 
   /// Serializes the full bank (Sec 1.1 wire format; byte-compatible with
   /// the historical per-node-sampler encoding).
@@ -145,7 +154,7 @@ class NodeL0Bank {
   NodeId n_ = 0;
   L0Params params_;
   size_t stride_ = 0;  // cells per node = params_.CellsPerSampler()
-  std::vector<OneSparseCell> arena_;  // n_ * stride_
+  CowCellArena arena_;  // n_ slices of stride_ cells, COW-paged
 };
 
 /// A bank of n k-RECOVERY sketches, one per node, over the edge-slot
@@ -170,8 +179,8 @@ class NodeRecoveryBank {
   /// ApplyBatch with precomputed edge ids / signed deltas (BatchEdgeIds).
   void ApplyBatchIds(NodeId endpoint, const uint64_t* ids,
                      const int64_t* signed_deltas, size_t count) {
-    RecoveryCellsUpdateBatch(params_, arena_.data() + endpoint * stride_,
-                             ids, signed_deltas, count);
+    RecoveryCellsUpdateBatch(params_, arena_.MutableSlice(endpoint), ids,
+                             signed_deltas, count);
   }
 
   /// Per-node delta slice size (see NodeL0Bank::DeltaCells).
@@ -187,13 +196,14 @@ class NodeRecoveryBank {
   /// Adds a delta slice into `endpoint`'s live cells (caller holds the
   /// per-node lock).
   void MergeDeltaAt(NodeId endpoint, const OneSparseCell* scratch) {
-    OneSparseCell* slice = arena_.data() + endpoint * stride_;
+    OneSparseCell* slice = arena_.MutableSlice(endpoint);
     for (size_t i = 0; i < stride_; ++i) slice[i].Merge(scratch[i]);
   }
 
-  /// View of a single node's sketch (valid while the bank lives).
+  /// View of a single node's sketch (stable on quiescent banks; see
+  /// NodeL0Bank::Of).
   SparseRecoveryView Of(NodeId u) const {
-    return SparseRecoveryView(&params_, arena_.data() + u * stride_);
+    return SparseRecoveryView(&params_, arena_.Slice(u));
   }
 
   /// Sketch of Σ_{u∈nodes} x^u (Fig. 3 step 4c): decoding it recovers all
@@ -206,8 +216,11 @@ class NodeRecoveryBank {
   /// Total 1-sparse cells (space proxy).
   size_t CellCount() const { return arena_.size(); }
 
-  /// Heap bytes held by the bank (one arena allocation).
-  size_t ArenaBytes() const { return arena_.size() * sizeof(OneSparseCell); }
+  /// Heap bytes reachable from the bank (shared COW pages counted once).
+  size_t ArenaBytes() const { return arena_.ResidentBytes(); }
+
+  /// The underlying COW page store (snapshot-sharing stats).
+  const CowCellArena& arena() const { return arena_; }
 
   NodeId num_nodes() const { return n_; }
   const RecoveryParams& params() const { return params_; }
@@ -216,7 +229,7 @@ class NodeRecoveryBank {
   NodeId n_ = 0;
   RecoveryParams params_;
   size_t stride_ = 0;  // cells per node = params_.CellsPerSketch()
-  std::vector<OneSparseCell> arena_;  // n_ * stride_
+  CowCellArena arena_;  // n_ slices of stride_ cells, COW-paged
 };
 
 }  // namespace gsketch

@@ -13,6 +13,7 @@
 #include "src/core/spanning_forest.h"
 #include "src/core/subgraph_patterns.h"
 #include "src/core/subgraph_sketch.h"
+#include "src/core/weighted_sparsifier.h"
 #include "src/graph/union_find.h"
 
 namespace gsketch {
@@ -421,6 +422,42 @@ class SparsifyAdapter final
   }
 };
 
+// Streamed weighted sparsifier (Theorem 3.8): each edge carries the
+// static demonstration weight 1 + (hash{u, v} mod W), routed to its
+// O(log W) weight class at update time; see
+// src/core/weighted_sparsifier.h. Routing depends only on (u, v), so the
+// map is linear in delta and every ingestion path agrees byte-for-byte
+// with sequential.
+class WSparsifyAdapter final
+    : public Adapter<WSparsifyAdapter, WeightedSparsifier,
+                     AlgTag::kWeightedSparsify> {
+ public:
+  using Adapter::Adapter;
+  std::string Describe() const override {
+    return "wsparsify: n=" + std::to_string(sk_.num_nodes()) +
+           ", W=" + std::to_string(sk_.max_weight()) + ", " +
+           std::to_string(sk_.num_classes()) + " weight classes, " +
+           std::to_string(sk_.CellCount()) + " cells";
+  }
+  void PrintAnswer(std::FILE* out) const override {
+    Graph h = sk_.Extract();
+    std::fprintf(out, "# weighted sparsifier: %zu edges (%u classes)\n",
+                 h.NumEdges(), sk_.num_classes());
+    PrintWeightedEdges(out, h);
+  }
+  bool Query(const std::string& q, std::string* out,
+             std::string* error) const override {
+    if (q == "sparsifier") {
+      *out = AnswerString(*this);
+      return true;
+    }
+    return LinearSketch::Query(q, out, error);
+  }
+  std::string QueryVerbs() const override {
+    return LinearSketch::QueryVerbs() + ", sparsifier";
+  }
+};
+
 class TrianglesAdapter final
     : public Adapter<TrianglesAdapter, SubgraphSketch, AlgTag::kTriangles> {
  public:
@@ -540,6 +577,17 @@ std::unique_ptr<LinearSketch> MakeSparsify(NodeId n, const AlgOptions& opt,
   return std::make_unique<SparsifyAdapter>(SimpleSparsifier(n, sopt, seed));
 }
 
+std::unique_ptr<LinearSketch> MakeWSparsify(NodeId n, const AlgOptions& opt,
+                                            uint64_t seed) {
+  SimpleSparsifierOptions sopt;
+  sopt.epsilon = opt.epsilon;
+  sopt.k_override = opt.k_override;
+  sopt.max_level = opt.max_level;
+  sopt.forest = opt.forest;
+  return std::make_unique<WSparsifyAdapter>(
+      WeightedSparsifier(n, opt.max_weight, sopt, seed));
+}
+
 std::unique_ptr<LinearSketch> MakeTriangles(NodeId n, const AlgOptions& opt,
                                             uint64_t seed) {
   return std::make_unique<TrianglesAdapter>(
@@ -577,6 +625,10 @@ std::unique_ptr<LinearSketch> DeserializeSparsify(ByteReader* r) {
 }
 std::unique_ptr<LinearSketch> DeserializeTriangles(ByteReader* r) {
   return WrapDeserialized<TrianglesAdapter>(SubgraphSketch::Deserialize(r));
+}
+std::unique_ptr<LinearSketch> DeserializeWSparsify(ByteReader* r) {
+  return WrapDeserialized<WSparsifyAdapter>(
+      WeightedSparsifier::Deserialize(r));
 }
 
 }  // namespace
@@ -655,6 +707,9 @@ const std::vector<AlgInfo>& Registry() {
       {"mst", AlgTag::kApproxMst,
        "approximate spanning-forest weight (unweighted: edge count)", true,
        false, MakeMst, DeserializeMst},
+      {"wsparsify", AlgTag::kWeightedSparsify,
+       "weighted cut sparsifier (hashed demo weights in [1, --max-weight])",
+       true, false, MakeWSparsify, DeserializeWSparsify},
   };
   return kRegistry;
 }

@@ -56,6 +56,7 @@ enum class AlgTag : uint32_t {
   kSpanningForest = 7,
   kSparsify = 8,
   kTriangles = 9,
+  kWeightedSparsify = 10,
 };
 
 /// The uniform linear-sketch contract (see file comment).
@@ -142,13 +143,23 @@ class LinearSketch {
   /// sketch's AppendTo (this is the GSKC checkpoint payload).
   virtual void AppendTo(std::string* out) const = 0;
 
-  /// Deep copy of the whole sketch (the query-while-ingest snapshot path,
-  /// src/driver/snapshot.h). The arena storage makes this a handful of
-  /// contiguous buffer copies, far cheaper than AppendTo + Deserialize.
-  /// The clone is fully independent: updates to either side never touch
-  /// the other, and both serialize to identical bytes at the moment of
-  /// the copy.
+  /// Copy of the whole sketch. The COW-paged arena storage
+  /// (src/sketch/cow_arena.h) makes this an O(pages) share, far cheaper
+  /// than a deep copy or AppendTo + Deserialize. The clone is logically
+  /// fully independent: updates to either side never touch the other
+  /// (first-touch page copies), and both serialize to identical bytes at
+  /// the moment of the copy.
   virtual std::unique_ptr<LinearSketch> Clone() const = 0;
+
+  /// An immutable capture for serving (the query-while-ingest snapshot
+  /// path, src/driver/snapshot.h). Semantically Clone() — and that is the
+  /// default — but the contract is weaker: the result is only ever read,
+  /// so families whose state is COW-shared or externally versioned may
+  /// return an even cheaper view. Must be called at a quiescent point
+  /// (SketchDriver::SnapshotNow provides one).
+  virtual std::unique_ptr<const LinearSketch> SnapshotView() const {
+    return Clone();
+  }
 
   /// Answers one text query ("components", "connected 3 7", "mincut", …)
   /// against the current sketch state into `*out`; false with `*error`
@@ -173,6 +184,18 @@ class LinearSketch {
   /// multi-worker endpoint-sharded ingestion safe. False (SubgraphSketch)
   /// restricts the driver to one worker.
   virtual bool EndpointSharded() const { return true; }
+
+  /// True when the sketch map is linear in delta per (u, v) — i.e. two
+  /// (u, v, +1) tokens update exactly the cells one (u, v, +2) token
+  /// does — which lets gutters fold duplicate edges by delta addition.
+  /// A sketch that routes tokens by the delta's magnitude must return
+  /// false so the driver buffers every token verbatim. No registered
+  /// family needs that today — the weighted sparsifier derives each
+  /// edge's weight from (u, v), not from delta, precisely to stay
+  /// linear — but the escape hatch is load-bearing for any future
+  /// delta-shaped routing (tests/gutter_test.cc pins the verbatim
+  /// buffering).
+  virtual bool CoalesceSafe() const { return true; }
 };
 
 /// Detects whether an algorithm type implements the dense same-endpoint
@@ -222,6 +245,9 @@ struct AlgOptions {
   uint32_t k_override = 0;     ///< sparsify: exact k instead of the formula
   uint32_t triangle_samplers = 200;  ///< triangles: ℓ₀-sampler count
   uint32_t triangle_reps = 6;        ///< triangles: repetitions per sampler
+  int64_t max_weight = 2;  ///< wsparsify: weight-class ceiling W
+                           ///< (O(log W) classes, each a doubled-k
+                           ///< sparsifier — raise deliberately)
 };
 
 /// One registered algorithm family: identity, capabilities, and factories.

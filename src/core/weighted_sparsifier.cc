@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "src/graph/edge_id.h"
 #include "src/hash/splitmix.h"
 
 namespace gsketch {
@@ -18,7 +19,7 @@ uint32_t NumClasses(int64_t max_weight) {
 WeightedSparsifier::WeightedSparsifier(NodeId n, int64_t max_weight,
                                        const SimpleSparsifierOptions& opt,
                                        uint64_t seed)
-    : n_(n) {
+    : n_(n), max_weight_(max_weight) {
   assert(max_weight >= 1);
   SimpleSparsifierOptions class_opt = opt;
   // Lemma 3.6: a within-class spread of L = 2 is absorbed by doubling k.
@@ -43,6 +44,60 @@ void WeightedSparsifier::Update(NodeId u, NodeId v, int64_t delta,
   classes_[c].Update(u, v, delta * weight);
 }
 
+int64_t WeightedSparsifier::StreamWeight(NodeId u, NodeId v,
+                                         int64_t max_weight) {
+  if (max_weight <= 1) return 1;
+  // Pure in (edge, W): no seed, so every shard and the exact reference
+  // compute the identical weight function.
+  return 1 + static_cast<int64_t>(
+                 Mix64(0x77537731u, EdgeId(u, v)) %
+                 static_cast<uint64_t>(max_weight));
+}
+
+uint32_t WeightedSparsifier::ClassOf(int64_t weight) const {
+  uint32_t c = 0;
+  while (c + 1 < classes_.size() &&
+         (int64_t{1} << (c + 1)) <= weight) {
+    ++c;
+  }
+  return c;
+}
+
+void WeightedSparsifier::UpdateEndpoint(NodeId endpoint, NodeId u, NodeId v,
+                                        int64_t delta) {
+  // The edge's static weight picks the class and scales the delta — the
+  // endpoint split of Update(u, v, delta, StreamWeight(u, v)).
+  int64_t w = StreamWeight(u, v, max_weight_);
+  classes_[ClassOf(w)].UpdateEndpoint(endpoint, u, v, delta * w);
+}
+
+void WeightedSparsifier::ApplyBatch(NodeId endpoint, Span<const NodeId> others,
+                                    Span<const int64_t> deltas) {
+  assert(others.size() == deltas.size());
+  if (others.empty()) return;
+  // W = 1 streams are single-class with unit weights — forward the whole
+  // batch untouched.
+  if (classes_.size() == 1 && max_weight_ <= 1) {
+    classes_[0].ApplyBatch(endpoint, others, deltas);
+    return;
+  }
+  std::vector<NodeId> sub_others;
+  std::vector<int64_t> sub_deltas;
+  for (uint32_t c = 0; c < classes_.size(); ++c) {
+    sub_others.clear();
+    sub_deltas.clear();
+    for (size_t i = 0; i < others.size(); ++i) {
+      int64_t w = StreamWeight(endpoint, others[i], max_weight_);
+      if (ClassOf(w) != c) continue;
+      sub_others.push_back(others[i]);
+      sub_deltas.push_back(deltas[i] * w);
+    }
+    if (sub_others.empty()) continue;
+    classes_[c].ApplyBatch(endpoint, Span<const NodeId>(sub_others),
+                           Span<const int64_t>(sub_deltas));
+  }
+}
+
 void WeightedSparsifier::Merge(const WeightedSparsifier& other) {
   assert(classes_.size() == other.classes_.size());
   for (size_t c = 0; c < classes_.size(); ++c) {
@@ -57,6 +112,40 @@ Graph WeightedSparsifier::Extract() const {
     for (const auto& e : part.Edges()) out.AddEdge(e.u, e.v, e.weight);
   }
   return out;
+}
+
+namespace {
+constexpr uint32_t kWSparsMagic = 0x57535046u;  // "FPSW"
+}
+
+void WeightedSparsifier::AppendTo(std::string* out) const {
+  ByteWriter w(out);
+  w.U32(kWSparsMagic);
+  w.U32(n_);
+  w.U64(static_cast<uint64_t>(max_weight_));
+  w.U32(static_cast<uint32_t>(classes_.size()));
+  for (const auto& cls : classes_) cls.AppendTo(out);
+}
+
+std::optional<WeightedSparsifier> WeightedSparsifier::Deserialize(
+    ByteReader* r) {
+  auto magic = r->U32();
+  if (!magic || *magic != kWSparsMagic) return std::nullopt;
+  auto n = r->U32();
+  auto max_weight = r->U64();
+  auto num_classes = r->U32();
+  if (!n || !max_weight || !num_classes || *num_classes == 0 ||
+      *num_classes != NumClasses(static_cast<int64_t>(*max_weight))) {
+    return std::nullopt;
+  }
+  WeightedSparsifier sk(*n, static_cast<int64_t>(*max_weight));
+  sk.classes_.reserve(*num_classes);
+  for (uint32_t c = 0; c < *num_classes; ++c) {
+    auto cls = SimpleSparsifier::Deserialize(r);
+    if (!cls || cls->num_nodes() != *n) return std::nullopt;
+    sk.classes_.push_back(std::move(*cls));
+  }
+  return sk;
 }
 
 size_t WeightedSparsifier::CellCount() const {

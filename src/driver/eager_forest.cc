@@ -1,0 +1,59 @@
+#include "src/driver/eager_forest.h"
+
+#include "src/graph/edge_id.h"
+
+namespace gsketch {
+
+EagerForest::EagerForest(NodeId n) : n_(n), uf_(n) {}
+
+void EagerForest::Apply(NodeId u, NodeId v, int64_t delta) {
+  if (!valid_ || delta == 0 || u == v) return;
+  ++applied_;
+  uint64_t id = EdgeId(u, v);
+  EdgeState& e = edges_[id];
+  int64_t before = e.mult;
+  e.mult += delta;
+  if (delta > 0) {
+    // Edge (re)appears. If its endpoints were in distinct sets, the union
+    // succeeds and this edge joins the forest certifying that merge.
+    if (before == 0 && uf_.Union(u, v)) e.forest = true;
+    return;
+  }
+  if (e.mult < 0) {
+    // Deleted more copies than were inserted: the stream prefix is no
+    // longer a multigraph we tracked; only the sketch can answer now.
+    Invalidate();
+    return;
+  }
+  if (e.mult == 0) {
+    if (e.forest) {
+      // A forest edge left the graph: the DSU partition may now be
+      // coarser than the graph's.
+      Invalidate();
+    } else {
+      // A fully-deleted parallel/non-forest edge: the forest is intact
+      // and still spans the same partition. Drop the bookkeeping entry.
+      edges_.erase(id);
+    }
+  }
+}
+
+void EagerForest::Invalidate() {
+  valid_ = false;
+  edges_.clear();
+  // Free the buckets too: the structure is permanently dead.
+  edges_.rehash(0);
+}
+
+std::shared_ptr<const EagerCut> EagerForest::Capture() {
+  if (!valid_) return nullptr;
+  auto cut = std::make_shared<EagerCut>();
+  cut->root.resize(n_);
+  for (NodeId i = 0; i < n_; ++i) {
+    cut->root[i] = static_cast<uint32_t>(uf_.Find(i));
+  }
+  cut->components = uf_.NumComponents();
+  return cut;
+}
+
+}  // namespace gsketch

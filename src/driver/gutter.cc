@@ -7,6 +7,7 @@ namespace gsketch {
 GutterSystem::GutterSystem(const GutterOptions& opt, Sink sink)
     : capacity_(opt.bytes_per_gutter / kGutterEntryBytes),
       max_total_entries_(opt.max_total_bytes / kGutterEntryBytes),
+      coalesce_(opt.coalesce),
       sink_(std::move(sink)) {
   if (capacity_ < 1) capacity_ = 1;
   // A cap below two full gutters would thrash flushes; clamp it up.
@@ -20,7 +21,7 @@ void GutterSystem::BufferHalf(NodeId endpoint, NodeId other, int64_t delta) {
   Gutter& g = gutters_[endpoint];
   ++buffered_halves_;
   ++g.halves;
-  if (!g.others.empty() && g.others.back() == other) {
+  if (coalesce_ && !g.others.empty() && g.others.back() == other) {
     // Same edge as the newest entry: fold by delta addition (exact, by
     // linearity — a zero sum still applies as a no-op cell update).
     g.deltas.back() += delta;

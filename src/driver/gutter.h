@@ -58,6 +58,11 @@ struct GutterOptions {
   size_t bytes_per_gutter = 4096;
   /// Global cap on buffered bytes across all gutters; 0 = uncapped.
   size_t max_total_bytes = 0;
+  /// Fold same-edge entries by delta addition. Must be off for sketches
+  /// whose update routing depends on the delta's magnitude (they are not
+  /// linear in delta, so two +1 tokens and one +2 token land in
+  /// different cells); see LinearSketch::CoalesceSafe.
+  bool coalesce = true;
 };
 
 /// Per-node update buffers (see file comment). Not thread-safe; owned and
@@ -104,6 +109,7 @@ class GutterSystem {
 
   size_t capacity_;            // entries per gutter
   size_t max_total_entries_;   // 0 = uncapped
+  bool coalesce_;              // fold same-edge entries (GutterOptions)
   size_t total_entries_ = 0;   // entries buffered across all gutters
   uint64_t buffered_halves_ = 0;
   uint64_t flushes_ = 0;

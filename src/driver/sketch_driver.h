@@ -58,6 +58,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -66,14 +67,46 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <type_traits>
 #include <variant>
 #include <vector>
 
 #include "src/driver/binary_stream.h"
+#include "src/driver/eager_forest.h"
 #include "src/driver/gutter.h"
 #include "src/graph/stream.h"
 
 namespace gsketch {
+
+/// Detects `NodeId num_nodes() const` on an Alg — the eager-connectivity
+/// fast path needs the node-universe size; Algs without it (ad-hoc test
+/// algs) silently skip the feature.
+template <typename Alg, typename = void>
+struct AlgHasNumNodes : std::false_type {};
+template <typename Alg>
+struct AlgHasNumNodes<
+    Alg, std::void_t<decltype(std::declval<const Alg&>().num_nodes())>>
+    : std::true_type {};
+
+/// Detects `bool CoalesceSafe() const` on an Alg. Sketches that route by
+/// the delta's magnitude (not linear in delta) return false and gutters
+/// then buffer every token verbatim instead of folding duplicates; Algs
+/// without the method are treated as coalesce-safe.
+template <typename Alg, typename = void>
+struct AlgHasCoalesceSafe : std::false_type {};
+template <typename Alg>
+struct AlgHasCoalesceSafe<
+    Alg, std::void_t<decltype(std::declval<const Alg&>().CoalesceSafe())>>
+    : std::true_type {};
+
+/// Where a snapshot's latency went: `drain_ms` is the barrier — flushing
+/// gutters and waiting for workers to apply every queued half-update
+/// (relocated ingestion work, not overhead); `publish_ms` is the capture
+/// itself — with COW arenas, an O(pages) fork plus the store publish.
+struct SnapshotTiming {
+  double drain_ms = 0;
+  double publish_ms = 0;
+};
 
 /// Tuning knobs for SketchDriver.
 struct DriverOptions {
@@ -88,6 +121,11 @@ struct DriverOptions {
   /// per-node delta costs ~DeltaCellsPerNode cell adds, which dwarfs a
   /// tiny batch's hashing work). Either path is byte-identical.
   size_t delta_min_batch = 32;
+  /// Maintain an exact union-find/spanning-forest inline at Push time
+  /// (src/driver/eager_forest.h): while the stream stays insert-only,
+  /// connectivity queries are answered exactly with zero drain/snapshot
+  /// cost. Requires an Alg with num_nodes(); ignored otherwise.
+  bool eager_connectivity = false;
 };
 
 template <typename Alg>
@@ -124,10 +162,18 @@ class SketchDriver {
     }
     worker_applied_ = std::make_unique<std::atomic<uint64_t>[]>(workers);
     for (uint32_t w = 0; w < workers; ++w) worker_applied_[w] = 0;
+    if (opt.eager_connectivity) {
+      if constexpr (AlgHasNumNodes<Alg>::value) {
+        eager_ = std::make_unique<EagerForest>(alg_->num_nodes());
+      }
+    }
     if (opt.gutter_bytes > 0) {
       GutterOptions gopt;
       gopt.bytes_per_gutter = opt.gutter_bytes;
       gopt.max_total_bytes = opt.gutter_total_bytes;
+      if constexpr (AlgHasCoalesceSafe<Alg>::value) {
+        gopt.coalesce = alg_->CoalesceSafe();
+      }
       gutter_.emplace(gopt,
                       [this](NodeBatch&& batch) {
                         DispatchNode(std::move(batch));
@@ -156,6 +202,7 @@ class SketchDriver {
   /// multiple threads at once.
   void Push(NodeId u, NodeId v, int64_t delta) {
     ++stream_updates_;
+    if (eager_ != nullptr) eager_->Apply(u, v, delta);
     if (gutter_.has_value()) {
       gutter_->Push(u, v, delta);
       return;
@@ -202,13 +249,31 @@ class SketchDriver {
   /// consistent cut of the stream. Returns fn's result. Producer-side
   /// only (the thread that calls Push); ingestion resumes the moment fn
   /// returns, so fn should capture (clone/serialize) and get out rather
-  /// than decode in place. See src/driver/snapshot.h for the capture +
-  /// publish layer built on this.
+  /// than decode in place. When `timing` is given, the barrier wait and
+  /// fn's own runtime are reported separately (drain is relocated ingest
+  /// work; publish is the snapshot's true cost). See src/driver/snapshot.h
+  /// for the capture + publish layer built on this.
   template <typename Fn>
-  auto SnapshotNow(Fn&& fn) {
+  auto SnapshotNow(Fn&& fn, SnapshotTiming* timing = nullptr) {
+    using Clock = std::chrono::steady_clock;
+    auto ms = [](Clock::time_point a, Clock::time_point b) {
+      return std::chrono::duration<double, std::milli>(b - a).count();
+    };
+    auto t0 = Clock::now();
     Drain();
-    return std::forward<Fn>(fn)(
-        static_cast<const Alg&>(*alg_), stream_updates_);
+    auto t1 = Clock::now();
+    if (timing != nullptr) timing->drain_ms = ms(t0, t1);
+    using Result = decltype(std::forward<Fn>(fn)(
+        std::declval<const Alg&>(), uint64_t{0}));
+    if constexpr (std::is_void_v<Result>) {
+      std::forward<Fn>(fn)(static_cast<const Alg&>(*alg_), stream_updates_);
+      if (timing != nullptr) timing->publish_ms = ms(t1, Clock::now());
+    } else {
+      Result result = std::forward<Fn>(fn)(
+          static_cast<const Alg&>(*alg_), stream_updates_);
+      if (timing != nullptr) timing->publish_ms = ms(t1, Clock::now());
+      return result;
+    }
   }
 
   /// Ingests a whole binary stream file and drains. Returns false if the
@@ -260,6 +325,19 @@ class SketchDriver {
   /// The gutter layer's stats, when enabled (nullptr otherwise).
   const GutterSystem* gutters() const {
     return gutter_.has_value() ? &*gutter_ : nullptr;
+  }
+
+  /// The eager exact-connectivity structure, when enabled and supported
+  /// by the Alg (nullptr otherwise). Producer-side reads only while
+  /// ingestion runs.
+  const EagerForest* eager_forest() const { return eager_.get(); }
+
+  /// Captures the exact partition at the current push position — NO drain:
+  /// the eager forest is maintained at Push time, so it is already
+  /// consistent with every token pushed. Returns nullptr when the feature
+  /// is off or a deletion invalidated it. Producer-side only.
+  std::shared_ptr<const EagerCut> CaptureEagerCut() {
+    return eager_ != nullptr ? eager_->Capture() : nullptr;
   }
 
  private:
@@ -435,6 +513,7 @@ class SketchDriver {
   std::vector<Batch> pending_;  // producer-side building batches
   std::unique_ptr<std::mutex[]> stripes_;  // delta mode: per-node stripes
   std::optional<GutterSystem> gutter_;  // producer-side (gutter mode)
+  std::unique_ptr<EagerForest> eager_;  // producer-side (eager mode)
   std::vector<std::thread> threads_;
   uint64_t stream_updates_ = 0;
   // Producer-writes-only (Push/Dispatch and Drain run on one thread, a

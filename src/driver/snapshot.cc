@@ -1,12 +1,19 @@
 #include "src/driver/snapshot.h"
 
+#include <cerrno>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
 namespace gsketch {
 
 std::shared_ptr<const SketchSnapshot> SnapshotStore::Publish(
-    uint64_t stream_pos, std::unique_ptr<const LinearSketch> sketch) {
+    uint64_t stream_pos, std::unique_ptr<const LinearSketch> sketch,
+    std::shared_ptr<const EagerCut> eager) {
   auto snap = std::make_shared<SketchSnapshot>();
   snap->stream_pos = stream_pos;
   snap->sketch = std::move(sketch);
+  snap->eager = std::move(eager);
   std::lock_guard<std::mutex> lock(mu_);
   if (latest_ != nullptr && stream_pos < latest_->stream_pos) {
     return latest_;  // out-of-order publish: keep the newer capture
@@ -27,11 +34,88 @@ uint64_t SnapshotStore::published() const {
 }
 
 std::shared_ptr<const SketchSnapshot> PublishSnapshot(
-    SketchDriver<LinearSketch>* driver, SnapshotStore* store) {
+    SketchDriver<LinearSketch>* driver, SnapshotStore* store,
+    SnapshotTiming* timing) {
+  // The eager cut reflects every token PUSHED, which is exactly the
+  // position the drain barrier lands on (producer thread, so no pushes
+  // can slip in between); capturing before the drain keeps it off the
+  // publish critical path.
+  auto eager = driver->CaptureEagerCut();
   return driver->SnapshotNow(
-      [store](const LinearSketch& alg, uint64_t stream_pos) {
-        return store->Publish(stream_pos, alg.Clone());
-      });
+      [store, &eager](const LinearSketch& alg, uint64_t stream_pos) {
+        return store->Publish(stream_pos, alg.SnapshotView(),
+                              std::move(eager));
+      },
+      timing);
+}
+
+namespace {
+
+// Mirrors the registry adapters' ParseQueryNode accept condition exactly;
+// anything it rejects falls through to the sketch path for the canonical
+// error text.
+bool EagerParseNode(const std::string& tok, size_t n, NodeId* out) {
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+  if (errno != 0 || end == tok.c_str() || *end != '\0' || v >= n) {
+    return false;
+  }
+  *out = static_cast<NodeId>(v);
+  return true;
+}
+
+}  // namespace
+
+std::optional<std::string> EagerAnswer(const EagerCut& cut, AlgTag tag,
+                                       const std::string& query) {
+  // Only the families whose adapters expose these verbs with these
+  // shapes; intercepting a verb the sketch path would reject would change
+  // serve output.
+  if (tag != AlgTag::kConnectivity && tag != AlgTag::kSpanningForest) {
+    return std::nullopt;
+  }
+  std::istringstream ss(query);
+  std::vector<std::string> t;
+  std::string tok;
+  while (ss >> tok) t.push_back(tok);
+  if (t.empty()) return std::nullopt;
+  if (t[0] == "components") return std::to_string(cut.components);
+  if (t[0] == "connected") {
+    if (t.size() == 1) {
+      // Bare "connected" is a connectivity-family verb only; the forest
+      // adapter rejects it.
+      if (tag != AlgTag::kConnectivity) return std::nullopt;
+      return std::string(cut.components == 1 ? "yes" : "no");
+    }
+    if (t.size() != 3) return std::nullopt;  // sketch path emits the error
+    NodeId u = 0, v = 0;
+    if (!EagerParseNode(t[1], cut.num_nodes(), &u) ||
+        !EagerParseNode(t[2], cut.num_nodes(), &v)) {
+      return std::nullopt;
+    }
+    return std::string(cut.Connected(u, v) ? "yes" : "no");
+  }
+  return std::nullopt;
+}
+
+SnapshotScheduler::SnapshotScheduler(double interval_seconds,
+                                     double start_seconds)
+    : interval_(interval_seconds),
+      next_(start_seconds + interval_seconds) {}
+
+bool SnapshotScheduler::Due(double now_seconds) const {
+  return interval_ > 0 && now_seconds >= next_;
+}
+
+void SnapshotScheduler::Taken(double now_seconds) {
+  if (interval_ <= 0) return;
+  uint64_t passed = 0;
+  while (next_ <= now_seconds) {
+    next_ += interval_;
+    ++passed;
+  }
+  if (passed > 1) coalesced_ += passed - 1;
 }
 
 QueryEngine::QueryEngine(const SnapshotStore* store, std::FILE* out)
@@ -78,6 +162,11 @@ uint64_t QueryEngine::errors() const {
   return errors_;
 }
 
+uint64_t QueryEngine::eager_answered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return eager_answered_;
+}
+
 void QueryEngine::Loop() {
   for (;;) {
     Item item;
@@ -91,13 +180,27 @@ void QueryEngine::Loop() {
     std::shared_ptr<const SketchSnapshot> snap =
         item.pinned ? item.pin : store_->Latest();
     bool failed = false;
+    bool from_eager = false;
     if (snap == nullptr) {
       std::fprintf(out_, "@- %s => error: no snapshot yet\n",
                    item.query.c_str());
       failed = true;
     } else {
       std::string answer, error;
-      if (!snap->sketch->Query(item.query, &answer, &error)) {
+      bool ok = false;
+      // Exact fast path: answer from the eager cut without touching the
+      // sketch. EagerAnswer only fires on query shapes whose sketch-path
+      // answer it matches, so output is independent of which path ran.
+      if (snap->eager != nullptr) {
+        auto eager =
+            EagerAnswer(*snap->eager, snap->sketch->Tag(), item.query);
+        if (eager.has_value()) {
+          answer = std::move(*eager);
+          ok = from_eager = true;
+        }
+      }
+      if (!from_eager) ok = snap->sketch->Query(item.query, &answer, &error);
+      if (!ok) {
         std::fprintf(out_, "@%llu %s => error: %s\n",
                      static_cast<unsigned long long>(snap->stream_pos),
                      item.query.c_str(), error.c_str());
@@ -118,6 +221,7 @@ void QueryEngine::Loop() {
       std::lock_guard<std::mutex> lock(mu_);
       ++answered_;
       if (failed) ++errors_;
+      if (from_eager) ++eager_answered_;
       idle_.notify_all();
     }
   }

@@ -12,19 +12,30 @@
 //   ─────────────                      ────────────
 //   Push Push Push ...                 Query("components")
 //   SnapshotNow() ──┐                    │ reads latest snapshot,
-//     drain barrier │ Clone()            │ decodes, answers with the
+//     drain barrier │ SnapshotView()     │ decodes, answers with the
 //     (gutters +    ├───► SnapshotStore ─┘ stream_pos it reflects
 //      worker       │     (latest slot)
 //      queues)      │
 //   Push Push ... ◄─┘ resumes immediately
 //
-// A snapshot is a deep Clone of the sketch pinned to the stream position
-// the drain barrier reached — O(sketch bytes) of arena memcpy, no serde.
-// Clones are immutable and handed out as shared_ptr<const>, so a slow
-// query keeps its snapshot alive while newer ones supersede it, and every
-// answer states exactly which stream prefix it reflects. Linearity makes
-// each answer byte-identical to stopping ingestion at that position and
-// querying (tests/snapshot_test.cc proves it per registered family).
+// A snapshot is a SnapshotView of the sketch pinned to the stream position
+// the drain barrier reached. With the COW-paged arenas
+// (src/sketch/cow_arena.h) that is an O(pages) fork — microseconds to
+// low milliseconds — not a deep clone: the live sketch and the snapshot
+// share every arena page until ingestion first touches one, which then
+// pays a single ~64 KiB first-touch copy. Snapshots are immutable and
+// handed out as shared_ptr<const>, so a slow query keeps its pages alive
+// while newer snapshots supersede it, and every answer states exactly
+// which stream prefix it reflects. Linearity makes each answer
+// byte-identical to stopping ingestion at that position and querying
+// (tests/snapshot_test.cc proves it per registered family and per
+// ingestion mode, delta-merge included).
+//
+// Snapshots may also carry an EagerCut (src/driver/eager_forest.h): while
+// the stream prefix is insert-only, `connected`/`components` queries are
+// answered from the exact DSU partition in O(1) with zero sketch decode;
+// the first invalidating deletion drops the cut and queries transparently
+// fall back to sketch decoding.
 #ifndef GRAPHSKETCH_SRC_DRIVER_SNAPSHOT_H_
 #define GRAPHSKETCH_SRC_DRIVER_SNAPSHOT_H_
 
@@ -34,20 +45,28 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <utility>
 
 #include "src/core/sketch_registry.h"
+#include "src/driver/eager_forest.h"
 #include "src/driver/sketch_driver.h"
 
 namespace gsketch {
 
-/// One immutable capture of sketch state: the clone plus the stream
-/// position (in stream tokens) it reflects.
+/// One immutable capture of sketch state: the (COW-shared) view plus the
+/// stream position (in stream tokens) it reflects, and — when the driver
+/// maintains a still-valid eager forest — the exact connectivity
+/// partition at that position.
 struct SketchSnapshot {
   uint64_t stream_pos = 0;
   std::unique_ptr<const LinearSketch> sketch;
+  /// Exact partition at stream_pos (insert-only prefix); nullptr when the
+  /// eager path is off or a deletion invalidated it. Queries it can serve
+  /// skip sketch decode entirely.
+  std::shared_ptr<const EagerCut> eager;
 };
 
 /// Thread-safe latest-snapshot slot: the ingest thread publishes, any
@@ -59,7 +78,8 @@ class SnapshotStore {
   /// current latest replace it; an out-of-order (older) publish is
   /// dropped and the existing newer snapshot is returned instead.
   std::shared_ptr<const SketchSnapshot> Publish(
-      uint64_t stream_pos, std::unique_ptr<const LinearSketch> sketch);
+      uint64_t stream_pos, std::unique_ptr<const LinearSketch> sketch,
+      std::shared_ptr<const EagerCut> eager = nullptr);
 
   /// The most recent snapshot, or nullptr before the first Publish.
   std::shared_ptr<const SketchSnapshot> Latest() const;
@@ -73,13 +93,56 @@ class SnapshotStore {
   uint64_t published_ = 0;
 };
 
-/// Drain-barrier capture: flushes the driver's gutters and queues, deep-
-/// clones the quiesced sketch, publishes it pinned to the drained stream
-/// position, and returns the published snapshot (for callers that want to
-/// pin queries to exactly this capture). Producer-side only, like
+/// Drain-barrier capture: flushes the driver's gutters and queues, takes
+/// a COW SnapshotView of the quiesced sketch (plus the eager cut when
+/// available), publishes it pinned to the drained stream position, and
+/// returns the published snapshot (for callers that want to pin queries
+/// to exactly this capture). When `timing` is given it receives the
+/// drain-wait vs fork/publish split. Producer-side only, like
 /// SketchDriver::Push. Ingestion may resume immediately after return.
 std::shared_ptr<const SketchSnapshot> PublishSnapshot(
-    SketchDriver<LinearSketch>* driver, SnapshotStore* store);
+    SketchDriver<LinearSketch>* driver, SnapshotStore* store,
+    SnapshotTiming* timing = nullptr);
+
+/// Answers `query` from an exact eager cut when (a) the family (`tag`)
+/// would accept exactly this query shape on its sketch path and (b) the
+/// cut can serve it: "components", "connected u v", and — connectivity
+/// only — bare "connected". Anything else, malformed node arguments
+/// included, returns nullopt so the sketch path produces its usual answer
+/// or error text. The two paths agree whenever both can answer: the cut
+/// is exact and the sketch decodes the same partition.
+std::optional<std::string> EagerAnswer(const EagerCut& cut, AlgTag tag,
+                                       const std::string& query);
+
+/// Decides when periodic snapshots are due, COALESCING overdue ticks:
+/// when one publish takes longer than the interval, the ticks it ran
+/// through collapse into the single snapshot that is already due next,
+/// instead of queueing a backlog of stale captures (the pre-COW 100 ms
+/// sweep in BENCH_E15 spent more time working off that backlog than
+/// ingesting). Single-threaded, driven from the ingest loop.
+class SnapshotScheduler {
+ public:
+  /// Wall-clock cadence of `interval_seconds` (<= 0 disables); the first
+  /// tick is due at `start_seconds + interval_seconds`. Times come from
+  /// any monotone clock the caller likes.
+  explicit SnapshotScheduler(double interval_seconds,
+                             double start_seconds = 0);
+
+  /// True when at least one tick is overdue at `now_seconds`.
+  bool Due(double now_seconds) const;
+
+  /// Acknowledges a snapshot published at `now_seconds`: advances past
+  /// every tick that is already overdue, counting the skipped ones.
+  void Taken(double now_seconds);
+
+  /// Overdue ticks collapsed into an already-taken snapshot.
+  uint64_t coalesced() const { return coalesced_; }
+
+ private:
+  double interval_;
+  double next_;
+  uint64_t coalesced_ = 0;
+};
 
 /// Answers queries from snapshots on its own thread while the ingest
 /// thread keeps pushing. Submitted queries are answered in submission
@@ -122,6 +185,10 @@ class QueryEngine {
   /// that arrived before any snapshot existed.
   uint64_t errors() const;
 
+  /// Queries answered from a snapshot's exact eager cut (no sketch
+  /// decode touched).
+  uint64_t eager_answered() const;
+
  private:
   struct Item {
     std::string query;
@@ -142,6 +209,7 @@ class QueryEngine {
   uint64_t submitted_ = 0;
   uint64_t answered_ = 0;
   uint64_t errors_ = 0;
+  uint64_t eager_answered_ = 0;
   std::thread thread_;
 };
 

@@ -1,0 +1,151 @@
+#include "src/sketch/cow_arena.h"
+
+#include <mutex>
+#include <utility>
+
+namespace gsketch {
+
+namespace {
+
+std::atomic<uint64_t> g_cow_epoch{0};
+
+// First-touch cloning serializes on the page index, not the arena: two
+// writers cloning different pages of one bank (or the same page index of
+// two banks — harmless false sharing of the lock only) proceed in
+// parallel. 64 stripes matches the driver's merge-lock striping.
+constexpr size_t kOwnStripes = 64;
+
+std::mutex& OwnStripe(size_t page_index) {
+  static std::mutex stripes[kOwnStripes];
+  return stripes[page_index % kOwnStripes];
+}
+
+}  // namespace
+
+uint64_t NextCowEpoch() {
+  return g_cow_epoch.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+CowCellArena::CowCellArena(size_t num_slices, size_t stride)
+    : num_slices_(num_slices), stride_(stride) {
+  size_t slice_bytes = stride_ * sizeof(OneSparseCell);
+  slices_per_page_ =
+      slice_bytes == 0 ? 1
+                       : (kTargetPageBytes / slice_bytes > 0
+                              ? kTargetPageBytes / slice_bytes
+                              : 1);
+  num_pages_ = (num_slices_ + slices_per_page_ - 1) / slices_per_page_;
+  uint64_t epoch = NextCowEpoch();
+  epoch_.store(epoch, std::memory_order_relaxed);
+  pages_.reserve(num_pages_);
+  for (size_t pi = 0; pi < num_pages_; ++pi) {
+    size_t first = pi * slices_per_page_;
+    size_t count = std::min(slices_per_page_, num_slices_ - first);
+    pages_.push_back(std::make_shared<CowPage>(epoch, count * stride_));
+  }
+  AdoptPages();
+}
+
+CowCellArena::CowCellArena(const CowCellArena& other)
+    : num_slices_(other.num_slices_),
+      stride_(other.stride_),
+      slices_per_page_(other.slices_per_page_),
+      num_pages_(other.num_pages_),
+      pages_(other.pages_) {
+  // Both sides lose exclusive ownership of every shared page: give each a
+  // fresh epoch so no page's created_epoch matches either arena until it
+  // is first-touched again.
+  epoch_.store(NextCowEpoch(), std::memory_order_relaxed);
+  other.epoch_.store(NextCowEpoch(), std::memory_order_relaxed);
+  AdoptPages();
+}
+
+CowCellArena& CowCellArena::operator=(const CowCellArena& other) {
+  if (this != &other) {
+    CowCellArena tmp(other);
+    *this = std::move(tmp);
+  }
+  return *this;
+}
+
+CowCellArena::CowCellArena(CowCellArena&& other) noexcept
+    : num_slices_(other.num_slices_),
+      stride_(other.stride_),
+      slices_per_page_(other.slices_per_page_),
+      num_pages_(other.num_pages_),
+      pages_(std::move(other.pages_)),
+      slots_(std::move(other.slots_)) {
+  epoch_.store(other.epoch_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+  clones_.store(other.clones_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+  other.num_slices_ = 0;
+  other.num_pages_ = 0;
+}
+
+CowCellArena& CowCellArena::operator=(CowCellArena&& other) noexcept {
+  if (this != &other) {
+    num_slices_ = other.num_slices_;
+    stride_ = other.stride_;
+    slices_per_page_ = other.slices_per_page_;
+    num_pages_ = other.num_pages_;
+    epoch_.store(other.epoch_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    clones_.store(other.clones_.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+    pages_ = std::move(other.pages_);
+    slots_ = std::move(other.slots_);
+    other.num_slices_ = 0;
+    other.num_pages_ = 0;
+  }
+  return *this;
+}
+
+void CowCellArena::AdoptPages() {
+  slots_ = std::make_unique<std::atomic<CowPage*>[]>(num_pages_);
+  for (size_t pi = 0; pi < num_pages_; ++pi) {
+    slots_[pi].store(pages_[pi].get(), std::memory_order_relaxed);
+  }
+}
+
+CowPage* CowCellArena::OwnPage(size_t pi) {
+  std::lock_guard<std::mutex> lock(OwnStripe(pi));
+  uint64_t epoch = epoch_.load(std::memory_order_relaxed);
+  CowPage* cur = slots_[pi].load(std::memory_order_acquire);
+  // Double-check: another writer may have owned this page while we waited
+  // on the stripe.
+  if (cur->created_epoch.load(std::memory_order_acquire) == epoch) return cur;
+  if (pages_[pi].use_count() == 1) {
+    // Every snapshot that shared this page is gone; re-own in place. The
+    // count can only have RISEN at a (quiescent) fork, so ==1 here is
+    // stable for the duration of this epoch.
+    cur->created_epoch.store(epoch, std::memory_order_release);
+    return cur;
+  }
+  auto fresh = std::make_shared<CowPage>(epoch, cur->cells);
+  CowPage* raw = fresh.get();
+  pages_[pi] = std::move(fresh);
+  slots_[pi].store(raw, std::memory_order_release);
+  clones_.fetch_add(1, std::memory_order_relaxed);
+  return raw;
+}
+
+size_t CowCellArena::SharedPages() const {
+  size_t shared = 0;
+  for (const auto& p : pages_) {
+    if (p.use_count() > 1) ++shared;
+  }
+  return shared;
+}
+
+size_t CowCellArena::ResidentBytes() const {
+  size_t bytes = 0;
+  for (const auto& p : pages_) {
+    bytes += p->cells.size() * sizeof(OneSparseCell);
+  }
+  bytes += num_pages_ * (sizeof(std::shared_ptr<CowPage>) +
+                         sizeof(std::atomic<CowPage*>));
+  return bytes;
+}
+
+}  // namespace gsketch

@@ -139,7 +139,9 @@ std::optional<BenchReport> ReadBenchReportFile(const std::string& path,
 BenchGateResult CompareBenchReports(const BenchReport& baseline,
                                     const BenchReport& fresh,
                                     double max_regress_pct,
-                                    const std::string& key_prefix) {
+                                    const std::string& key_prefix,
+                                    bool lower_is_better,
+                                    double abs_slack) {
   BenchGateResult result;
   char line[256];
   if (baseline.bench != fresh.bench) {
@@ -150,39 +152,54 @@ BenchGateResult CompareBenchReports(const BenchReport& baseline,
     result.ok = false;
     return result;
   }
-  const double floor_factor = 1.0 - max_regress_pct / 100.0;
+  // Throughput gates a floor below baseline; latency a ceiling above it.
+  const double bound_factor = lower_is_better
+                                  ? 1.0 + max_regress_pct / 100.0
+                                  : 1.0 - max_regress_pct / 100.0;
+  // Latency values live in fractional units; %g keeps them readable where
+  // the throughput format's %.0f would round 0.42 ms to 0.
+  const char* ok_fmt = lower_is_better
+                           ? "ok        %-40s %.4g -> %.4g (%+.1f%%)"
+                           : "ok        %-40s %.0f -> %.0f (%+.1f%%)";
+  const char* bad_fmt =
+      lower_is_better
+          ? "REGRESSION %-40s %.4g -> %.4g (%+.1f%%, ceiling %.4g)"
+          : "REGRESSION %-40s %.0f -> %.0f (%+.1f%%, floor %.0f)";
   for (const auto& [key, base_val] : baseline.metrics) {
     if (key.compare(0, key_prefix.size(), key_prefix) != 0) continue;
     ++result.keys_compared;
     auto fresh_val = fresh.Metric(key);
     if (!fresh_val.has_value()) {
       std::snprintf(line, sizeof(line),
-                    "MISSING   %-40s baseline %.0f, absent from fresh run",
+                    "MISSING   %-40s baseline %.4g, absent from fresh run",
                     key.c_str(), base_val);
       result.lines.emplace_back(line);
       result.ok = false;
       continue;
     }
-    const double floor = base_val * floor_factor;
+    const double bound = lower_is_better
+                             ? base_val * bound_factor + abs_slack
+                             : base_val * bound_factor;
     const double delta_pct =
         base_val != 0.0 ? (*fresh_val - base_val) / base_val * 100.0 : 0.0;
-    if (*fresh_val < floor) {
-      std::snprintf(line, sizeof(line),
-                    "REGRESSION %-40s %.0f -> %.0f (%+.1f%%, floor %.0f)",
-                    key.c_str(), base_val, *fresh_val, delta_pct, floor);
+    const bool regressed =
+        lower_is_better ? *fresh_val > bound : *fresh_val < bound;
+    if (regressed) {
+      std::snprintf(line, sizeof(line), bad_fmt, key.c_str(), base_val,
+                    *fresh_val, delta_pct, bound);
       result.lines.emplace_back(line);
       result.ok = false;
     } else {
-      std::snprintf(line, sizeof(line),
-                    "ok        %-40s %.0f -> %.0f (%+.1f%%)", key.c_str(),
-                    base_val, *fresh_val, delta_pct);
+      std::snprintf(line, sizeof(line), ok_fmt, key.c_str(), base_val,
+                    *fresh_val, delta_pct);
       result.lines.emplace_back(line);
     }
   }
   std::snprintf(line, sizeof(line),
-                "%s: %zu \"%s*\" key(s) compared, tolerance -%.0f%%",
+                "%s: %zu \"%s*\" key(s) compared, tolerance %c%.0f%%%s",
                 result.ok ? "PASS" : "FAIL", result.keys_compared,
-                key_prefix.c_str(), max_regress_pct);
+                key_prefix.c_str(), lower_is_better ? '+' : '-',
+                max_regress_pct, lower_is_better ? " plus slack" : "");
   result.lines.emplace_back(line);
   return result;
 }

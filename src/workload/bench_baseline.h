@@ -44,16 +44,24 @@ struct BenchGateResult {
   std::vector<std::string> lines;
 };
 
-/// Compares every baseline metric whose key starts with `key_prefix`
-/// (throughput metrics — higher is better). Fails if `fresh` is missing
-/// such a key, or if fresh < baseline * (1 - max_regress_pct/100).
-/// Improvements and new keys in `fresh` never fail. Also fails if the two
-/// reports describe different benches.
+/// Compares every baseline metric whose key starts with `key_prefix`.
+/// Default direction is higher-is-better (throughput): fails if `fresh`
+/// is missing such a key, or if fresh < baseline * (1 - max_regress_pct
+/// / 100). With `lower_is_better` (latency metrics, e.g. the
+/// "snapshot_publish_ms" family) the gate flips: fresh > baseline *
+/// (1 + max_regress_pct/100) + abs_slack fails. `abs_slack` is an
+/// absolute headroom in the metric's own unit so sub-millisecond
+/// latencies aren't gated on timer noise — a 15% band around 0.05 ms is
+/// meaningless, 0.05 ms + 5 ms is not. Improvements and new keys in
+/// `fresh` never fail. Also fails if the two reports describe different
+/// benches.
 BenchGateResult CompareBenchReports(const BenchReport& baseline,
                                     const BenchReport& fresh,
                                     double max_regress_pct,
                                     const std::string& key_prefix =
-                                        "updates_per_sec");
+                                        "updates_per_sec",
+                                    bool lower_is_better = false,
+                                    double abs_slack = 0.0);
 
 }  // namespace gsketch
 

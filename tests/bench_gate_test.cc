@@ -163,6 +163,73 @@ TEST(BenchGate, BenchIdentityMismatchFails) {
   EXPECT_FALSE(CompareBenchReports(base, fresh, 15.0).ok);
 }
 
+// ------------------------------------------- latency (lower is better) --
+
+// An E15-shaped report: publish-latency percentiles next to throughput.
+const char kLatencyJson[] =
+    "{\n"
+    "  \"bench\": \"E15\",\n"
+    "  \"title\": \"query-while-ingest serving\",\n"
+    "  \"metrics\": {\n"
+    "    \"updates_per_sec_off\": 4e+06,\n"
+    "    \"snapshot_publish_ms_p50_100ms\": 0.4,\n"
+    "    \"snapshot_publish_ms_p99_100ms\": 2,\n"
+    "    \"snapshot_publish_ms_max_10ms\": 8\n"
+    "  }\n"
+    "}\n";
+
+TEST(BenchGate, LowerIsBetterFailsWhenLatencyGrowsPastCeiling) {
+  BenchReport base = MustParse(kLatencyJson);
+  // p99 2 ms -> 12 ms: past 2 * 1.15 + 5 = 7.3 ms, must FAIL — and only
+  // the snapshot_publish_ms* keys are in this gate.
+  BenchReport fresh =
+      WithScaledKey(base, "snapshot_publish_ms_p99_100ms", 6.0);
+  BenchGateResult res =
+      CompareBenchReports(base, fresh, 15.0, "snapshot_publish_ms",
+                          /*lower_is_better=*/true, /*abs_slack=*/5.0);
+  EXPECT_FALSE(res.ok);
+  EXPECT_EQ(res.keys_compared, 3u);
+  bool flagged = false;
+  for (const auto& line : res.lines) {
+    if (line.find("REGRESSION") != std::string::npos &&
+        line.find("snapshot_publish_ms_p99_100ms") != std::string::npos) {
+      flagged = true;
+    }
+  }
+  EXPECT_TRUE(flagged) << "the regressed latency key must be named";
+}
+
+TEST(BenchGate, LowerIsBetterAbsorbsNoiseWithinSlackAndImprovements) {
+  BenchReport base = MustParse(kLatencyJson);
+  // 0.4 ms -> 4 ms is a 10x relative jump but inside the +15% + 5 ms
+  // absolute slack (ceiling 5.46 ms): sub-millisecond noise never gates.
+  // Dropping a latency (improvement) never fails either.
+  BenchReport fresh = WithScaledKey(
+      WithScaledKey(base, "snapshot_publish_ms_p50_100ms", 10.0),
+      "snapshot_publish_ms_max_10ms", 0.25);
+  EXPECT_TRUE(CompareBenchReports(base, fresh, 15.0, "snapshot_publish_ms",
+                                  /*lower_is_better=*/true,
+                                  /*abs_slack=*/5.0)
+                  .ok);
+  // Without the absolute slack the same 10x jump fails: the slack is
+  // load-bearing.
+  EXPECT_FALSE(CompareBenchReports(base, fresh, 15.0,
+                                   "snapshot_publish_ms",
+                                   /*lower_is_better=*/true,
+                                   /*abs_slack=*/0.0)
+                   .ok);
+}
+
+TEST(BenchGate, LowerIsBetterStillFailsOnMissingKeys) {
+  BenchReport base = MustParse(kLatencyJson);
+  BenchReport fresh = base;
+  fresh.metrics.pop_back();  // drop snapshot_publish_ms_max_10ms
+  BenchGateResult res =
+      CompareBenchReports(base, fresh, 15.0, "snapshot_publish_ms",
+                          /*lower_is_better=*/true, /*abs_slack=*/5.0);
+  EXPECT_FALSE(res.ok);
+}
+
 TEST(BenchGate, CustomPrefixSelectsWhichMetricsAreGated) {
   BenchReport base = MustParse(kBaselineJson);
   BenchReport fresh = WithScaledKey(base, "speedup_best", 0.5);

@@ -25,6 +25,7 @@
 
 #include "src/core/sketch_registry.h"
 #include "src/core/subgraph_patterns.h"
+#include "src/core/weighted_sparsifier.h"
 #include "src/driver/checkpoint.h"
 #include "src/driver/sketch_driver.h"
 #include "src/driver/snapshot.h"
@@ -317,6 +318,26 @@ void ExpectMatchesExact(const AlgInfo& info, const LinearSketch& sk,
       EXPECT_TRUE(g.ContainsEdgesOf(h)) << "sparsifier invented an edge";
       if (gw.NumEdges() == 0) break;
       auto stats = CompareCuts(gw, h, CutFamily(gw, /*seed=*/n * 7919));
+      EXPECT_GT(stats.cuts_checked, 0u);
+      EXPECT_LT(stats.max_rel_error, 0.9)
+          << "cut error beyond the ε=0.5 sparsifier's observed envelope";
+      break;
+    }
+    case AlgTag::kWeightedSparsify: {
+      // The streamed family scales each edge's multiplicity by its static
+      // StreamWeight, so the exact reference is the weighted multigraph
+      // rescaled by the same (pure) weight function.
+      Graph h = ParseEdgeList(MustQuery(sk, "sparsifier"), n);
+      EXPECT_TRUE(g.ContainsEdgesOf(h)) << "wsparsifier invented an edge";
+      if (gw.NumEdges() == 0) break;
+      Graph gww(n);
+      for (const auto& e : gw.Edges()) {
+        gww.AddEdge(e.u, e.v,
+                    e.weight * static_cast<double>(
+                                   WeightedSparsifier::StreamWeight(
+                                       e.u, e.v, aopt.max_weight)));
+      }
+      auto stats = CompareCuts(gww, h, CutFamily(gww, /*seed=*/n * 7919));
       EXPECT_GT(stats.cuts_checked, 0u);
       EXPECT_LT(stats.max_rel_error, 0.9)
           << "cut error beyond the ε=0.5 sparsifier's observed envelope";

@@ -93,6 +93,31 @@ TEST(GutterSystem, FlushesAtCapacityAndCoalescesDuplicates) {
   EXPECT_EQ(gutter.flushes(), 3u);
 }
 
+// opt.coalesce = false buffers every token verbatim — the mode the driver
+// selects for sketches that are not linear in delta (see
+// LinearSketch::CoalesceSafe), where folding +1, +1 into +2 would change
+// which cells the tokens reach.
+TEST(GutterSystem, CoalesceOffBuffersEveryTokenVerbatim) {
+  std::vector<NodeBatch> batches;
+  GutterOptions opt;
+  opt.bytes_per_gutter = 4 * kGutterEntryBytes;
+  opt.coalesce = false;
+  GutterSystem gutter(opt, [&](NodeBatch&& b) {
+    batches.push_back(std::move(b));
+  });
+
+  // Same-edge tokens stay separate entries and fill the gutter.
+  gutter.BufferHalf(0, 5, +1);
+  gutter.BufferHalf(0, 5, +1);
+  gutter.BufferHalf(0, 5, -1);
+  gutter.BufferHalf(0, 5, +2);
+  EXPECT_EQ(gutter.coalesced_halves(), 0u);
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].others, (std::vector<NodeId>{5, 5, 5, 5}));
+  EXPECT_EQ(batches[0].deltas, (std::vector<int64_t>{1, 1, -1, 2}));
+  EXPECT_EQ(batches[0].halves, 4u);
+}
+
 TEST(GutterSystem, GlobalCapBoundsBufferedBytes) {
   std::vector<NodeBatch> batches;
   GutterOptions opt;

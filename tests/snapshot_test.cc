@@ -79,7 +79,7 @@ TEST(LinearSketchContract, EveryFamilyAnswersCommonAndFamilyVerbs) {
       {"mincut", "mincut"},           {"sparsify", "sparsifier"},
       {"triangles", "gamma triangle"}, {"kconnect", "kconnected"},
       {"kedge", "witness"},           {"forest", "forest"},
-      {"mst", "mstweight"},
+      {"mst", "mstweight"},           {"wsparsify", "sparsifier"},
   };
   DynamicGraphStream s = TestStream(5);
   for (const AlgInfo& info : Registry()) {
@@ -131,8 +131,13 @@ TEST(SnapshotParity, QueryUnderIngestMatchesDrainThenQueryAllFamilies) {
   struct Config {
     uint32_t threads;
     size_t gutter_bytes;
+    bool delta = false;  // work-stealing delta-merge ingestion
   };
-  const std::vector<Config> configs = {{1, 0}, {3, 64}, {1, 4096}};
+  const std::vector<Config> configs = {{1, 0},
+                                       {3, 64},
+                                       {1, 4096},
+                                       {3, 0, /*delta=*/true},
+                                       {3, 4096, /*delta=*/true}};
 
   for (const AlgInfo& info : Registry()) {
     SCOPED_TRACE(info.name);
@@ -154,11 +159,13 @@ TEST(SnapshotParity, QueryUnderIngestMatchesDrainThenQueryAllFamilies) {
     for (const Config& cfg : configs) {
       if (cfg.threads > 1 && !info.endpoint_sharded) continue;
       SCOPED_TRACE("threads=" + std::to_string(cfg.threads) +
-                   " gutter=" + std::to_string(cfg.gutter_bytes));
+                   " gutter=" + std::to_string(cfg.gutter_bytes) +
+                   (cfg.delta ? " delta" : ""));
       auto sk = info.make(kN, AlgOptions{}, kSeed);
       DriverOptions opt;
       opt.num_workers = cfg.threads;
       opt.gutter_bytes = cfg.gutter_bytes;
+      opt.delta_mode = cfg.delta;
       SketchDriver<LinearSketch> driver(sk.get(), opt);
       SnapshotStore store;
 
@@ -218,6 +225,59 @@ TEST(SnapshotParity, PinnedSnapshotImmuneToFurtherIngest) {
   EXPECT_EQ(final_snap->stream_pos, s.Size());
   EXPECT_NE(Bytes(*final_snap->sketch), ref_prefix);
   EXPECT_EQ(store.published(), 2u);
+}
+
+// ------------------------------------------------- eager fast path --
+
+// Insert-only prefix: snapshots carry an exact eager cut whose answers
+// agree with sketch decode on every query both can serve. The first
+// forest-edge deletion drops the cut from all later snapshots —
+// permanently — and the sketch path takes over with correct answers.
+TEST(SnapshotParity, EagerCutHandsOverToSketchAfterFirstDeletion) {
+  auto sk = FindAlg("connectivity")->make(kN, AlgOptions{}, kSeed);
+  DriverOptions opt;
+  opt.eager_connectivity = true;
+  SketchDriver<LinearSketch> driver(sk.get(), opt);
+  SnapshotStore store;
+
+  // Insert-only prefix: the path 0-1-...-7 plus an isolated pair.
+  for (NodeId i = 0; i + 1 < 8; ++i) driver.Push(i, i + 1, +1);
+  driver.Push(10, 11, +1);
+  auto snap = PublishSnapshot(&driver, &store);
+  ASSERT_NE(snap->eager, nullptr);
+  const AlgTag tag = snap->sketch->Tag();
+  for (const std::string& q :
+       {"components", "connected 0 7", "connected 0 10", "connected 10 11"}) {
+    auto eager = EagerAnswer(*snap->eager, tag, q);
+    ASSERT_TRUE(eager.has_value()) << q;
+    EXPECT_EQ(*eager, MustQuery(*snap->sketch, q)) << q;
+  }
+  // Shapes the cut cannot serve fall through to the sketch path —
+  // including malformed node arguments, so error text stays identical.
+  EXPECT_FALSE(EagerAnswer(*snap->eager, tag, "answer").has_value());
+  EXPECT_FALSE(EagerAnswer(*snap->eager, tag, "connected 0 99").has_value());
+
+  // Deleting a non-forest duplicate keeps the fast path alive.
+  driver.Push(0, 1, +1);
+  driver.Push(0, 1, -1);
+  snap = PublishSnapshot(&driver, &store);
+  EXPECT_NE(snap->eager, nullptr);
+
+  // Deleting a forest edge hands queries over to the sketch: the cut is
+  // gone and decode reports the true split partition.
+  driver.Push(3, 4, -1);
+  snap = PublishSnapshot(&driver, &store);
+  EXPECT_EQ(snap->eager, nullptr);
+  EXPECT_EQ(MustQuery(*snap->sketch, "connected 0 3"), "yes");
+  EXPECT_EQ(MustQuery(*snap->sketch, "connected 3 4"), "no");
+  EXPECT_EQ(MustQuery(*snap->sketch, "connected 4 7"), "yes");
+
+  // The handover is one-way: re-inserting the edge does not resurrect
+  // the eager path, and the sketch keeps answering correctly.
+  driver.Push(3, 4, +1);
+  snap = PublishSnapshot(&driver, &store);
+  EXPECT_EQ(snap->eager, nullptr);
+  EXPECT_EQ(MustQuery(*snap->sketch, "connected 3 4"), "yes");
 }
 
 // -------------------------------------------------------- QueryEngine --

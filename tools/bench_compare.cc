@@ -5,7 +5,11 @@
 // Compares every throughput metric (keys starting with "updates_per_sec")
 // in the committed baseline against a freshly regenerated report and exits
 // nonzero if any regressed by more than P percent (default 15) or went
-// missing. Exit codes: 0 pass, 1 regression/mismatch, 2 usage/parse error.
+// missing. Baselines that carry snapshot-latency keys (starting with
+// "snapshot_publish_ms", E15) are additionally gated lower-is-better:
+// fresh > baseline * (1 + P%) + 5 ms fails — the absolute slack keeps
+// sub-millisecond publish times from failing on timer noise. Exit codes:
+// 0 pass, 1 regression/mismatch, 2 usage/parse error.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,7 +26,9 @@ int Usage(const char* argv0) {
                "  Gates throughput keys (updates_per_sec*) of a fresh\n"
                "  BENCH_<id>.json against the committed baseline; exits 1\n"
                "  if any key regressed more than P%% (default 15) or is\n"
-               "  missing from the fresh run.\n",
+               "  missing from the fresh run. Baseline latency keys\n"
+               "  (snapshot_publish_ms*) gate the other way: fresh above\n"
+               "  baseline * (1 + P%%) + 5 ms fails.\n",
                argv0);
   return 2;
 }
@@ -76,5 +82,16 @@ int main(int argc, char** argv) {
                  "error: baseline has no updates_per_sec* keys to gate\n");
     return 2;
   }
-  return result.ok ? 0 : 1;
+  // Latency keys (E15's snapshot publish percentiles) gate
+  // lower-is-better with 5 ms of absolute slack; benches without them
+  // skip this pass entirely.
+  auto latency = gsketch::CompareBenchReports(
+      *baseline, *fresh, max_regress_pct, "snapshot_publish_ms",
+      /*lower_is_better=*/true, /*abs_slack=*/5.0);
+  if (latency.keys_compared > 0) {
+    for (const auto& line : latency.lines) {
+      std::printf("%s\n", line.c_str());
+    }
+  }
+  return result.ok && latency.ok ? 0 : 1;
 }

@@ -28,6 +28,7 @@
 // flags).
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -109,6 +110,13 @@ void PrintUsage(std::FILE* out, const char* argv0) {
       "          --snapshot-every N\n"
       "                        serve: also snapshot every N updates\n"
       "                        (default 0 = only at query positions)\n"
+      "          --snapshot-ms M\n"
+      "                        serve: also snapshot every M milliseconds\n"
+      "                        of wall clock; overdue ticks coalesce into\n"
+      "                        one snapshot (default 0 = off)\n"
+      "          --max-weight W\n"
+      "                        wsparsify: top edge weight (weight classes\n"
+      "                        cover [1, W]; default 2)\n"
       "\n"
       "Stream files are GSKB binary (make one with `gen` or `convert`) or\n"
       "text \"u v delta\" lines; '-' reads the stream from stdin. See\n"
@@ -460,6 +468,7 @@ struct CheckpointCmdOptions {
 struct ServeCmdOptions {
   const char* queries = nullptr;  ///< --queries script path; null = stdin
   uint64_t snapshot_every = 0;    ///< --snapshot-every N updates; 0 = off
+  uint64_t snapshot_ms = 0;       ///< --snapshot-ms wall clock; 0 = off
 };
 
 /// One scripted query: answer `text` against a snapshot that reflects
@@ -513,12 +522,15 @@ bool ParseQueryScript(std::istream& in, const char* name, uint64_t total,
 }
 
 /// serve: query-while-ingest. Ingests the stream through the batched
-/// driver and, at every scripted position (and every --snapshot-every
-/// updates), takes a drain-barrier snapshot (SketchDriver::SnapshotNow +
-/// Clone) and publishes it; a QueryEngine thread answers the queries
-/// pinned to those snapshots WHILE ingestion continues. Every answer is
-/// prefixed with the stream position it reflects, and linearity makes it
-/// byte-identical to stopping ingestion there and querying.
+/// driver and, at every scripted position (plus every --snapshot-every
+/// updates and --snapshot-ms wall-clock tick, overdue ticks coalesced),
+/// takes a drain-barrier snapshot — a COW page-table fork
+/// (SketchDriver::SnapshotNow + SnapshotView) — and publishes it; a
+/// QueryEngine thread answers the queries pinned to those snapshots
+/// WHILE ingestion continues, from the exact eager cut when one is
+/// valid. Every answer is prefixed with the stream position it
+/// reflects, and linearity makes it byte-identical to stopping
+/// ingestion there and querying.
 int RunServe(const AlgInfo& info, NodeId n, const char* path, uint64_t seed,
              const IngestOptions& opt, const ServeCmdOptions& sopt,
              const AlgOptions& aopt) {
@@ -546,6 +558,11 @@ int RunServe(const AlgInfo& info, NodeId n, const char* path, uint64_t seed,
   dopt.batch_size = opt.batch;
   dopt.gutter_bytes = opt.gutter;
   dopt.delta_mode = opt.delta;
+  // Families whose exact answers the eager spanning forest can serve in
+  // O(α) straight from the producer thread (insert-only streams; the
+  // forest invalidates itself on the first deletion it cannot absorb).
+  dopt.eager_connectivity = info.tag == AlgTag::kConnectivity ||
+                            info.tag == AlgTag::kSpanningForest;
   SketchDriver<LinearSketch> driver(sk.get(), dopt);
   SnapshotStore store;
   QueryEngine engine(&store, stdout);
@@ -557,18 +574,48 @@ int RunServe(const AlgInfo& info, NodeId n, const char* path, uint64_t seed,
     tracker.emplace(total, [&driver] { return driver.TotalUpdates() / 2; });
   }
 
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point start = Clock::now();
+  auto now_seconds = [&start] {
+    return std::chrono::duration<double>(Clock::now() - start).count();
+  };
+  SnapshotScheduler scheduler(
+      static_cast<double>(sopt.snapshot_ms) / 1000.0);
+
   size_t qi = 0;
   uint64_t pushed = 0;
   uint64_t snapshots = 0;
+  SnapshotTiming sum{};   // accumulated drain/publish time
+  SnapshotTiming peak{};  // per-snapshot maxima
   // Serves every boundary that falls at the current position: one
-  // snapshot per position, shared by all queries scripted there.
+  // snapshot per position, shared by all queries scripted there. Wall
+  // clock is only consulted every 256 updates (--snapshot-ms tolerance
+  // is far coarser than that; a clock read per push is not).
   auto serve_boundary = [&] {
     bool scripted = qi < queries.size() && queries[qi].pos == pushed;
     bool periodic = sopt.snapshot_every > 0 && pushed > 0 &&
                     pushed % sopt.snapshot_every == 0;
-    if (!scripted && !periodic) return;
-    auto snap = PublishSnapshot(&driver, &store);
+    bool timed = false;
+    double now = 0;
+    if (sopt.snapshot_ms > 0 && (pushed & 255u) == 0) {
+      now = now_seconds();
+      timed = scheduler.Due(now);
+    }
+    if (!scripted && !periodic && !timed) return;
+    SnapshotTiming timing;
+    auto snap = PublishSnapshot(&driver, &store, &timing);
+    if (timed) scheduler.Taken(now);
     ++snapshots;
+    sum.drain_ms += timing.drain_ms;
+    sum.publish_ms += timing.publish_ms;
+    peak.drain_ms = std::max(peak.drain_ms, timing.drain_ms);
+    peak.publish_ms = std::max(peak.publish_ms, timing.publish_ms);
+    if (opt.progress) {
+      std::fprintf(stderr,
+                   "snapshot @%llu: drain %.3f ms, publish %.3f ms\n",
+                   static_cast<unsigned long long>(pushed), timing.drain_ms,
+                   timing.publish_ms);
+    }
     while (qi < queries.size() && queries[qi].pos == pushed) {
       engine.Submit(std::move(queries[qi].text), snap);
       ++qi;
@@ -601,6 +648,16 @@ int RunServe(const AlgInfo& info, NodeId n, const char* path, uint64_t seed,
                static_cast<unsigned long long>(engine.errors()),
                static_cast<unsigned long long>(snapshots),
                static_cast<unsigned long long>(pushed));
+  if (snapshots > 0) {
+    std::fprintf(
+        stderr,
+        "snapshot timing: drain %.3f ms total (max %.3f), publish %.3f ms "
+        "total (max %.3f); %llu overdue ticks coalesced, %llu eager "
+        "answers\n",
+        sum.drain_ms, peak.drain_ms, sum.publish_ms, peak.publish_ms,
+        static_cast<unsigned long long>(scheduler.coalesced()),
+        static_cast<unsigned long long>(engine.eager_answered()));
+  }
   return ok ? 0 : kExitRuntime;
 }
 
@@ -1024,6 +1081,7 @@ int main(int argc, char** argv) {
   bool ingest_flags_given = false;
   bool at_given = false;
   bool k_given = false;
+  bool mw_given = false;
   bool shards_given = false;
   bool serve_flags_given = false;
   std::vector<const char*> pos;
@@ -1046,6 +1104,25 @@ int main(int argc, char** argv) {
       ++i;
       sopt.snapshot_every = value;
       serve_flags_given = true;
+    } else if (arg == "--snapshot-ms") {
+      if (i + 1 >= argc || !ParseU64(argv[i + 1], &value) || value == 0) {
+        std::fprintf(stderr,
+                     "error: --snapshot-ms needs a positive integer\n");
+        return kExitUsage;
+      }
+      ++i;
+      sopt.snapshot_ms = value;
+      serve_flags_given = true;
+    } else if (arg == "--max-weight") {
+      if (i + 1 >= argc || !ParseU64(argv[i + 1], &value) || value == 0 ||
+          value > (uint64_t{1} << 32)) {
+        std::fprintf(stderr,
+                     "error: --max-weight needs an integer in [1, 2^32]\n");
+        return kExitUsage;
+      }
+      ++i;
+      aopt.max_weight = static_cast<int64_t>(value);
+      mw_given = true;
     } else if (arg == "--at" || arg == "--k" || arg == "--shards") {
       if (i + 1 >= argc || !ParseU64(argv[i + 1], &value)) {
         std::fprintf(stderr, "error: %s needs a non-negative integer\n",
@@ -1127,11 +1204,20 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: --shards applies only to shard\n");
     return true;
   };
-  auto reject_k = [&](const AlgInfo* info) -> bool {
-    if (!k_given || (info != nullptr && info->uses_k)) return false;
-    std::fprintf(stderr, "error: --k applies only to %s\n",
-                 KAlgNameList().c_str());
-    return true;
+  // Registry-capability flags: each is valid only for algorithms that
+  // consume it (null info = a command that makes no sketch).
+  auto reject_alg_flags = [&](const AlgInfo* info) -> bool {
+    if (k_given && (info == nullptr || !info->uses_k)) {
+      std::fprintf(stderr, "error: --k applies only to %s\n",
+                   KAlgNameList().c_str());
+      return true;
+    }
+    if (mw_given &&
+        (info == nullptr || info->tag != AlgTag::kWeightedSparsify)) {
+      std::fprintf(stderr, "error: --max-weight applies only to wsparsify\n");
+      return true;
+    }
+    return false;
   };
   auto reject_ingest = [&](const char* why) -> bool {
     if (!ingest_flags_given) return false;
@@ -1144,7 +1230,8 @@ int main(int argc, char** argv) {
   auto reject_serve = [&]() -> bool {
     if (!serve_flags_given) return false;
     std::fprintf(stderr,
-                 "error: --queries/--snapshot-every apply only to serve\n");
+                 "error: --queries/--snapshot-every/--snapshot-ms apply "
+                 "only to serve\n");
     return true;
   };
   const std::string sharded_cmds =
@@ -1162,7 +1249,7 @@ int main(int argc, char** argv) {
                    pos[0], RegistryNameList(", ").c_str());
       return kExitUsage;
     }
-    if (reject_k(info)) return kExitUsage;
+    if (reject_alg_flags(info)) return kExitUsage;
     if (!info->endpoint_sharded &&
         reject_ingest(sharded_cmds.c_str())) {
       return kExitUsage;
@@ -1187,7 +1274,7 @@ int main(int argc, char** argv) {
                    pos[0], RegistryNameList(", ").c_str());
       return kExitUsage;
     }
-    if (reject_k(info) || reject_shards()) return kExitUsage;
+    if (reject_alg_flags(info) || reject_shards()) return kExitUsage;
     if (!info->endpoint_sharded &&
         reject_ingest(sharded_cmds.c_str())) {
       return kExitUsage;
@@ -1201,7 +1288,7 @@ int main(int argc, char** argv) {
   }
 
   if (cmd == "resume") {
-    if (reject_at() || reject_k(nullptr) || reject_shards() ||
+    if (reject_at() || reject_alg_flags(nullptr) || reject_shards() ||
         reject_serve()) {
       return kExitUsage;
     }
@@ -1232,7 +1319,7 @@ int main(int argc, char** argv) {
                    pos[0], RegistryNameList(", ").c_str());
       return kExitUsage;
     }
-    if (reject_k(info)) return kExitUsage;
+    if (reject_alg_flags(info)) return kExitUsage;
     NodeId n = 0;
     uint64_t seed = 1;
     if (!ParseNodeCount(pos[1], &n) || !ParseSeed(pos, 4, &seed)) {
@@ -1242,7 +1329,7 @@ int main(int argc, char** argv) {
   }
 
   if (cmd == "merge") {
-    if (reject_at() || reject_k(nullptr) || reject_shards() ||
+    if (reject_at() || reject_alg_flags(nullptr) || reject_shards() ||
         reject_serve() || reject_ingest(sharded_cmds.c_str())) {
       return kExitUsage;
     }
@@ -1257,7 +1344,7 @@ int main(int argc, char** argv) {
   }
 
   if (cmd == "inspect") {
-    if (reject_at() || reject_k(nullptr) || reject_shards() ||
+    if (reject_at() || reject_alg_flags(nullptr) || reject_shards() ||
         reject_serve() || reject_ingest(sharded_cmds.c_str())) {
       return kExitUsage;
     }
@@ -1271,7 +1358,7 @@ int main(int argc, char** argv) {
   if (reject_at() || reject_shards() || reject_serve()) return kExitUsage;
 
   if (cmd == "gen") {
-    if (reject_k(nullptr)) return kExitUsage;
+    if (reject_alg_flags(nullptr)) return kExitUsage;
     if (ingest_flags_given) {
       std::fprintf(stderr, "error: gen takes no options\n");
       return kExitUsage;
@@ -1302,7 +1389,7 @@ int main(int argc, char** argv) {
   }
 
   if (cmd == "convert") {
-    if (reject_k(nullptr)) return kExitUsage;
+    if (reject_alg_flags(nullptr)) return kExitUsage;
     if (ingest_flags_given) {
       std::fprintf(stderr, "error: convert takes no options\n");
       return kExitUsage;
@@ -1317,7 +1404,7 @@ int main(int argc, char** argv) {
   }
 
   if (const AlgInfo* info = FindAlg(cmd)) {
-    if (reject_k(info)) return kExitUsage;
+    if (reject_alg_flags(info)) return kExitUsage;
     if (!info->endpoint_sharded &&
         reject_ingest(sharded_cmds.c_str())) {
       return kExitUsage;
@@ -1337,7 +1424,7 @@ int main(int argc, char** argv) {
   // The remaining commands replay an in-memory stream (multi-pass or
   // whole-stream algorithms); parallel ingestion does not apply.
   if (cmd == "spanner" || cmd == "stats") {
-    if (reject_k(nullptr) || reject_ingest(sharded_cmds.c_str())) {
+    if (reject_alg_flags(nullptr) || reject_ingest(sharded_cmds.c_str())) {
       return kExitUsage;
     }
     if (pos.size() < 2 || pos.size() > 3) {
