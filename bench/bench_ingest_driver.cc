@@ -31,7 +31,7 @@ int Run(NodeId n, size_t updates, uint32_t max_threads) {
   bench::Banner("E13", "parallel stream ingestion",
                 "endpoint-sharded workers scale ingestion with cores; "
                 "linearity keeps answers identical at every thread count");
-  std::printf("hardware threads: %u\n", std::thread::hardware_concurrency());
+  std::printf("hardware threads: %u\n", ResolveWorkerCount(0));
 
   // The "uniform" workload profile is this bench's historical generator
   // (seed-for-seed identical), so committed baselines stay comparable.

@@ -229,6 +229,196 @@ std::optional<DynamicGraphStream> ReadBinaryStream(const std::string& path) {
   return s;
 }
 
+TaggedStreamWriter::TaggedStreamWriter(const std::string& path, NodeId n,
+                                       uint32_t tenants,
+                                       size_t buffer_bytes)
+    : buffer_limit_(buffer_bytes < kTaggedStreamRecordBytes
+                        ? kTaggedStreamRecordBytes
+                        : buffer_bytes),
+      n_(n),
+      tenants_(tenants) {
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) return;
+  buffer_.reserve(buffer_limit_ + kTaggedStreamRecordBytes);
+  PutU32(&buffer_, kTaggedStreamMagic);
+  PutU32(&buffer_, kTaggedStreamVersion);
+  PutU32(&buffer_, n_);
+  PutU32(&buffer_, tenants_);
+  PutU64(&buffer_, 0);  // update count, patched by Close()
+  ok_ = true;
+}
+
+TaggedStreamWriter::~TaggedStreamWriter() { Close(); }
+
+void TaggedStreamWriter::Append(uint32_t tenant, NodeId u, NodeId v,
+                                int64_t delta) {
+  assert(tenant < tenants_ && u != v && u < n_ && v < n_);
+  if (!ok_) return;
+  if (delta > kMaxDeltaChunks * INT32_MAX ||
+      delta < kMaxDeltaChunks * int64_t{INT32_MIN}) {
+    ok_ = false;  // would split into > kMaxDeltaChunks records
+    return;
+  }
+  for (;;) {
+    int64_t chunk = delta;
+    if (chunk > INT32_MAX) chunk = INT32_MAX;
+    if (chunk < INT32_MIN) chunk = INT32_MIN;
+    PutU32(&buffer_, tenant);
+    PutU32(&buffer_, u);
+    PutU32(&buffer_, v);
+    PutU32(&buffer_, static_cast<uint32_t>(static_cast<int32_t>(chunk)));
+    ++count_;
+    if (buffer_.size() >= buffer_limit_) FlushBuffer();
+    delta -= chunk;
+    if (delta == 0) break;
+  }
+}
+
+void TaggedStreamWriter::FlushBuffer() {
+  if (buffer_.empty() || file_ == nullptr) return;
+  if (std::fwrite(buffer_.data(), 1, buffer_.size(), file_) !=
+      buffer_.size()) {
+    ok_ = false;
+  }
+  buffer_.clear();
+}
+
+bool TaggedStreamWriter::Close() {
+  if (file_ == nullptr) return false;
+  FlushBuffer();
+  // Patch the final update count into the header.
+  if (ok_ && std::fseek(file_, 16, SEEK_SET) == 0) {
+    std::string patch;
+    PutU64(&patch, count_);
+    if (std::fwrite(patch.data(), 1, patch.size(), file_) != patch.size()) {
+      ok_ = false;
+    }
+  } else {
+    ok_ = false;
+  }
+  if (std::fclose(file_) != 0) ok_ = false;
+  file_ = nullptr;
+  return ok_;
+}
+
+TaggedStreamReader::TaggedStreamReader(const std::string& path,
+                                       size_t buffer_bytes) {
+  size_t records = buffer_bytes / kTaggedStreamRecordBytes;
+  if (records == 0) records = 1;
+  buffer_.resize(records * kTaggedStreamRecordBytes);
+
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) {
+    Fail("cannot open " + path);
+    return;
+  }
+  unsigned char header[kTaggedStreamHeaderBytes];
+  if (std::fread(header, 1, sizeof(header), file_) != sizeof(header)) {
+    Fail("truncated header");
+    return;
+  }
+  if (GetU32(header) != kTaggedStreamMagic) {
+    Fail("bad magic (not a GSKT trace)");
+    return;
+  }
+  uint32_t version = GetU32(header + 4);
+  if (version != kTaggedStreamVersion) {
+    Fail("unsupported format version " + std::to_string(version));
+    return;
+  }
+  n_ = GetU32(header + 8);
+  tenants_ = GetU32(header + 12);
+  total_ = GetU64(header + 16);
+  if (n_ < 2) {
+    Fail("header declares n < 2");
+    return;
+  }
+  if (tenants_ == 0) {
+    Fail("header declares zero tenants");
+    return;
+  }
+  if (std::fseek(file_, 0, SEEK_END) != 0) {
+    Fail("not seekable");
+    return;
+  }
+  long end = std::ftell(file_);
+  uint64_t expected = kTaggedStreamHeaderBytes +
+                      total_ * kTaggedStreamRecordBytes;
+  if (end < 0 || static_cast<uint64_t>(end) != expected) {
+    Fail("file holds " + std::to_string(end) + " bytes but header declares " +
+         std::to_string(total_) + " updates (" + std::to_string(expected) +
+         " bytes)");
+    return;
+  }
+  if (std::fseek(file_, kTaggedStreamHeaderBytes, SEEK_SET) != 0) {
+    Fail("not seekable");
+    return;
+  }
+  ok_ = true;
+}
+
+TaggedStreamReader::~TaggedStreamReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void TaggedStreamReader::Fail(const std::string& why) {
+  ok_ = false;
+  if (error_.empty()) error_ = why;
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+size_t TaggedStreamReader::ReadBatch(size_t max_updates,
+                                     std::vector<TaggedUpdate>* out) {
+  size_t produced = 0;
+  while (ok_ && produced < max_updates && delivered_ < total_) {
+    if (buf_pos_ == buf_size_) {
+      uint64_t left = total_ - delivered_;
+      size_t want = buffer_.size();
+      if (left * kTaggedStreamRecordBytes < want) {
+        want = static_cast<size_t>(left) * kTaggedStreamRecordBytes;
+      }
+      buf_size_ = std::fread(buffer_.data(), 1, want, file_);
+      buf_pos_ = 0;
+      if (buf_size_ < kTaggedStreamRecordBytes) {
+        Fail("truncated trace: header declares " + std::to_string(total_) +
+             " updates, file ends after " + std::to_string(delivered_));
+        return produced;
+      }
+      buf_size_ -= buf_size_ % kTaggedStreamRecordBytes;
+    }
+    const unsigned char* p = buffer_.data() + buf_pos_;
+    uint32_t tenant = GetU32(p);
+    NodeId u = GetU32(p + 4);
+    NodeId v = GetU32(p + 8);
+    int32_t delta = static_cast<int32_t>(GetU32(p + 12));
+    if (tenant >= tenants_ || u >= n_ || v >= n_ || u == v) {
+      Fail("bad record at update " + std::to_string(delivered_) + ": tenant " +
+           std::to_string(tenant) + " edge (" + std::to_string(u) + ", " +
+           std::to_string(v) + ") with k=" + std::to_string(tenants_) +
+           " n=" + std::to_string(n_));
+      return produced;
+    }
+    out->push_back(TaggedUpdate{tenant, u, v, delta});
+    buf_pos_ += kTaggedStreamRecordBytes;
+    ++delivered_;
+    ++produced;
+  }
+  return produced;
+}
+
+bool LooksLikeTaggedStream(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  unsigned char head[4];
+  bool is_tagged = std::fread(head, 1, sizeof(head), f) == sizeof(head) &&
+                   GetU32(head) == kTaggedStreamMagic;
+  std::fclose(f);
+  return is_tagged;
+}
+
 bool LooksLikeBinaryStream(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return false;

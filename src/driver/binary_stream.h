@@ -138,6 +138,117 @@ std::optional<DynamicGraphStream> ReadBinaryStream(const std::string& path);
 /// error), so tools can accept text and binary streams interchangeably.
 bool LooksLikeBinaryStream(const std::string& path);
 
+// ------------------------------------------------------------------------
+// GSKT: the multi-tenant tagged trace format. One file carries K tenants'
+// interleaved streams — each record is a GSKB record plus the tenant the
+// update belongs to — so a single reader drives a whole co-hosted serve
+// run deterministically. GSKB itself is untouched (single-graph files and
+// tools keep their bytes); the tag lives in a separate format.
+//
+// Layout (little-endian, no alignment):
+//   offset  size  field
+//   0       4     magic  "GSKT" (0x544b5347)
+//   4       4     format version (currently 1)
+//   8       4     n — number of nodes; all endpoints are < n
+//   12      4     k — number of tenants; all tags are < k
+//   16      8     update count t
+//   24      16·t  records: tenant (u32), u (u32), v (u32), delta (i32)
+//
+// Same conventions as GSKB: the writer patches t on Close(), wide int64
+// deltas split into maximal i32 records, readers validate header, bounds,
+// and exact record count.
+// ------------------------------------------------------------------------
+
+inline constexpr uint32_t kTaggedStreamMagic = 0x544b5347u;  // "GSKT"
+inline constexpr uint32_t kTaggedStreamVersion = 1;
+inline constexpr size_t kTaggedStreamHeaderBytes = 24;
+inline constexpr size_t kTaggedStreamRecordBytes = 16;
+
+/// One tenant-tagged stream token: apply {u, v} += delta to tenant
+/// `tenant`'s graph.
+struct TaggedUpdate {
+  uint32_t tenant = 0;
+  NodeId u = 0;
+  NodeId v = 0;
+  int64_t delta = 0;
+};
+
+/// Buffered writer for the GSKT format (see GSKB writer for conventions).
+class TaggedStreamWriter {
+ public:
+  TaggedStreamWriter(const std::string& path, NodeId n, uint32_t tenants,
+                     size_t buffer_bytes = 1 << 16);
+  ~TaggedStreamWriter();
+
+  TaggedStreamWriter(const TaggedStreamWriter&) = delete;
+  TaggedStreamWriter& operator=(const TaggedStreamWriter&) = delete;
+
+  bool ok() const { return ok_; }
+
+  /// Appends one tagged update; tenant must be < tenants, endpoints
+  /// distinct and < n. Wide deltas split as in GSKB.
+  void Append(uint32_t tenant, NodeId u, NodeId v, int64_t delta);
+
+  bool Close();
+
+  uint64_t updates_written() const { return count_; }
+  NodeId nodes() const { return n_; }
+  uint32_t tenants() const { return tenants_; }
+
+ private:
+  void FlushBuffer();
+
+  std::FILE* file_ = nullptr;
+  std::string buffer_;
+  size_t buffer_limit_;
+  NodeId n_;
+  uint32_t tenants_;
+  uint64_t count_ = 0;
+  bool ok_ = false;
+};
+
+/// Buffered reader for the GSKT format (see GSKB reader for conventions).
+class TaggedStreamReader {
+ public:
+  explicit TaggedStreamReader(const std::string& path,
+                              size_t buffer_bytes = 1 << 15);
+  ~TaggedStreamReader();
+
+  TaggedStreamReader(const TaggedStreamReader&) = delete;
+  TaggedStreamReader& operator=(const TaggedStreamReader&) = delete;
+
+  bool ok() const { return ok_; }
+  const std::string& error() const { return error_; }
+
+  NodeId nodes() const { return n_; }
+  uint32_t tenants() const { return tenants_; }
+  uint64_t num_updates() const { return total_; }
+
+  /// Appends up to `max_updates` tagged updates to `*out`; 0 at end of
+  /// stream or on error (check ok()).
+  size_t ReadBatch(size_t max_updates, std::vector<TaggedUpdate>* out);
+
+  bool Done() const { return delivered_ == total_; }
+
+ private:
+  void Fail(const std::string& why);
+
+  std::FILE* file_ = nullptr;
+  std::vector<unsigned char> buffer_;
+  size_t buf_size_ = 0;
+  size_t buf_pos_ = 0;
+  NodeId n_ = 0;
+  uint32_t tenants_ = 0;
+  uint64_t total_ = 0;
+  uint64_t delivered_ = 0;
+  bool ok_ = false;
+  std::string error_;
+};
+
+/// Sniffs whether `path` starts with the GSKT magic (false also on I/O
+/// error).
+bool LooksLikeTaggedStream(const std::string& path);
+
 }  // namespace gsketch
 
 #endif  // GRAPHSKETCH_SRC_DRIVER_BINARY_STREAM_H_

@@ -98,6 +98,10 @@ class GutterSystem {
   /// Entries one gutter holds before flushing (derived from bytes).
   size_t entries_per_gutter() const { return capacity_; }
 
+  /// Entries currently buffered across all gutters (post-coalescing —
+  /// this, times kGutterEntryBytes, is the memory actually held).
+  size_t buffered_entries() const { return total_entries_; }
+
  private:
   struct Gutter {
     std::vector<NodeId> others;

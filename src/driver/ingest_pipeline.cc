@@ -1,0 +1,299 @@
+#include "src/driver/ingest_pipeline.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace gsketch {
+
+uint32_t ResolveWorkerCount(uint32_t requested) {
+  if (requested != 0) return requested;
+  uint32_t hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+IngestPipeline::IngestPipeline(const PipelineOptions& opt)
+    : batch_size_(opt.batch_size < 1 ? 1 : opt.batch_size),
+      max_pending_(opt.max_pending_batches < 1 ? 1
+                                               : opt.max_pending_batches),
+      delta_mode_(opt.delta_mode),
+      delta_min_batch_(opt.delta_min_batch) {
+  const uint32_t workers = ResolveWorkerCount(opt.num_workers);
+  // Delta mode: one shared MPMC queue every worker steals from, with the
+  // aggregate capacity the per-worker queues would have had. Sharded
+  // mode: one queue per worker, routed by endpoint.
+  const uint32_t num_queues = delta_mode_ ? 1 : workers;
+  queue_capacity_ = delta_mode_ ? max_pending_ * workers : max_pending_;
+  shards_.reserve(num_queues);
+  for (uint32_t q = 0; q < num_queues; ++q) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  if (delta_mode_) {
+    stripes_ = std::make_unique<std::mutex[]>(kLockStripes);
+  }
+  worker_applied_ = std::make_unique<std::atomic<uint64_t>[]>(workers);
+  for (uint32_t w = 0; w < workers; ++w) worker_applied_[w] = 0;
+  for (uint32_t w = 0; w < workers; ++w) {
+    threads_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+IngestPipeline::~IngestPipeline() {
+  DrainAll();
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->stopping = true;
+    shard->not_empty.notify_all();
+  }
+  for (auto& t : threads_) t.join();
+}
+
+IngestPipeline::SessionId IngestPipeline::Attach(
+    IngestSink* sink, const ChannelOptions& copt) {
+  auto ch = std::make_shared<Channel>();
+  ch->id = static_cast<SessionId>(channels_.size());
+  ch->sink = sink;
+  ch->pending.resize(shards_.size());
+  ch->stream_updates = copt.initial_stream_pos;
+  if (copt.eager_nodes > 0) {
+    ch->eager = std::make_unique<EagerForest>(copt.eager_nodes);
+  }
+  if (copt.gutter_bytes > 0) {
+    GutterOptions gopt;
+    gopt.bytes_per_gutter = copt.gutter_bytes;
+    gopt.max_total_bytes = copt.gutter_total_bytes;
+    gopt.coalesce = copt.coalesce;
+    Channel* raw = ch.get();
+    ch->gutter.emplace(gopt, [this, raw](NodeBatch&& batch) {
+      DispatchNode(raw, std::move(batch));
+    });
+  }
+  channels_.push_back(std::move(ch));
+  ++live_channels_;
+  return channels_.back()->id;
+}
+
+void IngestPipeline::Detach(SessionId sid) {
+  Channel* ch = Get(sid);
+  if (ch == nullptr) return;
+  DrainChannel(ch);
+  channels_[sid].reset();  // in-flight WorkItems keep the counters alive
+  --live_channels_;
+}
+
+IngestPipeline::Channel* IngestPipeline::Get(SessionId sid) const {
+  return sid < channels_.size() ? channels_[sid].get() : nullptr;
+}
+
+void IngestPipeline::Push(SessionId sid, NodeId u, NodeId v,
+                          int64_t delta) {
+  Channel* ch = Get(sid);
+  ++ch->stream_updates;
+  if (ch->eager != nullptr) ch->eager->Apply(u, v, delta);
+  if (ch->gutter.has_value()) {
+    ch->gutter->Push(u, v, delta);
+    return;
+  }
+  EnqueueHalf(ch, u, v, delta);
+  EnqueueHalf(ch, v, u, delta);
+}
+
+void IngestPipeline::Drain(SessionId sid) {
+  Channel* ch = Get(sid);
+  if (ch != nullptr) DrainChannel(ch);
+}
+
+void IngestPipeline::DrainAll() {
+  for (const auto& ch : channels_) {
+    if (ch != nullptr) DrainChannel(ch.get());
+  }
+}
+
+void IngestPipeline::DrainChannel(Channel* ch) {
+  if (ch->gutter.has_value()) ch->gutter->FlushAll();
+  for (uint32_t q = 0; q < ch->pending.size(); ++q) {
+    if (!ch->pending[q].empty()) Dispatch(ch, q);
+  }
+  // `enqueued_halves` is written only by this (producer) thread, so the
+  // predicate's load always sees the final enqueue total; the atomic
+  // exists for the workers' cross-thread peek in WorkerLoop.
+  const uint64_t target =
+      ch->enqueued_halves.load(std::memory_order_relaxed);
+  std::unique_lock<std::mutex> lock(drained_mu_);
+  // Announce the drain BEFORE the first predicate check. Workers check
+  // drain_pending_ after bumping applied_halves; both sides use seq_cst,
+  // so a worker that read drain_pending_ == false made its bump visible
+  // to a predicate check that runs after this store (Dekker-style: no
+  // lost wakeup, see WorkerLoop).
+  drain_pending_.store(true, std::memory_order_seq_cst);
+  drained_.wait(lock, [ch, target] {
+    return ch->applied_halves.load(std::memory_order_seq_cst) == target;
+  });
+  drain_pending_.store(false, std::memory_order_seq_cst);
+}
+
+uint64_t IngestPipeline::AppliedHalves(SessionId sid) const {
+  const Channel* ch = Get(sid);
+  return ch == nullptr
+             ? 0
+             : ch->applied_halves.load(std::memory_order_relaxed);
+}
+
+uint64_t IngestPipeline::StreamUpdates(SessionId sid) const {
+  const Channel* ch = Get(sid);
+  return ch == nullptr ? 0 : ch->stream_updates;
+}
+
+size_t IngestPipeline::GutterBufferedBytes(SessionId sid) const {
+  const Channel* ch = Get(sid);
+  if (ch == nullptr || !ch->gutter.has_value()) return 0;
+  return ch->gutter->buffered_entries() * kGutterEntryBytes;
+}
+
+const GutterSystem* IngestPipeline::gutters(SessionId sid) const {
+  const Channel* ch = Get(sid);
+  return ch != nullptr && ch->gutter.has_value() ? &*ch->gutter : nullptr;
+}
+
+const EagerForest* IngestPipeline::eager_forest(SessionId sid) const {
+  const Channel* ch = Get(sid);
+  return ch != nullptr ? ch->eager.get() : nullptr;
+}
+
+std::shared_ptr<const EagerCut> IngestPipeline::CaptureEagerCut(
+    SessionId sid) {
+  Channel* ch = Get(sid);
+  return ch != nullptr && ch->eager != nullptr ? ch->eager->Capture()
+                                               : nullptr;
+}
+
+void IngestPipeline::EnqueueHalf(Channel* ch, NodeId endpoint,
+                                 NodeId other, int64_t delta) {
+  uint32_t q = delta_mode_ ? 0 : endpoint % num_workers();
+  Batch& pending = ch->pending[q];
+  pending.push_back(HalfUpdate{endpoint, other, delta});
+  if (pending.size() >= batch_size_) Dispatch(ch, q);
+}
+
+void IngestPipeline::Dispatch(Channel* ch, uint32_t q) {
+  Batch batch;
+  batch.swap(ch->pending[q]);
+  if (delta_mode_) {
+    DispatchDeltaBatch(ch, std::move(batch));
+    return;
+  }
+  ch->enqueued_halves.fetch_add(batch.size(), std::memory_order_relaxed);
+  Enqueue(q, WorkItem{channels_[ch->id], std::move(batch)});
+}
+
+// Delta mode, gutters off: group the mixed-endpoint batch into dense
+// per-node batches for the shared queue, the same NodeBatch currency the
+// gutter sink emits. stable_sort keeps per-endpoint stream order (not
+// needed for correctness — linearity — but it keeps runs deterministic).
+void IngestPipeline::DispatchDeltaBatch(Channel* ch, Batch&& batch) {
+  std::stable_sort(batch.begin(), batch.end(),
+                   [](const HalfUpdate& a, const HalfUpdate& b) {
+                     return a.endpoint < b.endpoint;
+                   });
+  size_t i = 0;
+  while (i < batch.size()) {
+    NodeBatch node;
+    node.endpoint = batch[i].endpoint;
+    size_t j = i;
+    while (j < batch.size() && batch[j].endpoint == node.endpoint) ++j;
+    node.others.reserve(j - i);
+    node.deltas.reserve(j - i);
+    for (size_t k = i; k < j; ++k) {
+      node.others.push_back(batch[k].other);
+      node.deltas.push_back(batch[k].delta);
+    }
+    node.halves = j - i;
+    DispatchNode(ch, std::move(node));
+    i = j;
+  }
+}
+
+void IngestPipeline::DispatchNode(Channel* ch, NodeBatch&& batch) {
+  uint32_t q = delta_mode_ ? 0 : batch.endpoint % num_workers();
+  ch->enqueued_halves.fetch_add(batch.halves, std::memory_order_relaxed);
+  Enqueue(q, WorkItem{channels_[ch->id], std::move(batch)});
+}
+
+void IngestPipeline::Enqueue(uint32_t q, WorkItem&& item) {
+  Shard& shard = *shards_[q];
+  std::unique_lock<std::mutex> lock(shard.mu);
+  shard.not_full.wait(
+      lock, [&] { return shard.queue.size() < queue_capacity_; });
+  shard.queue.push_back(std::move(item));
+  shard.not_empty.notify_one();
+}
+
+// Delta-mode apply: accumulate the batch into this worker's scratch arena
+// lock-free, then add it into the (session, endpoint) live cells under
+// the pair's lock stripe. Batches too small to amortize the merge — and
+// sinks without delta support (AccumulateDelta returns 0) — apply in
+// place under the same stripe. Both paths are byte-identical (cell sums
+// commute).
+void IngestPipeline::ApplyDeltaItem(Channel* ch, const NodeBatch& node,
+                                    std::vector<OneSparseCell>* scratch) {
+  size_t cells = 0;
+  if (node.others.size() >= delta_min_batch_) {
+    cells = ch->sink->AccumulateDelta(node, scratch);
+  }
+  std::lock_guard<std::mutex> lock(Stripe(*ch, node.endpoint));
+  if (cells > 0) {
+    ch->sink->MergeDelta(node.endpoint, scratch->data(), cells);
+    return;
+  }
+  ch->sink->ApplyNode(node);
+}
+
+void IngestPipeline::WorkerLoop(uint32_t w) {
+  Shard& shard = *shards_[delta_mode_ ? 0 : w];
+  std::vector<OneSparseCell> scratch;  // this worker's delta arena
+  for (;;) {
+    WorkItem item;
+    {
+      std::unique_lock<std::mutex> lock(shard.mu);
+      shard.not_empty.wait(
+          lock, [&] { return shard.stopping || !shard.queue.empty(); });
+      if (shard.queue.empty()) return;  // stopping and fully drained
+      item = std::move(shard.queue.front());
+      shard.queue.pop_front();
+      shard.not_full.notify_one();
+    }
+    Channel& ch = *item.ch;
+    uint64_t applied = 0;
+    if (const Batch* batch = std::get_if<Batch>(&item.work)) {
+      ch.sink->ApplyHalves(batch->data(), batch->size());
+      applied = batch->size();
+    } else {
+      const NodeBatch& node = std::get<NodeBatch>(item.work);
+      if (delta_mode_) {
+        ApplyDeltaItem(&ch, node, &scratch);
+      } else {
+        ch.sink->ApplyNode(node);
+      }
+      applied = node.halves;
+    }
+    worker_applied_[w].fetch_add(applied, std::memory_order_relaxed);
+    const uint64_t now_applied =
+        ch.applied_halves.fetch_add(applied, std::memory_order_seq_cst) +
+        applied;
+    // Only touch the drain mutex when someone can be waiting: a drain is
+    // pending, or this bump reached the channel's enqueue total (the
+    // worker-side peek is advisory; the producer may be mid-dispatch).
+    // Taking drained_mu_ after EVERY item would serialize all workers on
+    // one mutex that only matters at drain time. No lost wakeup: Drain
+    // sets drain_pending_ (seq_cst) before its first predicate check, so
+    // if the load below reads false, this fetch_add is ordered before
+    // that check and the predicate already sees the final count.
+    if (drain_pending_.load(std::memory_order_seq_cst) ||
+        now_applied ==
+            ch.enqueued_halves.load(std::memory_order_seq_cst)) {
+      std::lock_guard<std::mutex> lock(drained_mu_);
+      drained_.notify_all();
+    }
+  }
+}
+
+}  // namespace gsketch

@@ -1,0 +1,278 @@
+// The shared, type-erased ingestion pipeline: ONE worker pool and queue
+// fabric serving ANY number of co-hosted sketches ("sessions").
+//
+// SketchDriver<Alg> historically owned its worker threads, so every hosted
+// sketch cost a private thread pool and the process was structurally
+// single-tenant. AGM linear sketches make co-hosting cheap — all tenants
+// share the same cell/kernel machinery, per-tenant state is just arenas —
+// so the reusable machinery (worker pool, bounded sharded/MPMC queues,
+// drain barrier, delta-merge stripes) lives here, type-erased behind
+// IngestSink, and each tenant attaches a CHANNEL carrying only its private
+// producer-side state (gutters, eager forest, pending batches, counters).
+// SketchDriver<Alg> survives as a thin single-session facade over one
+// pipeline; SessionManager (src/session/) runs N named sessions over one.
+//
+// Every work item is tagged with the channel it belongs to, so workers
+// dispatch per batch on the session id (one virtual call per batch, not
+// per update). Isolation invariant: distinct sessions apply to DISJOINT
+// sketch objects, so co-hosted ingestion through a shared pool leaves
+// every tenant's sketch byte-identical to that tenant running solo in any
+// mode — sharded, gutter-buffered, or delta-merge (linearity makes order
+// irrelevant; tests/session_test.cc proves it per family and per mode).
+//
+// Threading contract (unchanged from SketchDriver): ALL producer-side
+// calls — Push, Drain, Attach, Detach, CaptureEagerCut — come from one
+// thread (or are externally serialized). Workers are internal. Per-session
+// drain only waits for THAT session's queued work; other sessions keep
+// flowing through the same workers during the barrier.
+#ifndef GRAPHSKETCH_SRC_DRIVER_INGEST_PIPELINE_H_
+#define GRAPHSKETCH_SRC_DRIVER_INGEST_PIPELINE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "src/driver/eager_forest.h"
+#include "src/driver/gutter.h"
+#include "src/graph/stream.h"
+#include "src/sketch/one_sparse.h"
+
+namespace gsketch {
+
+/// THE worker-count resolution rule, shared by the pipeline, the CLI, and
+/// the benches (each used to hand-roll it): 0 means "use the hardware",
+/// i.e. hardware_concurrency with a fallback of 1 for runtimes that
+/// report 0; any explicit count is taken as-is.
+uint32_t ResolveWorkerCount(uint32_t requested);
+
+/// One endpoint half of a stream token: apply to `endpoint`'s state the
+/// update for edge {endpoint, other}.
+struct HalfUpdate {
+  NodeId endpoint;
+  NodeId other;
+  int64_t delta;
+};
+
+/// The type-erased per-session apply surface. One sink wraps one sketch
+/// (see AlgIngestSink in src/driver/sketch_driver.h for the generic
+/// adapter); workers call it at batch granularity, so the virtual hop is
+/// amortized over thousands of updates. Implementations own no pipeline
+/// state and must tolerate concurrent calls only to the extent the
+/// wrapped sketch does (endpoint-sharded routing and the delta stripes
+/// provide the required serialization, exactly as for SketchDriver).
+class IngestSink {
+ public:
+  virtual ~IngestSink() = default;
+
+  /// Applies a mixed-endpoint batch of half-updates (sharded mode).
+  virtual void ApplyHalves(const HalfUpdate* halves, size_t count) = 0;
+
+  /// Applies one dense per-node batch (gutter flushes, delta fallback).
+  virtual void ApplyNode(const NodeBatch& batch) = 0;
+
+  /// Delta-merge pair (see LinearSketch::AccumulateDelta): builds the
+  /// batch into `*scratch` without touching shared state, returning the
+  /// cells used — 0 means "no delta support, apply me via ApplyNode under
+  /// the lock instead".
+  virtual size_t AccumulateDelta(const NodeBatch& batch,
+                                 std::vector<OneSparseCell>* scratch)
+      const = 0;
+
+  /// Adds the first `cells` scratch cells into `endpoint`'s live state;
+  /// the pipeline serializes per-(session, endpoint) calls.
+  virtual void MergeDelta(NodeId endpoint, const OneSparseCell* scratch,
+                          size_t cells) = 0;
+};
+
+/// Tuning knobs for the shared pipeline (the worker-pool half of the old
+/// DriverOptions; per-session knobs moved to ChannelOptions).
+struct PipelineOptions {
+  uint32_t num_workers = 1;  ///< worker threads; 0 = hardware concurrency
+  size_t batch_size = 4096;  ///< endpoint updates per dispatched batch
+  size_t max_pending_batches = 8;  ///< per-queue bound (backpressure)
+  bool delta_mode = false;  ///< work-stealing delta-merge ingestion
+  /// Delta mode: node batches with fewer entries than this skip the delta
+  /// arena and apply in place under the striped lock.
+  size_t delta_min_batch = 32;
+};
+
+/// Per-session knobs: the private producer-side state a channel carries.
+struct ChannelOptions {
+  size_t gutter_bytes = 0;        ///< per-node gutter bytes; 0 = off
+  size_t gutter_total_bytes = 0;  ///< global gutter cap; 0 = uncapped
+  bool coalesce = true;           ///< fold same-edge gutter entries
+  /// Nonzero enables the eager exact-connectivity forest over this many
+  /// nodes (src/driver/eager_forest.h), maintained inline at Push.
+  NodeId eager_nodes = 0;
+  /// Stream tokens already applied before this channel attached (a
+  /// checkpoint-restored session resumes counting from its stream_pos).
+  uint64_t initial_stream_pos = 0;
+};
+
+/// The shared worker pool + queue fabric (see file comment). Channels
+/// attach and detach while the pool runs; sessions are identified by the
+/// SessionId Attach returns.
+class IngestPipeline {
+ public:
+  using SessionId = uint32_t;
+
+  explicit IngestPipeline(const PipelineOptions& opt = PipelineOptions());
+
+  /// Drains every live channel, then stops and joins the workers.
+  ~IngestPipeline();
+
+  IngestPipeline(const IngestPipeline&) = delete;
+  IngestPipeline& operator=(const IngestPipeline&) = delete;
+
+  /// Registers a session around `*sink` (which must outlive its channel —
+  /// i.e. stay valid until Detach or pipeline destruction). Returns the
+  /// id all per-session calls take. Producer-side.
+  SessionId Attach(IngestSink* sink,
+                   const ChannelOptions& copt = ChannelOptions());
+
+  /// Drains the session and removes its channel; the id is retired, not
+  /// reused. Producer-side.
+  void Detach(SessionId sid);
+
+  /// Routes one stream token of session `sid` to its two endpoint shards
+  /// (through the session's gutters when enabled). Producer-side.
+  void Push(SessionId sid, NodeId u, NodeId v, int64_t delta);
+
+  /// Flushes the session's gutters and partial batches and blocks until
+  /// every queued update OF THIS SESSION has been applied; its sketch
+  /// then reflects the whole stream pushed so far and may be read safely.
+  /// Other sessions' items keep flowing through the workers meanwhile.
+  /// Producer-side.
+  void Drain(SessionId sid);
+
+  /// Drains every live session. Producer-side.
+  void DrainAll();
+
+  /// Endpoint half-updates applied so far for the session (2 per stream
+  /// token; gutter-buffered halves count once flushed and applied). Safe
+  /// from any thread.
+  uint64_t AppliedHalves(SessionId sid) const;
+
+  /// Stream tokens pushed so far, including a restored channel's initial
+  /// position. Producer-side.
+  uint64_t StreamUpdates(SessionId sid) const;
+
+  /// Bytes currently buffered in the session's gutters (memory
+  /// accounting). Producer-side.
+  size_t GutterBufferedBytes(SessionId sid) const;
+
+  /// The session's gutter layer, when enabled (nullptr otherwise).
+  const GutterSystem* gutters(SessionId sid) const;
+
+  /// The session's eager forest, when enabled (nullptr otherwise).
+  /// Producer-side reads only while ingestion runs.
+  const EagerForest* eager_forest(SessionId sid) const;
+
+  /// Captures the session's exact partition at the current push position
+  /// (no drain needed; the forest is maintained at Push time). nullptr
+  /// when off or invalidated. Producer-side.
+  std::shared_ptr<const EagerCut> CaptureEagerCut(SessionId sid);
+
+  uint32_t num_workers() const {
+    return static_cast<uint32_t>(threads_.size());
+  }
+
+  /// True when the pipeline runs the work-stealing delta-merge mode.
+  bool delta_mode() const { return delta_mode_; }
+
+  /// Half-updates applied by worker `w` so far, across all sessions.
+  uint64_t WorkerAppliedHalves(uint32_t w) const {
+    return worker_applied_[w].load(std::memory_order_relaxed);
+  }
+
+  /// Channels currently attached.
+  size_t num_sessions() const { return live_channels_; }
+
+ private:
+  using Batch = std::vector<HalfUpdate>;
+
+  // All private per-session state. Work items hold a shared_ptr to their
+  // channel so a worker's post-apply counter peek stays valid even if the
+  // producer Detaches the (already drained) channel first.
+  struct Channel {
+    SessionId id = 0;
+    IngestSink* sink = nullptr;
+    std::vector<Batch> pending;  // producer-side building batches/queue
+    std::optional<GutterSystem> gutter;  // producer-side (gutter mode)
+    std::unique_ptr<EagerForest> eager;  // producer-side (eager mode)
+    uint64_t stream_updates = 0;  // producer-side token count
+    // Producer-writes-only (documented single-producer contract); atomic
+    // because workers peek at it for the drain-signal fast path.
+    std::atomic<uint64_t> enqueued_halves{0};
+    std::atomic<uint64_t> applied_halves{0};
+  };
+
+  // Workers consume either mixed-endpoint half-update batches (gutters
+  // off, sharded mode) or dense per-node batches (gutter flushes and
+  // delta mode), each tagged with its channel.
+  struct WorkItem {
+    std::shared_ptr<Channel> ch;
+    std::variant<Batch, NodeBatch> work;
+  };
+
+  struct Shard {
+    std::mutex mu;
+    std::condition_variable not_empty;
+    std::condition_variable not_full;
+    std::deque<WorkItem> queue;
+    bool stopping = false;
+  };
+
+  Channel* Get(SessionId sid) const;
+  void EnqueueHalf(Channel* ch, NodeId endpoint, NodeId other,
+                   int64_t delta);
+  void Dispatch(Channel* ch, uint32_t q);
+  void DispatchDeltaBatch(Channel* ch, Batch&& batch);
+  void DispatchNode(Channel* ch, NodeBatch&& batch);
+  void Enqueue(uint32_t q, WorkItem&& item);
+  void DrainChannel(Channel* ch);
+  void ApplyDeltaItem(Channel* ch, const NodeBatch& node,
+                      std::vector<OneSparseCell>* scratch);
+  void WorkerLoop(uint32_t w);
+
+  // Stripe count for the delta-mode per-(session, endpoint) merge locks:
+  // comfortably above any sane worker count so two hot nodes rarely share
+  // a stripe, small enough that the mutex array stays cache-resident.
+  static constexpr size_t kLockStripes = 64;
+
+  std::mutex& Stripe(const Channel& ch, NodeId endpoint) {
+    // Distinct sessions hosting the same hot endpoint spread over
+    // different stripes (golden-ratio session scatter); a collision only
+    // costs contention, never correctness.
+    return stripes_[(endpoint + ch.id * 0x9e3779b9u) % kLockStripes];
+  }
+
+  const size_t batch_size_;
+  const size_t max_pending_;
+  const bool delta_mode_;
+  const size_t delta_min_batch_;
+  size_t queue_capacity_ = 0;  // per-queue bound (aggregate in delta mode)
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<std::mutex[]> stripes_;  // delta mode only
+  // Indexed by SessionId; detached slots stay null (ids are not reused).
+  // Producer-side mutation only; workers never touch this vector (their
+  // channel arrives inside the work item).
+  std::vector<std::shared_ptr<Channel>> channels_;
+  size_t live_channels_ = 0;
+  std::vector<std::thread> threads_;
+  std::unique_ptr<std::atomic<uint64_t>[]> worker_applied_;  // per worker
+  std::atomic<bool> drain_pending_{false};
+  std::mutex drained_mu_;
+  std::condition_variable drained_;
+};
+
+}  // namespace gsketch
+
+#endif  // GRAPHSKETCH_SRC_DRIVER_INGEST_PIPELINE_H_

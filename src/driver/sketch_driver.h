@@ -9,71 +9,56 @@
 // makes the result bit-identical to sequential ingestion in any update
 // order and with any worker count.
 //
+// The machinery itself — worker pool, bounded sharded/MPMC queues, drain
+// barrier, delta-merge stripes — lives in the type-erased, multi-session
+// IngestPipeline (src/driver/ingest_pipeline.h). SketchDriver<Alg> is the
+// single-sketch FACADE over one private pipeline: it keeps the historical
+// API (and byte-for-byte behavior) for tests, benches, and single-graph
+// CLI runs, while SessionManager (src/session/) co-hosts many sketches on
+// one shared pipeline through the same channel mechanism.
+//
 // Alg concept:
 //   void UpdateEndpoint(NodeId endpoint, NodeId u, NodeId v, int64_t delta);
 // where the call touches only state owned by stream node `endpoint`
-// (ConnectivitySketch, BipartitenessSketch, MinCutSketch, SimpleSparsifier,
-// KEdgeConnectSketch, SpanningForestSketch, and KConnectivityTester all
-// satisfy this). Deltas are int64_t end to end in memory — the GSKB wire
-// format stays int32 per record, but repeated pushes may accumulate any
-// int64 aggregate per edge. Algs may additionally implement
+// (every registered family satisfies this). Deltas are int64_t end to end
+// in memory — the GSKB wire format stays int32 per record, but repeated
+// pushes may accumulate any int64 aggregate per edge. Algs may
+// additionally implement
 //   void ApplyBatch(NodeId endpoint, Span<const NodeId> others,
 //                   Span<const int64_t> deltas);
 // the dense same-endpoint fast path that gutter-buffered ingestion
-// (below) flushes into; without it, batches fall back to UpdateEndpoint.
+// flushes into (without it, batches fall back to UpdateEndpoint), and the
+//   AccumulateDelta / MergeDelta
+// pair for work-stealing delta-merge mode (src/core/sketch_registry.h).
+//
+// Ingestion modes (all byte-identical by linearity; see
+// src/driver/ingest_pipeline.h for the mechanics):
+//   * sharded (default)  — per-worker queues routed by endpoint;
+//   * gutter  (opt-in via DriverOptions::gutter_bytes) — per-node
+//     producer-side buffers flush dense NodeBatches to the owning worker;
+//   * delta   (opt-in via DriverOptions::delta_mode) — all workers steal
+//     NodeBatches from one shared queue, accumulate into thread-local
+//     delta arenas, and merge under striped per-node locks.
 //
 // Flow control: the producer (the thread calling Push/ProcessStream)
 // accumulates per-worker batches and hands them to bounded queues;
 // `max_pending_batches` bounds memory and provides backpressure when
 // workers fall behind the reader.
-//
-// Gutter mode (opt-in via DriverOptions::gutter_bytes): the producer
-// buffers half-updates in per-node gutters (src/driver/gutter.h) instead
-// of per-worker batches; full gutters flush dense per-node batches to the
-// owning worker, which applies them through the Alg's ApplyBatch fast
-// path. Ordering changes, results don't (linearity): gutter-on ingestion
-// is byte-identical to gutter-off (tests/gutter_test.cc proves it for
-// every registered family).
-//
-// Delta-merge mode (opt-in via DriverOptions::delta_mode): instead of
-// pinning each node to the worker `node % num_workers`, ALL workers pop
-// dense per-node batches from ONE shared queue (work stealing). A worker
-// builds the batch into a small thread-local delta arena via the Alg's
-//   size_t AccumulateDelta(NodeId endpoint, Span<const NodeId> others,
-//                          Span<const int64_t> deltas,
-//                          std::vector<OneSparseCell>* scratch) const;
-//   void MergeDelta(NodeId endpoint, const OneSparseCell* scratch,
-//                   size_t cells);
-// pair (src/core/sketch_registry.h) — hashing happens lock-free, then the
-// cell-wise merge runs under a lock striped by endpoint. Hot nodes
-// therefore parallelize across every worker instead of serializing on one
-// shard; linearity keeps the result byte-identical to every other mode
-// (tests/delta_parity_test.cc). Algs without the delta pair (or batches
-// below delta_min_batch, where merging a whole per-node delta would cost
-// more than it saves) apply in place under the same striped lock. Note
-// delta mode still requires an endpoint-sharded Alg for num_workers > 1:
-// the striped lock serializes per-endpoint state, not global state.
 #ifndef GRAPHSKETCH_SRC_DRIVER_SKETCH_DRIVER_H_
 #define GRAPHSKETCH_SRC_DRIVER_SKETCH_DRIVER_H_
 
-#include <algorithm>
-#include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <memory>
-#include <mutex>
-#include <optional>
 #include <string>
-#include <thread>
 #include <type_traits>
-#include <variant>
+#include <utility>
 #include <vector>
 
 #include "src/driver/binary_stream.h"
 #include "src/driver/eager_forest.h"
 #include "src/driver/gutter.h"
+#include "src/driver/ingest_pipeline.h"
 #include "src/graph/stream.h"
 
 namespace gsketch {
@@ -108,7 +93,8 @@ struct SnapshotTiming {
   double publish_ms = 0;
 };
 
-/// Tuning knobs for SketchDriver.
+/// Tuning knobs for SketchDriver: the pipeline knobs plus the per-sketch
+/// channel knobs, flattened for the single-sketch caller.
 struct DriverOptions {
   uint32_t num_workers = 1;  ///< worker threads; 0 = hardware concurrency
   size_t batch_size = 4096;  ///< endpoint updates per dispatched batch
@@ -128,6 +114,58 @@ struct DriverOptions {
   bool eager_connectivity = false;
 };
 
+/// The generic IngestSink over any Alg satisfying the driver concept:
+/// forwards each batch through the Alg's fastest available path, using
+/// the same trait detection the pre-pipeline driver used inline, so
+/// behavior (and bytes) are unchanged. Also the adapter SessionManager
+/// uses to attach registry sketches.
+template <typename Alg>
+class AlgIngestSink : public IngestSink {
+ public:
+  explicit AlgIngestSink(Alg* alg) : alg_(alg) {}
+
+  void ApplyHalves(const HalfUpdate* halves, size_t count) override {
+    for (size_t i = 0; i < count; ++i) {
+      alg_->UpdateEndpoint(halves[i].endpoint, halves[i].endpoint,
+                           halves[i].other, halves[i].delta);
+    }
+  }
+
+  void ApplyNode(const NodeBatch& batch) override {
+    ApplyNodeBatch(alg_, batch);
+  }
+
+  size_t AccumulateDelta(const NodeBatch& batch,
+                         std::vector<OneSparseCell>* scratch)
+      const override {
+    if constexpr (AlgHasDeltaMerge<Alg>::value) {
+      return alg_->AccumulateDelta(
+          batch.endpoint,
+          Span<const NodeId>(batch.others.data(), batch.others.size()),
+          Span<const int64_t>(batch.deltas.data(), batch.deltas.size()),
+          scratch);
+    } else {
+      (void)batch;
+      (void)scratch;
+      return 0;
+    }
+  }
+
+  void MergeDelta(NodeId endpoint, const OneSparseCell* scratch,
+                  size_t cells) override {
+    if constexpr (AlgHasDeltaMerge<Alg>::value) {
+      alg_->MergeDelta(endpoint, scratch, cells);
+    } else {
+      (void)endpoint;
+      (void)scratch;
+      (void)cells;
+    }
+  }
+
+ private:
+  Alg* alg_;
+};
+
 template <typename Alg>
 class SketchDriver {
  public:
@@ -135,63 +173,21 @@ class SketchDriver {
   /// immediately and idle until updates arrive.
   explicit SketchDriver(Alg* alg, const DriverOptions& opt = DriverOptions())
       : alg_(alg),
-        batch_size_(opt.batch_size < 1 ? 1 : opt.batch_size),
-        max_pending_(opt.max_pending_batches < 1 ? 1
-                                                 : opt.max_pending_batches),
-        delta_mode_(opt.delta_mode),
-        delta_min_batch_(opt.delta_min_batch) {
-    uint32_t workers = opt.num_workers;
-    if (workers == 0) {
-      workers = std::thread::hardware_concurrency();
-      if (workers == 0) workers = 1;
+        sink_(alg),
+        pipeline_(PipelineOptionsOf(opt)),
+        batch_size_(opt.batch_size) {
+    ChannelOptions copt;
+    copt.gutter_bytes = opt.gutter_bytes;
+    copt.gutter_total_bytes = opt.gutter_total_bytes;
+    if constexpr (AlgHasCoalesceSafe<Alg>::value) {
+      copt.coalesce = alg_->CoalesceSafe();
     }
-    // Delta mode: one shared MPMC queue every worker steals from, with the
-    // aggregate capacity the per-worker queues would have had. Sharded
-    // mode: one queue per worker, routed by endpoint.
-    const uint32_t num_queues = delta_mode_ ? 1 : workers;
-    queue_capacity_ = delta_mode_ ? max_pending_ * workers : max_pending_;
-    shards_.reserve(num_queues);
-    for (uint32_t q = 0; q < num_queues; ++q) {
-      shards_.push_back(std::make_unique<Shard>());
-    }
-    pending_.resize(num_queues);
-    if (delta_mode_) {
-      // Lock striping: endpoint e merges under stripes_[e % size]. Sized
-      // well past the worker count so distinct hot nodes rarely collide.
-      stripes_ = std::make_unique<std::mutex[]>(kLockStripes);
-    }
-    worker_applied_ = std::make_unique<std::atomic<uint64_t>[]>(workers);
-    for (uint32_t w = 0; w < workers; ++w) worker_applied_[w] = 0;
     if (opt.eager_connectivity) {
       if constexpr (AlgHasNumNodes<Alg>::value) {
-        eager_ = std::make_unique<EagerForest>(alg_->num_nodes());
+        copt.eager_nodes = alg_->num_nodes();
       }
     }
-    if (opt.gutter_bytes > 0) {
-      GutterOptions gopt;
-      gopt.bytes_per_gutter = opt.gutter_bytes;
-      gopt.max_total_bytes = opt.gutter_total_bytes;
-      if constexpr (AlgHasCoalesceSafe<Alg>::value) {
-        gopt.coalesce = alg_->CoalesceSafe();
-      }
-      gutter_.emplace(gopt,
-                      [this](NodeBatch&& batch) {
-                        DispatchNode(std::move(batch));
-                      });
-    }
-    for (uint32_t w = 0; w < workers; ++w) {
-      threads_.emplace_back([this, w] { WorkerLoop(w); });
-    }
-  }
-
-  ~SketchDriver() {
-    Drain();
-    for (auto& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard->mu);
-      shard->stopping = true;
-      shard->not_empty.notify_all();
-    }
-    for (auto& t : threads_) t.join();
+    sid_ = pipeline_.Attach(&sink_, copt);
   }
 
   SketchDriver(const SketchDriver&) = delete;
@@ -201,41 +197,14 @@ class SketchDriver {
   /// gutters when enabled). Producer-side only; not safe to call from
   /// multiple threads at once.
   void Push(NodeId u, NodeId v, int64_t delta) {
-    ++stream_updates_;
-    if (eager_ != nullptr) eager_->Apply(u, v, delta);
-    if (gutter_.has_value()) {
-      gutter_->Push(u, v, delta);
-      return;
-    }
-    EnqueueHalf(u, v, delta);
-    EnqueueHalf(v, u, delta);
+    pipeline_.Push(sid_, u, v, delta);
   }
 
   /// Flushes partial batches (and all gutters) and blocks until every
   /// queued update has been applied. After Drain() returns, `*alg`
   /// reflects the whole stream pushed so far and may be queried safely
   /// from the calling thread.
-  void Drain() {
-    if (gutter_.has_value()) gutter_->FlushAll();
-    for (uint32_t w = 0; w < pending_.size(); ++w) {
-      if (!pending_[w].empty()) Dispatch(w);
-    }
-    // `enqueued_halves_` is written only by this (producer) thread, so the
-    // predicate's load always sees the final enqueue total; the atomic
-    // exists for the workers' cross-thread peek in WorkerLoop.
-    const uint64_t target = enqueued_halves_.load(std::memory_order_relaxed);
-    std::unique_lock<std::mutex> lock(drained_mu_);
-    // Announce the drain BEFORE the first predicate check. Workers check
-    // drain_pending_ after bumping applied_halves_; both sides use seq_cst,
-    // so a worker that read drain_pending_ == false made its bump visible
-    // to a predicate check that runs after this store (Dekker-style: no
-    // lost wakeup, see WorkerLoop).
-    drain_pending_.store(true, std::memory_order_seq_cst);
-    drained_.wait(lock, [this, target] {
-      return applied_halves_.load(std::memory_order_seq_cst) == target;
-    });
-    drain_pending_.store(false, std::memory_order_seq_cst);
-  }
+  void Drain() { pipeline_.Drain(sid_); }
 
   /// Ingests a whole in-memory stream and drains.
   void ProcessStream(const DynamicGraphStream& stream) {
@@ -266,11 +235,12 @@ class SketchDriver {
     using Result = decltype(std::forward<Fn>(fn)(
         std::declval<const Alg&>(), uint64_t{0}));
     if constexpr (std::is_void_v<Result>) {
-      std::forward<Fn>(fn)(static_cast<const Alg&>(*alg_), stream_updates_);
+      std::forward<Fn>(fn)(static_cast<const Alg&>(*alg_),
+                           StreamUpdates());
       if (timing != nullptr) timing->publish_ms = ms(t1, Clock::now());
     } else {
-      Result result = std::forward<Fn>(fn)(
-          static_cast<const Alg&>(*alg_), stream_updates_);
+      Result result = std::forward<Fn>(fn)(static_cast<const Alg&>(*alg_),
+                                           StreamUpdates());
       if (timing != nullptr) timing->publish_ms = ms(t1, Clock::now());
       return result;
     }
@@ -282,10 +252,11 @@ class SketchDriver {
   /// reader's diagnostic.
   bool ProcessFile(BinaryStreamReader* reader, std::string* error = nullptr) {
     std::vector<EdgeUpdate> batch;
-    batch.reserve(batch_size_);
+    const size_t batch_size = batch_size_ < 1 ? 1 : batch_size_;
+    batch.reserve(batch_size);
     while (!reader->Done() && reader->ok()) {
       batch.clear();
-      if (reader->ReadBatch(batch_size_, &batch) == 0) break;
+      if (reader->ReadBatch(batch_size, &batch) == 0) break;
       for (const auto& e : batch) Push(e.u, e.v, e.delta);
     }
     Drain();
@@ -301,230 +272,57 @@ class SketchDriver {
   /// Endpoint half-updates applied so far (2 per stream token). Safe to
   /// read from any thread; progress reporters poll this. Half-updates
   /// still buffered in gutters count only once flushed and applied.
-  uint64_t TotalUpdates() const {
-    return applied_halves_.load(std::memory_order_relaxed);
-  }
+  uint64_t TotalUpdates() const { return pipeline_.AppliedHalves(sid_); }
 
   /// Stream tokens pushed so far (producer-side count).
-  uint64_t StreamUpdates() const { return stream_updates_; }
+  uint64_t StreamUpdates() const { return pipeline_.StreamUpdates(sid_); }
 
-  uint32_t num_workers() const {
-    return static_cast<uint32_t>(threads_.size());
-  }
+  uint32_t num_workers() const { return pipeline_.num_workers(); }
 
   /// True when the driver runs the work-stealing delta-merge mode.
-  bool delta_mode() const { return delta_mode_; }
+  bool delta_mode() const { return pipeline_.delta_mode(); }
 
   /// Half-updates applied by worker `w` so far. Safe from any thread.
   /// In delta mode this shows how evenly the shared queue spread the
   /// stream (tests assert a hot-spot stream reaches every worker).
   uint64_t WorkerAppliedHalves(uint32_t w) const {
-    return worker_applied_[w].load(std::memory_order_relaxed);
+    return pipeline_.WorkerAppliedHalves(w);
   }
 
   /// The gutter layer's stats, when enabled (nullptr otherwise).
-  const GutterSystem* gutters() const {
-    return gutter_.has_value() ? &*gutter_ : nullptr;
-  }
+  const GutterSystem* gutters() const { return pipeline_.gutters(sid_); }
 
   /// The eager exact-connectivity structure, when enabled and supported
   /// by the Alg (nullptr otherwise). Producer-side reads only while
   /// ingestion runs.
-  const EagerForest* eager_forest() const { return eager_.get(); }
+  const EagerForest* eager_forest() const {
+    return pipeline_.eager_forest(sid_);
+  }
 
   /// Captures the exact partition at the current push position — NO drain:
   /// the eager forest is maintained at Push time, so it is already
   /// consistent with every token pushed. Returns nullptr when the feature
   /// is off or a deletion invalidated it. Producer-side only.
   std::shared_ptr<const EagerCut> CaptureEagerCut() {
-    return eager_ != nullptr ? eager_->Capture() : nullptr;
+    return pipeline_.CaptureEagerCut(sid_);
   }
 
  private:
-  // One endpoint half of a stream token: apply to `endpoint`'s state the
-  // update for edge {endpoint, other}.
-  struct HalfUpdate {
-    NodeId endpoint;
-    NodeId other;
-    int64_t delta;
-  };
-  using Batch = std::vector<HalfUpdate>;
-  // Workers consume either per-worker half-update batches (gutters off)
-  // or dense per-node batches (gutter flushes).
-  using WorkItem = std::variant<Batch, NodeBatch>;
-
-  struct Shard {
-    std::mutex mu;
-    std::condition_variable not_empty;
-    std::condition_variable not_full;
-    std::deque<WorkItem> queue;
-    bool stopping = false;
-  };
-
-  void EnqueueHalf(NodeId endpoint, NodeId other, int64_t delta) {
-    uint32_t w = delta_mode_ ? 0 : endpoint % num_workers();
-    Batch& pending = pending_[w];
-    pending.push_back(HalfUpdate{endpoint, other, delta});
-    if (pending.size() >= batch_size_) Dispatch(w);
+  static PipelineOptions PipelineOptionsOf(const DriverOptions& opt) {
+    PipelineOptions popt;
+    popt.num_workers = opt.num_workers;
+    popt.batch_size = opt.batch_size;
+    popt.max_pending_batches = opt.max_pending_batches;
+    popt.delta_mode = opt.delta_mode;
+    popt.delta_min_batch = opt.delta_min_batch;
+    return popt;
   }
-
-  void Dispatch(uint32_t w) {
-    Batch batch;
-    batch.swap(pending_[w]);
-    if (delta_mode_) {
-      DispatchDeltaBatch(std::move(batch));
-      return;
-    }
-    enqueued_halves_.fetch_add(batch.size(), std::memory_order_relaxed);
-    Enqueue(w, WorkItem(std::move(batch)));
-  }
-
-  // Delta mode, gutters off: group the mixed-endpoint batch into dense
-  // per-node batches for the shared queue, the same NodeBatch currency the
-  // gutter sink emits. stable_sort keeps per-endpoint stream order (not
-  // needed for correctness — linearity — but it keeps runs deterministic).
-  void DispatchDeltaBatch(Batch&& batch) {
-    std::stable_sort(batch.begin(), batch.end(),
-                     [](const HalfUpdate& a, const HalfUpdate& b) {
-                       return a.endpoint < b.endpoint;
-                     });
-    size_t i = 0;
-    while (i < batch.size()) {
-      NodeBatch node;
-      node.endpoint = batch[i].endpoint;
-      size_t j = i;
-      while (j < batch.size() && batch[j].endpoint == node.endpoint) ++j;
-      node.others.reserve(j - i);
-      node.deltas.reserve(j - i);
-      for (size_t k = i; k < j; ++k) {
-        node.others.push_back(batch[k].other);
-        node.deltas.push_back(batch[k].delta);
-      }
-      node.halves = j - i;
-      DispatchNode(std::move(node));
-      i = j;
-    }
-  }
-
-  void DispatchNode(NodeBatch&& batch) {
-    uint32_t w = delta_mode_ ? 0 : batch.endpoint % num_workers();
-    enqueued_halves_.fetch_add(batch.halves, std::memory_order_relaxed);
-    Enqueue(w, WorkItem(std::move(batch)));
-  }
-
-  void Enqueue(uint32_t w, WorkItem&& item) {
-    Shard& shard = *shards_[w];
-    std::unique_lock<std::mutex> lock(shard.mu);
-    shard.not_full.wait(
-        lock, [&] { return shard.queue.size() < queue_capacity_; });
-    shard.queue.push_back(std::move(item));
-    shard.not_empty.notify_one();
-  }
-
-  // Delta-mode apply: accumulate the batch into this worker's scratch
-  // arena lock-free, then add it into the endpoint's live cells under the
-  // endpoint's lock stripe. Batches too small to amortize the merge — and
-  // algs without delta support (AccumulateDelta returns 0) — apply in
-  // place under the same stripe. Both paths are byte-identical (cell sums
-  // commute).
-  void ApplyDeltaItem(const NodeBatch& node,
-                      std::vector<OneSparseCell>* scratch) {
-    (void)scratch;  // unused when Alg has no delta pair
-    size_t cells = 0;
-    if constexpr (AlgHasDeltaMerge<Alg>::value) {
-      if (node.others.size() >= delta_min_batch_) {
-        cells = alg_->AccumulateDelta(
-            node.endpoint, Span<const NodeId>(node.others),
-            Span<const int64_t>(node.deltas), scratch);
-      }
-    }
-    std::lock_guard<std::mutex> lock(
-        stripes_[node.endpoint % kLockStripes]);
-    if constexpr (AlgHasDeltaMerge<Alg>::value) {
-      if (cells > 0) {
-        alg_->MergeDelta(node.endpoint, scratch->data(), cells);
-        return;
-      }
-    }
-    ApplyNodeBatch(alg_, node);
-  }
-
-  void WorkerLoop(uint32_t w) {
-    Shard& shard = *shards_[delta_mode_ ? 0 : w];
-    std::vector<OneSparseCell> scratch;  // this worker's delta arena
-    for (;;) {
-      WorkItem item;
-      {
-        std::unique_lock<std::mutex> lock(shard.mu);
-        shard.not_empty.wait(
-            lock, [&] { return shard.stopping || !shard.queue.empty(); });
-        if (shard.queue.empty()) return;  // stopping and fully drained
-        item = std::move(shard.queue.front());
-        shard.queue.pop_front();
-        shard.not_full.notify_one();
-      }
-      uint64_t applied = 0;
-      if (const Batch* batch = std::get_if<Batch>(&item)) {
-        for (const auto& h : *batch) {
-          alg_->UpdateEndpoint(h.endpoint, h.endpoint, h.other, h.delta);
-        }
-        applied = batch->size();
-      } else {
-        const NodeBatch& node = std::get<NodeBatch>(item);
-        if (delta_mode_) {
-          ApplyDeltaItem(node, &scratch);
-        } else {
-          ApplyNodeBatch(alg_, node);
-        }
-        applied = node.halves;
-      }
-      worker_applied_[w].fetch_add(applied, std::memory_order_relaxed);
-      const uint64_t now_applied =
-          applied_halves_.fetch_add(applied, std::memory_order_seq_cst) +
-          applied;
-      // Only touch the drain mutex when someone can be waiting: a drain is
-      // pending, or this bump reached the producer's enqueue total (the
-      // worker-side peek is advisory; the producer may be mid-dispatch).
-      // Taking drained_mu_ after EVERY item serialized all workers on one
-      // mutex that only matters at drain time. No lost wakeup: Drain sets
-      // drain_pending_ (seq_cst) before its first predicate check, so if
-      // the load below reads false, this fetch_add is ordered before that
-      // check and the predicate already sees the final count.
-      if (drain_pending_.load(std::memory_order_seq_cst) ||
-          now_applied == enqueued_halves_.load(std::memory_order_seq_cst)) {
-        std::lock_guard<std::mutex> lock(drained_mu_);
-        drained_.notify_all();
-      }
-    }
-  }
-
-  // Stripe count for the delta-mode per-node merge locks: comfortably
-  // above any sane worker count so two hot nodes rarely share a stripe,
-  // small enough that the mutex array stays cache-resident.
-  static constexpr size_t kLockStripes = 64;
 
   Alg* alg_;
-  const size_t batch_size_;
-  const size_t max_pending_;
-  const bool delta_mode_;
-  const size_t delta_min_batch_;
-  size_t queue_capacity_ = 0;  // per-queue bound (aggregate in delta mode)
-  std::vector<std::unique_ptr<Shard>> shards_;
-  std::vector<Batch> pending_;  // producer-side building batches
-  std::unique_ptr<std::mutex[]> stripes_;  // delta mode: per-node stripes
-  std::optional<GutterSystem> gutter_;  // producer-side (gutter mode)
-  std::unique_ptr<EagerForest> eager_;  // producer-side (eager mode)
-  std::vector<std::thread> threads_;
-  uint64_t stream_updates_ = 0;
-  // Producer-writes-only (Push/Dispatch and Drain run on one thread, a
-  // documented contract); atomic because workers peek at it for the
-  // drain-signal fast path and TSan-audited readers poll progress.
-  std::atomic<uint64_t> enqueued_halves_{0};
-  std::atomic<uint64_t> applied_halves_{0};
-  std::unique_ptr<std::atomic<uint64_t>[]> worker_applied_;  // per worker
-  std::atomic<bool> drain_pending_{false};
-  std::mutex drained_mu_;
-  std::condition_variable drained_;
+  AlgIngestSink<Alg> sink_;  // must outlive pipeline_ (declared first)
+  IngestPipeline pipeline_;
+  size_t batch_size_;
+  IngestPipeline::SessionId sid_ = 0;
 };
 
 }  // namespace gsketch

@@ -126,7 +126,8 @@ QueryEngine::~QueryEngine() { Finish(); }
 void QueryEngine::Submit(std::string query) {
   std::lock_guard<std::mutex> lock(mu_);
   if (finished_) return;
-  queue_.push_back(Item{std::move(query), nullptr, /*pinned=*/false});
+  queue_.push_back(
+      Item{std::string(), std::move(query), nullptr, store_, false});
   ++submitted_;
   work_.notify_one();
 }
@@ -135,7 +136,29 @@ void QueryEngine::Submit(std::string query,
                          std::shared_ptr<const SketchSnapshot> snap) {
   std::lock_guard<std::mutex> lock(mu_);
   if (finished_) return;
-  queue_.push_back(Item{std::move(query), std::move(snap), /*pinned=*/true});
+  queue_.push_back(
+      Item{std::string(), std::move(query), std::move(snap), nullptr, true});
+  ++submitted_;
+  work_.notify_one();
+}
+
+void QueryEngine::Submit(std::string label, std::string query,
+                         std::shared_ptr<const SketchSnapshot> snap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (finished_) return;
+  queue_.push_back(
+      Item{std::move(label), std::move(query), std::move(snap), nullptr,
+           true});
+  ++submitted_;
+  work_.notify_one();
+}
+
+void QueryEngine::Submit(std::string label, std::string query,
+                         const SnapshotStore* session_store) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (finished_) return;
+  queue_.push_back(Item{std::move(label), std::move(query), nullptr,
+                        session_store, false});
   ++submitted_;
   work_.notify_one();
 }
@@ -178,11 +201,16 @@ void QueryEngine::Loop() {
       queue_.pop_front();
     }
     std::shared_ptr<const SketchSnapshot> snap =
-        item.pinned ? item.pin : store_->Latest();
+        item.pinned
+            ? item.pin
+            : (item.store != nullptr ? item.store->Latest() : nullptr);
+    // Empty for unlabeled queries, so the historical single-graph output
+    // stays byte-identical; "<session>@<pos> ..." otherwise.
+    const char* label = item.label.c_str();
     bool failed = false;
     bool from_eager = false;
     if (snap == nullptr) {
-      std::fprintf(out_, "@- %s => error: no snapshot yet\n",
+      std::fprintf(out_, "%s@- %s => error: no snapshot yet\n", label,
                    item.query.c_str());
       failed = true;
     } else {
@@ -201,7 +229,7 @@ void QueryEngine::Loop() {
       }
       if (!from_eager) ok = snap->sketch->Query(item.query, &answer, &error);
       if (!ok) {
-        std::fprintf(out_, "@%llu %s => error: %s\n",
+        std::fprintf(out_, "%s@%llu %s => error: %s\n", label,
                      static_cast<unsigned long long>(snap->stream_pos),
                      item.query.c_str(), error.c_str());
         failed = true;
@@ -209,7 +237,7 @@ void QueryEngine::Loop() {
         // Single-line answers inline; multi-line answers start on the
         // next line so the @pos header stays one grep-able record.
         while (!answer.empty() && answer.back() == '\n') answer.pop_back();
-        std::fprintf(out_, "@%llu %s =>%s%s\n",
+        std::fprintf(out_, "%s@%llu %s =>%s%s\n", label,
                      static_cast<unsigned long long>(snap->stream_pos),
                      item.query.c_str(),
                      answer.find('\n') != std::string::npos ? "\n" : " ",

@@ -154,10 +154,22 @@ class SnapshotScheduler {
 /// Queries submitted with an explicit snapshot are pinned to it
 /// (deterministic: the serve script path); queries submitted bare resolve
 /// the store's latest snapshot when they reach the front of the queue.
+///
+/// Multi-session serving: one engine answers for ANY number of sessions —
+/// the session is resolved per query, not per engine. A query submitted
+/// with a session label is answered as
+///
+///   <label>@<stream_pos> <query> => <answer>
+///
+/// where the snapshot is the pinned one (or the labeled Submit's own
+/// store's latest). Unlabeled Submits keep the historical single-graph
+/// output byte-identical.
 class QueryEngine {
  public:
   /// Answers against `*store` (which must outlive the engine), writing
-  /// to `out`. The worker thread starts immediately.
+  /// to `out`. The worker thread starts immediately. `store` may be
+  /// nullptr for a purely multi-session engine (every Submit then pins a
+  /// snapshot or names a per-session store).
   QueryEngine(const SnapshotStore* store, std::FILE* out);
 
   /// Drains the queue and joins the worker (idempotent).
@@ -173,6 +185,17 @@ class QueryEngine {
   /// Enqueues a query pinned to `snap` (may be nullptr: answered as "no
   /// snapshot yet"). Thread-safe.
   void Submit(std::string query, std::shared_ptr<const SketchSnapshot> snap);
+
+  /// Enqueues a session-labeled query pinned to `snap`; the answer header
+  /// becomes `<label>@<pos>`. Thread-safe.
+  void Submit(std::string label, std::string query,
+              std::shared_ptr<const SketchSnapshot> snap);
+
+  /// Enqueues a session-labeled query answered against `session_store`'s
+  /// latest snapshot at execution time (the store must outlive the
+  /// engine). Thread-safe.
+  void Submit(std::string label, std::string query,
+              const SnapshotStore* session_store);
 
   /// Blocks until every submitted query has been answered, then stops the
   /// worker. Further Submits are dropped. Idempotent.
@@ -191,8 +214,13 @@ class QueryEngine {
 
  private:
   struct Item {
+    std::string label;  // empty = legacy single-graph header
     std::string query;
-    std::shared_ptr<const SketchSnapshot> pin;  // nullptr = use Latest()
+    std::shared_ptr<const SketchSnapshot> pin;
+    // Store to resolve Latest() from when not pinned: the engine's own
+    // for unlabeled Submits, the labeled Submit's session store
+    // otherwise (nullptr + !pinned answers "no snapshot yet").
+    const SnapshotStore* store = nullptr;
     bool pinned = false;
   };
 

@@ -58,9 +58,15 @@
 // query-while-ingest snapshots.
 #include "src/driver/binary_stream.h"
 #include "src/driver/checkpoint.h"
+#include "src/driver/ingest_pipeline.h"
 #include "src/driver/progress.h"
 #include "src/driver/sketch_driver.h"
 #include "src/driver/snapshot.h"
+
+// Multi-tenant session layer: named sketch sessions co-hosted on one
+// shared ingest pipeline.
+#include "src/session/session_manager.h"
+#include "src/session/sketch_session.h"
 
 // Seeded workload generation and the benchmark-trajectory gate.
 #include "src/workload/bench_baseline.h"

@@ -1,0 +1,106 @@
+// The multi-tenant session layer: N named sketch sessions co-hosted on
+// ONE shared IngestPipeline (worker pool + queue fabric).
+//
+// The pre-session stack was structurally single-tenant: SketchDriver
+// owned one Alg and its own worker threads, SnapshotStore had one latest
+// slot, and `gsketch_cli serve` scripted one graph per process. AGM
+// linear sketches make co-hosting cheap — all tenants share the same
+// cell/kernel machinery, per-tenant state is just arenas — so the
+// SessionManager keeps a name → SketchSession map over one pipeline:
+//
+//   SessionManager
+//   ├── IngestPipeline (shared: workers, queues, drain barrier, stripes)
+//   ├── "social"  → SketchSession { connectivity sketch, gutters,
+//   │                               SnapshotStore, scheduler, channel 0 }
+//   ├── "roads"   → SketchSession { mst sketch, ..., channel 1 }
+//   └── "billing" → SketchSession { kconnect sketch, ..., channel 2 }
+//
+// Isolation invariant (tests/session_test.cc): sessions apply to disjoint
+// sketch objects, so each tenant's sketch bytes and query answers under
+// co-hosting are byte-identical to that tenant running solo — in every
+// ingestion mode. Drains are per-session: checkpointing or snapshotting
+// one tenant never stalls the others' ingestion (they keep flowing
+// through the same workers during the barrier).
+//
+// Threading: all SessionManager calls are producer-side (the pipeline's
+// single-producer contract). Each session's SnapshotStore is the
+// thread-safe handoff to query threads.
+#ifndef GRAPHSKETCH_SRC_SESSION_SESSION_MANAGER_H_
+#define GRAPHSKETCH_SRC_SESSION_SESSION_MANAGER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/driver/ingest_pipeline.h"
+#include "src/session/sketch_session.h"
+
+namespace gsketch {
+
+/// Name → session map over one shared pipeline (see file comment).
+class SessionManager {
+ public:
+  /// The pipeline options (worker count, batch/queue sizing, delta mode)
+  /// are process-wide: every session ingests through this one pool.
+  explicit SessionManager(const PipelineOptions& opt = PipelineOptions());
+
+  /// Closes every remaining session (draining each), then stops the pool.
+  ~SessionManager();
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Creates a fresh session `name` running registry family `alg`.
+  /// Returns nullptr with `*error` set when the name is taken, the family
+  /// is unknown, or the config is rejected (multi-worker ingestion of a
+  /// non-sharded family). The session pointer stays valid until Close.
+  SketchSession* Create(const std::string& name, const std::string& alg,
+                        const SessionConfig& cfg, std::string* error);
+
+  /// Creates session `name` from a GSKC checkpoint: restores the sketch
+  /// and resumes the stream position, so pushing the remaining suffix
+  /// reproduces an uninterrupted run bit-identically. `cfg`'s
+  /// sketch-construction fields are ignored (the checkpoint decides);
+  /// channel and cadence fields apply. Shard checkpoints are refused (a
+  /// session resume replays a suffix, which a non-prefix checkpoint
+  /// cannot support), as is eager_connectivity (the forest needs the full
+  /// edge history, which a checkpoint does not carry).
+  SketchSession* OpenCheckpoint(const std::string& name,
+                                const std::string& path,
+                                const SessionConfig& cfg,
+                                std::string* error);
+
+  /// The named session, or nullptr.
+  SketchSession* Find(const std::string& name) const;
+
+  /// Drains and destroys the session (its channel id is retired).
+  /// False when no such session.
+  bool Close(const std::string& name, std::string* error = nullptr);
+
+  /// Drains the session and writes a GSKC prefix checkpoint of its
+  /// sketch at the drained stream position. OpenCheckpoint of the file
+  /// round-trips bytes and position exactly.
+  bool Checkpoint(const std::string& name, const std::string& path,
+                  std::string* error);
+
+  /// Session names in lexicographic order (deterministic listing).
+  std::vector<std::string> Names() const;
+
+  /// Sum of every session's MemoryBytes(): aggregate sketch-cell arena
+  /// plus gutter-buffered bytes across tenants.
+  size_t TotalMemoryBytes() const;
+
+  size_t size() const { return sessions_.size(); }
+
+  IngestPipeline& pipeline() { return pipeline_; }
+
+ private:
+  IngestPipeline pipeline_;
+  std::map<std::string, std::unique_ptr<SketchSession>> sessions_;
+};
+
+}  // namespace gsketch
+
+#endif  // GRAPHSKETCH_SRC_SESSION_SESSION_MANAGER_H_

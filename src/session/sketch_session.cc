@@ -1,0 +1,29 @@
+#include "src/session/sketch_session.h"
+
+#include <chrono>
+#include <utility>
+
+namespace gsketch {
+
+std::shared_ptr<const SketchSnapshot> SketchSession::Publish(
+    SnapshotTiming* timing) {
+  using Clock = std::chrono::steady_clock;
+  auto ms = [](Clock::time_point a, Clock::time_point b) {
+    return std::chrono::duration<double, std::milli>(b - a).count();
+  };
+  // The eager cut reflects every token PUSHED, which is exactly the
+  // position the drain barrier lands on (producer thread, so no pushes
+  // can slip in between); capturing before the drain keeps it off the
+  // publish critical path.
+  auto eager = pipeline_->CaptureEagerCut(sid_);
+  auto t0 = Clock::now();
+  pipeline_->Drain(sid_);
+  auto t1 = Clock::now();
+  if (timing != nullptr) timing->drain_ms = ms(t0, t1);
+  auto snap = store_.Publish(stream_pos(), sketch_->SnapshotView(),
+                             std::move(eager));
+  if (timing != nullptr) timing->publish_ms = ms(t1, Clock::now());
+  return snap;
+}
+
+}  // namespace gsketch

@@ -273,4 +273,41 @@ WorkloadStats ComputeWorkloadStats(const DynamicGraphStream& s) {
   return stats;
 }
 
+std::vector<TaggedUpdate> GenerateMultiTenantTrace(NodeId n, size_t updates,
+                                                   uint32_t tenants,
+                                                   uint64_t seed) {
+  std::vector<TaggedUpdate> out;
+  if (tenants == 0) return out;
+  // Tenant k's whole stream, generated exactly as the solo CLI command
+  // `gen churn <n> <u_k> <out> <seed+k>` would (see header contract).
+  std::vector<DynamicGraphStream> streams;
+  streams.reserve(tenants);
+  size_t total = 0;
+  for (uint32_t k = 0; k < tenants; ++k) {
+    size_t u_k = updates / tenants + (k < updates % tenants ? 1 : 0);
+    streams.push_back(GenChurn(n, u_k, seed + k));
+    total += streams.back().Size();
+  }
+  // Uniformly random merge: each next token comes from tenant k with
+  // probability proportional to k's remaining count (every interleaving
+  // of the K fixed sequences is equally likely). The interleave draws
+  // come from a derived seed so they never perturb the tenant streams.
+  Rng rng(seed + 0xc2b2ae3d27d4eb4fULL);
+  std::vector<size_t> next(tenants, 0);
+  out.reserve(total);
+  while (total > 0) {
+    uint64_t pick = rng.Below(total);
+    uint32_t t = 0;
+    for (; t + 1 < tenants; ++t) {
+      size_t rem = streams[t].Size() - next[t];
+      if (pick < rem) break;
+      pick -= rem;
+    }
+    const EdgeUpdate& e = streams[t].Updates()[next[t]++];
+    out.push_back(TaggedUpdate{t, e.u, e.v, e.delta});
+    --total;
+  }
+  return out;
+}
+
 }  // namespace gsketch

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "src/driver/binary_stream.h"
 #include "src/graph/stream.h"
 
 namespace gsketch {
@@ -59,6 +60,20 @@ struct WorkloadStats {
 /// Replays the stream and computes its shape statistics (O(t) memory in
 /// distinct touched edges). `nonnegative` is checked across every prefix.
 WorkloadStats ComputeWorkloadStats(const DynamicGraphStream& s);
+
+/// The `multi` trace profile: K tenants' streams interleaved into one
+/// tenant-tagged token sequence (the GSKT payload; see
+/// src/driver/binary_stream.h). Deterministic and PER-TENANT DERIVABLE:
+/// tenant k's subsequence — in order — is exactly the `churn` profile
+/// with (n, u_k, seed + k), where u_k = updates/K plus one for the first
+/// updates%K tenants. So the solo reference for tenant k of a co-hosted
+/// run is one CLI command: `gen churn <n> <u_k> <out> <seed+k>`.
+/// The interleaving is a seeded weighted-by-remaining shuffle — a
+/// uniformly random merge of the K sequences, so tenants stay
+/// arrival-rate-proportionally mixed rather than block-concatenated.
+std::vector<TaggedUpdate> GenerateMultiTenantTrace(NodeId n, size_t updates,
+                                                   uint32_t tenants,
+                                                   uint64_t seed);
 
 }  // namespace gsketch
 

@@ -15,7 +15,6 @@
 #include <limits>
 #include <memory>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "src/core/sketch_registry.h"
@@ -177,11 +176,11 @@ TEST(DeltaDrain, DrainUnderGutterFlushInterleaving) {
 
 // ------------------------------------------------- resolved workers --
 
-// DriverOptions::num_workers == 0 resolves to hardware_concurrency; the
-// driver must REPORT the resolved count (benches and the CLI print it).
+// DriverOptions::num_workers == 0 resolves through ResolveWorkerCount —
+// THE shared resolution rule (pipeline, CLI, benches) — and the driver
+// must REPORT the resolved count (benches and the CLI print it).
 TEST(DeltaDriver, ZeroWorkersReportResolvedCount) {
-  uint32_t hw = std::thread::hardware_concurrency();
-  if (hw == 0) hw = 1;
+  const uint32_t hw = ResolveWorkerCount(0);
   for (bool delta_mode : {false, true}) {
     auto sk = FindAlg("connectivity")->make(kN, AlgOptions{}, kSeed);
     DriverOptions opt;

@@ -55,7 +55,9 @@ void PrintUsage(std::FILE* out, const char* argv0) {
       out,
       "usage: %s <algorithm> [options] <n> <stream-file> [seed]\n"
       "       %s serve <alg> [options] <n> <stream-file> [seed]\n"
+      "       %s serve multi [options] <n> <trace.gskt> [seed]\n"
       "       %s gen <profile> <n> <updates> <out.gskb> [seed]\n"
+      "       %s gen multi --tenants K <n> <updates> <out.gskt> [seed]\n"
       "       %s convert <n> <input> <output>\n"
       "       %s checkpoint <alg> [options] <n> <stream-file> <out.gskc> "
       "[seed]\n"
@@ -67,7 +69,8 @@ void PrintUsage(std::FILE* out, const char* argv0) {
       "\n"
       "sketch algorithms (each also works as the <alg> of serve, "
       "checkpoint,\nresume, shard, and merge):\n",
-      argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
+      argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0,
+      argv0);
   for (const AlgInfo& info : Registry()) {
     std::fprintf(out, "  %-12s %s\n", info.name, info.summary);
   }
@@ -81,8 +84,14 @@ void PrintUsage(std::FILE* out, const char* argv0) {
       out,
       "stream commands:\n"
       "  serve        ingest while answering queries from snapshots\n"
+      "  serve multi  co-host K sessions on one worker pool over a GSKT\n"
+      "               tagged trace; the script opens sessions ('open\n"
+      "               <name> <alg> [--snapshot-ms M]') and queries them\n"
+      "               ('@<name> <pos> <query>', per-session positions)\n"
       "  gen          generate a seeded workload stream as GSKB binary\n"
       "               ('-' writes to stdout: gen ... - | gsketch <alg>)\n"
+      "  gen multi    interleave K tenants' churn streams into one GSKT\n"
+      "               tagged trace (tenant k solo = gen churn, seed+k)\n"
       "  spanner      3-pass Baswana-Sen spanner, print stretch-checked "
       "edges\n"
       "  stats        stream statistics only\n"
@@ -117,6 +126,7 @@ void PrintUsage(std::FILE* out, const char* argv0) {
       "          --max-weight W\n"
       "                        wsparsify: top edge weight (weight classes\n"
       "                        cover [1, W]; default 2)\n"
+      "          --tenants K   gen multi: tenant count in [2, 256]\n"
       "\n"
       "Stream files are GSKB binary (make one with `gen` or `convert`) or\n"
       "text \"u v delta\" lines; '-' reads the stream from stdin. See\n"
@@ -661,6 +671,312 @@ int RunServe(const AlgInfo& info, NodeId n, const char* path, uint64_t seed,
   return ok ? 0 : kExitRuntime;
 }
 
+// ---------------------------------------------------- serve (multi) --
+
+/// One `open` line of a multi-graph serve script: session `name` runs
+/// family `alg`, bound to the NEXT tenant tag of the trace in open order
+/// (first open = tenant 0). Optional per-session snapshot cadence.
+struct MultiOpen {
+  std::string name;
+  std::string alg;
+  uint64_t snapshot_ms = 0;  ///< 0 = inherit the global --snapshot-ms
+};
+
+/// One `@<name> <pos> <query>` line: answer against a snapshot of session
+/// `name` reflecting exactly `pos` of ITS OWN stream tokens — the same
+/// position a solo run of that tenant would script, so answers diff
+/// against solo references modulo the `<name>` prefix.
+struct MultiQuery {
+  uint64_t pos = 0;  ///< per-session position; UINT64_MAX = "end"
+  std::string text;
+};
+
+/// Parses a multi-graph serve script: `open <name> <alg> [--snapshot-ms
+/// M]` lines and `@<name> <pos> <query>` lines ('#' comments and blanks
+/// skipped; 'end' as a position means that session's end of stream).
+bool ParseMultiScript(std::istream& in, const char* fname,
+                      std::vector<MultiOpen>* opens,
+                      std::vector<std::pair<std::string, MultiQuery>>* queries) {
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    std::string head;
+    ss >> head;
+    if (head == "open") {
+      MultiOpen open;
+      std::string extra;
+      if (!(ss >> open.name >> open.alg)) {
+        std::fprintf(stderr,
+                     "error: %s:%zu: expected 'open <name> <alg> "
+                     "[--snapshot-ms M]', got '%s'\n",
+                     fname, lineno, line.c_str());
+        return false;
+      }
+      if (ss >> extra) {
+        std::string value;
+        if (extra != "--snapshot-ms" || !(ss >> value) ||
+            !ParseU64(value.c_str(), &open.snapshot_ms) ||
+            open.snapshot_ms == 0) {
+          std::fprintf(stderr,
+                       "error: %s:%zu: the only open option is "
+                       "'--snapshot-ms M' (M > 0)\n",
+                       fname, lineno);
+          return false;
+        }
+      }
+      if (open.name.empty() || open.name[0] == '@') {
+        std::fprintf(stderr, "error: %s:%zu: bad session name '%s'\n",
+                     fname, lineno, open.name.c_str());
+        return false;
+      }
+      opens->push_back(std::move(open));
+      continue;
+    }
+    if (head.size() > 1 && head[0] == '@') {
+      std::string name = head.substr(1);
+      std::string pos_tok;
+      ss >> pos_tok;
+      MultiQuery q;
+      if (pos_tok == "end") {
+        q.pos = UINT64_MAX;
+      } else if (!ParseU64(pos_tok.c_str(), &q.pos)) {
+        std::fprintf(stderr,
+                     "error: %s:%zu: expected '@<name> <pos> <query>' "
+                     "(or '@<name> end <query>'), got '%s'\n",
+                     fname, lineno, line.c_str());
+        return false;
+      }
+      std::getline(ss, q.text);
+      size_t start = q.text.find_first_not_of(" \t");
+      q.text = start == std::string::npos ? std::string()
+                                          : q.text.substr(start);
+      if (q.text.empty()) {
+        std::fprintf(stderr, "error: %s:%zu: @%s has no query\n", fname,
+                     lineno, name.c_str());
+        return false;
+      }
+      queries->emplace_back(std::move(name), std::move(q));
+      continue;
+    }
+    std::fprintf(stderr,
+                 "error: %s:%zu: expected 'open ...' or '@<name> ...', "
+                 "got '%s'\n",
+                 fname, lineno, line.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// serve multi: co-hosted query-while-ingest over a GSKT tagged trace.
+/// The script's `open` lines create one session per trace tenant (bound
+/// in open order) on ONE SessionManager — shared worker pool, per-session
+/// gutters/snapshots/answers. Every answer line is `<name>@<pos> <query>
+/// => ...` where pos is the SESSION's own stream position, so each
+/// tenant's answers are byte-identical (modulo the name prefix) to a solo
+/// serve of that tenant's stream — the isolation invariant CI diffs.
+int RunServeMulti(NodeId n, const char* trace_path, uint64_t seed,
+                  const IngestOptions& opt, const ServeCmdOptions& sopt) {
+  std::vector<MultiOpen> opens;
+  std::vector<std::pair<std::string, MultiQuery>> scripted;
+  if (sopt.queries != nullptr) {
+    std::ifstream qin(sopt.queries);
+    if (!qin) {
+      std::fprintf(stderr, "error: cannot open %s\n", sopt.queries);
+      return kExitRuntime;
+    }
+    if (!ParseMultiScript(qin, sopt.queries, &opens, &scripted)) {
+      return kExitRuntime;
+    }
+  } else if (!ParseMultiScript(std::cin, "<stdin>", &opens, &scripted)) {
+    return kExitRuntime;
+  }
+  if (opens.empty()) {
+    std::fprintf(stderr, "error: multi serve script opened no sessions\n");
+    return kExitRuntime;
+  }
+
+  // Load the whole tagged trace (records are 16 bytes; multi traces are
+  // interleavings the generator bounds well under memory).
+  TaggedStreamReader reader(trace_path);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "error: %s: %s\n", trace_path,
+                 reader.error().c_str());
+    return kExitRuntime;
+  }
+  if (reader.nodes() != n) {
+    std::fprintf(stderr,
+                 "error: %s declares n=%u but the command line says n=%u\n",
+                 trace_path, reader.nodes(), n);
+    return kExitRuntime;
+  }
+  if (opens.size() != reader.tenants()) {
+    std::fprintf(stderr,
+                 "error: %s carries %u tenants but the script opens %zu "
+                 "sessions\n",
+                 trace_path, reader.tenants(), opens.size());
+    return kExitRuntime;
+  }
+  std::vector<TaggedUpdate> trace;
+  trace.reserve(static_cast<size_t>(reader.num_updates()));
+  while (!reader.Done()) {
+    if (reader.ReadBatch(1 << 14, &trace) == 0) break;
+  }
+  if (!reader.ok() || !reader.Done()) {
+    std::fprintf(stderr, "error: %s: %s\n", trace_path,
+                 reader.error().c_str());
+    return kExitRuntime;
+  }
+
+  const uint32_t tenants = reader.tenants();
+  std::vector<uint64_t> tenant_total(tenants, 0);
+  for (const auto& e : trace) ++tenant_total[e.tenant];
+
+  // Session name -> tenant tag (open order IS tag order).
+  std::vector<std::string> tenant_name(tenants);
+  {
+    std::map<std::string, uint32_t> by_name;
+    for (uint32_t t = 0; t < tenants; ++t) {
+      if (!by_name.emplace(opens[t].name, t).second) {
+        std::fprintf(stderr, "error: session '%s' opened twice\n",
+                     opens[t].name.c_str());
+        return kExitRuntime;
+      }
+      tenant_name[t] = opens[t].name;
+    }
+    // Resolve each query's session and clamp its position.
+    for (auto& [name, q] : scripted) {
+      auto it = by_name.find(name);
+      if (it == by_name.end()) {
+        std::fprintf(stderr, "error: query names unopened session '%s'\n",
+                     name.c_str());
+        return kExitRuntime;
+      }
+      uint64_t total = tenant_total[it->second];
+      if (q.pos > total) q.pos = total;
+    }
+  }
+  std::vector<std::vector<MultiQuery>> queries(tenants);
+  for (auto& [name, q] : scripted) {
+    uint32_t t = 0;
+    while (tenant_name[t] != name) ++t;
+    queries[t].push_back(std::move(q));
+  }
+  for (auto& qs : queries) {
+    std::stable_sort(qs.begin(), qs.end(),
+                     [](const MultiQuery& a, const MultiQuery& b) {
+                       return a.pos < b.pos;
+                     });
+  }
+
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point start = Clock::now();
+  auto now_seconds = [&start] {
+    return std::chrono::duration<double>(Clock::now() - start).count();
+  };
+
+  PipelineOptions popt;
+  popt.num_workers = opt.threads;
+  popt.batch_size = opt.batch;
+  popt.delta_mode = opt.delta;
+  SessionManager manager(popt);
+  std::vector<SketchSession*> sessions(tenants, nullptr);
+  for (uint32_t t = 0; t < tenants; ++t) {
+    const AlgInfo* info = FindAlg(opens[t].alg);
+    if (info == nullptr) {
+      std::fprintf(stderr, "error: unknown open alg '%s' (want %s)\n",
+                   opens[t].alg.c_str(), RegistryNameList(", ").c_str());
+      return kExitRuntime;
+    }
+    SessionConfig cfg;
+    cfg.num_nodes = n;
+    cfg.seed = seed;
+    cfg.gutter_bytes = opt.gutter;
+    cfg.eager_connectivity = info->tag == AlgTag::kConnectivity ||
+                             info->tag == AlgTag::kSpanningForest;
+    uint64_t ms = opens[t].snapshot_ms != 0 ? opens[t].snapshot_ms
+                                            : sopt.snapshot_ms;
+    cfg.snapshot_interval_seconds = static_cast<double>(ms) / 1000.0;
+    cfg.start_seconds = now_seconds();
+    std::string error;
+    if (manager.Create(opens[t].name, opens[t].alg, cfg, &error) ==
+        nullptr) {
+      std::fprintf(stderr, "error: open %s: %s\n", opens[t].name.c_str(),
+                   error.c_str());
+      return kExitRuntime;
+    }
+    sessions[t] = manager.Find(opens[t].name);
+  }
+
+  QueryEngine engine(nullptr, stdout);
+  std::vector<uint64_t> pushed(tenants, 0);
+  std::vector<size_t> qi(tenants, 0);
+  uint64_t snapshots = 0;
+  SnapshotTiming sum{};
+
+  // Serves every boundary of tenant `t` at its current position: one
+  // snapshot per position, shared by all queries scripted there (same
+  // policy as single-graph serve). `timed` additionally honors the
+  // session's wall-clock cadence.
+  auto serve_boundary = [&](uint32_t t, bool timed, double now) {
+    SketchSession* s = sessions[t];
+    bool scripted_here =
+        qi[t] < queries[t].size() && queries[t][qi[t]].pos == pushed[t];
+    bool due = timed && s->scheduler().Due(now);
+    if (!scripted_here && !due) return;
+    SnapshotTiming timing;
+    auto snap = s->Publish(&timing);
+    if (due) s->scheduler().Taken(now);
+    ++snapshots;
+    sum.drain_ms += timing.drain_ms;
+    sum.publish_ms += timing.publish_ms;
+    while (qi[t] < queries[t].size() &&
+           queries[t][qi[t]].pos == pushed[t]) {
+      engine.Submit(tenant_name[t], std::move(queries[t][qi[t]].text),
+                    snap);
+      ++qi[t];
+    }
+  };
+
+  uint64_t global = 0;
+  for (const auto& e : trace) {
+    // Wall clock consulted every 256 trace records, as in single serve.
+    bool check_clock = (global & 255u) == 0;
+    double now = check_clock ? now_seconds() : 0;
+    if (check_clock) {
+      for (uint32_t t = 0; t < tenants; ++t) serve_boundary(t, true, now);
+    } else {
+      serve_boundary(e.tenant, false, 0);
+    }
+    sessions[e.tenant]->Push(e.u, e.v, e.delta);
+    ++pushed[e.tenant];
+    ++global;
+  }
+  for (uint32_t t = 0; t < tenants; ++t) {
+    sessions[t]->Drain();
+    serve_boundary(t, false, 0);  // end-of-stream queries
+  }
+  engine.Finish();
+  std::fprintf(stderr,
+               "served %llu queries (%llu errors) from %llu snapshots "
+               "over %llu updates across %u sessions (%zu bytes hosted)\n",
+               static_cast<unsigned long long>(engine.answered()),
+               static_cast<unsigned long long>(engine.errors()),
+               static_cast<unsigned long long>(snapshots),
+               static_cast<unsigned long long>(global), tenants,
+               manager.TotalMemoryBytes());
+  if (snapshots > 0) {
+    std::fprintf(stderr,
+                 "snapshot timing: drain %.3f ms total, publish %.3f ms "
+                 "total; %llu eager answers\n",
+                 sum.drain_ms, sum.publish_ms,
+                 static_cast<unsigned long long>(engine.eager_answered()));
+  }
+  return 0;
+}
+
 int RunCheckpoint(const AlgInfo& info, NodeId n, const char* stream_path,
                   const char* out_path, uint64_t seed,
                   const IngestOptions& opt, const CheckpointCmdOptions& copt,
@@ -1039,6 +1355,37 @@ int RunGen(const WorkloadProfile& profile, NodeId n, uint64_t updates,
   return 0;
 }
 
+/// gen multi: K tenants' churn streams interleaved into one GSKT tagged
+/// trace. Tenant k's subsequence is exactly `gen churn <n> <u_k> ...
+/// <seed+k>` (see GenerateMultiTenantTrace), so solo references for a
+/// co-hosted run are one `gen churn` command per tenant.
+int RunGenMulti(NodeId n, uint64_t updates, uint32_t tenants,
+                const char* out_path, uint64_t seed) {
+  std::vector<TaggedUpdate> trace = GenerateMultiTenantTrace(
+      n, static_cast<size_t>(updates), tenants, seed);
+  TaggedStreamWriter w(out_path, n, tenants);
+  for (const auto& e : trace) w.Append(e.tenant, e.u, e.v, e.delta);
+  uint64_t records = w.updates_written();
+  if (!w.Close()) {
+    std::fprintf(stderr, "error: write to %s failed\n", out_path);
+    return kExitRuntime;
+  }
+  std::vector<uint64_t> per_tenant(tenants, 0);
+  for (const auto& e : trace) ++per_tenant[e.tenant];
+  std::string split;
+  for (uint32_t t = 0; t < tenants; ++t) {
+    if (!split.empty()) split += "+";
+    split += std::to_string(per_tenant[t]);
+  }
+  std::fprintf(stderr,
+               "gen multi: n=%u seed=%llu, %zu updates across %u tenants "
+               "(%s) -> %llu wire records\n",
+               n, static_cast<unsigned long long>(seed), trace.size(),
+               tenants, split.c_str(),
+               static_cast<unsigned long long>(records));
+  return 0;
+}
+
 /// Parses positional <n>; exit-code semantics shared by every command.
 bool ParseNodeCount(const char* arg, NodeId* n) {
   uint64_t n_arg = 0;
@@ -1084,6 +1431,7 @@ int main(int argc, char** argv) {
   bool mw_given = false;
   bool shards_given = false;
   bool serve_flags_given = false;
+  uint32_t tenants = 0;
   std::vector<const char*> pos;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -1123,6 +1471,15 @@ int main(int argc, char** argv) {
       ++i;
       aopt.max_weight = static_cast<int64_t>(value);
       mw_given = true;
+    } else if (arg == "--tenants") {
+      if (i + 1 >= argc || !ParseU64(argv[i + 1], &value) || value < 2 ||
+          value > 256) {
+        std::fprintf(stderr,
+                     "error: --tenants needs an integer in [2, 256]\n");
+        return kExitUsage;
+      }
+      ++i;
+      tenants = static_cast<uint32_t>(value);
     } else if (arg == "--at" || arg == "--k" || arg == "--shards") {
       if (i + 1 >= argc || !ParseU64(argv[i + 1], &value)) {
         std::fprintf(stderr, "error: %s needs a non-negative integer\n",
@@ -1234,14 +1591,32 @@ int main(int argc, char** argv) {
                  "only to serve\n");
     return true;
   };
+  auto reject_tenants = [&]() -> bool {
+    if (tenants == 0) return false;
+    std::fprintf(stderr, "error: --tenants applies only to gen multi\n");
+    return true;
+  };
   const std::string sharded_cmds =
       ShardedAlgNameList() + ", serve, checkpoint, and resume";
 
   if (cmd == "serve") {
-    if (reject_at() || reject_shards()) return kExitUsage;
+    if (reject_at() || reject_shards() || reject_tenants()) {
+      return kExitUsage;
+    }
     if (pos.size() < 3 || pos.size() > 4) {
       PrintUsage(stderr, argv[0]);
       return kExitUsage;
+    }
+    if (std::strcmp(pos[0], "multi") == 0) {
+      // Multi-graph serve: sessions and families come from the script's
+      // `open` lines, so the sketch-flag scope is empty here.
+      if (reject_alg_flags(nullptr)) return kExitUsage;
+      NodeId n = 0;
+      uint64_t seed = 1;
+      if (!ParseNodeCount(pos[1], &n) || !ParseSeed(pos, 3, &seed)) {
+        return kExitUsage;
+      }
+      return RunServeMulti(n, pos[2], seed, opt, sopt);
     }
     const AlgInfo* info = FindAlg(pos[0]);
     if (info == nullptr) {
@@ -1263,7 +1638,7 @@ int main(int argc, char** argv) {
   }
 
   if (cmd == "checkpoint") {
-    if (reject_serve()) return kExitUsage;
+    if (reject_serve() || reject_tenants()) return kExitUsage;
     if (pos.size() < 4 || pos.size() > 5) {
       PrintUsage(stderr, argv[0]);
       return kExitUsage;
@@ -1289,7 +1664,7 @@ int main(int argc, char** argv) {
 
   if (cmd == "resume") {
     if (reject_at() || reject_alg_flags(nullptr) || reject_shards() ||
-        reject_serve()) {
+        reject_serve() || reject_tenants()) {
       return kExitUsage;
     }
     if (pos.size() != 2) {
@@ -1300,7 +1675,9 @@ int main(int argc, char** argv) {
   }
 
   if (cmd == "shard") {
-    if (reject_at() || reject_serve()) return kExitUsage;
+    if (reject_at() || reject_serve() || reject_tenants()) {
+      return kExitUsage;
+    }
     if (!shards_given) {
       std::fprintf(stderr, "error: shard requires --shards S\n");
       return kExitUsage;
@@ -1330,7 +1707,8 @@ int main(int argc, char** argv) {
 
   if (cmd == "merge") {
     if (reject_at() || reject_alg_flags(nullptr) || reject_shards() ||
-        reject_serve() || reject_ingest(sharded_cmds.c_str())) {
+        reject_serve() || reject_tenants() ||
+        reject_ingest(sharded_cmds.c_str())) {
       return kExitUsage;
     }
     if (pos.size() < 3) {
@@ -1345,7 +1723,8 @@ int main(int argc, char** argv) {
 
   if (cmd == "inspect") {
     if (reject_at() || reject_alg_flags(nullptr) || reject_shards() ||
-        reject_serve() || reject_ingest(sharded_cmds.c_str())) {
+        reject_serve() || reject_tenants() ||
+        reject_ingest(sharded_cmds.c_str())) {
       return kExitUsage;
     }
     if (pos.size() != 1) {
@@ -1367,12 +1746,6 @@ int main(int argc, char** argv) {
       PrintUsage(stderr, argv[0]);
       return kExitUsage;
     }
-    const WorkloadProfile* profile = FindWorkloadProfile(pos[0]);
-    if (profile == nullptr) {
-      std::fprintf(stderr, "error: unknown gen profile '%s' (want %s)\n",
-                   pos[0], WorkloadProfileNameList().c_str());
-      return kExitUsage;
-    }
     NodeId n = 0;
     uint64_t updates = 0;
     uint64_t seed = 1;
@@ -1385,11 +1758,25 @@ int main(int argc, char** argv) {
                    "error: updates must be an integer in [1, 2^40]\n");
       return kExitUsage;
     }
+    if (std::strcmp(pos[0], "multi") == 0) {
+      if (tenants == 0) {
+        std::fprintf(stderr, "error: gen multi requires --tenants K\n");
+        return kExitUsage;
+      }
+      return RunGenMulti(n, updates, tenants, pos[3], seed);
+    }
+    if (reject_tenants()) return kExitUsage;
+    const WorkloadProfile* profile = FindWorkloadProfile(pos[0]);
+    if (profile == nullptr) {
+      std::fprintf(stderr, "error: unknown gen profile '%s' (want %s)\n",
+                   pos[0], WorkloadProfileNameList().c_str());
+      return kExitUsage;
+    }
     return RunGen(*profile, n, updates, pos[3], seed);
   }
 
   if (cmd == "convert") {
-    if (reject_alg_flags(nullptr)) return kExitUsage;
+    if (reject_alg_flags(nullptr) || reject_tenants()) return kExitUsage;
     if (ingest_flags_given) {
       std::fprintf(stderr, "error: convert takes no options\n");
       return kExitUsage;
@@ -1404,7 +1791,7 @@ int main(int argc, char** argv) {
   }
 
   if (const AlgInfo* info = FindAlg(cmd)) {
-    if (reject_alg_flags(info)) return kExitUsage;
+    if (reject_alg_flags(info) || reject_tenants()) return kExitUsage;
     if (!info->endpoint_sharded &&
         reject_ingest(sharded_cmds.c_str())) {
       return kExitUsage;
@@ -1424,7 +1811,8 @@ int main(int argc, char** argv) {
   // The remaining commands replay an in-memory stream (multi-pass or
   // whole-stream algorithms); parallel ingestion does not apply.
   if (cmd == "spanner" || cmd == "stats") {
-    if (reject_alg_flags(nullptr) || reject_ingest(sharded_cmds.c_str())) {
+    if (reject_alg_flags(nullptr) || reject_tenants() ||
+        reject_ingest(sharded_cmds.c_str())) {
       return kExitUsage;
     }
     if (pos.size() < 2 || pos.size() > 3) {
