@@ -28,10 +28,14 @@ IngestPipeline::IngestPipeline(const PipelineOptions& opt)
     shards_.push_back(std::make_unique<Shard>());
   }
   if (delta_mode_) {
-    stripes_ = std::make_unique<std::mutex[]>(kLockStripes);
+    stripes_ = std::make_unique<Mutex[]>(kLockStripes);
   }
   worker_applied_ = std::make_unique<std::atomic<uint64_t>[]>(workers);
-  for (uint32_t w = 0; w < workers; ++w) worker_applied_[w] = 0;
+  for (uint32_t w = 0; w < workers; ++w) {
+    // relaxed: workers have not started yet, the thread construction
+    // below is the synchronization point for these initial values.
+    worker_applied_[w].store(0, std::memory_order_relaxed);
+  }
   for (uint32_t w = 0; w < workers; ++w) {
     threads_.emplace_back([this, w] { WorkerLoop(w); });
   }
@@ -40,9 +44,9 @@ IngestPipeline::IngestPipeline(const PipelineOptions& opt)
 IngestPipeline::~IngestPipeline() {
   DrainAll();
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     shard->stopping = true;
-    shard->not_empty.notify_all();
+    shard->not_empty.NotifyAll();
   }
   for (auto& t : threads_) t.join();
 }
@@ -118,21 +122,25 @@ void IngestPipeline::DrainChannel(Channel* ch) {
   // exists for the workers' cross-thread peek in WorkerLoop.
   const uint64_t target =
       ch->enqueued_halves.load(std::memory_order_relaxed);
-  std::unique_lock<std::mutex> lock(drained_mu_);
+  MutexLock lock(drained_mu_);
   // Announce the drain BEFORE the first predicate check. Workers check
   // drain_pending_ after bumping applied_halves; both sides use seq_cst,
   // so a worker that read drain_pending_ == false made its bump visible
   // to a predicate check that runs after this store (Dekker-style: no
   // lost wakeup, see WorkerLoop).
   drain_pending_.store(true, std::memory_order_seq_cst);
-  drained_.wait(lock, [ch, target] {
-    return ch->applied_halves.load(std::memory_order_seq_cst) == target;
-  });
+  // seq_cst: the Dekker pairing above — this load must be in the single
+  // total order with the workers' fetch_add / drain_pending_ load.
+  while (ch->applied_halves.load(std::memory_order_seq_cst) != target) {
+    drained_.Wait(drained_mu_);
+  }
   drain_pending_.store(false, std::memory_order_seq_cst);
 }
 
 uint64_t IngestPipeline::AppliedHalves(SessionId sid) const {
   const Channel* ch = Get(sid);
+  // relaxed: monotone progress peek for pollers; exactness comes from
+  // Drain's seq_cst handshake, not from this read.
   return ch == nullptr
              ? 0
              : ch->applied_halves.load(std::memory_order_relaxed);
@@ -181,6 +189,8 @@ void IngestPipeline::Dispatch(Channel* ch, uint32_t q) {
     DispatchDeltaBatch(ch, std::move(batch));
     return;
   }
+  // relaxed: producer-only writer (single-producer contract); workers
+  // re-read it seq_cst in the drain pairing, producers see it plain.
   ch->enqueued_halves.fetch_add(batch.size(), std::memory_order_relaxed);
   Enqueue(q, WorkItem{channels_[ch->id], std::move(batch)});
 }
@@ -214,17 +224,19 @@ void IngestPipeline::DispatchDeltaBatch(Channel* ch, Batch&& batch) {
 
 void IngestPipeline::DispatchNode(Channel* ch, NodeBatch&& batch) {
   uint32_t q = delta_mode_ ? 0 : batch.endpoint % num_workers();
+  // relaxed: producer-only writer, same contract as Dispatch above.
   ch->enqueued_halves.fetch_add(batch.halves, std::memory_order_relaxed);
   Enqueue(q, WorkItem{channels_[ch->id], std::move(batch)});
 }
 
 void IngestPipeline::Enqueue(uint32_t q, WorkItem&& item) {
   Shard& shard = *shards_[q];
-  std::unique_lock<std::mutex> lock(shard.mu);
-  shard.not_full.wait(
-      lock, [&] { return shard.queue.size() < queue_capacity_; });
+  MutexLock lock(shard.mu);
+  while (shard.queue.size() >= queue_capacity_) {  // backpressure
+    shard.not_full.Wait(shard.mu);
+  }
   shard.queue.push_back(std::move(item));
-  shard.not_empty.notify_one();
+  shard.not_empty.NotifyOne();
 }
 
 // Delta-mode apply: accumulate the batch into this worker's scratch arena
@@ -239,7 +251,9 @@ void IngestPipeline::ApplyDeltaItem(Channel* ch, const NodeBatch& node,
   if (node.others.size() >= delta_min_batch_) {
     cells = ch->sink->AccumulateDelta(node, scratch);
   }
-  std::lock_guard<std::mutex> lock(Stripe(*ch, node.endpoint));
+  // Held across the sink call: the sketch's COW arena may take its
+  // own-stripe under this stripe (the sanctioned nesting, sync.h).
+  MutexLock lock(Stripe(*ch, node.endpoint));
   if (cells > 0) {
     ch->sink->MergeDelta(node.endpoint, scratch->data(), cells);
     return;
@@ -253,13 +267,14 @@ void IngestPipeline::WorkerLoop(uint32_t w) {
   for (;;) {
     WorkItem item;
     {
-      std::unique_lock<std::mutex> lock(shard.mu);
-      shard.not_empty.wait(
-          lock, [&] { return shard.stopping || !shard.queue.empty(); });
+      MutexLock lock(shard.mu);
+      while (!shard.stopping && shard.queue.empty()) {
+        shard.not_empty.Wait(shard.mu);
+      }
       if (shard.queue.empty()) return;  // stopping and fully drained
       item = std::move(shard.queue.front());
       shard.queue.pop_front();
-      shard.not_full.notify_one();
+      shard.not_full.NotifyOne();
     }
     Channel& ch = *item.ch;
     uint64_t applied = 0;
@@ -275,6 +290,8 @@ void IngestPipeline::WorkerLoop(uint32_t w) {
       }
       applied = node.halves;
     }
+    // relaxed: single-writer stats counter (this worker), staleness-
+    // tolerant readers.
     worker_applied_[w].fetch_add(applied, std::memory_order_relaxed);
     const uint64_t now_applied =
         ch.applied_halves.fetch_add(applied, std::memory_order_seq_cst) +
@@ -290,8 +307,8 @@ void IngestPipeline::WorkerLoop(uint32_t w) {
     if (drain_pending_.load(std::memory_order_seq_cst) ||
         now_applied ==
             ch.enqueued_halves.load(std::memory_order_seq_cst)) {
-      std::lock_guard<std::mutex> lock(drained_mu_);
-      drained_.notify_all();
+      MutexLock lock(drained_mu_);
+      drained_.NotifyAll();
     }
   }
 }

@@ -25,19 +25,27 @@
 // thread (or are externally serialized). Workers are internal. Per-session
 // drain only waits for THAT session's queued work; other sessions keep
 // flowing through the same workers during the barrier.
+//
+// The locking invariants below are machine-checked: every mutex is a
+// capability-annotated gsketch::Mutex (src/core/sync.h), guarded fields
+// carry GSKETCH_GUARDED_BY, and clang -Wthread-safety rejects any access
+// that cannot prove it holds the lock. Lock order (see sync.h):
+// Shard::mu is never held while a batch is applied; a delta stripe may
+// nest a CowCellArena own-stripe under it (the only nesting pair in the
+// codebase); drained_mu_ is a leaf taken with nothing else held.
 #ifndef GRAPHSKETCH_SRC_DRIVER_INGEST_PIPELINE_H_
 #define GRAPHSKETCH_SRC_DRIVER_INGEST_PIPELINE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <variant>
 #include <vector>
+
+#include "src/core/sync.h"
 
 #include "src/driver/eager_forest.h"
 #include "src/driver/gutter.h"
@@ -139,7 +147,7 @@ class IngestPipeline {
 
   /// Drains the session and removes its channel; the id is retired, not
   /// reused. Producer-side.
-  void Detach(SessionId sid);
+  void Detach(SessionId sid) GSKETCH_EXCLUDES(drained_mu_);
 
   /// Routes one stream token of session `sid` to its two endpoint shards
   /// (through the session's gutters when enabled). Producer-side.
@@ -150,10 +158,10 @@ class IngestPipeline {
   /// then reflects the whole stream pushed so far and may be read safely.
   /// Other sessions' items keep flowing through the workers meanwhile.
   /// Producer-side.
-  void Drain(SessionId sid);
+  void Drain(SessionId sid) GSKETCH_EXCLUDES(drained_mu_);
 
   /// Drains every live session. Producer-side.
-  void DrainAll();
+  void DrainAll() GSKETCH_EXCLUDES(drained_mu_);
 
   /// Endpoint half-updates applied so far for the session (2 per stream
   /// token; gutter-buffered halves count once flushed and applied). Safe
@@ -189,6 +197,7 @@ class IngestPipeline {
 
   /// Half-updates applied by worker `w` so far, across all sessions.
   uint64_t WorkerAppliedHalves(uint32_t w) const {
+    // relaxed: monotone stats counter, readers tolerate staleness.
     return worker_applied_[w].load(std::memory_order_relaxed);
   }
 
@@ -223,11 +232,11 @@ class IngestPipeline {
   };
 
   struct Shard {
-    std::mutex mu;
-    std::condition_variable not_empty;
-    std::condition_variable not_full;
-    std::deque<WorkItem> queue;
-    bool stopping = false;
+    Mutex mu;
+    CondVar not_empty;
+    CondVar not_full;
+    std::deque<WorkItem> queue GSKETCH_GUARDED_BY(mu);
+    bool stopping GSKETCH_GUARDED_BY(mu) = false;
   };
 
   Channel* Get(SessionId sid) const;
@@ -237,7 +246,7 @@ class IngestPipeline {
   void DispatchDeltaBatch(Channel* ch, Batch&& batch);
   void DispatchNode(Channel* ch, NodeBatch&& batch);
   void Enqueue(uint32_t q, WorkItem&& item);
-  void DrainChannel(Channel* ch);
+  void DrainChannel(Channel* ch) GSKETCH_EXCLUDES(drained_mu_);
   void ApplyDeltaItem(Channel* ch, const NodeBatch& node,
                       std::vector<OneSparseCell>* scratch);
   void WorkerLoop(uint32_t w);
@@ -247,7 +256,7 @@ class IngestPipeline {
   // a stripe, small enough that the mutex array stays cache-resident.
   static constexpr size_t kLockStripes = 64;
 
-  std::mutex& Stripe(const Channel& ch, NodeId endpoint) {
+  Mutex& Stripe(const Channel& ch, NodeId endpoint) {
     // Distinct sessions hosting the same hot endpoint spread over
     // different stripes (golden-ratio session scatter); a collision only
     // costs contention, never correctness.
@@ -260,7 +269,12 @@ class IngestPipeline {
   const size_t delta_min_batch_;
   size_t queue_capacity_ = 0;  // per-queue bound (aggregate in delta mode)
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::unique_ptr<std::mutex[]> stripes_;  // delta mode only
+  // Delta mode only. A stripe is held across the sink apply call, so the
+  // wrapped sketch's COW own-stripe may be acquired UNDER it (the one
+  // sanctioned nesting pair; see src/core/sync.h). Dynamically striped,
+  // hence documented rather than GSKETCH_ACQUIRED_BEFORE-annotated — the
+  // attribute cannot name a runtime-chosen array element.
+  std::unique_ptr<Mutex[]> stripes_;
   // Indexed by SessionId; detached slots stay null (ids are not reused).
   // Producer-side mutation only; workers never touch this vector (their
   // channel arrives inside the work item).
@@ -269,8 +283,12 @@ class IngestPipeline {
   std::vector<std::thread> threads_;
   std::unique_ptr<std::atomic<uint64_t>[]> worker_applied_;  // per worker
   std::atomic<bool> drain_pending_{false};
-  std::mutex drained_mu_;
-  std::condition_variable drained_;
+  // Pure wakeup channel for the drain barrier: the predicate reads the
+  // channel ATOMICS, so the mutex guards no fields — it only serializes
+  // the Dekker-style wait/notify pairing (see DrainChannel/WorkerLoop).
+  // Leaf lock: taken with nothing else held, on both sides.
+  Mutex drained_mu_;
+  CondVar drained_;
 };
 
 }  // namespace gsketch

@@ -37,10 +37,16 @@ void InsertionTracker::Loop() {
   uint64_t prev_count = initial_;
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      wake_.wait_for(lock,
-                     std::chrono::duration<double>(interval_seconds_),
-                     [this] { return stopping_; });
+      MutexLock lock(mu_);
+      // Timed predicate wait, written as an explicit loop so the analysis
+      // sees mu_ held around every stopping_ read: sleep until the next
+      // redraw deadline, but wake immediately when Stop() notifies.
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(interval_seconds_));
+      while (!stopping_ && wake_.WaitUntil(mu_, deadline)) {
+      }
       if (stopping_) return;
     }
     uint64_t count = counter_();
@@ -63,11 +69,11 @@ void InsertionTracker::Loop() {
 
 void InsertionTracker::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stopped_) return;
     stopped_ = true;
     stopping_ = true;
-    wake_.notify_all();
+    wake_.NotifyAll();
   }
   thread_.join();
   // Closing line: final count and average rate (instead of a blank "done"

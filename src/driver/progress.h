@@ -6,12 +6,12 @@
 #define GRAPHSKETCH_SRC_DRIVER_PROGRESS_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <cstdio>
 #include <functional>
-#include <mutex>
 #include <thread>
+
+#include "src/core/sync.h"
 
 namespace gsketch {
 
@@ -54,10 +54,12 @@ class InsertionTracker {
   std::FILE* const out_;
   const double interval_seconds_;
   const std::chrono::steady_clock::time_point start_;
-  std::mutex mu_;
-  std::condition_variable wake_;
-  bool stopping_ = false;
-  bool stopped_ = false;
+  // Leaf lock (sync.h): only the stop handshake is guarded; the counter
+  // poll and the bar redraw run with mu_ released.
+  Mutex mu_;
+  CondVar wake_;
+  bool stopping_ GSKETCH_GUARDED_BY(mu_) = false;
+  bool stopped_ GSKETCH_GUARDED_BY(mu_) = false;
   std::thread thread_;
 };
 

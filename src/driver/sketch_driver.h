@@ -44,6 +44,14 @@
 // accumulates per-worker batches and hands them to bounded queues;
 // `max_pending_batches` bounds memory and provides backpressure when
 // workers fall behind the reader.
+//
+// Concurrency contract: the driver itself owns no locks — every mutex it
+// relies on is a capability-annotated gsketch::Mutex inside the pipeline
+// (src/driver/ingest_pipeline.h) or the COW arenas, machine-checked by
+// clang -Wthread-safety (src/core/sync.h). What the annotations CANNOT
+// express is the single-producer rule — Push/Drain/SnapshotNow from one
+// thread — because the producer path is deliberately lock-free; that rule
+// stays a documented contract, exercised by the TSan CI tier.
 #ifndef GRAPHSKETCH_SRC_DRIVER_SKETCH_DRIVER_H_
 #define GRAPHSKETCH_SRC_DRIVER_SKETCH_DRIVER_H_
 

@@ -14,7 +14,7 @@ std::shared_ptr<const SketchSnapshot> SnapshotStore::Publish(
   snap->stream_pos = stream_pos;
   snap->sketch = std::move(sketch);
   snap->eager = std::move(eager);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (latest_ != nullptr && stream_pos < latest_->stream_pos) {
     return latest_;  // out-of-order publish: keep the newer capture
   }
@@ -24,12 +24,12 @@ std::shared_ptr<const SketchSnapshot> SnapshotStore::Publish(
 }
 
 std::shared_ptr<const SketchSnapshot> SnapshotStore::Latest() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return latest_;
 }
 
 uint64_t SnapshotStore::published() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return published_;
 }
 
@@ -124,69 +124,69 @@ QueryEngine::QueryEngine(const SnapshotStore* store, std::FILE* out)
 QueryEngine::~QueryEngine() { Finish(); }
 
 void QueryEngine::Submit(std::string query) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (finished_) return;
   queue_.push_back(
       Item{std::string(), std::move(query), nullptr, store_, false});
   ++submitted_;
-  work_.notify_one();
+  work_.NotifyOne();
 }
 
 void QueryEngine::Submit(std::string query,
                          std::shared_ptr<const SketchSnapshot> snap) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (finished_) return;
   queue_.push_back(
       Item{std::string(), std::move(query), std::move(snap), nullptr, true});
   ++submitted_;
-  work_.notify_one();
+  work_.NotifyOne();
 }
 
 void QueryEngine::Submit(std::string label, std::string query,
                          std::shared_ptr<const SketchSnapshot> snap) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (finished_) return;
   queue_.push_back(
       Item{std::move(label), std::move(query), std::move(snap), nullptr,
            true});
   ++submitted_;
-  work_.notify_one();
+  work_.NotifyOne();
 }
 
 void QueryEngine::Submit(std::string label, std::string query,
                          const SnapshotStore* session_store) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (finished_) return;
   queue_.push_back(Item{std::move(label), std::move(query), nullptr,
                         session_store, false});
   ++submitted_;
-  work_.notify_one();
+  work_.NotifyOne();
 }
 
 void QueryEngine::Finish() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (finished_) return;
     finished_ = true;  // no further Submits land
-    idle_.wait(lock, [this] { return answered_ == submitted_; });
+    while (answered_ != submitted_) idle_.Wait(mu_);
     stopping_ = true;
-    work_.notify_all();
+    work_.NotifyAll();
   }
   thread_.join();
 }
 
 uint64_t QueryEngine::answered() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return answered_;
 }
 
 uint64_t QueryEngine::errors() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return errors_;
 }
 
 uint64_t QueryEngine::eager_answered() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return eager_answered_;
 }
 
@@ -194,8 +194,8 @@ void QueryEngine::Loop() {
   for (;;) {
     Item item;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stopping_ && queue_.empty()) work_.Wait(mu_);
       if (queue_.empty()) return;  // stopping and fully drained
       item = std::move(queue_.front());
       queue_.pop_front();
@@ -246,11 +246,11 @@ void QueryEngine::Loop() {
     }
     std::fflush(out_);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       ++answered_;
       if (failed) ++errors_;
       if (from_eager) ++eager_answered_;
-      idle_.notify_all();
+      idle_.NotifyAll();
     }
   }
 }

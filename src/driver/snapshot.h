@@ -39,18 +39,17 @@
 #ifndef GRAPHSKETCH_SRC_DRIVER_SNAPSHOT_H_
 #define GRAPHSKETCH_SRC_DRIVER_SNAPSHOT_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <cstdio>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <utility>
 
 #include "src/core/sketch_registry.h"
+#include "src/core/sync.h"
 #include "src/driver/eager_forest.h"
 #include "src/driver/sketch_driver.h"
 
@@ -88,9 +87,11 @@ class SnapshotStore {
   uint64_t published() const;
 
  private:
-  mutable std::mutex mu_;
-  std::shared_ptr<const SketchSnapshot> latest_;
-  uint64_t published_ = 0;
+  // Leaf lock (sync.h): held only around the slot swap/read, never while
+  // forking or decoding a sketch.
+  mutable Mutex mu_;
+  std::shared_ptr<const SketchSnapshot> latest_ GSKETCH_GUARDED_BY(mu_);
+  uint64_t published_ GSKETCH_GUARDED_BY(mu_) = 0;
 };
 
 /// Drain-barrier capture: flushes the driver's gutters and queues, takes
@@ -228,16 +229,19 @@ class QueryEngine {
 
   const SnapshotStore* const store_;
   std::FILE* const out_;
-  mutable std::mutex mu_;
-  std::condition_variable work_;
-  std::condition_variable idle_;
-  std::deque<Item> queue_;
-  bool stopping_ = false;
-  bool finished_ = false;
-  uint64_t submitted_ = 0;
-  uint64_t answered_ = 0;
-  uint64_t errors_ = 0;
-  uint64_t eager_answered_ = 0;
+  // Leaf lock (sync.h): guards the submission queue and counters only.
+  // The worker decodes answers with mu_ RELEASED — a slow query must not
+  // block Submit — so every guarded access sits in a short lock scope.
+  mutable Mutex mu_;
+  CondVar work_;
+  CondVar idle_;
+  std::deque<Item> queue_ GSKETCH_GUARDED_BY(mu_);
+  bool stopping_ GSKETCH_GUARDED_BY(mu_) = false;
+  bool finished_ GSKETCH_GUARDED_BY(mu_) = false;
+  uint64_t submitted_ GSKETCH_GUARDED_BY(mu_) = 0;
+  uint64_t answered_ GSKETCH_GUARDED_BY(mu_) = 0;
+  uint64_t errors_ GSKETCH_GUARDED_BY(mu_) = 0;
+  uint64_t eager_answered_ GSKETCH_GUARDED_BY(mu_) = 0;
   std::thread thread_;
 };
 

@@ -23,8 +23,12 @@
 // through the same workers during the barrier).
 //
 // Threading: all SessionManager calls are producer-side (the pipeline's
-// single-producer contract). Each session's SnapshotStore is the
-// thread-safe handoff to query threads.
+// single-producer contract), which is why `sessions_` and the memory
+// accounting need no lock and carry no GSKETCH_GUARDED_BY — one thread
+// mutates them, by contract. Each session's SnapshotStore is the
+// thread-safe (capability-annotated, src/core/sync.h) handoff to query
+// threads; everything the manager touches concurrently goes through the
+// pipeline's annotated capabilities.
 #ifndef GRAPHSKETCH_SRC_SESSION_SESSION_MANAGER_H_
 #define GRAPHSKETCH_SRC_SESSION_SESSION_MANAGER_H_
 

@@ -54,8 +54,9 @@ class SketchSession {
   const AlgInfo& info() const { return *info_; }
   const LinearSketch& sketch() const { return *sketch_; }
 
-  /// This session's latest-snapshot slot (thread-safe; QueryEngine reads
-  /// it from the query thread).
+  /// This session's latest-snapshot slot (thread-safe — its internals
+  /// are guarded by a capability-annotated Mutex, src/core/sync.h;
+  /// QueryEngine reads it from the query thread).
   SnapshotStore& store() { return store_; }
   const SnapshotStore& store() const { return store_; }
 

@@ -1,22 +1,31 @@
 #include "src/sketch/cow_arena.h"
 
-#include <mutex>
 #include <utility>
+
+#include "src/core/sync.h"
 
 namespace gsketch {
 
 namespace {
 
+// relaxed fetch_add in NextCowEpoch: the counter only needs uniqueness
+// and monotonicity; fork-time publication order is provided by the
+// driver's quiescence contract, not by this counter.
 std::atomic<uint64_t> g_cow_epoch{0};
 
 // First-touch cloning serializes on the page index, not the arena: two
 // writers cloning different pages of one bank (or the same page index of
 // two banks — harmless false sharing of the lock only) proceed in
 // parallel. 64 stripes matches the driver's merge-lock striping.
+//
+// Lock order (src/core/sync.h): an own-stripe is the INNER half of the
+// codebase's one nesting pair — delta-mode workers reach OwnPage while
+// holding an IngestPipeline delta stripe. Nothing is ever acquired under
+// an own-stripe.
 constexpr size_t kOwnStripes = 64;
 
-std::mutex& OwnStripe(size_t page_index) {
-  static std::mutex stripes[kOwnStripes];
+Mutex& OwnStripe(size_t page_index) {
+  static Mutex stripes[kOwnStripes];
   return stripes[page_index % kOwnStripes];
 }
 
@@ -36,6 +45,8 @@ CowCellArena::CowCellArena(size_t num_slices, size_t stride)
                               : 1);
   num_pages_ = (num_slices_ + slices_per_page_ - 1) / slices_per_page_;
   uint64_t epoch = NextCowEpoch();
+  // relaxed: construction is single-threaded; publication to other
+  // threads happens-after via whatever hands the arena over.
   epoch_.store(epoch, std::memory_order_relaxed);
   pages_.reserve(num_pages_);
   for (size_t pi = 0; pi < num_pages_; ++pi) {
@@ -54,7 +65,8 @@ CowCellArena::CowCellArena(const CowCellArena& other)
       pages_(other.pages_) {
   // Both sides lose exclusive ownership of every shared page: give each a
   // fresh epoch so no page's created_epoch matches either arena until it
-  // is first-touched again.
+  // is first-touched again. relaxed: forking REQUIRES quiescence (no
+  // concurrent writers on either arena), so these stores race nothing.
   epoch_.store(NextCowEpoch(), std::memory_order_relaxed);
   other.epoch_.store(NextCowEpoch(), std::memory_order_relaxed);
   AdoptPages();
@@ -68,6 +80,8 @@ CowCellArena& CowCellArena::operator=(const CowCellArena& other) {
   return *this;
 }
 
+// Moves are producer-side only (relaxed everywhere): an arena is never
+// moved while any thread writes it.
 CowCellArena::CowCellArena(CowCellArena&& other) noexcept
     : num_slices_(other.num_slices_),
       stride_(other.stride_),
@@ -104,12 +118,14 @@ CowCellArena& CowCellArena::operator=(CowCellArena&& other) noexcept {
 void CowCellArena::AdoptPages() {
   slots_ = std::make_unique<std::atomic<CowPage*>[]>(num_pages_);
   for (size_t pi = 0; pi < num_pages_; ++pi) {
+    // relaxed: runs only at construction/fork time (quiescent by
+    // contract); concurrent readers appear strictly later.
     slots_[pi].store(pages_[pi].get(), std::memory_order_relaxed);
   }
 }
 
 CowPage* CowCellArena::OwnPage(size_t pi) {
-  std::lock_guard<std::mutex> lock(OwnStripe(pi));
+  MutexLock lock(OwnStripe(pi));
   uint64_t epoch = epoch_.load(std::memory_order_relaxed);
   CowPage* cur = slots_[pi].load(std::memory_order_acquire);
   // Double-check: another writer may have owned this page while we waited

@@ -29,7 +29,9 @@
 //     happens-after the fork via the driver's queue mutex.
 //   - Between forks, concurrent writers may touch DISJOINT slices freely,
 //     including slices sharing a page: first-touch cloning is serialized
-//     by a stripe lock keyed on the page index, the winning clone is
+//     by a stripe lock keyed on the page index (a capability-annotated
+//     gsketch::Mutex; it is the INNER lock of the codebase's one nesting
+//     pair — see src/core/sync.h), the winning clone is
 //     release-published, and losers acquire-load the new page. Cell writes
 //     within a page are to disjoint slices, so they never race.
 //   - Snapshot holders only read; owned-in-current-epoch pages are never

@@ -1,0 +1,227 @@
+// Unit tests for the capability-annotated synchronization primitives in
+// src/core/sync.h — the wrappers every lock in the tree now goes through.
+//
+// The annotations themselves are checked statically (clang -Wthread-safety
+// via tools/check_thread_safety.sh); what these tests pin down is the
+// RUNTIME behavior the wrappers must preserve over the raw primitives they
+// replaced:
+//   - Mutex actually excludes (a contended counter stays exact);
+//   - MutexLock releases on every scope exit path, including exceptions;
+//   - CondVar's adopt_lock Wait really re-acquires the Mutex before
+//     returning (producer/consumer handoff never loses or double-delivers);
+//   - WaitUntil returns false on timeout and true on wakeup, and a
+//     deadline loop built from it (the progress.cc pattern) terminates;
+//   - the pool-shutdown pattern (stopping flag + NotifyAll under the lock)
+//     wakes every waiter exactly once.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "src/core/sync.h"
+
+namespace gsketch {
+namespace {
+
+TEST(MutexTest, ContendedCounterStaysExact) {
+  // 8 threads x 20k increments: any failure of mutual exclusion shows up
+  // as a lost update with overwhelming probability.
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  Mutex mu;
+  long counter GSKETCH_GUARDED_BY(mu) = 0;
+
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&mu, &counter] {
+      for (int i = 0; i < kIters; ++i) {
+        MutexLock lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  MutexLock lock(mu);
+  EXPECT_EQ(counter, static_cast<long>(kThreads) * kIters);
+}
+
+TEST(MutexLockTest, ReleasesOnException) {
+  Mutex mu;
+  try {
+    MutexLock lock(mu);
+    throw std::runtime_error("boom");
+  } catch (const std::runtime_error&) {
+  }
+  // If the unwind leaked the lock, this re-acquire deadlocks (and the
+  // test times out) instead of passing.
+  MutexLock reacquire(mu);
+  SUCCEED();
+}
+
+TEST(CondVarTest, ProducerConsumerDeliversEveryItemOnce) {
+  // Two producers, two consumers, a bounded queue: exercises Wait's
+  // adopt_lock handoff under real contention. Every produced value must
+  // be consumed exactly once.
+  constexpr int kPerProducer = 5000;
+  constexpr size_t kCapacity = 16;
+  Mutex mu;
+  CondVar not_empty;
+  CondVar not_full;
+  std::deque<int> queue GSKETCH_GUARDED_BY(mu);
+  int open_producers GSKETCH_GUARDED_BY(mu) = 2;
+
+  std::atomic<long> consumed_sum{0};
+  std::atomic<int> consumed_count{0};
+
+  auto producer = [&](int base) {
+    for (int i = 0; i < kPerProducer; ++i) {
+      MutexLock lock(mu);
+      while (queue.size() >= kCapacity) not_full.Wait(mu);
+      queue.push_back(base + i);
+      not_empty.NotifyOne();
+    }
+    MutexLock lock(mu);
+    if (--open_producers == 0) not_empty.NotifyAll();
+  };
+  auto consumer = [&] {
+    for (;;) {
+      int item;
+      {
+        MutexLock lock(mu);
+        while (queue.empty() && open_producers > 0) not_empty.Wait(mu);
+        if (queue.empty()) return;  // drained and no producers left
+        item = queue.front();
+        queue.pop_front();
+        not_full.NotifyOne();
+      }
+      consumed_sum.fetch_add(item, std::memory_order_relaxed);
+      consumed_count.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
+  std::thread p1(producer, 0), p2(producer, kPerProducer);
+  std::thread c1(consumer), c2(consumer);
+  p1.join();
+  p2.join();
+  c1.join();
+  c2.join();
+
+  const long n = 2L * kPerProducer;
+  EXPECT_EQ(consumed_count.load(std::memory_order_relaxed), n);
+  // Producers emit 0..2*kPerProducer-1 exactly once each.
+  EXPECT_EQ(consumed_sum.load(std::memory_order_relaxed), n * (n - 1) / 2);
+}
+
+TEST(CondVarTest, WaitUntilTimesOutFalse) {
+  Mutex mu;
+  CondVar cv;
+  MutexLock lock(mu);
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline = start + std::chrono::milliseconds(30);
+  // No notifier exists: every return before the deadline is spurious, so
+  // looping must end with `false` at (or after) the deadline.
+  bool signaled = true;
+  while (std::chrono::steady_clock::now() < deadline && signaled) {
+    signaled = cv.WaitUntil(mu, deadline);
+  }
+  EXPECT_FALSE(signaled);
+  EXPECT_GE(std::chrono::steady_clock::now(), deadline);
+}
+
+TEST(CondVarTest, WaitUntilWakesBeforeDeadline) {
+  // The progress.cc shape: a sleeper on a far deadline, a stopper that
+  // flips the flag and notifies. The sleeper must exit well before the
+  // deadline, via a true return from WaitUntil.
+  Mutex mu;
+  CondVar cv;
+  bool stop GSKETCH_GUARDED_BY(mu) = false;
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline = start + std::chrono::seconds(30);
+  std::thread stopper([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    MutexLock lock(mu);
+    stop = true;
+    cv.NotifyAll();
+  });
+
+  bool stopped_in_time = false;
+  {
+    MutexLock lock(mu);
+    while (!stop) {
+      if (!cv.WaitUntil(mu, deadline)) break;  // timeout: give up
+    }
+    stopped_in_time = stop;
+  }
+  stopper.join();
+  EXPECT_TRUE(stopped_in_time);
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::seconds(10));
+}
+
+TEST(CondVarTest, ShutdownWakesAllWaiters) {
+  // The worker-pool teardown pattern (IngestPipeline's destructor): N
+  // threads parked on a CondVar, one NotifyAll under the lock after
+  // setting `stopping`. All N must return.
+  constexpr int kWaiters = 6;
+  Mutex mu;
+  CondVar cv;
+  bool stopping GSKETCH_GUARDED_BY(mu) = false;
+  int parked GSKETCH_GUARDED_BY(mu) = 0;
+  std::atomic<int> woke{0};
+
+  std::vector<std::thread> waiters;
+  waiters.reserve(kWaiters);
+  for (int i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back([&] {
+      MutexLock lock(mu);
+      ++parked;
+      cv.NotifyAll();  // tell the stopper we're in position
+      while (!stopping) cv.Wait(mu);
+      woke.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  {
+    MutexLock lock(mu);
+    while (parked < kWaiters) cv.Wait(mu);
+    stopping = true;
+    cv.NotifyAll();
+  }
+  for (auto& w : waiters) w.join();
+  EXPECT_EQ(woke.load(std::memory_order_relaxed), kWaiters);
+}
+
+// The GUARDED_BY / scoped-capability machinery compiles to nothing under
+// non-clang compilers; this block just pins that the macros are usable in
+// every position the tree uses them (field, function attribute, local).
+class AnnotatedPair {
+ public:
+  void Bump() GSKETCH_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    ++value_;
+  }
+  int Get() GSKETCH_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  Mutex mu_;
+  int value_ GSKETCH_GUARDED_BY(mu_) = 0;
+};
+
+TEST(AnnotationTest, MacrosCompileAndBehave) {
+  AnnotatedPair p;
+  p.Bump();
+  p.Bump();
+  EXPECT_EQ(p.Get(), 2);
+}
+
+}  // namespace
+}  // namespace gsketch

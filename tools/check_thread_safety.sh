@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Thread-safety gate: proves clang's -Wthread-safety analysis is live and
+# that the annotated concurrency surfaces are clean under it.
+#
+#   usage: check_thread_safety.sh <repo_root> [clang++-binary]
+#
+# Three stages:
+#   1. positive probe  — tools/thread_safety_positive.cc must compile
+#                        clean (otherwise the toolchain/flags are broken
+#                        and any later result would be meaningless);
+#   2. negative probe  — tools/thread_safety_negative.cc must be REJECTED
+#                        with a thread-safety diagnostic (otherwise the
+#                        annotation macros expanded to nothing and the
+#                        whole gate is theater);
+#   3. tree spot-check — -fsyntax-only over every annotated concurrency
+#                        surface in the tree.
+#
+# Exits 77 (ctest SKIP_RETURN_CODE) when no clang++ is available — gcc
+# does not implement the analysis, so there is nothing to check; CI runs
+# this in a job that installs clang, where a skip is impossible.
+set -u
+
+ROOT="${1:?usage: check_thread_safety.sh <repo_root> [clang++]}"
+CLANG="${2:-}"
+
+if [ -z "${CLANG}" ]; then
+  for cand in clang++ clang++-18 clang++-17 clang++-16 clang++-15 clang++-14; do
+    if command -v "${cand}" >/dev/null 2>&1; then
+      CLANG="${cand}"
+      break
+    fi
+  done
+fi
+if [ -z "${CLANG}" ] || ! command -v "${CLANG}" >/dev/null 2>&1; then
+  echo "check_thread_safety: no clang++ found; skipping (analysis needs clang)"
+  exit 77
+fi
+
+FLAGS=(-std=c++17 -fsyntax-only "-I${ROOT}" -Wthread-safety -Werror=thread-safety)
+echo "check_thread_safety: using $(${CLANG} --version | head -n1)"
+
+# --- 1. positive probe: must compile clean -------------------------------
+if ! "${CLANG}" "${FLAGS[@]}" "${ROOT}/tools/thread_safety_positive.cc"; then
+  echo "FAIL: positive probe did not compile; toolchain/flags are broken" >&2
+  exit 1
+fi
+echo "ok: positive probe compiles clean"
+
+# --- 2. negative probe: must be rejected with a thread-safety error ------
+NEG_OUT="$("${CLANG}" "${FLAGS[@]}" "${ROOT}/tools/thread_safety_negative.cc" 2>&1)"
+NEG_RC=$?
+if [ "${NEG_RC}" -eq 0 ]; then
+  echo "FAIL: negative probe compiled clean — the analysis is NOT running" >&2
+  exit 1
+fi
+if ! printf '%s' "${NEG_OUT}" | grep -q "thread-safety"; then
+  echo "FAIL: negative probe failed, but not with a thread-safety diagnostic:" >&2
+  printf '%s\n' "${NEG_OUT}" >&2
+  exit 1
+fi
+echo "ok: negative probe rejected by the analysis (unguarded GUARDED_BY write)"
+
+# --- 3. tree spot-check: every annotated concurrency surface -------------
+SOURCES=(
+  src/driver/ingest_pipeline.cc
+  src/driver/snapshot.cc
+  src/driver/progress.cc
+  src/sketch/cow_arena.cc
+  src/session/session_manager.cc
+  src/session/sketch_session.cc
+)
+STATUS=0
+for src in "${SOURCES[@]}"; do
+  if [ ! -f "${ROOT}/${src}" ]; then
+    echo "FAIL: ${src} missing (update SOURCES in check_thread_safety.sh)" >&2
+    STATUS=1
+    continue
+  fi
+  if "${CLANG}" "${FLAGS[@]}" "${ROOT}/${src}"; then
+    echo "ok: ${src}"
+  else
+    echo "FAIL: ${src} has thread-safety findings" >&2
+    STATUS=1
+  fi
+done
+
+if [ "${STATUS}" -eq 0 ]; then
+  echo "check_thread_safety: all checks passed"
+fi
+exit "${STATUS}"

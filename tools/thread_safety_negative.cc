@@ -1,0 +1,33 @@
+// Negative-compilation probe for the thread-safety gate.
+//
+// This file must FAIL to compile under
+//   clang++ -std=c++17 -fsyntax-only -Wthread-safety -Werror=thread-safety
+// because UnguardedWrite touches a GUARDED_BY field without holding its
+// mutex. tools/check_thread_safety.sh asserts exactly that: if this file
+// ever compiles clean, the analysis is not actually running (e.g. the
+// annotation macros expanded to nothing under clang) and the gate is
+// worthless — so the script fails the build.
+//
+// Keep this file minimal: one capability, one guarded field, one bad
+// access. Anything more and a future clang diagnostic change could fail
+// it for the wrong reason.
+#include "src/core/sync.h"
+
+namespace {
+
+struct Counter {
+  gsketch::Mutex mu;
+  int value GSKETCH_GUARDED_BY(mu) = 0;
+};
+
+int UnguardedWrite(Counter& c) {
+  c.value += 1;  // ERROR: writing `value` requires holding `mu`
+  return c.value;
+}
+
+}  // namespace
+
+int main() {
+  Counter c;
+  return UnguardedWrite(c);
+}

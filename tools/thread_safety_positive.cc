@@ -1,0 +1,30 @@
+// Positive-compilation probe for the thread-safety gate: the corrected
+// twin of thread_safety_negative.cc. Identical shape, but every access to
+// the guarded field happens under a MutexLock — this file must compile
+// CLEAN under -Wthread-safety -Werror=thread-safety.
+//
+// Running it before the negative probe distinguishes "the analysis
+// rejected the bad access" from "the toolchain can't compile the probe at
+// all" (missing header, bad flag): if this file fails, the gate reports a
+// setup error instead of a false pass/fail.
+#include "src/core/sync.h"
+
+namespace {
+
+struct Counter {
+  gsketch::Mutex mu;
+  int value GSKETCH_GUARDED_BY(mu) = 0;
+};
+
+int GuardedWrite(Counter& c) {
+  gsketch::MutexLock lock(c.mu);
+  c.value += 1;
+  return c.value;
+}
+
+}  // namespace
+
+int main() {
+  Counter c;
+  return GuardedWrite(c);
+}
